@@ -1,0 +1,50 @@
+"""A3 — ablation: buffer-pool sensitivity.
+
+The paper fixes a 32 MB pool on a 256 MB machine so the data does not
+fully fit.  We sweep the frame budget from starved to ample on an
+on-disk database and benchmark the GROUPBY plan from a cold cache; the
+physical-read count falls as frames grow.
+"""
+
+import os
+
+import pytest
+
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.sample import QUERY_1
+from repro.query.database import Database
+
+from conftest import BENCH_CONFIG
+
+FRAME_BUDGETS = (2, 8, 64, 512)
+
+
+@pytest.fixture(scope="module")
+def disk_db_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("a3") / "db")
+    with Database(directory=directory) as db:
+        db.load_tree(generate_dblp(BENCH_CONFIG), "bib.xml")
+    return directory
+
+
+def cold_run(directory: str, frames: int):
+    with Database(directory=directory, pool_frames=frames) as db:
+        db.store.pool.clear()
+        db.store.reset_statistics()
+        return db.query(QUERY_1, plan="groupby", reset_statistics=False)
+
+
+@pytest.mark.parametrize("frames", FRAME_BUDGETS)
+def test_a3_pool_budget(benchmark, disk_db_dir, frames):
+    result = benchmark.pedantic(
+        cold_run, args=(disk_db_dir, frames), rounds=3, iterations=1
+    )
+    benchmark.extra_info["frames"] = frames
+    benchmark.extra_info["physical_reads"] = result.statistics["physical_reads"]
+
+
+def test_a3_more_frames_fewer_reads(disk_db_dir):
+    starved = cold_run(disk_db_dir, 2).statistics["physical_reads"]
+    ample = cold_run(disk_db_dir, 512).statistics["physical_reads"]
+    assert ample <= starved
+    assert os.path.exists(os.path.join(disk_db_dir, "data.pages"))

@@ -1,0 +1,46 @@
+"""E3 — scaling sweep (extension; the paper reports one database size).
+
+Benchmarks the GROUPBY plan and the hash-join direct baseline at three
+database scales; the grouping advantage must persist (and the
+nested-loop baseline's disadvantage grows quadratically — covered at
+the default scale only, to keep runtimes sane).
+"""
+
+import pytest
+
+from repro.bench.harness import build_database
+from repro.datagen.dblp import DBLPConfig
+from repro.datagen.sample import QUERY_1
+
+from conftest import BENCH_CONFIG, run_query
+
+SCALES = (0.25, 0.5, 1.0)
+
+
+@pytest.fixture(scope="module")
+def scaled_dbs():
+    out = {}
+    for scale in SCALES:
+        config = BENCH_CONFIG.scaled(scale)
+        out[scale] = build_database(config)[0]
+    return out
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_e3_groupby_scaling(benchmark, scaled_dbs, scale):
+    db = scaled_dbs[scale]
+    result = benchmark.pedantic(
+        run_query, args=(db, QUERY_1, "groupby"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["value_lookups"] = result.statistics["value_lookups"]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_e3_direct_hash_scaling(benchmark, scaled_dbs, scale):
+    db = scaled_dbs[scale]
+    result = benchmark.pedantic(
+        run_query, args=(db, QUERY_1, "naive-hash"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["value_lookups"] = result.statistics["value_lookups"]

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the substrates the grouping pipeline stands on:
+structural joins, B+tree lookups, pattern matching, store access."""
+
+import pytest
+
+from repro.indexing.btree import BPlusTree
+from repro.pattern.matcher import StoreMatcher
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.pattern.structural_join import brute_force_join, structural_join
+
+
+@pytest.fixture(scope="module")
+def streams(bench_db):
+    db, _ = bench_db
+    articles = db.indexes.labels_for_tag("article")
+    authors = db.indexes.labels_for_tag("author")
+    return articles, authors
+
+
+def test_micro_structural_join(benchmark, streams):
+    articles, authors = streams
+    pairs = benchmark(structural_join, articles, authors, Axis.AD)
+    assert len(pairs) > 0
+
+
+def test_micro_structural_join_brute_force(benchmark, streams):
+    """The quadratic reference — the stack join should beat it clearly."""
+    articles, authors = streams
+    pairs = benchmark(brute_force_join, articles, authors, Axis.AD)
+    assert len(pairs) > 0
+
+
+def test_micro_pattern_match(benchmark, bench_db):
+    db, _ = bench_db
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", tag("author"), Axis.PC)
+    root.add("$3", tag("title"), Axis.PC)
+    pattern = PatternTree(root)
+
+    def match():
+        return StoreMatcher(db.store, db.indexes).match(pattern)
+
+    assert len(benchmark(match)) > 0
+
+
+def test_micro_btree_insert(benchmark):
+    def build():
+        tree = BPlusTree(order=32)
+        for i in range(5000):
+            tree.insert((i * 37) % 10000, i)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) > 0
+
+
+def test_micro_btree_search(benchmark):
+    tree = BPlusTree(order=32)
+    for i in range(5000):
+        tree.insert(i, i)
+
+    def probe():
+        return [tree.search(i) for i in range(0, 5000, 7)]
+
+    assert benchmark(probe)
+
+
+def test_micro_store_materialize(benchmark, bench_db):
+    db, _ = bench_db
+    info = db.store.document("bib.xml")
+    first_article = db.store.children(info.root_nid)[0]
+    node = benchmark(db.store.materialize, first_article)
+    assert node.tag == "article"
+
+
+def test_micro_value_index_distinct(benchmark, bench_db):
+    db, _ = bench_db
+    values = benchmark(db.indexes.distinct_values, "author")
+    assert len(values) > 0

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+One database per scale is built once per session; every benchmark run
+resets the statistics counters so measured work is the query's own.
+The default benchmark scale keeps the full suite in the minutes range
+while leaving the plan-cost differences dominant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_CONFIG
+from repro.bench.harness import build_database
+
+# Same scale as repro.bench.experiments so EXPERIMENTS.md numbers and
+# `pytest benchmarks/` numbers tell one story.
+BENCH_CONFIG = DEFAULT_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    db, profile = build_database(BENCH_CONFIG)
+    return db, profile
+
+
+@pytest.fixture(scope="session")
+def bench_db_scan():
+    """Same workload with index-assisted matching disabled (A1)."""
+    db, profile = build_database(BENCH_CONFIG, use_indexes=False)
+    return db, profile
+
+
+def run_query(db, query: str, plan: str):
+    db.store.reset_statistics()
+    return db.query(query, plan=plan, reset_statistics=False)

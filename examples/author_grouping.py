@@ -1,0 +1,35 @@
+"""The paper's evaluation (Sec. 6) end to end: experiments E1 and E2.
+
+Generates a synthetic DBLP-journals database, runs the titles-by-author
+and count-by-author queries under the direct baselines and the GROUPBY
+plan, and prints the comparison against the paper's reference numbers.
+
+Run:  python examples/author_grouping.py [scale]
+      scale (float, default 1.0) multiplies the default workload size.
+"""
+
+import sys
+
+from repro.bench import (
+    DEFAULT_CONFIG,
+    format_report,
+    format_scaling,
+    run_experiment1,
+    run_experiment2,
+    run_scaling,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    config = DEFAULT_CONFIG.scaled(scale)
+
+    print(format_report(run_experiment1(config), "E1"))
+    print()
+    print(format_report(run_experiment2(config), "E2"))
+    print()
+    print(format_scaling(run_scaling(scales=(0.25, 0.5, 1.0), base=config)))
+
+
+if __name__ == "__main__":
+    main()

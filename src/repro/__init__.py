@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Grouping in XML" (Paparizos et al., EDBT 2002).
+
+A from-scratch native XML database in Python in the architecture of
+TIMBER: page-based storage with an LRU buffer pool, tag/value indexes,
+pattern-tree matching via structural joins, the TAX tree algebra with
+the paper's GROUPBY and aggregation operators, an XQuery-subset front
+end with the naive (join) translation and the grouping rewrite, and the
+experiment harness reproducing the paper's evaluation.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.load_text(BIB_XML, name="bib.xml")
+    result = db.query(QUERY_1)          # rewritten to a GROUPBY plan
+    print(result.collection.sketch())
+"""
+
+from .errors import ReproError
+from .query.database import Database, QueryResult
+from .xmlmodel import Collection, DataTree, XMLNode, element, parse_document, serialize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Database",
+    "QueryResult",
+    "Collection",
+    "DataTree",
+    "XMLNode",
+    "element",
+    "parse_document",
+    "serialize",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Experiment harness (S17): the paper's evaluation, rerunnable."""
+
+from .experiments import (
+    DEFAULT_CONFIG,
+    PAPER_NUMBERS,
+    ScalingReport,
+    run_ablation_buffer_pool,
+    run_ablation_grouping_strategies,
+    run_ablation_match_strategies,
+    run_experiment1,
+    run_experiment2,
+    run_scaling,
+)
+from .figures import bar_chart, report_chart
+from .harness import ExperimentReport, RunRecord, build_database, measured_run
+from .reporting import format_report, format_scaling, format_table
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "PAPER_NUMBERS",
+    "ScalingReport",
+    "run_ablation_buffer_pool",
+    "run_ablation_grouping_strategies",
+    "run_ablation_match_strategies",
+    "run_experiment1",
+    "run_experiment2",
+    "run_scaling",
+    "ExperimentReport",
+    "RunRecord",
+    "build_database",
+    "measured_run",
+    "format_report",
+    "format_scaling",
+    "format_table",
+    "bar_chart",
+    "report_chart",
+]

@@ -1,0 +1,66 @@
+"""ASCII bar charts for experiment reports.
+
+The CLI and examples render quick visual comparisons without plotting
+dependencies: one horizontal bar per run, scaled to the longest, for
+any numeric column of the run rows.
+"""
+
+from __future__ import annotations
+
+from .harness import ExperimentReport
+
+BAR_WIDTH = 48
+BAR_CHAR = "█"
+EMPTY_CHAR = "·"
+
+
+def bar_chart(
+    rows: list[tuple[str, float]],
+    title: str = "",
+    width: int = BAR_WIDTH,
+    unit: str = "",
+) -> str:
+    """Render labelled values as right-scaled horizontal bars.
+
+    >>> print(bar_chart([("direct", 4.0), ("groupby", 1.0)], unit="s"))
+    direct   ████████████████████████████████████████████████ 4 s
+    groupby  ████████████ 1 s
+    """
+    if not rows:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in rows)
+    peak = max(value for _, value in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        filled = int(round(width * (value / peak))) if peak > 0 else 0
+        filled = max(filled, 1) if value > 0 else 0
+        bar = BAR_CHAR * filled + EMPTY_CHAR * 0
+        rendered = _render_value(value)
+        suffix = f" {rendered} {unit}".rstrip()
+        lines.append(f"{label.ljust(label_width)}  {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def _render_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def report_chart(
+    report: ExperimentReport, metric: str = "seconds", width: int = BAR_WIDTH
+) -> str:
+    """Chart one metric of an experiment report across its runs.
+
+    ``metric`` is ``"seconds"`` or any statistics key
+    (``value_lookups``, ``record_lookups``, ``physical_reads``, ...).
+    """
+    rows: list[tuple[str, float]] = []
+    for run in report.runs:
+        if metric == "seconds":
+            value: float = run.seconds
+        else:
+            value = float(run.statistics.get(metric, 0))
+        rows.append((run.label, value))
+    unit = "s" if metric == "seconds" else metric.replace("_", " ")
+    return bar_chart(rows, title=f"{report.name} — {metric}", width=width, unit=unit)

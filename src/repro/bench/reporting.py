@@ -1,0 +1,100 @@
+"""Plain-text report rendering for experiment runs."""
+
+from __future__ import annotations
+
+from .experiments import PAPER_NUMBERS, ScalingReport
+from .harness import ExperimentReport
+
+_COLUMNS = (
+    "label",
+    "plan",
+    "seconds",
+    "value_lookups",
+    "record_lookups",
+    "pool_requests",
+    "physical_reads",
+    "results",
+)
+
+
+def format_table(rows: list[dict[str, object]], columns: tuple[str, ...] = _COLUMNS) -> str:
+    """Fixed-width text table."""
+    header = [str(column) for column in columns]
+    body = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(columns))),
+        "  ".join("-" * widths[i] for i in range(len(columns))),
+    ]
+    lines.extend(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in body
+    )
+    return "\n".join(lines)
+
+
+def format_report(report: ExperimentReport, paper_key: str | None = None) -> str:
+    """Render one experiment: workload profile, runs, speedups."""
+    profile = report.profile
+    lines = [
+        f"## {report.name}",
+        (
+            f"workload: {profile.n_articles} articles, "
+            f"{profile.n_distinct_authors} distinct authors, "
+            f"{profile.n_author_occurrences} author occurrences, "
+            f"{profile.n_nodes} nodes "
+            f"({profile.articles_without_authors} authorless articles)"
+        ),
+        "",
+        format_table([run.row() for run in report.runs]),
+    ]
+    labels = [run.label for run in report.runs]
+    if "groupby" in labels:
+        lines.append("")
+        for baseline in ("direct-nested-loop", "direct-hash-join", "direct"):
+            if baseline in labels:
+                speedup = report.speedup(baseline, "groupby")
+                lookups = report.lookup_ratio(baseline, "groupby")
+                lines.append(
+                    f"{baseline}/groupby speedup: {speedup:.2f}x wall-clock, "
+                    f"{lookups:.2f}x value lookups"
+                )
+        if paper_key and paper_key in PAPER_NUMBERS:
+            paper = PAPER_NUMBERS[paper_key]
+            ratio = paper["direct"] / paper["groupby"]
+            lines.append(
+                f"paper ({paper_key}): direct {paper['direct']}s vs groupby "
+                f"{paper['groupby']}s = {ratio:.2f}x (between the two baselines)"
+            )
+    return "\n".join(lines)
+
+
+def format_scaling(report: ScalingReport) -> str:
+    """Render the E3 sweep: speedup per scale for both experiments."""
+    rows = []
+    for scale, e1, e2 in zip(report.scales, report.e1_reports, report.e2_reports):
+        rows.append(
+            {
+                "scale": scale,
+                "articles": e1.profile.n_articles,
+                "nodes": e1.profile.n_nodes,
+                "E1 nested-loop": f"{e1.speedup('direct-nested-loop', 'groupby'):.2f}x",
+                "E1 hash-join": f"{e1.speedup('direct-hash-join', 'groupby'):.2f}x",
+                "E2 nested-loop": f"{e2.speedup('direct-nested-loop', 'groupby'):.2f}x",
+                "E2 hash-join": f"{e2.speedup('direct-hash-join', 'groupby'):.2f}x",
+            }
+        )
+    return "## E3 scaling sweep (speedup of GROUPBY over each baseline)\n" + format_table(
+        rows,
+        (
+            "scale",
+            "articles",
+            "nodes",
+            "E1 nested-loop",
+            "E1 hash-join",
+            "E2 nested-loop",
+            "E2 hash-join",
+        ),
+    )

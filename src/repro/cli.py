@@ -1,0 +1,142 @@
+"""``timber-py`` — command-line front end to the reproduction.
+
+Subcommands::
+
+    timber-py generate --articles 800 --authors 160 out.xml
+    timber-py query db.xml --plan groupby --query-file q.xq
+    timber-py explain db.xml --query-file q.xq
+    timber-py experiment e1|e2|e3|a1|a2|a3 [--articles N --authors M]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    format_report,
+    format_scaling,
+    run_ablation_buffer_pool,
+    run_ablation_grouping_strategies,
+    run_ablation_match_strategies,
+    run_experiment1,
+    run_experiment2,
+    run_scaling,
+)
+from .datagen.dblp import DBLPConfig, generate_dblp
+from .datagen.sample import QUERY_1
+from .query.database import PLAN_MODES, Database
+from .xmlmodel.serialize import write_file
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--articles", type=int, default=800, help="number of articles")
+    parser.add_argument("--authors", type=int, default=160, help="author pool size")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+
+
+def _config_from(args: argparse.Namespace) -> DBLPConfig:
+    return DBLPConfig(n_articles=args.articles, n_authors=args.authors, seed=args.seed)
+
+
+def _read_query(args: argparse.Namespace) -> str:
+    if args.query_file:
+        with open(args.query_file, encoding="utf-8") as handle:
+            return handle.read()
+    return QUERY_1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="timber-py",
+        description="Reproduction of 'Grouping in XML' (EDBT 2002) — TIMBER/TAX grouping.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    gen = commands.add_parser("generate", help="write a synthetic DBLP document")
+    _add_config_args(gen)
+    gen.add_argument("output", help="output XML path")
+
+    query = commands.add_parser("query", help="run a query against an XML file")
+    query.add_argument("database", help="XML file to load as bib.xml")
+    query.add_argument("--plan", choices=PLAN_MODES, default="auto")
+    query.add_argument("--query-file", help="file with the XQuery text (default: Query 1)")
+
+    explain = commands.add_parser("explain", help="show naive + rewritten plans")
+    explain.add_argument("database", help="XML file to load as bib.xml")
+    explain.add_argument("--query-file", help="file with the XQuery text (default: Query 1)")
+    explain.add_argument(
+        "--verbose", action="store_true", help="annotate plans with optimizer estimates"
+    )
+
+    info = commands.add_parser("info", help="database summary: documents, pages, tags")
+    info.add_argument("database", help="XML file to load as bib.xml")
+
+    experiment = commands.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument(
+        "which", choices=("e1", "e2", "e3", "a1", "a2", "a3"), help="experiment id"
+    )
+    _add_config_args(experiment)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "generate":
+        tree = generate_dblp(_config_from(args))
+        write_file(tree, args.output)
+        print(f"wrote {tree.subtree_size()} nodes to {args.output}")
+        return 0
+
+    if args.command == "info":
+        db = Database()
+        db.load_file(args.database, name="bib.xml")
+        summary = db.info()
+        for document in summary["documents"]:
+            print(f"document {document['name']}: {document['nodes']} nodes")
+        print(f"total nodes: {summary['total_nodes']}")
+        print(f"pages: {summary['pages']} (pool: {summary['buffer_frames']} frames)")
+        print(f"value-index keys: {summary['value_index_keys']}")
+        print("tags: " + ", ".join(f"{t}={n}" for t, n in sorted(summary["tags"].items())))
+        return 0
+
+    if args.command in ("query", "explain"):
+        db = Database()
+        db.load_file(args.database, name="bib.xml")
+        text = _read_query(args)
+        if args.command == "explain":
+            print(db.explain(text, verbose=getattr(args, "verbose", False)))
+            return 0
+        result = db.query(text, plan=args.plan)
+        print(result.collection.sketch())
+        print(
+            f"\n[{result.plan_mode}] {len(result.collection)} results in "
+            f"{result.elapsed_seconds:.4f}s; statistics: {result.statistics}",
+            file=sys.stderr,
+        )
+        return 0
+
+    from .bench import report_chart
+
+    config = _config_from(args)
+    if args.which == "e1":
+        report = run_experiment1(config)
+        print(format_report(report, "E1"))
+        print()
+        print(report_chart(report))
+    elif args.which == "e2":
+        report = run_experiment2(config)
+        print(format_report(report, "E2"))
+        print()
+        print(report_chart(report))
+    elif args.which == "e3":
+        print(format_scaling(run_scaling(base=config)))
+    elif args.which == "a1":
+        print(format_report(run_ablation_match_strategies(config)))
+    elif args.which == "a2":
+        print(format_report(run_ablation_grouping_strategies(config)))
+    else:
+        print(format_report(run_ablation_buffer_pool(config)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

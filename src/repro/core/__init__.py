@@ -1,0 +1,84 @@
+"""The TAX algebra (S7) with GROUPBY (S8) and aggregation (S9).
+
+This package is the paper's contribution layer: logical, in-memory
+reference implementations of every operator the paper uses, defined over
+collections of trees.  The physical, store-backed engine lives in
+:mod:`repro.query.physical` and is cross-checked against this layer by
+the integration tests.
+"""
+
+from .aggregation import AggregateFunction, Aggregation, UpdatePosition, UpdateSpec
+from .base import (
+    TAX_GROUP_ROOT,
+    TAX_GROUP_SUBROOT,
+    TAX_GROUPING_BASIS,
+    TAX_PROD_ROOT,
+    BinaryOperator,
+    UnaryOperator,
+    atomic_value_of,
+)
+from .construct import (
+    WrapEach,
+    concat,
+    grouping_value_of,
+    members_of,
+    stitch,
+    wrap_all,
+)
+from .duplicates import DuplicateElimination
+from .embed import build_witness_tree
+from .groupby import (
+    ASCENDING,
+    DESCENDING,
+    BasisItem,
+    GroupBy,
+    GroupByFunction,
+    OrderItem,
+)
+from .join import Join, JoinKind
+from .ordering import SortCollection
+from .pipeline import TaxPipeline
+from .projection import Projection
+from .rename import Rename, RenameRoot
+from .selection import Selection
+from .setops import Difference, Intersection, Product, Union
+
+__all__ = [
+    "AggregateFunction",
+    "Aggregation",
+    "UpdatePosition",
+    "UpdateSpec",
+    "TAX_GROUP_ROOT",
+    "TAX_GROUP_SUBROOT",
+    "TAX_GROUPING_BASIS",
+    "TAX_PROD_ROOT",
+    "BinaryOperator",
+    "UnaryOperator",
+    "atomic_value_of",
+    "WrapEach",
+    "concat",
+    "grouping_value_of",
+    "members_of",
+    "stitch",
+    "wrap_all",
+    "DuplicateElimination",
+    "build_witness_tree",
+    "ASCENDING",
+    "DESCENDING",
+    "BasisItem",
+    "GroupBy",
+    "GroupByFunction",
+    "OrderItem",
+    "Join",
+    "JoinKind",
+    "SortCollection",
+    "TaxPipeline",
+    "Projection",
+    "Rename",
+    "RenameRoot",
+    "Selection",
+    "Difference",
+    "Intersection",
+    "Product",
+    "Union",
+]

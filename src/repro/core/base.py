@@ -1,0 +1,99 @@
+"""TAX operator foundations: base classes, synthetic tags, shared helpers.
+
+Every TAX operator is collection-in / collection-out (Sec. 2: "TAX is
+thus a 'proper' algebra, with composability and closure").  Unary
+operators implement :meth:`UnaryOperator.apply`; the joins are binary.
+Operators never mutate their inputs — outputs are built from copies —
+and always preserve input order, the two global guarantees the paper's
+operator definitions state.
+
+The synthetic tags introduced by operators (``tax_group_root`` and
+friends, Sec. 3; ``TAX_prod_root``, Fig. 4) are defined here so the
+whole library agrees on them.
+"""
+
+from __future__ import annotations
+
+from ..errors import AlgebraError
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection, DataTree
+
+# Synthetic tags (Sec. 3 and Fig. 4/5 of the paper).
+TAX_GROUP_ROOT = "tax_group_root"
+TAX_GROUPING_BASIS = "tax_grouping_basis"
+TAX_GROUP_SUBROOT = "tax_group_subroot"
+TAX_PROD_ROOT = "tax_prod_root"
+
+
+class UnaryOperator:
+    """A TAX operator over one input collection."""
+
+    name = "operator"
+
+    def apply(self, collection: Collection) -> Collection:
+        raise NotImplementedError
+
+    def __call__(self, collection: Collection) -> Collection:
+        return self.apply(collection)
+
+    def describe(self) -> str:
+        """One-line parameter summary used by plan explainers."""
+        return self.name
+
+
+class BinaryOperator:
+    """A TAX operator over two input collections (the joins)."""
+
+    name = "binary-operator"
+
+    def apply(self, left: Collection, right: Collection) -> Collection:
+        raise NotImplementedError
+
+    def __call__(self, left: Collection, right: Collection) -> Collection:
+        return self.apply(left, right)
+
+    def describe(self) -> str:
+        return self.name
+
+
+def document_positions(root: XMLNode) -> dict[int, int]:
+    """Map ``id(node)`` to its preorder position within ``root``'s tree.
+
+    Operators use this to arrange copied nodes in document order when
+    the matched nodes carry no stored labels.
+    """
+    return {id(node): index for index, node in enumerate(root.iter())}
+
+
+def shallow_copy(node: XMLNode) -> XMLNode:
+    """Copy one node without its children (keeps tag/content/attrs/nid)."""
+    return XMLNode(node.tag, node.content, dict(node.attributes) or None, nid=node.nid)
+
+
+def atomic_value_of(node: XMLNode) -> str:
+    """The comparison/grouping value of a node (its text content)."""
+    if node.content is not None:
+        return node.content
+    parts = [n.content for n in node.iter() if n.content is not None]
+    return "".join(parts)
+
+
+def numeric_or_text(value: str):
+    """Sort/aggregate coercion: float when the text parses, else text.
+
+    Mixed-type comparisons are avoided by tagging the type into the key.
+    """
+    try:
+        return (0, float(value))
+    except ValueError:
+        return (1, value)
+
+
+def require(condition: bool, message: str) -> None:
+    """Parameter validation helper for operators."""
+    if not condition:
+        raise AlgebraError(message)
+
+
+def as_collection(trees: list[DataTree], name: str = "") -> Collection:
+    return Collection(trees, name=name)

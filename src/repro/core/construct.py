@@ -1,0 +1,100 @@
+"""Result construction helpers.
+
+The RETURN clause of a FLWR expression builds new elements around the
+values computed per binding.  The naive parse realizes this with "the
+appropriate stitching ... using a full outer join and then a renaming"
+(Sec. 4.1); these helpers are the small constructive pieces both the
+naive and the rewritten pipelines share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection, DataTree
+from .base import UnaryOperator
+
+
+class WrapEach(UnaryOperator):
+    """Put every tree of the collection under a fresh ``<tag>`` root."""
+
+    name = "wrap-each"
+
+    def __init__(self, tag: str):
+        self.tag = tag
+
+    def apply(self, collection: Collection) -> Collection:
+        output = Collection(name="wrap")
+        for tree in collection:
+            root = XMLNode(self.tag)
+            root.append_child(tree.root.deep_copy())
+            output.append(DataTree(root))
+        return output
+
+    def describe(self) -> str:
+        return f"wrap each in <{self.tag}>"
+
+
+def wrap_all(collection: Collection, tag: str) -> DataTree:
+    """One tree with every collection member as a child of ``<tag>``."""
+    root = XMLNode(tag)
+    for tree in collection:
+        root.append_child(tree.root.deep_copy())
+    return DataTree(root)
+
+
+def stitch(groups: Iterable[list[XMLNode]], tag: str) -> Collection:
+    """Build one ``<tag>`` element per group of member nodes.
+
+    This realizes the per-binding stitching of RETURN arguments: each
+    group is the list of already-constructed argument results for one
+    outer binding, in argument order.
+    """
+    output = Collection(name="stitch")
+    for members in groups:
+        root = XMLNode(tag)
+        for member in members:
+            root.append_child(member.deep_copy())
+        output.append(DataTree(root))
+    return output
+
+
+def members_of(group_tree: DataTree, dedup: bool = True) -> Collection:
+    """The member source trees of one ``tax_group_root`` tree, as a
+    collection — the inverse direction of grouping, enabled by closure.
+
+    With ``dedup=True`` (default) a source tree appearing several times
+    in the group (several witnesses) is returned once, keyed by its
+    stored node id when available, else by deep value.
+    """
+    children = group_tree.root.children
+    if len(children) != 2:
+        raise ValueError("not a group tree: expected basis + subroot children")
+    subroot = children[1]
+    output = Collection(name="members")
+    seen: set = set()
+    for member in subroot.children:
+        if dedup:
+            key = member.nid if member.nid is not None else member.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+        output.append(DataTree(member))
+    return output
+
+
+def grouping_value_of(group_tree: DataTree) -> str | None:
+    """The first grouping-basis value of a ``tax_group_root`` tree."""
+    children = group_tree.root.children
+    if len(children) != 2 or not children[0].children:
+        raise ValueError("not a group tree: missing grouping basis")
+    return children[0].children[0].content
+
+
+def concat(*collections: Collection) -> Collection:
+    """Concatenate collections, preserving order."""
+    output = Collection(name="concat")
+    for collection in collections:
+        output.extend(collection)
+    return output

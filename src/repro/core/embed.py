@@ -1,0 +1,57 @@
+"""Witness-tree construction shared by selection and the joins.
+
+Given one pattern embedding (a :class:`~repro.pattern.witness.TreeMatch`),
+build the output *witness tree*: the matched nodes arranged by the
+pattern's structure, with nodes named in the adornment/selection list
+``SL`` expanded to their full data subtrees (Sec. 2, Selection: "the
+adornment list SL lists nodes from P for which not just the nodes
+themselves, but all descendants, are to be returned").
+
+Sibling copies under one parent are arranged in document order of the
+matched nodes, preserving "the relative order among nodes in the input"
+as the operator definitions require.
+"""
+
+from __future__ import annotations
+
+from ..pattern.pattern import PatternNode, PatternTree
+from ..pattern.witness import TreeMatch
+from ..xmlmodel.node import XMLNode
+from .base import shallow_copy
+
+
+def build_witness_tree(
+    match: TreeMatch,
+    pattern: PatternTree,
+    selection_list: frozenset[str] | set[str] = frozenset(),
+    positions: dict[int, int] | None = None,
+) -> XMLNode:
+    """Materialize one witness tree from a match over in-memory nodes.
+
+    ``selection_list`` holds the labels whose full subtrees are kept
+    (the ``SL`` adornment).  ``positions`` maps ``id(node)`` to document
+    position in the source tree; when provided, sibling bindings are
+    ordered by it.
+    """
+    return _build(pattern.root, match, frozenset(selection_list), positions)
+
+
+def _build(
+    pnode: PatternNode,
+    match: TreeMatch,
+    selection_list: frozenset[str],
+    positions: dict[int, int] | None,
+) -> XMLNode:
+    bound = match.bindings[pnode.label]
+    if pnode.label in selection_list:
+        # Full subtree; pattern descendants are already inside the copy,
+        # so they are not re-attached (that would duplicate them).
+        return bound.deep_copy()
+
+    copy = shallow_copy(bound)
+    children = list(pnode.children)
+    if positions is not None:
+        children.sort(key=lambda child: positions.get(id(match.bindings[child.label]), 0))
+    for child in children:
+        copy.append_child(_build(child, match, selection_list, positions))
+    return copy

@@ -1,0 +1,140 @@
+"""TAX value joins: inner, left outer, and full outer.
+
+The naive parse of a grouping query (Sec. 4.1, Fig. 4.b) produces "a
+left outer join between all the authors of the database, as selected
+already ..., and the authors of articles".  The join-plan pattern tree
+has a ``TAX_prod_root`` root whose two subtrees describe the left and
+right operands, with a value predicate tying them together
+(``$3.content = $6.content``).
+
+Operationally the operator takes one pattern per side, matched within
+the respective operand, plus cross-side content-equality conditions.
+Each surviving pair of embeddings yields one output tree::
+
+    tax_prod_root
+    ├── left witness tree   (adorned per SL)
+    └── right witness tree  (adorned per SL)
+
+Outer variants pad the missing side: LEFT_OUTER keeps every left
+embedding with no matching right embedding (Fig. 8 shows such a padded
+tree for author Jill before her article matched), FULL_OUTER also keeps
+unmatched right embeddings.
+
+The evaluation is deliberately nested loops over embedding pairs: this
+operator *is* the paper's slow baseline; the rewrite exists to remove
+it.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import AlgebraError
+from ..pattern.matcher import TreeMatcher
+from ..pattern.pattern import PatternTree
+from ..pattern.witness import TreeMatch
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection, DataTree
+from .base import TAX_PROD_ROOT, BinaryOperator, atomic_value_of, document_positions
+from .embed import build_witness_tree
+
+
+class JoinKind(str, Enum):
+    INNER = "inner"
+    LEFT_OUTER = "left-outer"
+    FULL_OUTER = "full-outer"
+
+
+class Join(BinaryOperator):
+    """Value join of two collections on witness-binding contents."""
+
+    name = "join"
+
+    def __init__(
+        self,
+        left_pattern: PatternTree,
+        right_pattern: PatternTree,
+        conditions: list[tuple[str, str]],
+        kind: JoinKind = JoinKind.INNER,
+        selection_list: set[str] | frozenset[str] = frozenset(),
+    ):
+        """``conditions`` pairs a left-pattern label with a right-pattern
+        label; all pairs must agree on content for a pair of embeddings
+        to join."""
+        self.left_pattern = left_pattern
+        self.right_pattern = right_pattern
+        self.conditions = list(conditions)
+        self.kind = kind
+        self.selection_list = frozenset(selection_list)
+        if not self.conditions and kind is not JoinKind.INNER:
+            raise AlgebraError("outer joins require at least one condition")
+        for left_label, right_label in self.conditions:
+            left_pattern.node(left_label)
+            right_pattern.node(right_label)
+        self._matcher = TreeMatcher()
+
+    # ------------------------------------------------------------------
+    def apply(self, left: Collection, right: Collection) -> Collection:
+        left_matches = self._collect(self.left_pattern, left)
+        right_matches = self._collect(self.right_pattern, right)
+
+        output = Collection(name=f"join-{self.kind.value}")
+        right_matched = [False] * len(right_matches)
+
+        for l_match, l_positions in left_matches:
+            padded = True
+            for r_index, (r_match, r_positions) in enumerate(right_matches):
+                if not self._passes(l_match, r_match):
+                    continue
+                padded = False
+                right_matched[r_index] = True
+                output.append(self._pair_tree(l_match, l_positions, r_match, r_positions))
+            if padded and self.kind in (JoinKind.LEFT_OUTER, JoinKind.FULL_OUTER):
+                output.append(self._pair_tree(l_match, l_positions, None, None))
+
+        if self.kind is JoinKind.FULL_OUTER:
+            for r_index, (r_match, r_positions) in enumerate(right_matches):
+                if not right_matched[r_index]:
+                    output.append(self._pair_tree(None, None, r_match, r_positions))
+        return output
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self, pattern: PatternTree, collection: Collection
+    ) -> list[tuple[TreeMatch, dict[int, int]]]:
+        out: list[tuple[TreeMatch, dict[int, int]]] = []
+        for index, tree in enumerate(collection):
+            positions = document_positions(tree.root)
+            for match in self._matcher.match_tree(pattern, tree.root, index):
+                out.append((match, positions))
+        return out
+
+    def _passes(self, l_match: TreeMatch, r_match: TreeMatch) -> bool:
+        for left_label, right_label in self.conditions:
+            left_value = atomic_value_of(l_match.bindings[left_label])
+            right_value = atomic_value_of(r_match.bindings[right_label])
+            if left_value != right_value:
+                return False
+        return True
+
+    def _pair_tree(
+        self,
+        l_match: TreeMatch | None,
+        l_positions: dict[int, int] | None,
+        r_match: TreeMatch | None,
+        r_positions: dict[int, int] | None,
+    ) -> DataTree:
+        root = XMLNode(TAX_PROD_ROOT)
+        if l_match is not None:
+            root.append_child(
+                build_witness_tree(l_match, self.left_pattern, self.selection_list, l_positions)
+            )
+        if r_match is not None:
+            root.append_child(
+                build_witness_tree(r_match, self.right_pattern, self.selection_list, r_positions)
+            )
+        return DataTree(root)
+
+    def describe(self) -> str:
+        conditions = ", ".join(f"{a}={b}" for a, b in self.conditions) or "true"
+        return f"{self.kind.value} join on {conditions}"

@@ -1,0 +1,60 @@
+"""Collection ordering.
+
+TAX collections are ordered; this operator re-orders the *trees* of a
+collection by values drawn from pattern bindings (the ordering-list
+machinery shared with groupby).  Trees the pattern does not match keep
+their relative order after all matched trees.
+"""
+
+from __future__ import annotations
+
+from ..pattern.matcher import TreeMatcher
+from ..pattern.pattern import PatternTree
+from ..xmlmodel.tree import Collection
+from .base import UnaryOperator, numeric_or_text
+from .groupby import ASCENDING, DESCENDING, OrderItem
+
+
+class SortCollection(UnaryOperator):
+    """Order trees by ordering-list values of their first witness."""
+
+    name = "sort"
+
+    def __init__(self, pattern: PatternTree, ordering: list[tuple[str, str] | OrderItem]):
+        self.pattern = pattern
+        self.ordering = [
+            item if isinstance(item, OrderItem) else OrderItem.parse(item[0], item[1])
+            for item in ordering
+        ]
+        for item in self.ordering:
+            pattern.node(item.label)
+        self._matcher = TreeMatcher()
+
+    def apply(self, collection: Collection) -> Collection:
+        keyed = []
+        unmatched = []
+        for index, tree in enumerate(collection):
+            matches = self._matcher.match_tree(self.pattern, tree.root, index)
+            if not matches:
+                unmatched.append(tree)
+                continue
+            keyed.append((matches[0], tree))
+
+        ordered = keyed
+        for item in reversed(self.ordering):
+            reverse = item.direction == DESCENDING
+            ordered = sorted(
+                ordered,
+                key=lambda pair: numeric_or_text(item.value_of(pair[0])),
+                reverse=reverse,
+            )
+        output = Collection(name="sort")
+        output.extend(tree for _, tree in ordered)
+        output.extend(unmatched)
+        return output
+
+    def describe(self) -> str:
+        return "sort " + ", ".join(item.render() for item in self.ordering)
+
+
+__all__ = ["SortCollection", "ASCENDING", "DESCENDING", "OrderItem"]

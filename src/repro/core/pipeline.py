@@ -1,0 +1,139 @@
+"""Fluent composition of TAX operators.
+
+TAX's closure property means operator outputs feed operators; this
+builder makes that composition read like the algebra:
+
+>>> result = (
+...     TaxPipeline.over(database)
+...     .select(pattern, adorn={"$2"})
+...     .project(pattern, ["$2*"])
+...     .groupby(group_pattern, basis=["$2"], ordering=[("$3", "DESCENDING")])
+...     .collect()
+... )
+
+Every step applies one operator eagerly and returns a new pipeline over
+the result, so intermediate collections can be inspected (``peek``) and
+pipelines branched without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..pattern.pattern import PatternTree
+from ..xmlmodel.tree import Collection
+from .aggregation import AggregateFunction, Aggregation, UpdateSpec
+from .duplicates import DuplicateElimination
+from .groupby import GroupBy
+from .join import Join, JoinKind
+from .ordering import SortCollection
+from .projection import Projection
+from .rename import Rename, RenameRoot
+from .selection import Selection
+from .setops import Difference, Intersection, Product, Union
+
+
+class TaxPipeline:
+    """An immutable handle on a collection plus chainable operators."""
+
+    def __init__(self, collection: Collection):
+        self._collection = collection
+
+    @classmethod
+    def over(cls, collection: Collection) -> "TaxPipeline":
+        return cls(collection)
+
+    # ------------------------------------------------------------------
+    # Unary operators
+    # ------------------------------------------------------------------
+    def select(
+        self, pattern: PatternTree, adorn: set[str] | frozenset[str] = frozenset()
+    ) -> "TaxPipeline":
+        return TaxPipeline(Selection(pattern, adorn).apply(self._collection))
+
+    def project(self, pattern: PatternTree, projection_list: list[str]) -> "TaxPipeline":
+        return TaxPipeline(Projection(pattern, projection_list).apply(self._collection))
+
+    def distinct(
+        self, pattern: PatternTree | None = None, label: str | None = None
+    ) -> "TaxPipeline":
+        return TaxPipeline(DuplicateElimination(pattern, label).apply(self._collection))
+
+    def groupby(
+        self,
+        pattern: PatternTree,
+        basis: list[str],
+        ordering: list[tuple[str, str]] | None = None,
+    ) -> "TaxPipeline":
+        return TaxPipeline(GroupBy(pattern, basis, ordering).apply(self._collection))
+
+    def aggregate(
+        self,
+        pattern: PatternTree,
+        function: AggregateFunction | str,
+        source_label: str,
+        new_tag: str,
+        update: UpdateSpec,
+    ) -> "TaxPipeline":
+        operator = Aggregation(pattern, function, source_label, new_tag, update)
+        return TaxPipeline(operator.apply(self._collection))
+
+    def sort(self, pattern: PatternTree, ordering: list[tuple[str, str]]) -> "TaxPipeline":
+        return TaxPipeline(SortCollection(pattern, ordering).apply(self._collection))
+
+    def rename_root(self, new_tag: str) -> "TaxPipeline":
+        return TaxPipeline(RenameRoot(new_tag).apply(self._collection))
+
+    def rename(self, pattern: PatternTree, label: str, new_tag: str) -> "TaxPipeline":
+        return TaxPipeline(Rename(pattern, label, new_tag).apply(self._collection))
+
+    # ------------------------------------------------------------------
+    # Binary operators
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        other: "TaxPipeline | Collection",
+        left_pattern: PatternTree,
+        right_pattern: PatternTree,
+        conditions: list[tuple[str, str]],
+        kind: JoinKind = JoinKind.INNER,
+        adorn: set[str] | frozenset[str] = frozenset(),
+    ) -> "TaxPipeline":
+        operator = Join(left_pattern, right_pattern, conditions, kind, adorn)
+        return TaxPipeline(operator.apply(self._collection, _as_collection(other)))
+
+    def union(self, other: "TaxPipeline | Collection", distinct: bool = False) -> "TaxPipeline":
+        return TaxPipeline(Union(distinct).apply(self._collection, _as_collection(other)))
+
+    def intersect(self, other: "TaxPipeline | Collection") -> "TaxPipeline":
+        return TaxPipeline(Intersection().apply(self._collection, _as_collection(other)))
+
+    def difference(self, other: "TaxPipeline | Collection") -> "TaxPipeline":
+        return TaxPipeline(Difference().apply(self._collection, _as_collection(other)))
+
+    def product(self, other: "TaxPipeline | Collection") -> "TaxPipeline":
+        return TaxPipeline(Product().apply(self._collection, _as_collection(other)))
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def collect(self) -> Collection:
+        """The pipeline's current collection."""
+        return self._collection
+
+    def peek(self, fn: Callable[[Collection], None]) -> "TaxPipeline":
+        """Call ``fn`` on the current collection (debugging) and continue."""
+        fn(self._collection)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._collection)
+
+    def __iter__(self):
+        return iter(self._collection)
+
+
+def _as_collection(value: "TaxPipeline | Collection") -> Collection:
+    if isinstance(value, TaxPipeline):
+        return value.collect()
+    return value

@@ -1,0 +1,93 @@
+"""TAX projection (Sec. 2).
+
+Projection keeps only the nodes named in the projection list ``PL``
+(labels of pattern ``P``, optionally starred to keep whole subtrees)
+and "the (partial) hierarchical relationships between surviving nodes
+... are preserved".  One input tree can contribute zero output trees
+(no witness), one, or several — the latter when retained nodes have no
+ancestor-descendant relationship among them, in which case each maximal
+retained node roots its own output tree, in document order.
+
+This is strictly more general than relational projection; the paper's
+note about forcing exactly one output tree (put the pattern root in PL
+and anchor it at the data root) falls out naturally.
+"""
+
+from __future__ import annotations
+
+from ..errors import AlgebraError
+from ..pattern.matcher import TreeMatcher
+from ..pattern.pattern import PatternTree
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection, DataTree
+from .base import UnaryOperator, shallow_copy
+
+
+def parse_projection_item(item: str) -> tuple[str, bool]:
+    """Split ``"$2*"`` into ``("$2", True)`` and ``"$2"`` into ``("$2", False)``."""
+    if item.endswith("*"):
+        return item[:-1], True
+    return item, False
+
+
+class Projection(UnaryOperator):
+    """``π_{P, PL}(C)`` — keep listed nodes, preserving hierarchy."""
+
+    name = "projection"
+
+    def __init__(self, pattern: PatternTree, projection_list: list[str]):
+        if not projection_list:
+            raise AlgebraError("projection list must not be empty")
+        self.pattern = pattern
+        self.projection_list = list(projection_list)
+        self._items = [parse_projection_item(item) for item in projection_list]
+        for label, _ in self._items:
+            pattern.node(label)
+        self._matcher = TreeMatcher()
+
+    def apply(self, collection: Collection) -> Collection:
+        output = Collection(name="projection")
+        for index, tree in enumerate(collection):
+            for root in self._project_tree(tree.root, index):
+                output.append(
+                    DataTree(root, doc_id=tree.doc_id, source_root_nid=tree.source_root_nid)
+                )
+        return output
+
+    # ------------------------------------------------------------------
+    def _project_tree(self, root: XMLNode, tree_index: int) -> list[XMLNode]:
+        matches = self._matcher.match_tree(self.pattern, root, tree_index)
+        if not matches:
+            return []
+        retained: set[int] = set()
+        starred: set[int] = set()
+        for match in matches:
+            for label, star in self._items:
+                node = match.bindings[label]
+                retained.add(id(node))
+                if star:
+                    starred.add(id(node))
+        return self._collapse(root, retained, starred)
+
+    @staticmethod
+    def _collapse(root: XMLNode, retained: set[int], starred: set[int]) -> list[XMLNode]:
+        """Rebuild the forest of retained nodes, hoisting over dropped ones."""
+
+        def project(node: XMLNode, inside_star: bool) -> list[XMLNode]:
+            keep = inside_star or id(node) in retained
+            star = inside_star or id(node) in starred
+            if keep:
+                copy = shallow_copy(node)
+                for child in node.children:
+                    for projected in project(child, star):
+                        copy.append_child(projected)
+                return [copy]
+            hoisted: list[XMLNode] = []
+            for child in node.children:
+                hoisted.extend(project(child, False))
+            return hoisted
+
+        return project(root, False)
+
+    def describe(self) -> str:
+        return f"projection P={self.pattern.labels()} PL={self.projection_list}"

@@ -1,0 +1,60 @@
+"""Rename operators.
+
+Both the naive parse and the rewrite end with "a rename operator ... to
+change the dummy root to the tag specified in the return clause"
+(Sec. 4.1, step 5).  :class:`RenameRoot` is that final step;
+:class:`Rename` is the general form renaming every node bound by a
+pattern label.
+"""
+
+from __future__ import annotations
+
+from ..pattern.matcher import TreeMatcher
+from ..pattern.pattern import PatternTree
+from ..xmlmodel.tree import Collection, DataTree
+from .base import UnaryOperator
+
+
+class RenameRoot(UnaryOperator):
+    """Rename the root element of every tree in the collection."""
+
+    name = "rename-root"
+
+    def __init__(self, new_tag: str):
+        self.new_tag = new_tag
+
+    def apply(self, collection: Collection) -> Collection:
+        output = Collection(name="rename")
+        for tree in collection:
+            copy = tree.copy()
+            copy.root.tag = self.new_tag
+            output.append(copy)
+        return output
+
+    def describe(self) -> str:
+        return f"rename root -> <{self.new_tag}>"
+
+
+class Rename(UnaryOperator):
+    """Rename every node bound to ``label`` by pattern ``P``."""
+
+    name = "rename"
+
+    def __init__(self, pattern: PatternTree, label: str, new_tag: str):
+        self.pattern = pattern
+        self.label = label
+        self.new_tag = new_tag
+        pattern.node(label)
+        self._matcher = TreeMatcher()
+
+    def apply(self, collection: Collection) -> Collection:
+        output = Collection(name="rename")
+        for index, tree in enumerate(collection):
+            copy = tree.copy()
+            for match in self._matcher.match_tree(self.pattern, copy.root, index):
+                match.bindings[self.label].tag = self.new_tag
+            output.append(copy)
+        return output
+
+    def describe(self) -> str:
+        return f"rename {self.label} -> <{self.new_tag}>"

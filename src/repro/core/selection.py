@@ -1,0 +1,54 @@
+"""TAX selection (Sec. 2).
+
+Selection takes a collection ``C``, a pattern ``P``, and an adornment
+list ``SL``; each output data tree "is the witness tree induced by some
+embedding of P into C, modified as possibly prescribed in SL".  Because
+one pattern can match many times inside one input tree, selection is
+one-to-many: it is strictly more general than relational selection.
+
+Output order: witnesses are emitted per input tree in collection order,
+and within a tree in document order of the binding tuple — preserving
+the input's relative order, as required.
+"""
+
+from __future__ import annotations
+
+from ..pattern.matcher import TreeMatcher
+from ..pattern.pattern import PatternTree
+from ..xmlmodel.tree import Collection, DataTree
+from .base import UnaryOperator, document_positions
+from .embed import build_witness_tree
+
+
+class Selection(UnaryOperator):
+    """``σ_{P, SL}(C)`` — pattern-tree selection with adornment."""
+
+    name = "selection"
+
+    def __init__(self, pattern: PatternTree, selection_list: set[str] | frozenset[str] = frozenset()):
+        self.pattern = pattern
+        self.selection_list = frozenset(selection_list)
+        for label in self.selection_list:
+            pattern.node(label)  # raises PatternError on unknown labels
+        self._matcher = TreeMatcher()
+
+    def apply(self, collection: Collection) -> Collection:
+        output = Collection(name="selection")
+        for index, tree in enumerate(collection):
+            positions = document_positions(tree.root)
+            for match in self._matcher.match_tree(self.pattern, tree.root, index):
+                witness_root = build_witness_tree(
+                    match, self.pattern, self.selection_list, positions
+                )
+                output.append(
+                    DataTree(
+                        witness_root,
+                        doc_id=tree.doc_id,
+                        source_root_nid=tree.source_root_nid,
+                    )
+                )
+        return output
+
+    def describe(self) -> str:
+        adorned = ", ".join(sorted(self.selection_list)) or "-"
+        return f"selection P={self.pattern.labels()} SL=[{adorned}]"

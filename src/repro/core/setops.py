@@ -1,0 +1,111 @@
+"""TAX set operations and product.
+
+TAX is a full algebra over collections of trees (the paper defers the
+complete operator list to the TAX paper [8]); selection/projection/
+grouping compose with the classic set operators, which this module
+provides:
+
+* :class:`Union` — bag union by default (concatenation, left first);
+  ``distinct=True`` unifies by deep value, keeping first occurrences;
+* :class:`Intersection` — trees of the left input that have a deep-equal
+  tree in the right input (multiplicity bounded by the right's);
+* :class:`Difference` — left minus right by deep value (bag semantics:
+  each right tree cancels one left occurrence);
+* :class:`Product` — the Cartesian product underlying the join family:
+  each output tree is a ``tax_prod_root`` over a (left, right) pair, in
+  left-major order (Fig. 4's join-plan trees are selections over this
+  product).
+
+Deep value means :meth:`XMLNode.canonical_key`; all operators preserve
+input order and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection, DataTree
+from .base import TAX_PROD_ROOT, BinaryOperator
+
+
+class Union(BinaryOperator):
+    """Bag (or distinct) union of two collections."""
+
+    name = "union"
+
+    def __init__(self, distinct: bool = False):
+        self.distinct = distinct
+
+    def apply(self, left: Collection, right: Collection) -> Collection:
+        output = Collection(name="union")
+        if not self.distinct:
+            output.extend(left)
+            output.extend(right)
+            return output
+        seen: set = set()
+        for tree in list(left) + list(right):
+            key = tree.root.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            output.append(tree)
+        return output
+
+    def describe(self) -> str:
+        return "union distinct" if self.distinct else "union all"
+
+
+class Intersection(BinaryOperator):
+    """Trees of the left input that deep-equal some right-input tree."""
+
+    name = "intersection"
+
+    def apply(self, left: Collection, right: Collection) -> Collection:
+        budget: dict = {}
+        for tree in right:
+            key = tree.root.canonical_key()
+            budget[key] = budget.get(key, 0) + 1
+        output = Collection(name="intersection")
+        for tree in left:
+            key = tree.root.canonical_key()
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                output.append(tree)
+        return output
+
+
+class Difference(BinaryOperator):
+    """Left minus right, bag semantics by deep value."""
+
+    name = "difference"
+
+    def apply(self, left: Collection, right: Collection) -> Collection:
+        budget: dict = {}
+        for tree in right:
+            key = tree.root.canonical_key()
+            budget[key] = budget.get(key, 0) + 1
+        output = Collection(name="difference")
+        for tree in left:
+            key = tree.root.canonical_key()
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                continue
+            output.append(tree)
+        return output
+
+
+class Product(BinaryOperator):
+    """Cartesian product: ``tax_prod_root(left-copy, right-copy)`` pairs."""
+
+    name = "product"
+
+    def apply(self, left: Collection, right: Collection) -> Collection:
+        output = Collection(name="product")
+        for left_tree in left:
+            for right_tree in right:
+                root = XMLNode(TAX_PROD_ROOT)
+                root.append_child(left_tree.root.deep_copy())
+                root.append_child(right_tree.root.deep_copy())
+                output.append(DataTree(root))
+        return output

@@ -1,0 +1,29 @@
+"""Workload generation (S15) and the paper's sample databases (S16)."""
+
+from .dblp import (
+    DEFAULT_AUTHOR_COUNT_WEIGHTS,
+    DBLPConfig,
+    DBLPProfile,
+    generate_dblp,
+    generate_dblp_with_profile,
+)
+from .sample import (
+    QUERY_1,
+    QUERY_2,
+    QUERY_COUNT,
+    figure6_database,
+    transaction_database,
+)
+
+__all__ = [
+    "DEFAULT_AUTHOR_COUNT_WEIGHTS",
+    "DBLPConfig",
+    "DBLPProfile",
+    "generate_dblp",
+    "generate_dblp_with_profile",
+    "QUERY_1",
+    "QUERY_2",
+    "QUERY_COUNT",
+    "figure6_database",
+    "transaction_database",
+]

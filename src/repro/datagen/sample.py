@@ -1,0 +1,114 @@
+"""Fixed sample databases from the paper's figures.
+
+:func:`figure6_database` is the worked-example database of Fig. 6: three
+articles by Jack, John, and Jill, used throughout Sec. 4.1's walk-through
+(Figs. 7-10).  :func:`transaction_database` is a small bibliography with
+"Transaction"-titled articles matching the pattern-tree example of
+Figs. 1-3.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel.node import XMLNode, element
+
+
+def figure6_database() -> XMLNode:
+    """The Fig. 6 sample: doc_root with the three worked-example articles.
+
+    Article order, author order, and values reproduce the figure (the
+    extra book-ish entries of the figure that never appear in Figs. 7-10
+    are represented by the publisher/year sub-elements kept on the first
+    article, exercising "irrelevant structure is immaterial").
+    """
+    return element(
+        "doc_root",
+        None,
+        element(
+            "article",
+            None,
+            element("author", "Jack"),
+            element("author", "John"),
+            element("title", "Querying XML"),
+            element("year", "1999"),
+            element("publisher", "Morgan Kaufman"),
+        ),
+        element(
+            "article",
+            None,
+            element("title", "XML and the Web"),
+            element("author", "Jill"),
+            element("author", "Jack"),
+        ),
+        element(
+            "article",
+            None,
+            element("author", "John"),
+            element("title", "Hack HTML"),
+        ),
+    )
+
+
+QUERY_1 = """
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN
+<authorpubs>
+{$a}
+{
+FOR $b IN document("bib.xml")//article
+WHERE $a = $b/author
+RETURN $b/title
+}
+</authorpubs>
+"""
+
+QUERY_2 = """
+FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN
+<authorpubs>
+{$a} {$t}
+</authorpubs>
+"""
+
+QUERY_COUNT = """
+FOR $a IN distinct-values(document("bib.xml")//author)
+LET $t := document("bib.xml")//article[author = $a]/title
+RETURN
+<authorpubs>
+{$a} {count($t)}
+</authorpubs>
+"""
+
+
+def transaction_database() -> XMLNode:
+    """Articles echoing Fig. 2's witness trees: 'Transaction'-titled
+    articles by Silberschatz, Garcia-Molina, and Thompson."""
+    return element(
+        "doc_root",
+        None,
+        element(
+            "article",
+            None,
+            element("title", "Transaction Mng ..."),
+            element("author", "Silberschatz"),
+        ),
+        element(
+            "article",
+            None,
+            element("title", "Overview of Transaction Mng"),
+            element("author", "Silberschatz"),
+            element("author", "Garcia-Molina"),
+        ),
+        element(
+            "article",
+            None,
+            element("title", "Transaction Mng ..."),
+            element("author", "Thompson"),
+        ),
+        element(
+            "article",
+            None,
+            element("title", "Query Processing"),
+            element("author", "Garcia-Molina"),
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro (TIMBER/TAX reproduction) library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class.  Subsystems get
+their own subclasses; the query front end further distinguishes syntax
+errors (bad input text) from translation errors (valid text outside the
+supported XQuery subset).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XMLParseError(ReproError):
+    """Malformed XML input text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position
+    when known, so error messages can point at the input.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class StorageError(ReproError):
+    """Errors from the page store, disk manager, or buffer pool."""
+
+
+class PageCorruptionError(StorageError):
+    """A page failed its checksum or structural validation on read."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer pool misuse, e.g. unpinning a page that is not pinned."""
+
+
+class IndexError_(ReproError):
+    """Errors from the index manager (named with a trailing underscore to
+    avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class PatternError(ReproError):
+    """Malformed pattern tree or invalid pattern-tree parameters."""
+
+
+class AlgebraError(ReproError):
+    """Invalid parameters to a TAX algebra operator."""
+
+
+class XQuerySyntaxError(ReproError):
+    """The XQuery text could not be tokenized or parsed.
+
+    Carries the position of the offending token when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class TranslationError(ReproError):
+    """The query parsed, but falls outside the XQuery subset that the
+    algebraic translator (Sec. 4.1/4.2 of the paper) supports."""
+
+
+class RewriteError(ReproError):
+    """The grouping rewrite was asked to transform a plan that does not
+    match the Phase-1 detection conditions."""
+
+
+class DatabaseError(ReproError):
+    """Errors from the Database facade (unknown document, closed handle...)."""

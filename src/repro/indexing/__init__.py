@@ -1,0 +1,17 @@
+"""Indexing substrate (S3/S4): containment labels, B+tree, tag/value indexes."""
+
+from .btree import BPlusTree
+from .labels import NodeLabel, assert_document_order, sort_document_order
+from .manager import IndexManager
+from .tag_index import TagIndex
+from .value_index import ValueIndex
+
+__all__ = [
+    "BPlusTree",
+    "NodeLabel",
+    "assert_document_order",
+    "sort_document_order",
+    "IndexManager",
+    "TagIndex",
+    "ValueIndex",
+]

@@ -1,0 +1,247 @@
+"""A from-scratch B+tree used by the value index.
+
+Keys are arbitrary comparable objects (the value index uses
+``(tag_sym, content)`` tuples); every key maps to a *posting list* of
+values, because XML value indexes are inherently multi-valued ("an index
+on value is built over some domain, and there could be many different
+elements ... rolled into one index", Sec. 5.3 footnote).
+
+The tree supports insertion, exact search, and ordered range scans over
+``[lo, hi]`` bounds (either side optional).  Deletion is implemented as
+posting removal plus lazy structural shrinking — the database is
+bulk-loaded, so underflow rebalancing is not needed for the workloads,
+but removal keeps postings correct if callers retract entries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator
+
+from ..errors import IndexError_
+
+DEFAULT_ORDER = 64
+
+
+class _Leaf:
+    __slots__ = ("keys", "postings", "next")
+
+    def __init__(self):
+        self.keys: list[Any] = []
+        self.postings: list[list[Any]] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: list[Any] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """Ordered key -> posting-list map with range scans."""
+
+    def __init__(self, order: int = DEFAULT_ORDER):
+        if order < 4:
+            raise IndexError_("B+tree order must be at least 4")
+        self.order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._n_keys = 0
+        self._n_entries = 0
+        self.height = 1
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct keys."""
+        return self._n_keys
+
+    @property
+    def n_entries(self) -> int:
+        """Total number of posted values across all keys."""
+        return self._n_entries
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Add ``value`` to the posting list of ``key``."""
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self.height += 1
+
+    def _insert_into(self, node: _Leaf | _Internal, key: Any, value: Any):
+        if isinstance(node, _Leaf):
+            index = bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.postings[index].append(value)
+                self._n_entries += 1
+                return None
+            node.keys.insert(index, key)
+            node.postings.insert(index, [value])
+            self._n_keys += 1
+            self._n_entries += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+
+        index = bisect_right(node.keys, key)
+        split = self._insert_into(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.children) > self.order:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Leaf):
+        middle = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[middle:]
+        right.postings = node.postings[middle:]
+        node.keys = node.keys[:middle]
+        node.postings = node.postings[:middle]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Internal()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: Any) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            index = bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def search(self, key: Any) -> list[Any]:
+        """The posting list for ``key`` (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.postings[index])
+        return []
+
+    def __contains__(self, key: Any) -> bool:
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def range_scan(
+        self, lo: Any = None, hi: Any = None
+    ) -> Iterator[tuple[Any, list[Any]]]:
+        """Yield ``(key, postings)`` for keys in ``[lo, hi]``, in order.
+
+        ``lo=None`` starts at the smallest key; ``hi=None`` runs to the
+        largest.
+        """
+        if lo is None:
+            leaf: _Leaf | _Internal = self._root
+            while isinstance(leaf, _Internal):
+                leaf = leaf.children[0]
+            index = 0
+        else:
+            leaf = self._find_leaf(lo)
+            index = bisect_left(leaf.keys, lo)
+        current: _Leaf | None = leaf  # type: ignore[assignment]
+        while current is not None:
+            while index < len(current.keys):
+                key = current.keys[index]
+                if hi is not None and key > hi:
+                    return
+                yield key, list(current.postings[index])
+                index += 1
+            current = current.next
+            index = 0
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in ascending order."""
+        for key, _ in self.range_scan():
+            yield key
+
+    def items(self) -> Iterator[tuple[Any, list[Any]]]:
+        return self.range_scan()
+
+    # ------------------------------------------------------------------
+    # Remove
+    # ------------------------------------------------------------------
+    def remove(self, key: Any, value: Any) -> bool:
+        """Remove one posting of ``value`` under ``key``.
+
+        Returns ``True`` when found.  Empty posting lists drop the key
+        (leaf underflow is tolerated: lookups and scans stay correct).
+        """
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        postings = leaf.postings[index]
+        try:
+            postings.remove(value)
+        except ValueError:
+            return False
+        self._n_entries -= 1
+        if not postings:
+            del leaf.keys[index]
+            del leaf.postings[index]
+            self._n_keys -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation (used by property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise if ordering or fanout invariants are violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        # Leaf chain must be globally sorted.
+        previous = None
+        for key, postings in self.range_scan():
+            if previous is not None and not previous < key:
+                raise IndexError_(f"leaf chain out of order near {key!r}")
+            if not postings:
+                raise IndexError_(f"empty posting list for {key!r}")
+            previous = key
+
+    def _check_node(self, node, lo, hi, is_root=False) -> None:
+        keys = node.keys
+        for a, b in zip(keys, keys[1:]):
+            if not a < b:
+                raise IndexError_(f"unsorted keys {a!r} >= {b!r}")
+        for key in keys:
+            if lo is not None and key < lo:
+                raise IndexError_(f"key {key!r} below bound {lo!r}")
+            if hi is not None and key >= hi:
+                raise IndexError_(f"key {key!r} above bound {hi!r}")
+        if isinstance(node, _Internal):
+            if len(node.children) != len(keys) + 1:
+                raise IndexError_("internal fanout mismatch")
+            if len(node.children) > self.order + 1:
+                raise IndexError_("internal node overfull")
+            bounds = [lo, *keys, hi]
+            for i, child in enumerate(node.children):
+                self._check_node(child, bounds[i], bounds[i + 1])
+        else:
+            if len(keys) > self.order + 1:
+                raise IndexError_("leaf overfull")

@@ -1,0 +1,47 @@
+"""Containment labels used by structural joins.
+
+A :class:`NodeLabel` is the quadruple the structural-join literature
+(Al-Khalifa et al. [1], cited in Sec. 5.2) operates on:
+``(nid, start, end, level)``.  All candidate streams flowing into the
+pattern matcher are lists of labels sorted by ``start`` (document
+order); structural joins then never need the actual data.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class NodeLabel(NamedTuple):
+    """Structural label of one stored node."""
+
+    nid: int
+    start: int
+    end: int
+    level: int
+
+    def contains(self, other: "NodeLabel") -> bool:
+        """True when ``self`` is a proper ancestor of ``other``."""
+        return self.start < other.start and other.end < self.end
+
+    def is_parent_of(self, other: "NodeLabel") -> bool:
+        """True when ``self`` is the parent of ``other``."""
+        return self.contains(other) and self.level + 1 == other.level
+
+    def precedes(self, other: "NodeLabel") -> bool:
+        """Document-order comparison (disjoint or containing)."""
+        return self.start < other.start
+
+
+def sort_document_order(labels: list[NodeLabel]) -> list[NodeLabel]:
+    """Return labels sorted by ``start`` — the order joins require."""
+    return sorted(labels, key=lambda label: label.start)
+
+
+def assert_document_order(labels: list[NodeLabel]) -> None:
+    """Debug helper: raise if a stream is not start-sorted."""
+    for previous, current in zip(labels, labels[1:]):
+        if previous.start > current.start:
+            raise ValueError(
+                f"stream not in document order: {previous} before {current}"
+            )

@@ -1,0 +1,121 @@
+"""Index manager: builds and serves the tag and value indexes of a store.
+
+TIMBER's Index Manager (Fig. 12) sits beside the Data Manager over
+Shore.  Ours builds both indexes with one sequential scan of the node
+store — the same scan order the bulk loader wrote, so building is
+page-sequential — and then serves label streams to the pattern matcher
+without touching data pages.
+
+Indexes are rebuilt on open rather than persisted; with bulk-loaded
+read-mostly databases this keeps the storage format simple while the
+measured query paths are unaffected (index construction happens before
+statistics are reset for a run).
+"""
+
+from __future__ import annotations
+
+from ..errors import IndexError_
+from ..storage.store import NodeStore
+from .labels import NodeLabel
+from .tag_index import TagIndex
+from .value_index import ValueIndex
+
+
+class IndexManager:
+    """Tag + value indexes over one :class:`NodeStore`."""
+
+    def __init__(self, store: NodeStore):
+        self.store = store
+        self.tag_index = TagIndex()
+        self.value_index = ValueIndex()
+        self._built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """(Re)build both indexes with one full store scan."""
+        self.tag_index = TagIndex()
+        self.value_index = ValueIndex()
+        for record in self.store.scan():
+            label = NodeLabel(record.nid, record.start, record.end, record.level)
+            self.tag_index.add(record.tag_sym, label)
+            if record.content is not None:
+                self.value_index.add(record.tag_sym, record.content, label)
+        self._built = True
+
+    def ensure_built(self) -> None:
+        if not self._built:
+            self.build()
+
+    # ------------------------------------------------------------------
+    # Persistence (indexes.pages in the database directory)
+    # ------------------------------------------------------------------
+    def save(self, directory: str) -> None:
+        """Serialize both indexes into ``directory/indexes.pages``."""
+        from .persist import save_indexes
+
+        self.ensure_built()
+        save_indexes(self, directory)
+
+    def try_load(self, directory: str) -> bool:
+        """Load persisted indexes; returns False (leaving the manager
+        unbuilt) when missing, corrupt, or stale."""
+        from .persist import load_indexes
+
+        return load_indexes(self, directory)
+
+    # ------------------------------------------------------------------
+    # Lookups by tag *name* (symbols resolved through the store metadata)
+    # ------------------------------------------------------------------
+    def labels_for_tag(self, tag: str) -> list[NodeLabel]:
+        """Document-ordered labels of every node tagged ``tag``."""
+        self.ensure_built()
+        sym = self.store.meta.symbols.lookup(tag)
+        if sym is None:
+            return []
+        return self.tag_index.labels(sym)
+
+    def labels_for_tag_value(self, tag: str, content: str) -> list[NodeLabel]:
+        """Labels of nodes tagged ``tag`` whose content is ``content``."""
+        self.ensure_built()
+        sym = self.store.meta.symbols.lookup(tag)
+        if sym is None:
+            return []
+        return self.value_index.labels(sym, content)
+
+    def distinct_values(self, tag: str) -> list[tuple[str, list[NodeLabel]]]:
+        """Distinct contents of ``tag`` (ascending) with their postings.
+
+        Serves ``distinct-values(//tag)`` without data page access.
+        """
+        self.ensure_built()
+        sym = self.store.meta.symbols.lookup(tag)
+        if sym is None:
+            return []
+        return list(self.value_index.distinct_values(sym))
+
+    def tag_cardinality(self, tag: str) -> int:
+        """Number of nodes with the tag (selectivity estimation)."""
+        self.ensure_built()
+        sym = self.store.meta.symbols.lookup(tag)
+        if sym is None:
+            return 0
+        return self.tag_index.count(sym)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        if not self._built:
+            raise IndexError_("indexes have not been built")
+        self.tag_index.check_invariants()
+        self.value_index.check_invariants()
+
+    def statistics(self) -> dict[str, int]:
+        return {
+            "tag_index_lookups": self.tag_index.lookups,
+            "value_index_lookups": self.value_index.lookups,
+            "tag_index_postings": self.tag_index.total_postings(),
+            "value_index_keys": self.value_index.n_keys(),
+        }

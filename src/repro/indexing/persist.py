@@ -1,0 +1,185 @@
+"""Index persistence: tag and value indexes in their own page file.
+
+TIMBER's Index Manager stores indexes through Shore (Fig. 12); here the
+two indexes serialize into ``indexes.pages`` — the same slotted-page /
+checksum machinery as the data file — so reopening a database directory
+skips the full-store rebuild scan.
+
+Format: a header record carrying a *store fingerprint* (next nid, next
+label, document count), then posting records.  Large posting lists are
+chunked across records.  Record layouts (big-endian):
+
+=========  ==========================================================
+kind 0x00  header: ``next_nid u32 | next_label u32 | n_docs u32``
+kind 0x01  tag chunk: ``tag_sym u32 | n u16 | n x label``
+kind 0x02  value chunk: ``tag_sym u32 | len u16 | content utf-8 |
+           n u16 | n x label``
+=========  ==========================================================
+
+where ``label`` is ``nid u32 | start u32 | end u32 | level u16``.
+
+On load, a missing file, a corrupt page, or a fingerprint mismatch all
+fall back to a rebuild — persistence is a cache, never a source of
+truth the data file could contradict.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from ..errors import ReproError
+from ..storage.disk import DiskManager
+from ..storage.page import Page
+from .labels import NodeLabel
+
+INDEX_FILE = "indexes.pages"
+
+_HEADER = struct.Struct(">BIII")
+_TAG_CHUNK = struct.Struct(">BIH")
+_VALUE_CHUNK_PREFIX = struct.Struct(">BIH")
+_LABEL = struct.Struct(">IIIH")
+_COUNT = struct.Struct(">H")
+
+_KIND_HEADER = 0x00
+_KIND_TAG = 0x01
+_KIND_VALUE = 0x02
+
+# Labels per chunk record, sized to keep records well under a page.
+CHUNK_LABELS = 400
+
+
+def _fingerprint(manager) -> tuple[int, int, int]:
+    meta = manager.store.meta
+    return (meta.next_nid, meta.next_label, len(meta.documents))
+
+
+def _pack_labels(labels: list[NodeLabel]) -> bytes:
+    return b"".join(
+        _LABEL.pack(label.nid, label.start, label.end, label.level) for label in labels
+    )
+
+
+def _unpack_labels(raw: bytes, offset: int, count: int) -> tuple[list[NodeLabel], int]:
+    labels = []
+    for _ in range(count):
+        nid, start, end, level = _LABEL.unpack_from(raw, offset)
+        offset += _LABEL.size
+        labels.append(NodeLabel(nid, start, end, level))
+    return labels, offset
+
+
+def save_indexes(manager, directory: str) -> None:
+    """Serialize the manager's indexes into ``directory/indexes.pages``."""
+    path = os.path.join(directory, INDEX_FILE)
+    tmp = path + ".tmp"
+    if os.path.exists(tmp):
+        os.remove(tmp)
+    disk = DiskManager(tmp)
+    try:
+        writer = _PageWriter(disk)
+        next_nid, next_label, n_docs = _fingerprint(manager)
+        writer.add(_HEADER.pack(_KIND_HEADER, next_nid, next_label, n_docs))
+
+        for tag_sym in manager.tag_index.tags():
+            labels = manager.tag_index.labels(tag_sym)
+            for start in range(0, len(labels), CHUNK_LABELS):
+                chunk = labels[start : start + CHUNK_LABELS]
+                writer.add(
+                    _TAG_CHUNK.pack(_KIND_TAG, tag_sym, len(chunk)) + _pack_labels(chunk)
+                )
+
+        for key, postings in manager.value_index._tree.items():
+            tag_sym, content = key
+            payload = content.encode("utf-8")
+            if len(payload) > 0xFFFF:
+                payload = payload[:0xFFFF]  # clamp absurd keys defensively
+            for start in range(0, len(postings), CHUNK_LABELS):
+                chunk = postings[start : start + CHUNK_LABELS]
+                writer.add(
+                    _VALUE_CHUNK_PREFIX.pack(_KIND_VALUE, tag_sym, len(payload))
+                    + payload
+                    + _COUNT.pack(len(chunk))
+                    + _pack_labels(chunk)
+                )
+        writer.flush()
+    finally:
+        disk.close()
+    os.replace(tmp, path)
+
+
+def load_indexes(manager, directory: str) -> bool:
+    """Load indexes from ``directory``; returns False when a rebuild is
+    needed (missing/corrupt file or stale fingerprint)."""
+    path = os.path.join(directory, INDEX_FILE)
+    if not os.path.exists(path):
+        return False
+    from .tag_index import TagIndex
+    from .value_index import ValueIndex
+
+    tag_index = TagIndex()
+    value_index = ValueIndex()
+    try:
+        disk = DiskManager(path)
+    except ReproError:
+        return False
+    try:
+        header_seen = False
+        for page_id in range(disk.n_pages):
+            page = disk.read_page(page_id)
+            for raw in page.records():
+                kind = raw[0]
+                if kind == _KIND_HEADER:
+                    _, next_nid, next_label, n_docs = _HEADER.unpack_from(raw, 0)
+                    if (next_nid, next_label, n_docs) != _fingerprint(manager):
+                        return False  # stale snapshot: rebuild
+                    header_seen = True
+                elif kind == _KIND_TAG:
+                    _, tag_sym, count = _TAG_CHUNK.unpack_from(raw, 0)
+                    labels, _ = _unpack_labels(raw, _TAG_CHUNK.size, count)
+                    for label in labels:
+                        tag_index.add(tag_sym, label)
+                elif kind == _KIND_VALUE:
+                    _, tag_sym, length = _VALUE_CHUNK_PREFIX.unpack_from(raw, 0)
+                    offset = _VALUE_CHUNK_PREFIX.size
+                    content = raw[offset : offset + length].decode("utf-8")
+                    offset += length
+                    (count,) = _COUNT.unpack_from(raw, offset)
+                    offset += _COUNT.size
+                    labels, _ = _unpack_labels(raw, offset, count)
+                    for label in labels:
+                        value_index.add(tag_sym, content, label)
+                else:
+                    return False  # unknown record kind: treat as corrupt
+        if not header_seen:
+            return False
+    except ReproError:
+        return False
+    finally:
+        disk.close()
+
+    manager.tag_index = tag_index
+    manager.value_index = value_index
+    manager._built = True
+    return True
+
+
+class _PageWriter:
+    """Append records across pages, allocating as needed."""
+
+    def __init__(self, disk: DiskManager):
+        self.disk = disk
+        self._page: Page | None = None
+
+    def add(self, payload: bytes) -> None:
+        if self._page is None or len(payload) > self._page.free_space():
+            self.flush()
+            self._page = Page(self.disk.allocate_page())
+            if len(payload) > self._page.free_space():
+                raise ReproError("index record exceeds page capacity")
+        self._page.insert_record(payload)
+
+    def flush(self) -> None:
+        if self._page is not None:
+            self.disk.write_page(self._page)
+            self._page = None

@@ -1,0 +1,65 @@
+"""Tag-name index: tag symbol -> document-ordered label stream.
+
+The paper's experiments "constructed an index on tag-name, so that given
+a tag, we could efficiently list (by node identifier) all nodes with that
+tag" (Sec. 6).  That is exactly this structure: per tag symbol, the
+:class:`~repro.indexing.labels.NodeLabel` list sorted by ``start``.
+Structural joins consume these streams directly.
+"""
+
+from __future__ import annotations
+
+from ..errors import IndexError_
+from .labels import NodeLabel
+
+
+class TagIndex:
+    """Per-tag posting lists of node labels in document order."""
+
+    def __init__(self):
+        self._postings: dict[int, list[NodeLabel]] = {}
+        self._sorted = True
+        self.lookups = 0
+
+    def add(self, tag_sym: int, label: NodeLabel) -> None:
+        """Post one node under its tag.  Bulk loading appends in document
+        order; out-of-order additions are re-sorted lazily."""
+        postings = self._postings.setdefault(tag_sym, [])
+        if postings and postings[-1].start > label.start:
+            self._sorted = False
+        postings.append(label)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            for postings in self._postings.values():
+                postings.sort(key=lambda label: label.start)
+            self._sorted = True
+
+    def labels(self, tag_sym: int) -> list[NodeLabel]:
+        """Document-ordered labels of all nodes with this tag."""
+        self._ensure_sorted()
+        self.lookups += 1
+        return list(self._postings.get(tag_sym, []))
+
+    def count(self, tag_sym: int) -> int:
+        """Posting length without copying (selectivity estimation)."""
+        return len(self._postings.get(tag_sym, ()))
+
+    def tags(self) -> list[int]:
+        return sorted(self._postings)
+
+    def total_postings(self) -> int:
+        return sum(len(postings) for postings in self._postings.values())
+
+    def check_invariants(self) -> None:
+        """Every posting list must be start-sorted with unique nids."""
+        self._ensure_sorted()
+        for tag_sym, postings in self._postings.items():
+            seen: set[int] = set()
+            for previous, current in zip(postings, postings[1:]):
+                if previous.start >= current.start:
+                    raise IndexError_(f"tag {tag_sym}: postings out of order")
+            for label in postings:
+                if label.nid in seen:
+                    raise IndexError_(f"tag {tag_sym}: duplicate nid {label.nid}")
+                seen.add(label.nid)

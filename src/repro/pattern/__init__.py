@@ -1,0 +1,51 @@
+"""Pattern trees, predicates, witness trees, and matching (S5/S6)."""
+
+from .matcher import MatcherStatistics, StoreMatcher, TreeMatcher
+from .pattern import Axis, PatternNode, PatternTree, pcify
+from .predicates import (
+    AnyNode,
+    AttributeEquals,
+    Conjunction,
+    ContentCompare,
+    ContentEquals,
+    ContentWildcard,
+    Predicate,
+    TagEquals,
+    conjoin,
+    tag,
+    tag_content,
+)
+from .structural_join import (
+    brute_force_join,
+    join_statistics,
+    structural_join,
+    structural_join_pairs_by_ancestor,
+)
+from .witness import StoreMatch, TreeMatch
+
+__all__ = [
+    "MatcherStatistics",
+    "StoreMatcher",
+    "TreeMatcher",
+    "Axis",
+    "PatternNode",
+    "PatternTree",
+    "pcify",
+    "AnyNode",
+    "AttributeEquals",
+    "Conjunction",
+    "ContentCompare",
+    "ContentEquals",
+    "ContentWildcard",
+    "Predicate",
+    "TagEquals",
+    "conjoin",
+    "tag",
+    "tag_content",
+    "brute_force_join",
+    "join_statistics",
+    "structural_join",
+    "structural_join_pairs_by_ancestor",
+    "StoreMatch",
+    "TreeMatch",
+]

@@ -1,0 +1,207 @@
+"""Pattern-tree matching against stored documents and in-memory trees.
+
+Two matchers implement the same semantics at two levels:
+
+* :class:`StoreMatcher` — the physical path of Sec. 5.2: per pattern
+  node, obtain a candidate label stream (tag index, value index, or a
+  filtered scan), then combine streams one pattern edge at a time with
+  single-pass structural joins.  Bindings are node identifiers only; no
+  data page is touched unless a residual predicate forces it.
+* :class:`TreeMatcher` — the reference path over in-memory
+  :class:`~repro.xmlmodel.node.XMLNode` trees, used by the logical TAX
+  operators on intermediate collections and by tests as ground truth.
+
+Both return witnesses in document order (of the binding tuple, compared
+in pattern preorder), which downstream operators rely on for the
+paper's order-preservation guarantees.
+"""
+
+from __future__ import annotations
+
+from ..indexing.labels import NodeLabel
+from ..indexing.manager import IndexManager
+from ..pattern.pattern import Axis, PatternNode, PatternTree
+from ..storage.store import NodeStore
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection
+from .predicates import AnyNode, Conjunction, ContentEquals, Predicate, TagEquals
+from .structural_join import structural_join_pairs_by_ancestor
+from .witness import StoreMatch, TreeMatch
+
+
+class MatcherStatistics:
+    """Work counters for candidate generation and filtering."""
+
+    __slots__ = ("candidate_labels", "residual_checks", "witnesses")
+
+    def __init__(self):
+        self.candidate_labels = 0
+        self.residual_checks = 0
+        self.witnesses = 0
+
+    def reset(self) -> None:
+        self.candidate_labels = 0
+        self.residual_checks = 0
+        self.witnesses = 0
+
+
+def _index_covers(predicate: Predicate) -> bool:
+    """True when candidate streams from the indexes already guarantee the
+    predicate, so no residual data check is needed."""
+    if isinstance(predicate, (AnyNode, TagEquals, ContentEquals)):
+        return True
+    if isinstance(predicate, Conjunction):
+        return all(isinstance(part, (TagEquals, ContentEquals)) for part in predicate.parts)
+    return False
+
+
+class StoreMatcher:
+    """Index-assisted pattern matching over a :class:`NodeStore`."""
+
+    def __init__(self, store: NodeStore, indexes: IndexManager, use_indexes: bool = True):
+        """``use_indexes=False`` selects the full-scan candidate source —
+        the baseline the paper contrasts in Sec. 5.2 (ablation A1)."""
+        self.store = store
+        self.indexes = indexes
+        self.use_indexes = use_indexes
+        self.stats = MatcherStatistics()
+
+    # ------------------------------------------------------------------
+    # Candidate streams
+    # ------------------------------------------------------------------
+    def candidates(self, pnode: PatternNode) -> list[NodeLabel]:
+        """Document-ordered labels that can bind ``pnode``."""
+        predicate = pnode.predicate
+        if self.use_indexes:
+            labels = self._candidates_from_indexes(predicate)
+            if labels is None:
+                labels = self._candidates_from_scan(predicate)
+                covered = True  # scan applied the full predicate already
+            else:
+                covered = _index_covers(predicate)
+        else:
+            labels = self._candidates_from_scan(predicate)
+            covered = True
+        if not covered:
+            labels = [label for label in labels if self._residual_check(label, predicate)]
+        self.stats.candidate_labels += len(labels)
+        return labels
+
+    def _candidates_from_indexes(self, predicate: Predicate) -> list[NodeLabel] | None:
+        tag = predicate.tag_constraint()
+        value = predicate.content_equality()
+        if tag is not None and value is not None:
+            return self.indexes.labels_for_tag_value(tag, value)
+        if tag is not None:
+            return self.indexes.labels_for_tag(tag)
+        return None  # nothing indexable; caller falls back to a scan
+
+    def _candidates_from_scan(self, predicate: Predicate) -> list[NodeLabel]:
+        out: list[NodeLabel] = []
+        symbols = self.store.meta.symbols
+        for record in self.store.scan():
+            self.stats.residual_checks += 1
+            if predicate.matches(
+                symbols.name(record.tag_sym), record.content, dict(record.attributes)
+            ):
+                out.append(NodeLabel(record.nid, record.start, record.end, record.level))
+        return out
+
+    def _residual_check(self, label: NodeLabel, predicate: Predicate) -> bool:
+        record = self.store.record(label.nid)
+        self.stats.residual_checks += 1
+        return predicate.matches(
+            self.store.meta.symbols.name(record.tag_sym),
+            record.content,
+            dict(record.attributes),
+        )
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def match(
+        self, pattern: PatternTree, root_candidates: list[NodeLabel] | None = None
+    ) -> list[StoreMatch]:
+        """All embeddings of ``pattern`` into the store, document order.
+
+        ``root_candidates`` restricts the pattern root to the given
+        label stream (must be start-sorted) instead of an index lookup —
+        used when a previous operator already narrowed the roots, e.g.
+        the physical groupby matching its pattern against the article
+        witnesses of the preceding selection.
+        """
+        if root_candidates is None:
+            root_candidates = self.candidates(pattern.root)
+        tuples: list[dict[str, NodeLabel]] = [
+            {pattern.root.label: label} for label in root_candidates
+        ]
+        for parent, child, axis in pattern.edges():
+            if not tuples:
+                break
+            child_candidates = self.candidates(child)
+            if not child_candidates:
+                tuples = []
+                break
+            parent_stream = sorted(
+                {t[parent.label] for t in tuples}, key=lambda label: label.start
+            )
+            grouped = structural_join_pairs_by_ancestor(parent_stream, child_candidates, axis)
+            extended: list[dict[str, NodeLabel]] = []
+            for partial in tuples:
+                bound_parent = partial[parent.label]
+                for descendant in grouped.get(bound_parent.nid, ()):
+                    new_partial = dict(partial)
+                    new_partial[child.label] = descendant
+                    extended.append(new_partial)
+            tuples = extended
+
+        order = [node.label for node in pattern.nodes()]
+        tuples.sort(key=lambda t: tuple(t[label].start for label in order))
+        self.stats.witnesses += len(tuples)
+        return [StoreMatch(bindings=t) for t in tuples]
+
+
+class TreeMatcher:
+    """Reference matcher over in-memory trees (semantics ground truth)."""
+
+    def match_tree(self, pattern: PatternTree, root: XMLNode, tree_index: int = 0) -> list[TreeMatch]:
+        """All embeddings of ``pattern`` anywhere inside the tree."""
+        matches: list[TreeMatch] = []
+        for node in root.iter():
+            if self._node_matches(pattern.root, node):
+                for bindings in self._extend(pattern.root, node):
+                    matches.append(TreeMatch(bindings=bindings, tree_index=tree_index))
+        return matches
+
+    def match_collection(self, pattern: PatternTree, collection: Collection) -> list[TreeMatch]:
+        """Embeddings into every tree of the collection, collection order."""
+        matches: list[TreeMatch] = []
+        for index, tree in enumerate(collection):
+            matches.extend(self.match_tree(pattern, tree.root, index))
+        return matches
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _node_matches(pnode: PatternNode, node: XMLNode) -> bool:
+        return pnode.predicate.matches(node.tag, node.content, node.attributes)
+
+    def _extend(self, pnode: PatternNode, node: XMLNode) -> list[dict[str, XMLNode]]:
+        """Embeddings of the pattern subtree at ``pnode`` rooted at ``node``."""
+        partials: list[dict[str, XMLNode]] = [{pnode.label: node}]
+        for child_p in pnode.children:
+            if child_p.axis is Axis.PC:
+                pool = node.children
+            else:
+                pool = list(node.descendants())
+            candidates = [c for c in pool if self._node_matches(child_p, c)]
+            expansions: list[dict[str, XMLNode]] = []
+            for candidate in candidates:
+                expansions.extend(self._extend(child_p, candidate))
+            if not expansions:
+                return []
+            partials = [
+                {**partial, **expansion}
+                for partial in partials
+                for expansion in expansions
+            ]
+        return partials

@@ -1,0 +1,279 @@
+"""Pattern trees — the variable-binding device of TAX (Sec. 2).
+
+A pattern tree specifies node predicates and structural relationships
+(parent-child ``pc`` or ancestor-descendant ``ad``) between the nodes to
+bind.  Matching a pattern against data yields homogeneous *witness
+trees*: one binding tuple per embedding.  "A single pattern tree can
+bind as many variables as there are nodes in the pattern tree", which is
+what lets multiple FOR clauses fold into one pattern.
+
+This module also implements the *tree subset* test of the rewrite's
+Phase 1 (Sec. 4.1): pattern :math:`(V_1, E_1)` is a subset of
+:math:`(V_2, E_2)` iff :math:`V_1 \\subseteq V_2` and
+:math:`E_1 \\subseteq E_2^*` — the transitive closure — where an edge
+derived by composing two or more base edges carries an ``ad`` mark, and
+``pc ⊆ ad`` but **not** ``ad ⊆ pc`` (the paper's footnote 6).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator
+
+from ..errors import PatternError
+from .predicates import AnyNode, Predicate, conjoin
+
+
+class Axis(str, Enum):
+    """Edge kind of a pattern tree."""
+
+    PC = "pc"  # parent-child (immediate containment)
+    AD = "ad"  # ancestor-descendant (containment)
+
+    def satisfied_by_composition(self, other: "Axis") -> bool:
+        """Whether an ``other``-marked closure edge can serve as this edge.
+
+        A ``pc`` requirement is satisfied only by a base ``pc`` edge; an
+        ``ad`` requirement is satisfied by anything (pc ⊆ ad).
+        """
+        if self is Axis.AD:
+            return True
+        return other is Axis.PC
+
+
+class PatternNode:
+    """One node of a pattern tree."""
+
+    __slots__ = ("label", "predicate", "parent", "axis", "children")
+
+    def __init__(self, label: str, predicate: Predicate | None = None):
+        self.label = label
+        self.predicate: Predicate = predicate if predicate is not None else AnyNode()
+        self.parent: PatternNode | None = None
+        self.axis: Axis | None = None  # axis of the incoming edge
+        self.children: list[PatternNode] = []
+
+    def add_child(self, child: "PatternNode", axis: Axis = Axis.PC) -> "PatternNode":
+        child.parent = self
+        child.axis = axis
+        self.children.append(child)
+        return child
+
+    def add(self, label: str, predicate: Predicate | None = None, axis: Axis = Axis.PC) -> "PatternNode":
+        """Builder-style child creation, returning the new child."""
+        return self.add_child(PatternNode(label, predicate), axis)
+
+    def strengthen(self, extra: Predicate) -> None:
+        """Conjoin another condition onto this node's predicate."""
+        self.predicate = conjoin(self.predicate, extra)
+
+    def iter(self) -> Iterator["PatternNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PatternNode {self.label} [{self.predicate.describe()}]>"
+
+
+class PatternTree:
+    """A rooted pattern with labelled nodes and pc/ad edges."""
+
+    def __init__(self, root: PatternNode):
+        self.root = root
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, root_label: str, root_predicate: Predicate | None = None) -> tuple["PatternNode", "_Builder"]:
+        """Start a fluent build; finish with ``builder.done()``.
+
+        >>> root, build = PatternTree.build("$1", tag("article"))
+        >>> _ = root.add("$2", tag("title"))
+        >>> pattern = build.done()
+        """
+        root_node = PatternNode(root_label, root_predicate)
+        return root_node, _Builder(root_node)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[PatternNode]:
+        """All pattern nodes in preorder."""
+        return list(self.root.iter())
+
+    def labels(self) -> list[str]:
+        return [node.label for node in self.nodes()]
+
+    def node(self, label: str) -> PatternNode:
+        for candidate in self.root.iter():
+            if candidate.label == label:
+                return candidate
+        raise PatternError(f"pattern has no node labelled {label!r}")
+
+    def has_node(self, label: str) -> bool:
+        return any(node.label == label for node in self.root.iter())
+
+    def edges(self) -> list[tuple[PatternNode, PatternNode, Axis]]:
+        """All (parent, child, axis) edges in preorder of the child."""
+        out = []
+        for node in self.root.iter():
+            if node.parent is not None:
+                assert node.axis is not None
+                out.append((node.parent, node, node.axis))
+        return out
+
+    def size(self) -> int:
+        return len(self.nodes())
+
+    def _validate(self) -> None:
+        seen: set[str] = set()
+        for node in self.root.iter():
+            if node.label in seen:
+                raise PatternError(f"duplicate pattern label {node.label!r}")
+            seen.add(node.label)
+            if node is not self.root and node.axis is None:
+                raise PatternError(f"node {node.label!r} has no incoming axis")
+
+    # ------------------------------------------------------------------
+    # Tree-subset test (rewrite Phase 1, step 2)
+    # ------------------------------------------------------------------
+    def is_tree_subset_of(self, other: "PatternTree") -> dict[str, str] | None:
+        """Check whether this pattern is a tree subset of ``other``.
+
+        Returns a mapping from this pattern's labels to ``other``'s
+        labels witnessing the subset relation, or ``None``.  Nodes
+        correspond when their canonical predicates are equal; each of
+        this pattern's edges must appear in the transitive closure of
+        ``other``'s edges with a compatible mark (pc ⊆ ad, not ad ⊆ pc).
+        """
+        mine = self.nodes()
+        theirs = other.nodes()
+        candidates: dict[str, list[str]] = {}
+        theirs_by_label = {node.label: node for node in theirs}
+        for node in mine:
+            options = [
+                candidate.label
+                for candidate in theirs
+                if candidate.predicate == node.predicate
+            ]
+            if not options:
+                return None
+            candidates[node.label] = options
+
+        closure = _edge_closure(other)
+
+        assignment: dict[str, str] = {}
+        used: set[str] = set()
+
+        def backtrack(index: int) -> bool:
+            if index == len(mine):
+                return True
+            node = mine[index]
+            for option in candidates[node.label]:
+                if option in used:
+                    continue
+                if node.parent is not None:
+                    mapped_parent = assignment[node.parent.label]
+                    mark = closure.get((mapped_parent, option))
+                    if mark is None:
+                        continue
+                    assert node.axis is not None
+                    if not node.axis.satisfied_by_composition(mark):
+                        continue
+                assignment[node.label] = option
+                used.add(option)
+                if backtrack(index + 1):
+                    return True
+                del assignment[node.label]
+                used.discard(option)
+            return False
+
+        # ``mine`` is in preorder, so a node's parent is assigned first.
+        if backtrack(0):
+            return dict(assignment)
+        return None
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def sketch(self) -> str:
+        lines: list[str] = []
+
+        def render(node: PatternNode, depth: int) -> None:
+            axis = f"-{node.axis.value}- " if node.axis else ""
+            lines.append(
+                "  " * depth + f"{axis}{node.label} [{node.predicate.describe()}]"
+            )
+            for child in node.children:
+                render(child, depth + 1)
+
+        render(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<PatternTree {'/'.join(self.labels())}>"
+
+
+def pcify(pattern: PatternTree) -> PatternTree:
+    """A copy of ``pattern`` with every edge turned parent-child.
+
+    The paper's footnote 7: "When a projection follows a selection using
+    the same pattern, all the ancestor-descendant edges of the tree will
+    be changed to parent-child for the projection" — valid because the
+    selection's witness trees attach each binding directly under its
+    pattern parent.
+    """
+
+    def copy(node: PatternNode) -> PatternNode:
+        clone = PatternNode(node.label, node.predicate)
+        for child in node.children:
+            clone.add_child(copy(child), Axis.PC)
+        return clone
+
+    return PatternTree(copy(pattern.root))
+
+
+class _Builder:
+    __slots__ = ("_root",)
+
+    def __init__(self, root: PatternNode):
+        self._root = root
+
+    def done(self) -> PatternTree:
+        return PatternTree(self._root)
+
+
+def _edge_closure(pattern: PatternTree) -> dict[tuple[str, str], Axis]:
+    """Transitive closure of the pattern's edges with composition marks.
+
+    A closure edge keeps the ``pc`` mark only when it is a single base
+    pc edge; any composition of two or more edges (or involving an ad
+    edge) is marked ``ad`` (footnote 6 of the paper).
+    """
+    closure: dict[tuple[str, str], Axis] = {}
+    for parent, child, axis in pattern.edges():
+        closure[(parent.label, child.label)] = axis
+
+    labels = pattern.labels()
+    # Floyd-Warshall-style closure; patterns are tiny so cubic is fine.
+    changed = True
+    while changed:
+        changed = False
+        for a in labels:
+            for b in labels:
+                first = closure.get((a, b))
+                if first is None:
+                    continue
+                for c in labels:
+                    second = closure.get((b, c))
+                    if second is None:
+                        continue
+                    if (a, c) not in closure:
+                        closure[(a, c)] = Axis.AD
+                        changed = True
+    return closure

@@ -1,0 +1,278 @@
+"""Node predicates attached to pattern-tree nodes.
+
+A pattern tree (Fig. 1 of the paper) annotates each node with a
+conjunction of conditions such as ``$1.tag = article`` or
+``$2.content = "*Transaction*"``.  This module is that predicate
+language.  Every predicate answers three questions:
+
+* :meth:`~Predicate.matches` — does a node with the given tag, content,
+  and attributes satisfy it?
+* :meth:`~Predicate.tag_constraint` — the single tag the predicate pins,
+  if any (drives tag-index candidate streams);
+* :meth:`~Predicate.content_equality` — the exact content it pins, if
+  any (drives value-index candidate streams).
+
+Predicates are immutable and hashable; two pattern nodes are considered
+equivalent in the rewrite's tree-subset test when their canonical
+predicate forms are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import PatternError
+
+
+class Predicate:
+    """Base class: a condition on one node."""
+
+    def matches(self, tag: str, content: str | None, attributes: Mapping[str, str]) -> bool:
+        raise NotImplementedError
+
+    def tag_constraint(self) -> str | None:
+        """The tag this predicate requires, when it requires exactly one."""
+        return None
+
+    def content_equality(self) -> str | None:
+        """The exact content value required, when there is one."""
+        return None
+
+    def canonical(self) -> tuple:
+        """Hashable canonical form, used for predicate equivalence."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+@dataclass(frozen=True, eq=False)
+class AnyNode(Predicate):
+    """Matches every node (an unconstrained pattern node)."""
+
+    def matches(self, tag, content, attributes) -> bool:
+        return True
+
+    def canonical(self) -> tuple:
+        return ("any",)
+
+    def describe(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, eq=False)
+class TagEquals(Predicate):
+    """``$i.tag = <tag>``"""
+
+    tag: str
+
+    def matches(self, tag, content, attributes) -> bool:
+        return tag == self.tag
+
+    def tag_constraint(self) -> str | None:
+        return self.tag
+
+    def canonical(self) -> tuple:
+        return ("tag", self.tag)
+
+    def describe(self) -> str:
+        return f"tag = {self.tag}"
+
+
+@dataclass(frozen=True, eq=False)
+class ContentEquals(Predicate):
+    """``$i.content = <value>`` (exact match)."""
+
+    value: str
+
+    def matches(self, tag, content, attributes) -> bool:
+        return content == self.value
+
+    def content_equality(self) -> str | None:
+        return self.value
+
+    def canonical(self) -> tuple:
+        return ("content-eq", self.value)
+
+    def describe(self) -> str:
+        return f'content = "{self.value}"'
+
+
+@dataclass(frozen=True, eq=False)
+class ContentWildcard(Predicate):
+    """``$i.content = "*Transaction*"`` — glob with ``*`` wildcards only.
+
+    The paper's Fig. 1 uses the ``*Transaction*`` form; we support ``*``
+    anywhere in the pattern.
+    """
+
+    pattern: str
+
+    def matches(self, tag, content, attributes) -> bool:
+        if content is None:
+            return False
+        return _glob_match(self.pattern, content)
+
+    def content_equality(self) -> str | None:
+        return self.pattern if "*" not in self.pattern else None
+
+    def canonical(self) -> tuple:
+        return ("content-glob", self.pattern)
+
+    def describe(self) -> str:
+        return f'content ~ "{self.pattern}"'
+
+
+@dataclass(frozen=True, eq=False)
+class ContentCompare(Predicate):
+    """``$i.content <op> <value>`` with ``op`` in <, <=, >, >=, !=.
+
+    Comparison is numeric when both sides parse as numbers, else
+    lexicographic — the pragmatic semantics untyped XML engines used.
+    """
+
+    op: str
+    value: str
+
+    _OPS = ("<", "<=", ">", ">=", "!=")
+
+    def __post_init__(self):
+        if self.op not in self._OPS:
+            raise PatternError(f"unsupported comparison operator {self.op!r}")
+
+    def matches(self, tag, content, attributes) -> bool:
+        if content is None:
+            return False
+        left, right = _coerce_pair(content, self.value)
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        return left != right
+
+    def canonical(self) -> tuple:
+        return ("content-cmp", self.op, self.value)
+
+    def describe(self) -> str:
+        return f'content {self.op} "{self.value}"'
+
+
+@dataclass(frozen=True, eq=False)
+class AttributeEquals(Predicate):
+    """``$i.<attr> = <value>`` on an attribute."""
+
+    name: str
+    value: str
+
+    def matches(self, tag, content, attributes) -> bool:
+        return attributes.get(self.name) == self.value
+
+    def canonical(self) -> tuple:
+        return ("attr-eq", self.name, self.value)
+
+    def describe(self) -> str:
+        return f'@{self.name} = "{self.value}"'
+
+
+class Conjunction(Predicate):
+    """``p1 & p2 & ...`` — the conjunction pattern nodes usually carry."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[Predicate] | tuple[Predicate, ...]):
+        flattened: list[Predicate] = []
+        for part in parts:
+            if isinstance(part, Conjunction):
+                flattened.extend(part.parts)
+            elif isinstance(part, AnyNode):
+                continue
+            else:
+                flattened.append(part)
+        self.parts: tuple[Predicate, ...] = tuple(flattened)
+
+    def matches(self, tag, content, attributes) -> bool:
+        return all(part.matches(tag, content, attributes) for part in self.parts)
+
+    def tag_constraint(self) -> str | None:
+        tags = {part.tag_constraint() for part in self.parts} - {None}
+        if len(tags) == 1:
+            return tags.pop()
+        return None
+
+    def content_equality(self) -> str | None:
+        values = {part.content_equality() for part in self.parts} - {None}
+        if len(values) == 1:
+            return values.pop()
+        return None
+
+    def canonical(self) -> tuple:
+        return ("and", tuple(sorted(part.canonical() for part in self.parts)))
+
+    def describe(self) -> str:
+        if not self.parts:
+            return "true"
+        return " & ".join(part.describe() for part in self.parts)
+
+
+def conjoin(*parts: Predicate) -> Predicate:
+    """Build the conjunction of ``parts``, simplifying trivial cases."""
+    conjunction = Conjunction(list(parts))
+    if not conjunction.parts:
+        return AnyNode()
+    if len(conjunction.parts) == 1:
+        return conjunction.parts[0]
+    return conjunction
+
+
+def tag(name: str) -> Predicate:
+    """Shorthand used across tests: ``tag("article")``."""
+    return TagEquals(name)
+
+
+def tag_content(name: str, value: str) -> Predicate:
+    """Shorthand: tag + exact content conjunction."""
+    return conjoin(TagEquals(name), ContentEquals(value))
+
+
+def _glob_match(pattern: str, text: str) -> bool:
+    """Anchored glob matching with ``*`` only (no regex import needed)."""
+    pieces = pattern.split("*")
+    if len(pieces) == 1:
+        return text == pattern
+    head, *middle, tail = pieces
+    if head and not text.startswith(head):
+        return False
+    if tail and not text.endswith(tail):
+        return False
+    position = len(head)
+    limit = len(text) - len(tail)
+    for piece in middle:
+        if not piece:
+            continue
+        found = text.find(piece, position, limit)
+        if found < 0:
+            return False
+        position = found + len(piece)
+    return position <= limit
+
+
+def _coerce_pair(left: str, right: str):
+    """Numeric pair when both parse as floats, else the strings."""
+    try:
+        return float(left), float(right)
+    except ValueError:
+        return left, right

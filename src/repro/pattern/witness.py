@@ -1,0 +1,64 @@
+"""Witness trees: the result of embedding a pattern into data.
+
+"Such a returned structure, we call a witness tree, since it bears
+witness to the success of the pattern match on the input tree of
+interest" (Sec. 2).  A witness is one *binding tuple*: pattern label ->
+matched node.  The set of witnesses for a pattern is homogeneous — every
+tuple binds the same labels — which is what lets TAX operators address
+heterogeneous data by label.
+
+Two binding currencies exist:
+
+* :class:`TreeMatch` binds labels to in-memory
+  :class:`~repro.xmlmodel.node.XMLNode` objects — used when operators
+  run over intermediate (constructed) collections;
+* :class:`StoreMatch` binds labels to
+  :class:`~repro.indexing.labels.NodeLabel` identifiers — the
+  identifier-only processing of Sec. 5.3, used by the physical engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..indexing.labels import NodeLabel
+from ..xmlmodel.node import XMLNode
+
+
+@dataclass
+class TreeMatch:
+    """One embedding into an in-memory tree.
+
+    ``tree_index`` records which tree of the input collection the match
+    embedded into — the *source tree* bookkeeping the groupby operator
+    needs.
+    """
+
+    bindings: dict[str, XMLNode]
+    tree_index: int
+
+    def node(self, label: str) -> XMLNode:
+        return self.bindings[label]
+
+    def labels(self) -> list[str]:
+        return list(self.bindings)
+
+
+@dataclass
+class StoreMatch:
+    """One embedding into the stored database, by identifiers only."""
+
+    bindings: dict[str, NodeLabel]
+    doc_id: int = 0
+    # Values populated late (Sec. 5.3): label -> content string.
+    values: dict[str, str | None] = field(default_factory=dict)
+
+    def label_of(self, label: str) -> NodeLabel:
+        return self.bindings[label]
+
+    def nid(self, label: str) -> int:
+        return self.bindings[label].nid
+
+    def sort_key(self, pattern_labels: list[str]) -> tuple[int, ...]:
+        """Document-order key over the bound nodes, in pattern preorder."""
+        return tuple(self.bindings[label].start for label in pattern_labels)

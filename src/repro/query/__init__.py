@@ -1,0 +1,35 @@
+"""XQuery front end, plans, rewrite, and execution engines (S10-S14)."""
+
+from .ast import render
+from .database import Database, QueryResult
+from .estimate import CardinalityEstimator, PlanChoice, PlanEstimate
+from .interpreter import Interpreter
+from .logical_exec import LogicalExecutor
+from .parser import parse_query
+from .physical import PhysicalExecutor
+from .plan import ArgSpec, GroupOutputSpec, PlanNode, StitchSpec
+from .rewrite import detect, rewrite
+from .translate import GroupingQuery, naive_plan, recognize, translate
+
+__all__ = [
+    "render",
+    "Database",
+    "QueryResult",
+    "CardinalityEstimator",
+    "PlanChoice",
+    "PlanEstimate",
+    "Interpreter",
+    "LogicalExecutor",
+    "parse_query",
+    "PhysicalExecutor",
+    "ArgSpec",
+    "GroupOutputSpec",
+    "PlanNode",
+    "StitchSpec",
+    "detect",
+    "rewrite",
+    "GroupingQuery",
+    "naive_plan",
+    "recognize",
+    "translate",
+]

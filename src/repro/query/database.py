@@ -1,0 +1,307 @@
+"""The Database facade — TIMBER's architecture in one object (Fig. 12).
+
+Wraps the storage manager, index manager, query parser/translator/
+rewriter, and the three evaluators behind one API:
+
+>>> db = Database()                         # in-memory; pass a path to persist
+>>> db.load_text("<doc_root>...</doc_root>", name="bib.xml")
+>>> result = db.query(QUERY_TEXT)           # auto: rewrite to GROUPBY if possible
+>>> result.collection.sketch()
+
+``plan`` selects the engine:
+
+* ``"auto"`` — translate + rewrite to the GROUPBY physical plan; fall
+  back to the direct interpreter when the query is outside the
+  translatable family;
+* ``"direct"`` — the paper's baseline: direct execution as written;
+* ``"naive"`` — the naive join plan, executed physically (nested loops);
+* ``"groupby"`` — the rewritten plan, executed physically;
+* ``"logical-naive"`` / ``"logical-groupby"`` — the same two plans run
+  with the in-memory reference operators (semantics oracle).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import DatabaseError, TranslationError
+from ..indexing.manager import IndexManager
+from ..storage.buffer import DEFAULT_POOL_FRAMES
+from ..storage.store import NodeStore
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection
+from .ast import Expr
+from .interpreter import Interpreter
+from .logical_exec import LogicalExecutor
+from .parser import parse_query
+from .physical import PhysicalExecutor
+from .plan import PlanNode
+from .rewrite import rewrite
+from .translate import translate
+
+PLAN_MODES = (
+    "auto",
+    "direct",
+    "naive",
+    "naive-hash",
+    "groupby",
+    "logical-naive",
+    "logical-groupby",
+)
+
+
+@dataclass
+class QueryResult:
+    """Execution outcome: the result collection plus run metadata."""
+
+    collection: Collection
+    plan_mode: str
+    elapsed_seconds: float
+    statistics: dict[str, int] = field(default_factory=dict)
+    plan: PlanNode | None = None
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    def to_xml(self, indent: str | None = "  ") -> str:
+        """The result collection rendered as XML text, one document
+        fragment per tree."""
+        from ..xmlmodel.serialize import serialize
+
+        parts = [serialize(tree.root, indent=indent) for tree in self.collection]
+        joiner = "" if indent else "\n"
+        return joiner.join(parts)
+
+
+class Database:
+    """A native XML database instance."""
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        pool_frames: int = DEFAULT_POOL_FRAMES,
+        grouping_strategy: str = "sort",
+        use_indexes: bool = True,
+    ):
+        self.store = NodeStore(directory, pool_frames=pool_frames)
+        self.indexes = IndexManager(self.store)
+        self.grouping_strategy = grouping_strategy
+        self.use_indexes = use_indexes
+        if self.store.documents():
+            # Reopen path: persisted indexes when fresh, else rebuild.
+            if directory is None or not self.indexes.try_load(directory):
+                self.indexes.build()
+                if directory is not None:
+                    self.indexes.save(directory)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load_text(self, text: str, name: str) -> None:
+        """Parse and store an XML document under ``name``; reindex."""
+        self.store.load_text(text, name)
+        self._reindex()
+
+    def load_tree(self, root: XMLNode, name: str) -> None:
+        self.store.load_tree(root, name)
+        self._reindex()
+
+    def load_file(self, path: str, name: str | None = None) -> None:
+        self.store.load_file(path, name)
+        self._reindex()
+
+    def drop_document(self, name: str) -> None:
+        """Drop a document and rebuild the indexes over the rest."""
+        self.store.drop_document(name)
+        self._reindex()
+
+    def compact(self) -> None:
+        """Reclaim space left by dropped documents (store rebuild)."""
+        self.store = self.store.compact()
+        self.indexes = IndexManager(self.store)
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self.indexes.build()
+        if self.store.directory is not None:
+            self.indexes.save(self.store.directory)
+
+    def documents(self) -> list[str]:
+        return [info.name for info in self.store.documents()]
+
+    def info(self) -> dict[str, object]:
+        """Summary of the database: documents, sizes, index statistics."""
+        self.indexes.ensure_built()
+        symbols = self.store.meta.symbols
+        tag_counts = {
+            symbols.name(sym): self.indexes.tag_index.count(sym)
+            for sym in self.indexes.tag_index.tags()
+        }
+        return {
+            "documents": [
+                {"name": info.name, "nodes": info.n_nodes}
+                for info in self.store.documents()
+            ],
+            "total_nodes": self.store.n_nodes(),
+            "pages": self.store.disk.n_pages,
+            "buffer_frames": self.store.pool.capacity,
+            "tags": tag_counts,
+            "value_index_keys": self.indexes.value_index.n_keys(),
+        }
+
+    def root_tag(self, doc: str) -> str:
+        """Catalog lookup: the tag of the document's root element."""
+        info = self.store.document(doc)
+        return self.store.tag(info.root_nid)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> Expr:
+        return parse_query(text)
+
+    def plans_for(self, text: str) -> tuple[PlanNode, PlanNode]:
+        """The naive plan and its GROUPBY rewrite for a query text."""
+        expr = self.parse(text)
+        doc = self._target_document(expr)
+        _, naive = translate(expr, self.root_tag(doc))
+        return naive, rewrite(naive)
+
+    def explain(self, text: str, verbose: bool = False) -> str:
+        """Readable naive + rewritten plans for a query.
+
+        ``verbose=True`` annotates every operator with the optimizer's
+        row/cost estimates and appends the plan comparison.
+        """
+        naive, grouped = self.plans_for(text)
+        if not verbose:
+            return (
+                "=== naive (join) plan ===\n"
+                + naive.explain()
+                + "\n=== rewritten (GROUPBY) plan ===\n"
+                + grouped.explain()
+            )
+        from .estimate import CardinalityEstimator
+
+        estimator = CardinalityEstimator(self.store, self.indexes)
+        choice = estimator.compare_plans(naive, grouped)
+        return (
+            "=== naive (join) plan ===\n"
+            + estimator.annotate(naive)
+            + "\n=== rewritten (GROUPBY) plan ===\n"
+            + estimator.annotate(grouped)
+            + "\n=== optimizer ===\n"
+            + (
+                f"estimated cost: naive ~{choice.naive_cost:.0f} lookups, "
+                f"groupby ~{choice.groupby_cost:.0f} lookups -> "
+                f"{choice.winner} (advantage {choice.advantage:.1f}x)"
+            )
+        )
+
+    def query(self, text: str, plan: str = "auto", reset_statistics: bool = True) -> QueryResult:
+        """Parse, plan, and execute ``text``."""
+        if plan not in PLAN_MODES:
+            raise DatabaseError(f"unknown plan mode {plan!r}; pick one of {PLAN_MODES}")
+        expr = self.parse(text)
+        self.indexes.ensure_built()
+        if reset_statistics:
+            self.store.reset_statistics()
+
+        if plan == "auto":
+            try:
+                return self._run_physical(expr, rewritten=True, mode_name="groupby")
+            except TranslationError:
+                return self._run_direct(expr)
+        if plan == "direct":
+            return self._run_direct(expr)
+        if plan == "naive":
+            return self._run_physical(expr, rewritten=False, mode_name="naive")
+        if plan == "naive-hash":
+            return self._run_physical(
+                expr, rewritten=False, mode_name="naive-hash", join_strategy="value-hash"
+            )
+        if plan == "groupby":
+            return self._run_physical(expr, rewritten=True, mode_name="groupby")
+        if plan == "logical-naive":
+            return self._run_logical(expr, rewritten=False, mode_name="logical-naive")
+        return self._run_logical(expr, rewritten=True, mode_name="logical-groupby")
+
+    # ------------------------------------------------------------------
+    def _target_document(self, expr: Expr) -> str:
+        from .ast import DocumentCall
+
+        def walk(node):
+            if isinstance(node, DocumentCall):
+                yield node.name
+            for value in getattr(node, "__dict__", {}).values():
+                yield from _walk_value(value)
+            if hasattr(node, "__dataclass_fields__"):
+                for name in node.__dataclass_fields__:
+                    yield from _walk_value(getattr(node, name))
+
+        def _walk_value(value):
+            if isinstance(value, tuple):
+                for item in value:
+                    yield from _walk_value(item)
+            elif hasattr(value, "__dataclass_fields__"):
+                yield from walk(value)
+
+        names = set(walk(expr))
+        if len(names) != 1:
+            raise TranslationError(
+                f"query must target exactly one document (found {sorted(names)})"
+            )
+        return names.pop()
+
+    def _run_direct(self, expr: Expr) -> QueryResult:
+        interpreter = Interpreter(self.store, self.indexes)
+        started = time.perf_counter()
+        collection = interpreter.run(expr)
+        elapsed = time.perf_counter() - started
+        return QueryResult(collection, "direct", elapsed, self.store.statistics())
+
+    def _build_plan(self, expr: Expr, rewritten: bool) -> PlanNode:
+        doc = self._target_document(expr)
+        _, naive = translate(expr, self.root_tag(doc))
+        return rewrite(naive) if rewritten else naive
+
+    def _run_physical(
+        self,
+        expr: Expr,
+        rewritten: bool,
+        mode_name: str,
+        join_strategy: str = "nested-loop",
+    ) -> QueryResult:
+        plan = self._build_plan(expr, rewritten)
+        executor = PhysicalExecutor(
+            self.store,
+            self.indexes,
+            grouping_strategy=self.grouping_strategy,
+            use_indexes=self.use_indexes,
+            join_strategy=join_strategy,
+        )
+        started = time.perf_counter()
+        collection = executor.execute(plan)
+        elapsed = time.perf_counter() - started
+        return QueryResult(collection, mode_name, elapsed, self.store.statistics(), plan)
+
+    def _run_logical(self, expr: Expr, rewritten: bool, mode_name: str) -> QueryResult:
+        plan = self._build_plan(expr, rewritten)
+        executor = LogicalExecutor(self.store, self.indexes)
+        started = time.perf_counter()
+        collection = executor.execute(plan)
+        elapsed = time.perf_counter() - started
+        return QueryResult(collection, mode_name, elapsed, self.store.statistics(), plan)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

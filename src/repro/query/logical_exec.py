@@ -1,0 +1,326 @@
+"""Logical plan execution with the in-memory TAX operators.
+
+This executor interprets a :class:`~repro.query.plan.PlanNode` tree with
+the reference operators of :mod:`repro.core` over fully materialized
+collections.  It is the semantics oracle: the physical executor must
+produce structurally identical results, and the integration tests check
+that on every supported query.
+
+Construction conventions (``stitch`` / ``project_groups``) rely on the
+witness-tree shapes produced by the naive plan's join and the groupby
+operator respectively; see the inline notes.
+"""
+
+from __future__ import annotations
+
+from ..core.base import atomic_value_of
+from ..core.duplicates import DuplicateElimination
+from ..core.groupby import GroupBy
+from ..core.join import Join, JoinKind
+from ..core.projection import Projection
+from ..core.rename import RenameRoot
+from ..core.selection import Selection
+from ..errors import TranslationError
+from ..indexing.manager import IndexManager
+from ..storage.store import NodeStore
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.tree import Collection, DataTree
+from .plan import GroupOutputSpec, PlanNode, StitchSpec
+
+
+class LogicalExecutor:
+    """Run logical plans over in-memory collections."""
+
+    def __init__(self, store: NodeStore, indexes: IndexManager | None = None):
+        self.store = store
+        self._documents: dict[str, Collection] = {}
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: PlanNode) -> Collection:
+        handler = getattr(self, f"_exec_{plan.op}", None)
+        if handler is None:
+            raise TranslationError(f"logical executor: unsupported op {plan.op!r}")
+        return handler(plan)
+
+    # ------------------------------------------------------------------
+    # Leaf
+    # ------------------------------------------------------------------
+    def _exec_scan(self, plan: PlanNode) -> Collection:
+        doc = plan.params["doc"]
+        cached = self._documents.get(doc)
+        if cached is None:
+            info = self.store.document(doc)
+            root = self.store.materialize(info.root_nid, with_content=True)
+            cached = Collection([DataTree(root, doc_id=info.doc_id)], name=doc)
+            self._documents[doc] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Straight TAX operators
+    # ------------------------------------------------------------------
+    def _exec_select(self, plan: PlanNode) -> Collection:
+        operator = Selection(plan.params["pattern"], plan.params["sl"])
+        return operator.apply(self.execute(plan.child))
+
+    def _exec_project(self, plan: PlanNode) -> Collection:
+        operator = Projection(plan.params["pattern"], plan.params["pl"])
+        return operator.apply(self.execute(plan.child))
+
+    def _exec_dupelim(self, plan: PlanNode) -> Collection:
+        operator = DuplicateElimination(
+            plan.params["pattern"],
+            plan.params["label"],
+            by_nids=plan.params.get("by_nids", False),
+        )
+        return operator.apply(self.execute(plan.child))
+
+    def _exec_left_outer_join(self, plan: PlanNode) -> Collection:
+        operator = Join(
+            plan.params["left_pattern"],
+            plan.params["right_pattern"],
+            plan.params["conditions"],
+            JoinKind.LEFT_OUTER,
+            plan.params["sl"],
+        )
+        left = self.execute(plan.inputs[0])
+        right = self.execute(plan.inputs[1])
+        return operator.apply(left, right)
+
+    def _exec_groupby(self, plan: PlanNode) -> Collection:
+        operator = GroupBy(
+            plan.params["pattern"], plan.params["basis"], plan.params["ordering"]
+        )
+        return operator.apply(self.execute(plan.child))
+
+    def _exec_rename_root(self, plan: PlanNode) -> Collection:
+        return RenameRoot(plan.params["tag"]).apply(self.execute(plan.child))
+
+    def _exec_aggregate(self, plan: PlanNode) -> Collection:
+        from ..core.aggregation import Aggregation
+
+        operator = Aggregation(
+            plan.params["pattern"],
+            plan.params["function"],
+            plan.params["source_label"],
+            plan.params["new_tag"],
+            plan.params["update"],
+        )
+        return operator.apply(self.execute(plan.child))
+
+    # ------------------------------------------------------------------
+    # Construction steps
+    # ------------------------------------------------------------------
+    def _exec_stitch(self, plan: PlanNode) -> Collection:
+        """RETURN processing over joined pair trees.
+
+        Input trees are ``tax_prod_root`` pairs: the first child is the
+        left witness (document-root copy over the grouping element's
+        subtree), the second — when the pair is not outer-padded — the
+        right witness (document-root copy over the grouped element's
+        subtree).
+        """
+        spec: StitchSpec = plan.params["spec"]
+        joined = self.execute(plan.child)
+
+        order: list[str] = []
+        groups: dict[str, list[XMLNode | None]] = {}
+        group_nodes: dict[str, XMLNode] = {}
+        for tree in joined:
+            children = tree.root.children
+            if not children:
+                raise TranslationError("stitch: malformed join output")
+            left_witness = children[0]
+            group_node = _single_child(left_witness, "stitch: left witness")
+            value = atomic_value_of(group_node)
+            if value not in groups:
+                groups[value] = []
+                order.append(value)
+                group_nodes[value] = group_node
+            if len(children) > 1:
+                right_witness = children[1]
+                member = _single_child(right_witness, "stitch: right witness")
+                groups[value].append(member)
+
+        output = Collection(name="stitch")
+        for value in order:
+            members = [m for m in groups[value] if m is not None]
+            members = _order_members(members, spec.ordering)
+            output.append(
+                DataTree(
+                    _build_return_element(
+                        spec.return_tag,
+                        group_nodes[value],
+                        members,
+                        _spec_member_path(spec),
+                        _spec_mode(spec),
+                    )
+                )
+            )
+        return output
+
+    def _exec_project_groups(self, plan: PlanNode) -> Collection:
+        """The final projection of the rewritten plan (Fig. 5.d), fused
+        with RETURN-element construction.
+
+        Input trees are ``tax_group_root`` trees: first child the
+        grouping basis, second the group subroot with the member source
+        trees.
+        """
+        spec: GroupOutputSpec = plan.params["spec"]
+        grouped = self.execute(plan.inputs[0])
+        if len(plan.inputs) == 2:
+            return self._project_groups_padded(spec, grouped, plan.inputs[1])
+        output = Collection(name="project-groups")
+        for tree in grouped:
+            children = tree.root.children
+            if len(children) != 2:
+                raise TranslationError("project_groups: malformed group tree")
+            basis, subroot = children
+            if not basis.children:
+                raise TranslationError("project_groups: empty grouping basis")
+            group_node = basis.children[0]
+            # Drop duplicate source trees within the group (the migrated
+            # "duplicate elimination based on articles" of the naive
+            # plan): keyed by stored nid when available, else by value.
+            members = []
+            seen: set = set()
+            for member in subroot.children:
+                key = member.nid if member.nid is not None else member.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                members.append(member)
+            output.append(
+                DataTree(
+                    _build_return_element(
+                        spec.return_tag, group_node, members, spec.member_path, spec.mode
+                    )
+                )
+            )
+        return output
+
+
+    def _project_groups_padded(
+        self, spec: GroupOutputSpec, grouped: Collection, outer_plan: PlanNode
+    ) -> Collection:
+        """Emit one element per *outer* distinct value: the group output
+        when a group exists, an empty group otherwise (filters can
+        orphan values; the outer FOR still yields them)."""
+        by_value: dict[str, XMLNode] = {}
+        for tree in grouped:
+            basis, subroot = tree.root.children
+            group_node = basis.children[0]
+            members = []
+            seen: set = set()
+            for member in subroot.children:
+                key = member.nid if member.nid is not None else member.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                members.append(member)
+            by_value[atomic_value_of(group_node)] = _build_return_element(
+                spec.return_tag, group_node, members, spec.member_path, spec.mode
+            )
+
+        output = Collection(name="project-groups")
+        for outer_tree in self.execute(outer_plan):
+            outer_node = _single_child(outer_tree.root, "project_groups padding")
+            value = atomic_value_of(outer_node)
+            built = by_value.get(value)
+            if built is None:
+                built = _build_return_element(
+                    spec.return_tag, outer_node, [], spec.member_path, spec.mode
+                )
+            output.append(DataTree(built))
+        return output
+
+
+# ----------------------------------------------------------------------
+# Shared construction helpers
+# ----------------------------------------------------------------------
+def _single_child(node: XMLNode, context: str) -> XMLNode:
+    if len(node.children) != 1:
+        raise TranslationError(f"{context}: expected exactly one child")
+    return node.children[0]
+
+
+def _spec_member_path(spec: StitchSpec) -> tuple[str, ...]:
+    for arg in spec.args:
+        if arg.kind in ("members", "count", "aggregate"):
+            return arg.member_path
+    return ()
+
+
+def _spec_mode(spec: StitchSpec) -> str:
+    for arg in spec.args:
+        if arg.kind == "count":
+            return "count"
+        if arg.kind == "aggregate":
+            return arg.function or "sum"
+    return "values"
+
+
+def _build_return_element(
+    return_tag: str,
+    group_node: XMLNode,
+    members: list[XMLNode],
+    member_path: tuple[str, ...],
+    mode: str,
+) -> XMLNode:
+    """``<return_tag>{group node}{titles... | aggregate}</return_tag>``.
+
+    The shape matches the direct interpreter's constructor output, so
+    every engine produces structurally identical results.  ``count``
+    counts the output-path nodes reached across members (an article
+    without a title contributes nothing — XQuery ``count($t)``
+    semantics); the numeric aggregates apply to those nodes' values.
+    """
+    from ..core.aggregation import AggregateFunction
+
+    root = XMLNode(return_tag)
+    root.append_child(group_node.deep_copy())
+    if mode == "values":
+        for member in members:
+            for target in _navigate(member, member_path):
+                root.append_child(target.deep_copy())
+        return root
+    reached = [
+        target for member in members for target in _navigate(member, member_path)
+    ]
+    if mode == "count":
+        root.content = str(len(reached))
+        return root
+    values = [atomic_value_of(node) for node in reached]
+    rendered = AggregateFunction(mode.upper()).compute(values)
+    root.content = rendered if rendered else None
+    return root
+
+
+def _navigate(node: XMLNode, path: tuple[str, ...]) -> list[XMLNode]:
+    frontier = [node]
+    for name in path:
+        frontier = [child for parent in frontier for child in parent.findall(name)]
+    return frontier
+
+
+def _order_members(
+    members: list[XMLNode], ordering: tuple[tuple[tuple[str, ...], str], ...]
+) -> list[XMLNode]:
+    """SORTBY member ordering for the naive plan's stitch."""
+    from ..core.base import numeric_or_text
+
+    if not ordering:
+        return members
+
+    def value_at(member: XMLNode, path: tuple[str, ...]) -> str:
+        nodes = _navigate(member, path)
+        return atomic_value_of(nodes[0]) if nodes else ""
+
+    ordered = members
+    for path, direction in reversed(ordering):
+        ordered = sorted(
+            ordered,
+            key=lambda member: numeric_or_text(value_at(member, path)),
+            reverse=direction == "DESCENDING",
+        )
+    return list(ordered)

@@ -1,0 +1,404 @@
+"""Recursive-descent parser for the XQuery subset.
+
+Character-level parsing (no separate lexer) keeps the two context-
+sensitive corners simple: ``<`` starts an element constructor exactly
+where an expression is expected and a name character follows, and the
+text inside constructors is raw until ``{`` or a tag.
+
+Keywords are recognized case-insensitively — the paper writes ``FOR``
+/ ``WHERE`` / ``RETURN`` in upper case, real XQuery uses lower case;
+both parse.
+"""
+
+from __future__ import annotations
+
+from ..errors import XQuerySyntaxError
+from .ast import (
+    AndExpr,
+    Comparison,
+    CountCall,
+    DistinctValues,
+    DocumentCall,
+    ElementConstructor,
+    EmbeddedExpr,
+    Expr,
+    FLWR,
+    ForClause,
+    LetClause,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StepPredicate,
+    StringLiteral,
+    TextItem,
+    VarRef,
+)
+
+_KEYWORDS = {"for", "let", "in", "where", "return", "and", "sortby"}
+_DIRECTIONS = {"ascending": "ASCENDING", "descending": "DESCENDING"}
+_COMPARE_OPS = ("!=", "<=", ">=", "=", "<", ">")
+
+
+def parse_query(text: str) -> Expr:
+    """Parse one query expression; raises :class:`XQuerySyntaxError`."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    parser.skip_ws()
+    if not parser.at_end():
+        raise parser.error("unexpected trailing input")
+    return expr
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # ------------------------------------------------------------------
+    # Scanner utilities
+    # ------------------------------------------------------------------
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def skip_ws(self) -> None:
+        while self.pos < self.length:
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif self.text.startswith("(:", self.pos):  # XQuery comment
+                end = self.text.find(":)", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 2
+            else:
+                return
+
+    def error(self, message: str) -> XQuerySyntaxError:
+        prefix = self.text[: self.pos]
+        line = prefix.count("\n") + 1
+        column = self.pos - prefix.rfind("\n")
+        return XQuerySyntaxError(message, line, column)
+
+    def match(self, token: str) -> bool:
+        self.skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        if not self.match(token):
+            raise self.error(f"expected {token!r}")
+
+    def _is_name_start(self, ch: str) -> bool:
+        return ch.isalpha() or ch == "_"
+
+    def _is_name_char(self, ch: str) -> bool:
+        return ch.isalnum() or ch in "_-."
+
+    def read_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        if self.at_end() or not self._is_name_start(self.peek()):
+            raise self.error("expected a name")
+        self.pos += 1
+        while not self.at_end() and self._is_name_char(self.peek()):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def peek_keyword(self) -> str | None:
+        """The lower-cased keyword at the cursor, if one is next."""
+        self.skip_ws()
+        start = self.pos
+        if self.at_end() or not self._is_name_start(self.peek()):
+            return None
+        end = start
+        while end < self.length and self._is_name_char(self.text[end]):
+            end += 1
+        word = self.text[start:end].lower()
+        return word if word in _KEYWORDS else None
+
+    def match_keyword(self, word: str) -> bool:
+        if self.peek_keyword() == word:
+            self.read_name()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        keyword = self.peek_keyword()
+        if keyword in ("for", "let"):
+            return self.parse_flwr()
+        return self.parse_comparison()
+
+    def parse_flwr(self) -> FLWR:
+        clauses: list[ForClause | LetClause] = []
+        while True:
+            if self.match_keyword("for"):
+                while True:
+                    var = self.parse_var_name()
+                    if not self.match_keyword("in"):
+                        raise self.error("expected IN in FOR clause")
+                    clauses.append(ForClause(var, self.parse_comparison_free()))
+                    if not self.match(","):
+                        break
+            elif self.match_keyword("let"):
+                var = self.parse_var_name()
+                self.expect(":=")
+                clauses.append(LetClause(var, self.parse_comparison_free()))
+            else:
+                break
+        if not clauses:
+            raise self.error("expected FOR or LET")
+        where: Expr | None = None
+        if self.match_keyword("where"):
+            where = self.parse_boolean()
+        if not self.match_keyword("return"):
+            raise self.error("expected RETURN")
+        ret = self.parse_expr()
+        sortby = self.parse_sortby()
+        return FLWR(tuple(clauses), where, ret, sortby)
+
+    def parse_sortby(self) -> tuple:
+        """Optional 2001-era ``SORTBY (key [dir], ...)`` after RETURN."""
+        from .ast import SortKey
+
+        if not self.match_keyword("sortby"):
+            return ()
+        self.expect("(")
+        keys: list[SortKey] = []
+        while True:
+            self.skip_ws()
+            if self.peek() == ".":
+                self.pos += 1
+                path: tuple[str, ...] = (".",)
+            else:
+                names = [self.read_name()]
+                while self.match("/"):
+                    names.append(self.read_name())
+                path = tuple(names)
+            direction = "ASCENDING"
+            self.skip_ws()
+            if self._is_name_start(self.peek()):
+                saved = self.pos
+                word = self.read_name().lower()
+                if word in _DIRECTIONS:
+                    direction = _DIRECTIONS[word]
+                else:
+                    self.pos = saved
+                    raise self.error(f"expected a sort direction, got {word!r}")
+            keys.append(SortKey(path, direction))
+            if not self.match(","):
+                break
+        self.expect(")")
+        if not keys:
+            raise self.error("SORTBY needs at least one key")
+        return tuple(keys)
+
+    def parse_var_name(self) -> str:
+        self.skip_ws()
+        self.expect("$")
+        return self.read_name()
+
+    def parse_boolean(self) -> Expr:
+        parts = [self.parse_comparison()]
+        while self.match_keyword("and"):
+            parts.append(self.parse_comparison())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(tuple(parts))
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_comparison_free()
+        self.skip_ws()
+        for op in _COMPARE_OPS:
+            # "<" only acts as a comparator when no constructor can start.
+            if op.startswith("<") and self._constructor_ahead():
+                continue
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                right = self.parse_comparison_free()
+                return Comparison(left, op, right)
+        return left
+
+    def parse_comparison_free(self) -> Expr:
+        """An expression that is not itself a top-level comparison."""
+        self.skip_ws()
+        keyword = self.peek_keyword()
+        if keyword in ("for", "let"):
+            return self.parse_flwr()
+        if self.match("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return self.parse_path_steps(inner)
+        ch = self.peek()
+        if ch == "<" and self._constructor_ahead():
+            return self.parse_constructor()
+        if ch == "$":
+            self.pos += 1
+            name = self.read_name()
+            return self.parse_path_steps(VarRef(name))
+        if ch == '"' or ch == "'":
+            return self.parse_string()
+        if ch.isdigit():
+            return self.parse_number()
+        if self._is_name_start(ch):
+            return self.parse_function_or_error()
+        raise self.error("expected an expression")
+
+    def _constructor_ahead(self) -> bool:
+        self.skip_ws()
+        return self.peek() == "<" and self._is_name_start(self.peek(1))
+
+    def parse_string(self) -> StringLiteral:
+        quote = self.peek()
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end < 0:
+            raise self.error("unterminated string literal")
+        value = self.text[self.pos : end]
+        self.pos = end + 1
+        return StringLiteral(value)
+
+    def parse_number(self) -> NumberLiteral:
+        start = self.pos
+        while not self.at_end() and (self.peek().isdigit() or self.peek() == "."):
+            self.pos += 1
+        return NumberLiteral(self.text[start : self.pos])
+
+    def parse_function_or_error(self) -> Expr:
+        name = self.read_name()
+        self.skip_ws()
+        if not self.match("("):
+            raise self.error(f"unexpected name {name!r} (expected a function call)")
+        lowered = name.lower()
+        if lowered == "document":
+            argument = self.parse_expr()
+            if not isinstance(argument, StringLiteral):
+                raise self.error("document() takes a string literal")
+            self.expect(")")
+            return self.parse_path_steps(DocumentCall(argument.value))
+        if lowered == "distinct-values":
+            argument = self.parse_expr()
+            self.expect(")")
+            return DistinctValues(argument)
+        if lowered == "count":
+            argument = self.parse_expr()
+            self.expect(")")
+            return CountCall(argument)
+        if lowered in ("sum", "min", "max", "avg"):
+            from .ast import AggregateCall
+
+            argument = self.parse_expr()
+            self.expect(")")
+            return AggregateCall(lowered, argument)
+        raise self.error(f"unsupported function {name}()")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def parse_path_steps(self, base: Expr) -> Expr:
+        steps: list[Step] = []
+        while True:
+            self.skip_ws()
+            if self.text.startswith("//", self.pos):
+                self.pos += 2
+                axis = "//"
+            elif self.peek() == "/" and not self.text.startswith("/>", self.pos):
+                self.pos += 1
+                axis = "/"
+            else:
+                break
+            if self.peek() == "@":
+                if axis != "/":
+                    raise self.error("attribute steps use a single '/'")
+                self.pos += 1
+                steps.append(Step("@", self.read_name()))
+                continue
+            if self.peek() == "*":
+                self.pos += 1
+                name = "*"
+            else:
+                name = self.read_name()
+            predicate = None
+            if self.match("["):
+                predicate = self.parse_step_predicate()
+                self.expect("]")
+            steps.append(Step(axis, name, predicate))
+        if not steps:
+            return base
+        return PathExpr(base, tuple(steps))
+
+    def parse_step_predicate(self) -> StepPredicate:
+        path = [self.read_name()]
+        while self.match("/"):
+            path.append(self.read_name())
+        self.skip_ws()
+        for op in _COMPARE_OPS:
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                right = self.parse_comparison_free()
+                return StepPredicate(tuple(path), op, right)
+        raise self.error("expected a comparison inside [...]")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    def parse_constructor(self) -> ElementConstructor:
+        self.expect("<")
+        tag = self.read_name()
+        attributes: list[tuple[str, str]] = []
+        while True:
+            self.skip_ws()
+            if self.match("/>"):
+                return ElementConstructor(tag, tuple(attributes), ())
+            if self.match(">"):
+                break
+            name = self.read_name()
+            self.expect("=")
+            self.skip_ws()
+            quote = self.peek()
+            if quote not in ("'", '"'):
+                raise self.error("attribute value must be quoted")
+            attributes.append((name, self.parse_string().value))
+        items: list = []
+        text_start = self.pos
+        while True:
+            if self.at_end():
+                raise self.error(f"unterminated constructor <{tag}>")
+            ch = self.peek()
+            if ch == "{":
+                self._flush_text(items, text_start)
+                self.pos += 1
+                items.append(EmbeddedExpr(self.parse_expr()))
+                self.expect("}")
+                text_start = self.pos
+            elif ch == "<":
+                if self.text.startswith("</", self.pos):
+                    self._flush_text(items, text_start)
+                    self.pos += 2
+                    closing = self.read_name()
+                    if closing != tag:
+                        raise self.error(
+                            f"mismatched closing tag </{closing}> for <{tag}>"
+                        )
+                    self.skip_ws()
+                    self.expect(">")
+                    return ElementConstructor(tag, tuple(attributes), tuple(items))
+                self._flush_text(items, text_start)
+                items.append(self.parse_constructor())
+                text_start = self.pos
+            else:
+                self.pos += 1
+
+    def _flush_text(self, items: list, start: int) -> None:
+        text = self.text[start : self.pos].strip()
+        if text:
+            items.append(TextItem(text))

@@ -1,0 +1,49 @@
+"""Label-only path navigation for the physical engine.
+
+Given a set of starting node labels and a child-step path, find the
+labels of the nodes reached — using one structural join per step over
+the tag index's candidate streams, so no record or data page is ever
+touched.  This is what lets the COUNT plan stay identifier-only even
+though ``count($t)`` counts *path targets*, not members.
+"""
+
+from __future__ import annotations
+
+from ..indexing.labels import NodeLabel
+from ..indexing.manager import IndexManager
+from ..pattern.pattern import Axis
+from ..pattern.structural_join import structural_join
+
+
+def descend_path(
+    indexes: IndexManager,
+    starts: list[NodeLabel],
+    path: tuple[str, ...],
+) -> dict[int, list[NodeLabel]]:
+    """Map each start nid to the labels reached by following ``path``
+    with parent-child steps.
+
+    ``starts`` must be start-sorted and non-nesting (each reached node
+    then has exactly one owning start node).
+    """
+    owner: dict[int, int] = {label.nid: label.nid for label in starts}
+    frontier = list(starts)
+    for name in path:
+        candidates = indexes.labels_for_tag(name)
+        if not candidates:
+            return {label.nid: [] for label in starts}
+        pairs = structural_join(frontier, candidates, Axis.PC)
+        next_owner: dict[int, int] = {}
+        next_frontier: list[NodeLabel] = []
+        for ancestor, descendant in pairs:
+            next_owner[descendant.nid] = owner[ancestor.nid]
+            next_frontier.append(descendant)
+        owner = next_owner
+        # Pairs are emitted in descendant document order; pc steps give
+        # each descendant a unique parent, so no deduplication needed.
+        frontier = next_frontier
+
+    reached: dict[int, list[NodeLabel]] = {label.nid: [] for label in starts}
+    for label in frontier:
+        reached[owner[label.nid]].append(label)
+    return reached

@@ -1,0 +1,491 @@
+"""Naive parsing: XQuery AST -> join-based TAX logical plan (Sec. 4.1/4.2).
+
+"Unfortunately a parser cannot detect the logical grouping in the XQuery
+statement right away.  It will 'naively' try to interpret it as a join."
+This module is that first pass.  It recognizes the *grouping query
+family* — the queries the paper studies — in both surface forms:
+
+* **nested** (Query 1): outer FOR over ``distinct-values``, RETURN with
+  ``{$a}`` and a nested FLWR joining back to the database;
+* **unnested** (Query 2): the LET formulation
+  (``LET $t := document(..)//article[author = $a]/title``).
+
+Both translate to the *same* naive plan shape — the paper's point in
+Sec. 4.2 — and both produce the pattern trees of Fig. 4:
+
+* the **outer pattern tree** (Fig. 4.a): document root ad-edge to the
+  grouping element; selection + projection + duplicate elimination;
+* the **join-plan pattern tree** (Fig. 4.b): a left outer join between
+  the outer result and the database, equating the grouping element's
+  content across the sides;
+* the **inner projection pattern tree** (Fig. 4.c): the RETURN path.
+
+Queries outside the family raise :class:`TranslationError`; the general
+fallback is the direct interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TranslationError
+from ..pattern.pattern import Axis, PatternNode, PatternTree, pcify
+from ..pattern.predicates import ContentCompare, ContentEquals, TagEquals, conjoin
+from .ast import (
+    AggregateCall,
+    CountCall,
+    DistinctValues,
+    DocumentCall,
+    ElementConstructor,
+    EmbeddedExpr,
+    Expr,
+    FLWR,
+    ForClause,
+    LetClause,
+    PathExpr,
+    Step,
+    VarRef,
+)
+from .plan import (
+    ArgSpec,
+    PlanNode,
+    StitchSpec,
+    dupelim,
+    left_outer_join,
+    project,
+    scan,
+    select,
+    stitch,
+)
+
+
+@dataclass(frozen=True)
+class GroupingQuery:
+    """Normal form of a recognized grouping query."""
+
+    doc: str
+    group_tag: str  # the grouping element, e.g. author / institution
+    inner_tag: str  # the grouped element, e.g. article
+    condition_path: tuple[str, ...]  # path from inner element to the join value
+    output_path: tuple[str, ...]  # path from inner element to the output value
+    return_tag: str
+    mode: str  # "values" | "count" | "sum" | "min" | "max" | "avg"
+    nested_form: bool  # True for Query-1 style, False for Query-2 style
+    # Ordering requested via SORTBY, as (path from the inner element,
+    # direction) pairs — becomes the GROUPBY ordering list (Sec. 4.1:
+    # "only if sorting was requested by the user").
+    ordering: tuple[tuple[tuple[str, ...], str], ...] = ()
+    # Extra inner-WHERE conjuncts: (path from the inner element, op,
+    # literal) filters, e.g. AND $b/year > "1995".  They become value
+    # predicates on the selection pattern trees.
+    filters: tuple[tuple[tuple[str, ...], str, str], ...] = ()
+
+
+def recognize(expr: Expr) -> GroupingQuery:
+    """Classify an AST as a grouping query or raise TranslationError."""
+    if not isinstance(expr, FLWR):
+        raise TranslationError("only FLWR expressions are translated")
+    if not expr.clauses or not isinstance(expr.clauses[0], ForClause):
+        raise TranslationError("expected an outer FOR clause")
+    outer = expr.clauses[0]
+    doc, group_tag = _parse_distinct_over_document(outer.source)
+    if expr.where is not None:
+        # An outer filter is outside the Sec. 4.1 family; refusing here
+        # (instead of silently dropping the predicate) routes the query
+        # to the direct interpreter, which evaluates it correctly.
+        raise TranslationError("outer WHERE is not part of the grouping family")
+
+    if len(expr.clauses) == 1:
+        return _recognize_nested(expr, outer.var, doc, group_tag)
+    if len(expr.clauses) == 2 and isinstance(expr.clauses[1], LetClause):
+        return _recognize_unnested(expr, outer.var, doc, group_tag)
+    raise TranslationError("unsupported clause structure for grouping translation")
+
+
+def _parse_distinct_over_document(source: Expr) -> tuple[str, str]:
+    if not isinstance(source, DistinctValues):
+        raise TranslationError("outer FOR must iterate distinct-values(...)")
+    path = source.argument
+    if (
+        not isinstance(path, PathExpr)
+        or not isinstance(path.base, DocumentCall)
+        or len(path.steps) != 1
+        or path.steps[0].axis != "//"
+        or path.steps[0].predicate is not None
+    ):
+        raise TranslationError(
+            "outer FOR must iterate distinct-values(document(..)//tag)"
+        )
+    return path.base.name, path.steps[0].name
+
+
+def _recognize_nested(expr: FLWR, outer_var: str, doc: str, group_tag: str) -> GroupingQuery:
+    if expr.sortby:
+        raise TranslationError("SORTBY on the outer FLWR is not translatable")
+    constructor = _return_constructor(expr.ret)
+    args = _embedded_args(constructor, outer_var)
+    inner_expr = args["inner"]
+    mode = "values"
+    if isinstance(inner_expr, CountCall):
+        inner_expr = inner_expr.argument
+        mode = "count"
+    elif isinstance(inner_expr, AggregateCall):
+        mode = inner_expr.function  # sum | min | max | avg
+        inner_expr = inner_expr.argument
+    if not isinstance(inner_expr, FLWR):
+        raise TranslationError("second RETURN argument must be a nested FLWR")
+    inner = inner_expr
+    if len(inner.clauses) != 1 or not isinstance(inner.clauses[0], ForClause):
+        raise TranslationError("nested FLWR must have a single FOR clause")
+    inner_for = inner.clauses[0]
+    inner_tag = _document_descendant_tag(inner_for.source, doc)
+    condition_path, filters = _where_parts(inner.where, outer_var, inner_for.var)
+    output_path = _relative_path(inner.ret, inner_for.var)
+    ordering = _ordering_from_sortby(inner, output_path, mode)
+    return GroupingQuery(
+        doc=doc,
+        group_tag=group_tag,
+        inner_tag=inner_tag,
+        condition_path=condition_path,
+        output_path=output_path,
+        return_tag=constructor.tag,
+        mode=mode,
+        nested_form=True,
+        ordering=ordering,
+        filters=filters,
+    )
+
+
+def _ordering_from_sortby(
+    inner: FLWR, output_path: tuple[str, ...], mode: str
+) -> tuple[tuple[tuple[str, ...], str], ...]:
+    """Translate the inner SORTBY keys to paths from the inner element.
+
+    A ``.`` key sorts by the returned value itself (the output path);
+    other keys are relative to the returned node.
+    """
+    if not inner.sortby:
+        return ()
+    if mode != "values":
+        raise TranslationError("SORTBY is meaningless under an aggregate")
+    ordering = []
+    for key in inner.sortby:
+        if key.path == (".",):
+            path = output_path
+        else:
+            path = output_path + key.path
+        ordering.append((path, key.direction))
+    return tuple(ordering)
+
+
+def _recognize_unnested(expr: FLWR, outer_var: str, doc: str, group_tag: str) -> GroupingQuery:
+    let = expr.clauses[1]
+    assert isinstance(let, LetClause)
+    source = let.source
+    if not isinstance(source, PathExpr) or not isinstance(source.base, DocumentCall):
+        raise TranslationError("LET must bind a document path")
+    if source.base.name != doc:
+        raise TranslationError("LET must query the same document as the outer FOR")
+    steps = source.steps
+    if not steps or steps[0].axis != "//" or steps[0].predicate is None:
+        raise TranslationError(
+            "LET path must look like document(..)//tag[path = $var]/..."
+        )
+    inner_tag = steps[0].name
+    predicate = steps[0].predicate
+    if predicate.op != "=" or not isinstance(predicate.right, VarRef):
+        raise TranslationError("LET predicate must compare a path to the outer var")
+    if predicate.right.name != outer_var:
+        raise TranslationError("LET predicate must reference the outer variable")
+    condition_path = predicate.path
+    output_path = tuple(step.name for step in steps[1:])
+    for step in steps[1:]:
+        if step.axis != "/" or step.predicate is not None:
+            raise TranslationError("LET output path must use simple child steps")
+
+    constructor = _return_constructor(expr.ret)
+    args = _embedded_args(constructor, outer_var)
+    inner_expr = args["inner"]
+    mode = "values"
+    if isinstance(inner_expr, CountCall):
+        inner_expr = inner_expr.argument
+        mode = "count"
+    elif isinstance(inner_expr, AggregateCall):
+        mode = inner_expr.function
+        inner_expr = inner_expr.argument
+    if not isinstance(inner_expr, VarRef) or inner_expr.name != let.var:
+        raise TranslationError("second RETURN argument must use the LET variable")
+    if expr.sortby:
+        raise TranslationError("SORTBY on the outer FLWR is not translatable")
+    return GroupingQuery(
+        doc=doc,
+        group_tag=group_tag,
+        inner_tag=inner_tag,
+        condition_path=condition_path,
+        output_path=output_path,
+        return_tag=constructor.tag,
+        mode=mode,
+        nested_form=False,
+    )
+
+
+def _return_constructor(ret: Expr) -> ElementConstructor:
+    if not isinstance(ret, ElementConstructor):
+        raise TranslationError("RETURN must construct an element")
+    return ret
+
+
+def _embedded_args(constructor: ElementConstructor, outer_var: str) -> dict[str, Expr]:
+    embedded = [item for item in constructor.items if isinstance(item, EmbeddedExpr)]
+    if len(embedded) != 2:
+        raise TranslationError("RETURN must have exactly two embedded expressions")
+    first = embedded[0].expr
+    if not isinstance(first, VarRef) or first.name != outer_var:
+        raise TranslationError("first RETURN argument must be the outer variable")
+    return {"outer": first, "inner": embedded[1].expr}
+
+
+def _document_descendant_tag(source: Expr, doc: str) -> str:
+    if (
+        not isinstance(source, PathExpr)
+        or not isinstance(source.base, DocumentCall)
+        or source.base.name != doc
+        or len(source.steps) != 1
+        or source.steps[0].axis != "//"
+        or source.steps[0].predicate is not None
+    ):
+        raise TranslationError("inner FOR must iterate document(..)//tag")
+    return source.steps[0].name
+
+
+def _where_parts(
+    where: Expr | None, outer_var: str, inner_var: str
+) -> tuple[tuple[str, ...], tuple[tuple[tuple[str, ...], str, str], ...]]:
+    """Split the inner WHERE into the join condition and value filters.
+
+    Exactly one conjunct must equate the outer variable with a path from
+    the inner variable (the join condition); every other conjunct must
+    compare an inner-variable path with a string literal and becomes a
+    selection filter.
+    """
+    from .ast import AndExpr, Comparison, StringLiteral
+
+    if isinstance(where, Comparison):
+        conjuncts: list[Comparison] = [where]
+    elif isinstance(where, AndExpr):
+        conjuncts = []
+        for part in where.parts:
+            if not isinstance(part, Comparison):
+                raise TranslationError("inner WHERE conjuncts must be comparisons")
+            conjuncts.append(part)
+    else:
+        raise TranslationError("inner WHERE must be a comparison (or AND of them)")
+
+    condition_path: tuple[str, ...] | None = None
+    filters: list[tuple[tuple[str, ...], str, str]] = []
+    for comparison in conjuncts:
+        left, right = comparison.left, comparison.right
+        if comparison.op == "=" and (
+            (isinstance(left, VarRef) and left.name == outer_var)
+            or (isinstance(right, VarRef) and right.name == outer_var)
+        ):
+            if condition_path is not None:
+                raise TranslationError("inner WHERE references the outer variable twice")
+            path_side = right if isinstance(left, VarRef) and left.name == outer_var else left
+            if (
+                not isinstance(path_side, PathExpr)
+                or not isinstance(path_side.base, VarRef)
+                or path_side.base.name != inner_var
+            ):
+                raise TranslationError("inner WHERE must navigate from the inner variable")
+            condition_path = tuple(_simple_child_path(path_side.steps))
+            continue
+        # A value filter: $b/path op "literal" (either orientation).
+        if isinstance(right, StringLiteral):
+            path_expr, literal, op = left, right.value, comparison.op
+        elif isinstance(left, StringLiteral):
+            path_expr, literal = right, left.value
+            op = _flip_op(comparison.op)
+        else:
+            raise TranslationError("inner WHERE filters must compare against a literal")
+        if (
+            not isinstance(path_expr, PathExpr)
+            or not isinstance(path_expr.base, VarRef)
+            or path_expr.base.name != inner_var
+        ):
+            raise TranslationError("inner WHERE filters must navigate the inner variable")
+        filters.append((tuple(_simple_child_path(path_expr.steps)), op, literal))
+
+    if condition_path is None:
+        raise TranslationError("inner WHERE must compare against the outer variable")
+    return condition_path, tuple(filters)
+
+
+def _flip_op(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+
+
+def _relative_path(ret: Expr, inner_var: str) -> tuple[str, ...]:
+    if (
+        not isinstance(ret, PathExpr)
+        or not isinstance(ret.base, VarRef)
+        or ret.base.name != inner_var
+    ):
+        raise TranslationError("inner RETURN must navigate from the inner variable")
+    return tuple(_simple_child_path(ret.steps))
+
+
+def _simple_child_path(steps: tuple[Step, ...]) -> list[str]:
+    names = []
+    for step in steps:
+        if step.axis != "/":
+            raise TranslationError("relative paths must use simple child steps")
+        if step.predicate is not None:
+            raise TranslationError("relative paths must not carry predicates")
+        names.append(step.name)
+    if not names:
+        raise TranslationError("relative path must have at least one step")
+    return names
+
+
+# ----------------------------------------------------------------------
+# Pattern construction (Fig. 4)
+# ----------------------------------------------------------------------
+ROOT_LABEL = "$1"
+OUTER_GROUP_LABEL = "$2"
+RIGHT_ROOT_LABEL = "$4"
+INNER_LABEL = "$5"
+JOIN_VALUE_LABEL = "$6"
+
+
+def outer_pattern(root_tag: str, group_tag: str) -> PatternTree:
+    """Fig. 4.a: ``$1[doc_root] --ad--> $2[group_tag]``."""
+    root = PatternNode(ROOT_LABEL, TagEquals(root_tag))
+    root.add(OUTER_GROUP_LABEL, TagEquals(group_tag), Axis.AD)
+    return PatternTree(root)
+
+
+def join_right_pattern(
+    root_tag: str,
+    inner_tag: str,
+    condition_path: tuple[str, ...],
+    filters: tuple[tuple[tuple[str, ...], str, str], ...] = (),
+) -> PatternTree:
+    """The right ("inner") side of Fig. 4.b.
+
+    ``$4[doc_root] --ad--> $5[inner_tag] --pc--> ... --pc--> $6[value]``
+    with intermediate path elements labelled ``$5a``, ``$5b``, ...
+    Inner-WHERE filters add further pc chains under the inner element
+    whose leaf predicates carry the value conditions.
+    """
+    root = PatternNode(RIGHT_ROOT_LABEL, TagEquals(root_tag))
+    inner = root.add(INNER_LABEL, TagEquals(inner_tag), Axis.AD)
+    current = inner
+    for index, name in enumerate(condition_path):
+        is_last = index == len(condition_path) - 1
+        label = JOIN_VALUE_LABEL if is_last else f"{INNER_LABEL}{chr(ord('a') + index)}"
+        current = current.add(label, TagEquals(name), Axis.PC)
+    attach_filter_chains(inner, filters)
+    return PatternTree(root)
+
+
+def attach_filter_chains(
+    inner: PatternNode, filters: tuple[tuple[tuple[str, ...], str, str], ...]
+) -> None:
+    """Add one pc chain per filter under ``inner``; the leaf predicate
+    conjoins the tag test with the value condition."""
+    for filter_index, (path, op, literal) in enumerate(filters):
+        current = inner
+        for step_index, name in enumerate(path):
+            is_last = step_index == len(path) - 1
+            label = (
+                f"$f{filter_index}"
+                if is_last
+                else f"$f{filter_index}{chr(ord('a') + step_index)}"
+            )
+            if is_last:
+                value_predicate = (
+                    ContentEquals(literal) if op == "=" else ContentCompare(op, literal)
+                )
+                predicate = conjoin(TagEquals(name), value_predicate)
+            else:
+                predicate = TagEquals(name)
+            current = current.add(label, predicate, Axis.PC)
+
+
+def naive_plan(query: GroupingQuery, root_tag: str) -> PlanNode:
+    """Build the naive (join-based) logical plan of Sec. 4.1.
+
+    ``root_tag`` is the tag of the stored document's root element
+    (catalog information; ``doc_root`` in the paper's figures).
+    """
+    p_outer = outer_pattern(root_tag, query.group_tag)
+    database = scan(query.doc)
+
+    # Step 1: outer selection, projection, duplicate elimination.  The
+    # projection reuses the selection's pattern with ad edges turned pc
+    # (footnote 7 of the paper).
+    selected = select(database, p_outer, {OUTER_GROUP_LABEL})
+    p_outer_pc = pcify(p_outer)
+    projected = project(
+        selected, p_outer_pc, [ROOT_LABEL, OUTER_GROUP_LABEL + "*"]
+    )
+    distinct = dupelim(projected, p_outer_pc, OUTER_GROUP_LABEL)
+
+    # Step 2a: the join-plan pattern tree (left outer join with the DB).
+    p_left = outer_pattern(root_tag, query.group_tag)
+    p_right = join_right_pattern(
+        root_tag, query.inner_tag, query.condition_path, query.filters
+    )
+    joined = left_outer_join(
+        distinct,
+        database,
+        p_left,
+        p_right,
+        conditions=[(OUTER_GROUP_LABEL, JOIN_VALUE_LABEL)],
+        # Both the article and the grouping element keep their entire
+        # subtrees: ``{$a}`` returns the author node with everything
+        # below it (institutions etc.), matching Fig. 5.d's ``$4*``.
+        sl={INNER_LABEL, OUTER_GROUP_LABEL},
+    )
+    # "Following this join operation there will be a projection with
+    # projection list $5* and then a duplicate elimination based on
+    # articles" — realized as an identity-keyed duplicate elimination
+    # over the joined pair trees: repeated (author, article) pairs merge,
+    # but two distinct lookalike articles never do.
+    deduped = dupelim(joined, by_nids=True)
+
+    # Step 2b + stitching: RETURN-argument processing per outer binding.
+    if query.mode == "count":
+        args = (
+            ArgSpec(kind="outer"),
+            ArgSpec(kind="count", member_path=query.output_path),
+        )
+    elif query.mode == "values":
+        args = (
+            ArgSpec(kind="outer"),
+            ArgSpec(kind="members", member_path=query.output_path),
+        )
+    else:
+        args = (
+            ArgSpec(kind="outer"),
+            ArgSpec(
+                kind="aggregate",
+                member_path=query.output_path,
+                function=query.mode,
+            ),
+        )
+    spec = StitchSpec(
+        return_tag=query.return_tag,
+        outer_label=OUTER_GROUP_LABEL,
+        inner_label=INNER_LABEL,
+        args=args,
+        ordering=query.ordering,
+    )
+    return stitch(deduped, spec)
+
+
+def translate(expr: Expr, root_tag: str) -> tuple[GroupingQuery, PlanNode]:
+    """Recognize and naively translate; returns the normal form and plan."""
+    query = recognize(expr)
+    return query, naive_plan(query, root_tag)

@@ -1,0 +1,33 @@
+"""Storage substrate (S2): pages, disk manager, buffer pool, node store.
+
+This package replaces Shore in the TIMBER architecture (Fig. 12 of the
+paper) with a from-scratch Python implementation that preserves the cost
+model: 8 KB slotted pages, an LRU buffer pool with pin counts (default
+32 MB as in Sec. 6), and physical/logical access counters.
+"""
+
+from .buffer import DEFAULT_POOL_FRAMES, BufferPool, BufferStatistics
+from .disk import DiskManager, IOStatistics
+from .metadata import DocumentInfo, MetadataManager, SymbolTable
+from .page import PAGE_SIZE, Page
+from .records import NO_PARENT, NodeRecord, decode_record, encode_record
+from .store import NodeStore, StoreStatistics
+
+__all__ = [
+    "DEFAULT_POOL_FRAMES",
+    "BufferPool",
+    "BufferStatistics",
+    "DiskManager",
+    "IOStatistics",
+    "DocumentInfo",
+    "MetadataManager",
+    "SymbolTable",
+    "PAGE_SIZE",
+    "Page",
+    "NO_PARENT",
+    "NodeRecord",
+    "decode_record",
+    "encode_record",
+    "NodeStore",
+    "StoreStatistics",
+]

@@ -1,0 +1,137 @@
+"""Disk manager: the page file and physical I/O accounting.
+
+The disk manager owns the array of pages and counts every physical read
+and write.  Two backings are provided:
+
+* **file** — pages live in one binary file (``data.pages``); reads seek
+  and read 8 KB, writes seek and write 8 KB.  This is the production
+  mode the examples and benchmarks use.
+* **memory** — pages live in a dict.  Unit tests use this to exercise
+  the exact same code paths without touching the filesystem; the
+  physical-I/O counters still advance, so cost accounting is identical.
+
+Physical I/O counts are the reproduction's stand-in for the paper's
+wall-clock differences between plans: a plan that touches fewer node
+records reads fewer pages.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import StorageError
+from .page import PAGE_SIZE, Page
+
+
+class IOStatistics:
+    """Mutable counters for physical page traffic."""
+
+    __slots__ = ("physical_reads", "physical_writes", "allocations")
+
+    def __init__(self):
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.allocations = 0
+
+    def reset(self) -> None:
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.allocations = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "allocations": self.allocations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<IOStatistics reads={self.physical_reads} "
+            f"writes={self.physical_writes} allocs={self.allocations}>"
+        )
+
+
+class DiskManager:
+    """Allocate, read, and write pages by page id."""
+
+    def __init__(self, path: str | None = None):
+        """``path=None`` selects the in-memory backing."""
+        self.path = path
+        self.stats = IOStatistics()
+        self._n_pages = 0
+        self._memory: dict[int, bytes] | None = None
+        self._handle = None
+        if path is None:
+            self._memory = {}
+        else:
+            # "r+b" keeps an existing file; create it when absent.
+            mode = "r+b" if os.path.exists(path) else "w+b"
+            self._handle = open(path, mode)
+            self._handle.seek(0, os.SEEK_END)
+            size = self._handle.tell()
+            if size % PAGE_SIZE != 0:
+                raise StorageError(
+                    f"{path}: size {size} is not a multiple of the page size"
+                )
+            self._n_pages = size // PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        return self._n_pages
+
+    def allocate_page(self) -> int:
+        """Reserve a new page id (the page is materialized on first write)."""
+        page_id = self._n_pages
+        self._n_pages += 1
+        self.stats.allocations += 1
+        return page_id
+
+    def write_page(self, page: Page) -> None:
+        """Seal and persist ``page``."""
+        if not 0 <= page.page_id < self._n_pages:
+            raise StorageError(f"write to unallocated page {page.page_id}")
+        raw = page.seal()
+        if self._memory is not None:
+            self._memory[page.page_id] = raw
+        else:
+            assert self._handle is not None
+            self._handle.seek(page.page_id * PAGE_SIZE)
+            self._handle.write(raw)
+        page.dirty = False
+        self.stats.physical_writes += 1
+
+    def read_page(self, page_id: int) -> Page:
+        """Fetch a page from the backing store (counts one physical read)."""
+        if not 0 <= page_id < self._n_pages:
+            raise StorageError(f"read of unallocated page {page_id}")
+        if self._memory is not None:
+            raw = self._memory.get(page_id)
+            if raw is None:
+                raise StorageError(f"page {page_id} was allocated but never written")
+        else:
+            assert self._handle is not None
+            self._handle.seek(page_id * PAGE_SIZE)
+            raw = self._handle.read(PAGE_SIZE)
+            if len(raw) != PAGE_SIZE:
+                raise StorageError(f"short read on page {page_id}")
+        self.stats.physical_reads += 1
+        return Page(page_id, bytearray(raw))
+
+    def flush(self) -> None:
+        """Force file contents to the OS (no-op for the memory backing)."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DiskManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,206 @@
+"""Metadata manager: the tag symbol table and the document catalog.
+
+TIMBER's Metadata Manager (Fig. 12) records schema-level facts.  Here it
+owns:
+
+* the **symbol table** interning tag names to small integers (records
+  store ``tag_sym``, indexes key on it);
+* the **document catalog** mapping document names to their root nid and
+  nid range;
+* the **page directory**: the first nid stored on each data page, which
+  is what lets the store translate an nid to a (page, slot) address with
+  one binary search.
+
+Everything serializes to a JSON sidecar (``meta.json``) in the database
+directory, so a store can be closed and reopened.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..errors import DatabaseError
+
+
+@dataclass(frozen=True)
+class DocumentInfo:
+    """Catalog entry for one loaded document."""
+
+    doc_id: int
+    name: str
+    root_nid: int
+    n_nodes: int
+
+    @property
+    def first_nid(self) -> int:
+        return self.root_nid
+
+    @property
+    def last_nid(self) -> int:
+        return self.root_nid + self.n_nodes - 1
+
+
+class SymbolTable:
+    """Bidirectional tag-name <-> symbol interning."""
+
+    def __init__(self):
+        self._symbols: list[str] = []
+        self._by_name: dict[str, int] = {}
+
+    def intern(self, name: str) -> int:
+        """Return the symbol for ``name``, creating one if new."""
+        sym = self._by_name.get(name)
+        if sym is None:
+            sym = len(self._symbols)
+            self._symbols.append(name)
+            self._by_name[name] = sym
+        return sym
+
+    def lookup(self, name: str) -> int | None:
+        """Symbol for ``name`` or ``None`` if never interned."""
+        return self._by_name.get(name)
+
+    def name(self, sym: int) -> str:
+        return self._symbols[sym]
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def names(self) -> list[str]:
+        return list(self._symbols)
+
+    def to_list(self) -> list[str]:
+        return list(self._symbols)
+
+    @classmethod
+    def from_list(cls, symbols: list[str]) -> "SymbolTable":
+        table = cls()
+        for name in symbols:
+            table.intern(name)
+        return table
+
+
+class MetadataManager:
+    """Catalog + symbol table + page directory, JSON-persistable."""
+
+    def __init__(self):
+        self.symbols = SymbolTable()
+        self.documents: dict[int, DocumentInfo] = {}
+        self._documents_by_name: dict[str, int] = {}
+        # Parallel arrays: data page ids in allocation order and the first
+        # nid each one stores.
+        self.page_ids: list[int] = []
+        self.page_first_nids: list[int] = []
+        self.next_nid = 0
+        # Global (start, end) label counter: documents get disjoint label
+        # ranges so structural joins across the store never see
+        # overlapping regions from different documents.
+        self.next_label = 0
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def register_document(self, name: str, root_nid: int, n_nodes: int) -> DocumentInfo:
+        if name in self._documents_by_name:
+            raise DatabaseError(f"document {name!r} already exists")
+        doc_id = len(self.documents)
+        info = DocumentInfo(doc_id=doc_id, name=name, root_nid=root_nid, n_nodes=n_nodes)
+        self.documents[doc_id] = info
+        self._documents_by_name[name] = doc_id
+        return info
+
+    def document_by_name(self, name: str) -> DocumentInfo:
+        doc_id = self._documents_by_name.get(name)
+        if doc_id is None:
+            raise DatabaseError(f"no document named {name!r}")
+        return self.documents[doc_id]
+
+    def document(self, doc_id: int) -> DocumentInfo:
+        info = self.documents.get(doc_id)
+        if info is None:
+            raise DatabaseError(f"no document with id {doc_id}")
+        return info
+
+    def remove_document(self, name: str) -> DocumentInfo:
+        """Drop a document from the catalog.
+
+        The nid range and pages remain allocated (the store is
+        bulk-loaded; space is not reclaimed) but the document becomes
+        invisible to scans, indexes, and queries.
+        """
+        doc_id = self._documents_by_name.pop(name, None)
+        if doc_id is None:
+            raise DatabaseError(f"no document named {name!r}")
+        return self.documents.pop(doc_id)
+
+    def document_of_nid(self, nid: int) -> DocumentInfo:
+        """The document whose nid range contains ``nid``."""
+        for info in self.documents.values():
+            if info.first_nid <= nid <= info.last_nid:
+                return info
+        raise DatabaseError(f"nid {nid} belongs to no document")
+
+    # ------------------------------------------------------------------
+    # Page directory
+    # ------------------------------------------------------------------
+    def register_page(self, page_id: int, first_nid: int) -> None:
+        self.page_ids.append(page_id)
+        self.page_first_nids.append(first_nid)
+
+    def locate(self, nid: int) -> tuple[int, int]:
+        """Translate an nid to ``(page_id, slot)``."""
+        if not 0 <= nid < self.next_nid:
+            raise DatabaseError(f"nid {nid} out of range (have {self.next_nid})")
+        index = bisect_right(self.page_first_nids, nid) - 1
+        page_id = self.page_ids[index]
+        slot = nid - self.page_first_nids[index]
+        return page_id, slot
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        payload = {
+            "symbols": self.symbols.to_list(),
+            "documents": [
+                {
+                    "doc_id": info.doc_id,
+                    "name": info.name,
+                    "root_nid": info.root_nid,
+                    "n_nodes": info.n_nodes,
+                }
+                for info in self.documents.values()
+            ],
+            "page_ids": self.page_ids,
+            "page_first_nids": self.page_first_nids,
+            "next_nid": self.next_nid,
+            "next_label": self.next_label,
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "MetadataManager":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        manager = cls()
+        manager.symbols = SymbolTable.from_list(payload["symbols"])
+        for entry in payload["documents"]:
+            info = DocumentInfo(
+                doc_id=entry["doc_id"],
+                name=entry["name"],
+                root_nid=entry["root_nid"],
+                n_nodes=entry["n_nodes"],
+            )
+            manager.documents[info.doc_id] = info
+            manager._documents_by_name[info.name] = info.doc_id
+        manager.page_ids = list(payload["page_ids"])
+        manager.page_first_nids = list(payload["page_first_nids"])
+        manager.next_nid = payload["next_nid"]
+        manager.next_label = payload.get("next_label", 0)
+        return manager

@@ -1,0 +1,151 @@
+"""Slotted pages — the unit of disk I/O and buffering.
+
+The paper's TIMBER runs on Shore with an 8 KB page size and a 32 MB
+buffer pool (Sec. 6); this module reproduces the storage granularity.  A
+page holds variable-length records behind a slot directory:
+
+::
+
+    +--------+---------------------------------+-------------+
+    | header | records (grow ->)      free     | <- slot dir |
+    +--------+---------------------------------+-------------+
+
+Header layout (big-endian):
+
+========  =====  =========================================
+offset    size   field
+========  =====  =========================================
+0         2      magic (0x7D2A)
+2         4      page id
+6         2      number of slots
+8         2      free-space offset (start of free region)
+10        4      CRC32 checksum of the payload
+========  =====  =========================================
+
+Each slot directory entry is 4 bytes (record offset, record length),
+stored from the end of the page growing downwards.  Slot ``i`` lives at
+``PAGE_SIZE - 4 * (i + 1)``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from ..errors import PageCorruptionError, StorageError
+
+PAGE_SIZE = 8192
+PAGE_MAGIC = 0x7D2A
+HEADER_SIZE = 14
+SLOT_SIZE = 4
+
+_HEADER = struct.Struct(">HIHHI")
+_SLOT = struct.Struct(">HH")
+
+
+class Page:
+    """One slotted page, backed by a mutable ``bytearray``."""
+
+    __slots__ = ("page_id", "data", "dirty")
+
+    def __init__(self, page_id: int, data: bytearray | None = None):
+        if data is None:
+            self.data = bytearray(PAGE_SIZE)
+            self.page_id = page_id
+            self._write_header(n_slots=0, free_offset=HEADER_SIZE)
+        else:
+            if len(data) != PAGE_SIZE:
+                raise StorageError(
+                    f"page {page_id}: expected {PAGE_SIZE} bytes, got {len(data)}"
+                )
+            self.data = data
+            self.page_id = page_id
+            self._validate(page_id)
+        self.dirty = False
+
+    # ------------------------------------------------------------------
+    # Header
+    # ------------------------------------------------------------------
+    def _write_header(self, n_slots: int, free_offset: int, checksum: int = 0) -> None:
+        _HEADER.pack_into(self.data, 0, PAGE_MAGIC, self.page_id, n_slots, free_offset, checksum)
+
+    def _read_header(self) -> tuple[int, int, int, int, int]:
+        return _HEADER.unpack_from(self.data, 0)
+
+    @property
+    def n_slots(self) -> int:
+        return self._read_header()[2]
+
+    @property
+    def free_offset(self) -> int:
+        return self._read_header()[3]
+
+    def free_space(self) -> int:
+        """Bytes available for one more record plus its slot entry."""
+        directory_start = PAGE_SIZE - SLOT_SIZE * self.n_slots
+        available = directory_start - self.free_offset - SLOT_SIZE
+        return max(available, 0)
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def insert_record(self, payload: bytes) -> int:
+        """Append a record, returning its slot number.
+
+        Raises :class:`StorageError` when the record does not fit.
+        """
+        if len(payload) > self.free_space():
+            raise StorageError(
+                f"page {self.page_id}: record of {len(payload)} bytes does not fit "
+                f"({self.free_space()} bytes free)"
+            )
+        magic, page_id, n_slots, free_offset, _ = self._read_header()
+        offset = free_offset
+        self.data[offset : offset + len(payload)] = payload
+        slot_pos = PAGE_SIZE - SLOT_SIZE * (n_slots + 1)
+        _SLOT.pack_into(self.data, slot_pos, offset, len(payload))
+        self._write_header(n_slots + 1, offset + len(payload))
+        self.dirty = True
+        return n_slots
+
+    def read_record(self, slot: int) -> bytes:
+        """Return the payload stored in ``slot``."""
+        n_slots = self.n_slots
+        if not 0 <= slot < n_slots:
+            raise StorageError(f"page {self.page_id}: no slot {slot} (have {n_slots})")
+        slot_pos = PAGE_SIZE - SLOT_SIZE * (slot + 1)
+        offset, length = _SLOT.unpack_from(self.data, slot_pos)
+        return bytes(self.data[offset : offset + length])
+
+    def records(self) -> list[bytes]:
+        """All record payloads in slot order."""
+        return [self.read_record(slot) for slot in range(self.n_slots)]
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def _payload_checksum(self) -> int:
+        return zlib.crc32(self.data[HEADER_SIZE:]) & 0xFFFFFFFF
+
+    def seal(self) -> bytes:
+        """Stamp the checksum and return the raw bytes for writing out."""
+        magic, page_id, n_slots, free_offset, _ = self._read_header()
+        self._write_header(n_slots, free_offset, self._payload_checksum())
+        return bytes(self.data)
+
+    def _validate(self, expected_page_id: int) -> None:
+        magic, page_id, n_slots, free_offset, checksum = self._read_header()
+        if magic != PAGE_MAGIC:
+            raise PageCorruptionError(
+                f"page {expected_page_id}: bad magic 0x{magic:04X}"
+            )
+        if page_id != expected_page_id:
+            raise PageCorruptionError(
+                f"page {expected_page_id}: header claims page id {page_id}"
+            )
+        if checksum != self._payload_checksum():
+            raise PageCorruptionError(f"page {expected_page_id}: checksum mismatch")
+        if free_offset < HEADER_SIZE or free_offset > PAGE_SIZE:
+            raise PageCorruptionError(
+                f"page {expected_page_id}: free offset {free_offset} out of range"
+            )

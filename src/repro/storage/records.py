@@ -1,0 +1,136 @@
+"""Node records: the on-page representation of one XML element node.
+
+TIMBER stores each element node as a record carrying its structural
+label and content; pattern matching then works off labels alone (Sec.
+5.2-5.3).  Our record carries:
+
+* ``nid`` — node id, equal to the node's preorder position in the whole
+  store.  Because nids are assigned in document order, the subtree of a
+  node occupies the contiguous nid range ``[nid, nid + size)``.
+* ``parent`` — parent nid (``NO_PARENT`` for document roots).
+* ``tag_sym`` — tag symbol (interned through the metadata manager).
+* ``start, end, level`` — the containment label of Al-Khalifa et al.
+  [1]: ``start`` is stamped on entry, ``end`` on exit of a single
+  counter, so *a* is an ancestor of *d* iff
+  ``a.start < d.start and d.end < a.end``, and parent-child adds
+  ``a.level + 1 == d.level``.
+* ``content`` — the node's text content, or ``None``.
+* ``attributes`` — attribute name/value pairs.
+
+Binary layout (big-endian): a fixed 24-byte header followed by the
+variable sections::
+
+    u32 nid | u32 parent | u32 tag_sym | u32 start | u32 end |
+    u16 level | u8 flags | u8 n_attrs |
+    [u32 content_len | content utf-8]        (if flags & HAS_CONTENT)
+    n_attrs x [u16 len | name] [u16 len | value]
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+NO_PARENT = 0xFFFFFFFF
+
+_HEADER = struct.Struct(">IIIIIHBB")
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+
+_FLAG_HAS_CONTENT = 0x01
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Decoded form of one stored node."""
+
+    nid: int
+    parent: int  # NO_PARENT for roots
+    tag_sym: int
+    start: int
+    end: int
+    level: int
+    content: str | None = None
+    attributes: tuple[tuple[str, str], ...] = field(default=())
+
+    @property
+    def subtree_node_count(self) -> int:
+        """Number of nodes in the subtree rooted here (self included)."""
+        return (self.end - self.start + 1) // 2
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.subtree_node_count == 1
+
+    def contains(self, other: "NodeRecord") -> bool:
+        """Ancestor test via region containment."""
+        return self.start < other.start and other.end < self.end
+
+    def is_parent_of(self, other: "NodeRecord") -> bool:
+        return self.contains(other) and self.level + 1 == other.level
+
+
+def encode_record(record: NodeRecord) -> bytes:
+    """Serialize ``record`` to its on-page byte form."""
+    if len(record.attributes) > 255:
+        raise StorageError(f"node {record.nid}: too many attributes")
+    flags = _FLAG_HAS_CONTENT if record.content is not None else 0
+    parts = [
+        _HEADER.pack(
+            record.nid,
+            record.parent,
+            record.tag_sym,
+            record.start,
+            record.end,
+            record.level,
+            flags,
+            len(record.attributes),
+        )
+    ]
+    if record.content is not None:
+        payload = record.content.encode("utf-8")
+        parts.append(_U32.pack(len(payload)))
+        parts.append(payload)
+    for name, value in record.attributes:
+        for text in (name, value):
+            payload = text.encode("utf-8")
+            if len(payload) > 0xFFFF:
+                raise StorageError(f"node {record.nid}: attribute text too long")
+            parts.append(_U16.pack(len(payload)))
+            parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_record(raw: bytes) -> NodeRecord:
+    """Inverse of :func:`encode_record`."""
+    if len(raw) < _HEADER.size:
+        raise StorageError("truncated node record")
+    nid, parent, tag_sym, start, end, level, flags, n_attrs = _HEADER.unpack_from(raw, 0)
+    pos = _HEADER.size
+    content: str | None = None
+    if flags & _FLAG_HAS_CONTENT:
+        (length,) = _U32.unpack_from(raw, pos)
+        pos += _U32.size
+        content = raw[pos : pos + length].decode("utf-8")
+        pos += length
+    attributes: list[tuple[str, str]] = []
+    for _ in range(n_attrs):
+        pair: list[str] = []
+        for _ in range(2):
+            (length,) = _U16.unpack_from(raw, pos)
+            pos += _U16.size
+            pair.append(raw[pos : pos + length].decode("utf-8"))
+            pos += length
+        attributes.append((pair[0], pair[1]))
+    return NodeRecord(
+        nid=nid,
+        parent=parent,
+        tag_sym=tag_sym,
+        start=start,
+        end=end,
+        level=level,
+        content=content,
+        attributes=tuple(attributes),
+    )

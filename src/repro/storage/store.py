@@ -1,0 +1,369 @@
+"""The node store — TIMBER's Data Manager on top of the page substrate.
+
+Documents are bulk-loaded: a parsed :class:`~repro.xmlmodel.node.XMLNode`
+tree is labelled with ``(start, end, level)`` containment labels in one
+traversal, encoded into node records, and packed densely into slotted
+pages in document order.  Because nids equal preorder positions, a
+node's subtree is the contiguous nid range ``[nid, nid + size)`` and
+children are enumerated by hopping over sibling subtrees — every hop is
+one record lookup through the buffer pool, which is exactly the cost
+model the paper's evaluation reasons about.
+
+The store separates *structural* access (records, labels, children) from
+*value* access (``content``): Sec. 5.3 argues grouping should run on
+identifiers and only populate values late.  The statistics object counts
+both kinds of access so benchmarks can report them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from ..errors import DatabaseError, StorageError
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.parse import parse_document
+from .buffer import DEFAULT_POOL_FRAMES, BufferPool
+from .disk import DiskManager
+from .metadata import DocumentInfo, MetadataManager
+from .page import Page
+from .records import NO_PARENT, NodeRecord, decode_record, encode_record
+
+DATA_FILE = "data.pages"
+META_FILE = "meta.json"
+
+
+class StoreStatistics:
+    """Logical access counters for the cost model."""
+
+    __slots__ = ("record_lookups", "value_lookups", "nodes_materialized")
+
+    def __init__(self):
+        self.record_lookups = 0
+        self.value_lookups = 0
+        self.nodes_materialized = 0
+
+    def reset(self) -> None:
+        self.record_lookups = 0
+        self.value_lookups = 0
+        self.nodes_materialized = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "record_lookups": self.record_lookups,
+            "value_lookups": self.value_lookups,
+            "nodes_materialized": self.nodes_materialized,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StoreStatistics records={self.record_lookups} "
+            f"values={self.value_lookups} materialized={self.nodes_materialized}>"
+        )
+
+
+class NodeStore:
+    """Page-backed store of labelled XML nodes."""
+
+    def __init__(self, directory: str | None = None, pool_frames: int = DEFAULT_POOL_FRAMES):
+        """Create (or open) a store.
+
+        ``directory=None`` gives an in-memory store: same code paths and
+        counters, no files.  With a directory, ``data.pages`` and
+        ``meta.json`` are created there, and an existing store at that
+        location is reopened.
+        """
+        self.directory = directory
+        if directory is None:
+            self.disk = DiskManager(None)
+            self.meta = MetadataManager()
+        else:
+            os.makedirs(directory, exist_ok=True)
+            data_path = os.path.join(directory, DATA_FILE)
+            meta_path = os.path.join(directory, META_FILE)
+            self.disk = DiskManager(data_path)
+            if os.path.exists(meta_path):
+                self.meta = MetadataManager.load(meta_path)
+            else:
+                self.meta = MetadataManager()
+        self.pool = BufferPool(self.disk, capacity=pool_frames)
+        self.stats = StoreStatistics()
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def load_tree(self, root: XMLNode, name: str) -> DocumentInfo:
+        """Label, encode, and store a document tree under ``name``."""
+        records = self._label_tree(root)
+        self._pack_records(records)
+        info = self.meta.register_document(name, records[0].nid, len(records))
+        self.flush()
+        return info
+
+    def load_text(self, text: str, name: str) -> DocumentInfo:
+        """Parse XML text and store it."""
+        return self.load_tree(parse_document(text), name)
+
+    def load_file(self, path: str, name: str | None = None) -> DocumentInfo:
+        with open(path, encoding="utf-8") as handle:
+            return self.load_text(handle.read(), name or os.path.basename(path))
+
+    def _label_tree(self, root: XMLNode) -> list[NodeRecord]:
+        """Assign nids and (start, end, level) labels in one traversal."""
+        first_nid = self.meta.next_nid
+        counter = self.meta.next_label
+        next_nid = first_nid
+        records: list[NodeRecord | None] = []
+        starts: dict[int, tuple[int, int, int]] = {}  # id(node) -> (nid, start, level)
+
+        stack: list[tuple[XMLNode, int, int, bool]] = [(root, NO_PARENT, 0, False)]
+        while stack:
+            node, parent_nid, level, expanded = stack.pop()
+            if not expanded:
+                nid = next_nid
+                next_nid += 1
+                starts[id(node)] = (nid, counter, level)
+                counter += 1
+                records.append(None)
+                stack.append((node, parent_nid, level, True))
+                stack.extend((child, nid, level + 1, False) for child in reversed(node.children))
+            else:
+                nid, start, level_ = starts.pop(id(node))
+                end = counter
+                counter += 1
+                records[nid - first_nid] = NodeRecord(
+                    nid=nid,
+                    parent=parent_nid,
+                    tag_sym=self.meta.symbols.intern(node.tag),
+                    start=start,
+                    end=end,
+                    level=level_,
+                    content=node.content,
+                    attributes=tuple(node.attributes.items()),
+                )
+                node.nid = nid
+
+        # Hand out parent nids to the expanded pass: children were pushed
+        # with the parent's nid already assigned, so every record is set.
+        complete = [record for record in records if record is not None]
+        if len(complete) != len(records):
+            raise StorageError("internal error: labelling produced holes")
+        self.meta.next_nid = next_nid
+        self.meta.next_label = counter
+        return complete
+
+    def _pack_records(self, records: list[NodeRecord]) -> None:
+        """Append encoded records densely onto fresh pages, in nid order."""
+        page: Page | None = None
+        for record in records:
+            payload = encode_record(record)
+            if page is None or len(payload) > page.free_space():
+                if page is not None:
+                    self.pool.put_new_page(page)
+                page_id = self.disk.allocate_page()
+                page = Page(page_id)
+                if len(payload) > page.free_space():
+                    raise StorageError(
+                        f"node {record.nid}: record of {len(payload)} bytes "
+                        "exceeds the page capacity"
+                    )
+                self.meta.register_page(page_id, record.nid)
+            page.insert_record(payload)
+        if page is not None:
+            self.pool.put_new_page(page)
+
+    # ------------------------------------------------------------------
+    # Record access
+    # ------------------------------------------------------------------
+    def record(self, nid: int) -> NodeRecord:
+        """Fetch and decode the record for ``nid`` (one logical lookup)."""
+        page_id, slot = self.meta.locate(nid)
+        page = self.pool.get_page(page_id)
+        self.stats.record_lookups += 1
+        return decode_record(page.read_record(slot))
+
+    def tag(self, nid: int) -> str:
+        return self.meta.symbols.name(self.record(nid).tag_sym)
+
+    def content(self, nid: int) -> str | None:
+        """A *data value lookup* (Sec. 5.3): fetch the node's text value."""
+        record = self.record(nid)
+        self.stats.value_lookups += 1
+        return record.content
+
+    def label(self, nid: int) -> tuple[int, int, int]:
+        """The ``(start, end, level)`` containment label."""
+        record = self.record(nid)
+        return (record.start, record.end, record.level)
+
+    def parent(self, nid: int) -> int | None:
+        parent = self.record(nid).parent
+        return None if parent == NO_PARENT else parent
+
+    def subtree_node_count(self, nid: int) -> int:
+        return self.record(nid).subtree_node_count
+
+    def subtree_nids(self, nid: int) -> range:
+        """The contiguous nid range of the subtree rooted at ``nid``."""
+        return range(nid, nid + self.record(nid).subtree_node_count)
+
+    def children(self, nid: int) -> list[int]:
+        """Child nids in document order (one lookup per child)."""
+        record = self.record(nid)
+        out: list[int] = []
+        child = nid + 1
+        last = nid + record.subtree_node_count - 1
+        while child <= last:
+            out.append(child)
+            child += self.record(child).subtree_node_count
+        return out
+
+    def is_ancestor(self, ancestor_nid: int, descendant_nid: int) -> bool:
+        """Containment test straight off the labels."""
+        a = self.record(ancestor_nid)
+        d = self.record(descendant_nid)
+        return a.start < d.start and d.end < a.end
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def scan(self, doc_id: int | None = None) -> Iterator[NodeRecord]:
+        """Full scan of the store (or of one document) in document order.
+
+        This is the fallback the paper contrasts against index-assisted
+        matching (Sec. 5.2) and is used by the scan-based matcher
+        ablation.
+        """
+        if doc_id is None:
+            # Only live documents: dropped ranges are garbage.
+            for info in self.documents():
+                for nid in range(info.first_nid, info.last_nid + 1):
+                    yield self.record(nid)
+            return
+        info = self.meta.document(doc_id)
+        for nid in range(info.first_nid, info.last_nid + 1):
+            yield self.record(nid)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def materialize(self, nid: int, with_content: bool = True) -> XMLNode:
+        """Rebuild the subtree at ``nid`` as an in-memory tree.
+
+        With ``with_content=False`` the structural shell is produced:
+        tags and nids only, contents left unpopulated — the late
+        materialization mode of Sec. 5.3.  Value lookups are counted per
+        populated node.
+        """
+        root_record = self.record(nid)
+        nodes: dict[int, XMLNode] = {}
+        root_node: XMLNode | None = None
+        for current in range(nid, nid + root_record.subtree_node_count):
+            record = root_record if current == nid else self.record(current)
+            node = XMLNode(
+                self.meta.symbols.name(record.tag_sym),
+                content=record.content if with_content else None,
+                attributes=dict(record.attributes) or None,
+                nid=record.nid,
+            )
+            if with_content and record.content is not None:
+                self.stats.value_lookups += 1
+            self.stats.nodes_materialized += 1
+            nodes[current] = node
+            if current == nid:
+                root_node = node
+            else:
+                parent = nodes.get(record.parent)
+                if parent is None:
+                    raise StorageError(
+                        f"nid {current}: parent {record.parent} outside the subtree"
+                    )
+                parent.append_child(node)
+        assert root_node is not None
+        return root_node
+
+    def populate_content(self, node: XMLNode) -> XMLNode:
+        """Fill in the contents of a shell tree in place (late population)."""
+        for member in node.iter():
+            if member.nid is not None and member.content is None:
+                member.content = self.content(member.nid)
+        return node
+
+    # ------------------------------------------------------------------
+    # Documents and lifecycle
+    # ------------------------------------------------------------------
+    def document(self, name: str) -> DocumentInfo:
+        return self.meta.document_by_name(name)
+
+    def drop_document(self, name: str) -> DocumentInfo:
+        """Remove a document from the catalog (space is not reclaimed
+        until :meth:`compact`)."""
+        info = self.meta.remove_document(name)
+        self.flush()
+        return info
+
+    def compact(self) -> "NodeStore":
+        """Rebuild the store without garbage, reclaiming dropped space.
+
+        Live documents are materialized, a fresh page file is bulk-loaded
+        with fresh nids/labels, and — for directory-backed stores — the
+        files are swapped in place.  Returns the compacted store (a new
+        object; the old handle is closed).
+        """
+        live = [
+            (info.name, self.materialize(info.root_nid, with_content=True))
+            for info in self.documents()
+        ]
+        if self.directory is None:
+            fresh = NodeStore(None, pool_frames=self.pool.capacity)
+            for name, root in live:
+                fresh.load_tree(root, name)
+            self.close()
+            return fresh
+        directory = self.directory
+        self.close()
+        for filename in (DATA_FILE, META_FILE):
+            path = os.path.join(directory, filename)
+            if os.path.exists(path):
+                os.remove(path)
+        fresh = NodeStore(directory, pool_frames=self.pool.capacity)
+        for name, root in live:
+            fresh.load_tree(root, name)
+        fresh.flush()
+        return fresh
+
+    def documents(self) -> list[DocumentInfo]:
+        return [self.meta.documents[doc_id] for doc_id in sorted(self.meta.documents)]
+
+    def n_nodes(self) -> int:
+        return self.meta.next_nid
+
+    def reset_statistics(self) -> None:
+        """Zero every counter (store, pool, disk) before a measured run."""
+        self.stats.reset()
+        self.pool.stats.reset()
+        self.disk.stats.reset()
+
+    def statistics(self) -> dict[str, int]:
+        """One merged snapshot of all counters."""
+        merged: dict[str, int] = {}
+        merged.update(self.stats.snapshot())
+        merged.update(self.pool.stats.snapshot())
+        merged.update(self.disk.stats.snapshot())
+        return merged
+
+    def flush(self) -> None:
+        """Write dirty pages and persist metadata."""
+        self.pool.flush_all()
+        if self.directory is not None:
+            self.meta.save(os.path.join(self.directory, META_FILE))
+
+    def close(self) -> None:
+        self.flush()
+        self.disk.close()
+
+    def __enter__(self) -> "NodeStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,76 @@
+"""Structural diff between trees — a debugging aid for result comparison.
+
+``structurally_equal`` answers yes/no; when engines disagree (or a test
+fails) you want to know *where*.  :func:`first_difference` walks two
+trees in lockstep and reports the first divergence with its path, and
+:func:`diff_collections` does the same across whole collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import XMLNode
+from .tree import Collection
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One structural divergence between two trees."""
+
+    path: str  # e.g. "doc_root/article[1]/author[0]"
+    kind: str  # "tag" | "content" | "attributes" | "child-count"
+    left: object
+    right: object
+
+    def render(self) -> str:
+        return f"at {self.path}: {self.kind} differs ({self.left!r} vs {self.right!r})"
+
+
+def first_difference(left: XMLNode, right: XMLNode, path: str = "") -> Difference | None:
+    """The first divergence in a preorder walk, or ``None`` if equal."""
+    here = path or left.tag
+    if left.tag != right.tag:
+        return Difference(here, "tag", left.tag, right.tag)
+    if left.content != right.content:
+        return Difference(here, "content", left.content, right.content)
+    if left.attributes != right.attributes:
+        return Difference(here, "attributes", dict(left.attributes), dict(right.attributes))
+    if len(left.children) != len(right.children):
+        return Difference(
+            here,
+            "child-count",
+            [c.tag for c in left.children],
+            [c.tag for c in right.children],
+        )
+    # Index children per tag so paths read like XPath steps.
+    tag_counters: dict[str, int] = {}
+    for left_child, right_child in zip(left.children, right.children):
+        index = tag_counters.get(left_child.tag, 0)
+        tag_counters[left_child.tag] = index + 1
+        child_path = f"{here}/{left_child.tag}[{index}]"
+        found = first_difference(left_child, right_child, child_path)
+        if found is not None:
+            return found
+    return None
+
+
+def diff_collections(left: Collection, right: Collection) -> str | None:
+    """Readable first-difference report across two collections, or
+    ``None`` when they are structurally equal."""
+    if len(left) != len(right):
+        return (
+            f"collection sizes differ: {len(left)} vs {len(right)} trees"
+        )
+    for index, (left_tree, right_tree) in enumerate(zip(left, right)):
+        found = first_difference(left_tree.root, right_tree.root)
+        if found is not None:
+            return f"tree {index}: {found.render()}"
+    return None
+
+
+def assert_collections_equal(left: Collection, right: Collection) -> None:
+    """Raise ``AssertionError`` with a located message on divergence."""
+    report = diff_collections(left, right)
+    if report is not None:
+        raise AssertionError(report)

@@ -1,0 +1,106 @@
+"""Axis navigation helpers over in-memory trees.
+
+These are the building blocks the *direct* XQuery interpreter
+(:mod:`repro.query.interpreter`) uses to evaluate path expressions
+tuple-at-a-time — the nested-loops baseline of the paper's Sec. 6.  The
+algebraic engine does not use them; it navigates stored nodes through
+node labels and indexes instead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .node import XMLNode
+
+
+def child_step(nodes: Iterable[XMLNode], tag: str | None) -> list[XMLNode]:
+    """``/tag`` step: children of each context node, document order.
+
+    ``tag=None`` means the wildcard ``*``.
+    """
+    out: list[XMLNode] = []
+    for node in nodes:
+        if tag is None:
+            out.extend(node.children)
+        else:
+            out.extend(child for child in node.children if child.tag == tag)
+    return out
+
+
+def descendant_step(nodes: Iterable[XMLNode], tag: str | None) -> list[XMLNode]:
+    """``//tag`` step: proper descendants of each context node.
+
+    Duplicates can arise when context nodes are nested; they are removed
+    while preserving document order, matching XPath node-set semantics.
+    """
+    out: list[XMLNode] = []
+    seen: set[int] = set()
+    for node in nodes:
+        for descendant in node.descendants():
+            if tag is not None and descendant.tag != tag:
+                continue
+            if id(descendant) in seen:
+                continue
+            seen.add(id(descendant))
+            out.append(descendant)
+    return out
+
+
+def descendant_or_self_step(nodes: Iterable[XMLNode], tag: str | None) -> list[XMLNode]:
+    """Like :func:`descendant_step` but including the context nodes."""
+    out: list[XMLNode] = []
+    seen: set[int] = set()
+    for node in nodes:
+        for descendant in node.iter():
+            if tag is not None and descendant.tag != tag:
+                continue
+            if id(descendant) in seen:
+                continue
+            seen.add(id(descendant))
+            out.append(descendant)
+    return out
+
+
+def attribute_step(nodes: Iterable[XMLNode], name: str) -> list[str]:
+    """``/@name`` step: attribute values present on the context nodes."""
+    return [node.attributes[name] for node in nodes if name in node.attributes]
+
+
+def string_value(node: XMLNode) -> str:
+    """The XPath string value: concatenated text of the whole subtree."""
+    parts: list[str] = []
+    for descendant in node.iter():
+        if descendant.content is not None:
+            parts.append(descendant.content)
+    return "".join(parts)
+
+
+def atomic_value(node: XMLNode) -> str:
+    """The comparison value used throughout the library.
+
+    For leaf-ish elements this is the node's own content; when the node
+    has no direct content the full string value is used, so that
+    ``author = "Jack"`` works whether ``author`` holds text directly or
+    through a nested element.
+    """
+    if node.content is not None:
+        return node.content
+    return string_value(node)
+
+
+def iter_documents_order(nodes: Iterable[XMLNode]) -> Iterator[XMLNode]:
+    """Yield nodes sorted in document order of their host tree.
+
+    Works only for nodes of one tree; used by tests to validate matcher
+    output ordering.
+    """
+    positions: dict[int, int] = {}
+
+    roots = {id(node.root()): node.root() for node in nodes}
+    counter = 0
+    for root in roots.values():
+        for node in root.iter():
+            positions[id(node)] = counter
+            counter += 1
+    yield from sorted(nodes, key=lambda node: positions[id(node)])

@@ -1,0 +1,254 @@
+"""In-memory XML tree nodes.
+
+The paper's data model (Sec. 2) treats an XML document as an ordered,
+labelled tree whose edges represent element nesting.  :class:`XMLNode` is
+the in-memory realization used throughout the library: parsed documents,
+witness trees produced by pattern matching, and the structured output of
+TAX operators (e.g. the ``tax_group_root`` trees of Sec. 3) are all built
+from these nodes.
+
+A node carries:
+
+* ``tag`` — the element name (e.g. ``article``).  Synthetic tags produced
+  by operators (``TAX_group_root``, ``TAX_prod_root``...) live in
+  :mod:`repro.core.base`.
+* ``content`` — the text content directly inside the element, or ``None``.
+  The paper writes nodes such as ``author: Jack``; we model that as an
+  ``author`` element whose ``content`` is ``"Jack"``.
+* ``attributes`` — an ordered mapping of attribute name to string value.
+* ``children`` — ordered sub-elements.
+* ``nid`` — if this node mirrors a node persisted in a
+  :class:`repro.storage.store.NodeStore`, the stored node id; otherwise
+  ``None`` (a purely constructed node).  Operators use ``nid`` for
+  identifier-only processing and late materialization (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+
+class XMLNode:
+    """One element node of an ordered XML tree."""
+
+    __slots__ = ("tag", "content", "attributes", "children", "parent", "nid")
+
+    def __init__(
+        self,
+        tag: str,
+        content: str | None = None,
+        attributes: dict[str, str] | None = None,
+        children: Iterable["XMLNode"] | None = None,
+        nid: int | None = None,
+    ):
+        self.tag = tag
+        self.content = content
+        self.attributes: dict[str, str] = dict(attributes) if attributes else {}
+        self.children: list[XMLNode] = []
+        self.parent: XMLNode | None = None
+        self.nid = nid
+        if children:
+            for child in children:
+                self.append_child(child)
+
+    # ------------------------------------------------------------------
+    # Construction and structure edits
+    # ------------------------------------------------------------------
+    def append_child(self, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` as the new last child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def insert_child(self, index: int, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` at position ``index`` among the children."""
+        child.parent = self
+        self.children.insert(index, child)
+        return child
+
+    def add(self, tag: str, content: str | None = None, **attributes: str) -> "XMLNode":
+        """Convenience: create a child node and return it (builder style)."""
+        return self.append_child(XMLNode(tag, content, attributes or None))
+
+    def remove_child(self, child: "XMLNode") -> None:
+        """Detach ``child``; raises ``ValueError`` if it is not a child."""
+        self.children.remove(child)
+        child.parent = None
+
+    def child_index(self) -> int:
+        """Position of this node among its siblings (0-based).
+
+        Raises ``ValueError`` for a root node.
+        """
+        if self.parent is None:
+            raise ValueError("root node has no sibling position")
+        for i, sibling in enumerate(self.parent.children):
+            if sibling is self:
+                return i
+        raise ValueError("node not found among its parent's children")
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter(self) -> Iterator["XMLNode"]:
+        """Pre-order (document order) traversal of this subtree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_postorder(self) -> Iterator["XMLNode"]:
+        """Post-order traversal of this subtree (children before parent)."""
+        # Iterative two-stack post-order keeps deep documents from
+        # exhausting the recursion limit.
+        stack: list[tuple[XMLNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                stack.extend((child, False) for child in reversed(node.children))
+
+    def descendants(self) -> Iterator["XMLNode"]:
+        """All proper descendants in document order."""
+        it = self.iter()
+        next(it)  # skip self
+        return it
+
+    def ancestors(self) -> Iterator["XMLNode"]:
+        """Ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def find(self, tag: str) -> "XMLNode | None":
+        """First child with the given tag, or ``None``."""
+        for child in self.children:
+            if child.tag == tag:
+                return child
+        return None
+
+    def findall(self, tag: str) -> list["XMLNode"]:
+        """All children with the given tag, in order."""
+        return [child for child in self.children if child.tag == tag]
+
+    def find_descendants(self, tag: str) -> list["XMLNode"]:
+        """All descendants-or-self with the given tag, in document order."""
+        return [node for node in self.iter() if node.tag == tag]
+
+    def walk(self, visit: Callable[["XMLNode"], None]) -> None:
+        """Apply ``visit`` to every node of the subtree in document order."""
+        for node in self.iter():
+            visit(node)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def subtree_size(self) -> int:
+        """Number of nodes in this subtree, including self."""
+        return sum(1 for _ in self.iter())
+
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    def height(self) -> int:
+        """Longest downward path length from this node (leaf has height 0)."""
+        heights: dict[int, int] = {}
+        for node in self.iter_postorder():
+            if not node.children:
+                heights[id(node)] = 0
+            else:
+                heights[id(node)] = 1 + max(heights[id(c)] for c in node.children)
+        return heights[id(self)]
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def root(self) -> "XMLNode":
+        """The root of the tree this node belongs to."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    # ------------------------------------------------------------------
+    # Copying and comparison
+    # ------------------------------------------------------------------
+    def deep_copy(self) -> "XMLNode":
+        """Structural copy of the subtree.  ``nid`` values are preserved so
+        copies still refer to the same stored nodes."""
+        clone = XMLNode(self.tag, self.content, dict(self.attributes) or None, nid=self.nid)
+        stack = [(self, clone)]
+        while stack:
+            source, target = stack.pop()
+            for child in source.children:
+                child_clone = XMLNode(
+                    child.tag, child.content, dict(child.attributes) or None, nid=child.nid
+                )
+                target.append_child(child_clone)
+                stack.append((child, child_clone))
+        return clone
+
+    def structurally_equal(self, other: "XMLNode") -> bool:
+        """Deep equality on tag, content, attributes, and child order.
+
+        ``nid`` is deliberately ignored: two trees with identical shape and
+        values are equal regardless of storage provenance.
+        """
+        pairs = [(self, other)]
+        while pairs:
+            a, b = pairs.pop()
+            if a.tag != b.tag or a.content != b.content or a.attributes != b.attributes:
+                return False
+            if len(a.children) != len(b.children):
+                return False
+            pairs.extend(zip(a.children, b.children))
+        return True
+
+    def canonical_key(self) -> tuple:
+        """A hashable key capturing the subtree's shape and values.
+
+        Used for value-based duplicate elimination over constructed trees.
+        """
+        return (
+            self.tag,
+            self.content,
+            tuple(sorted(self.attributes.items())),
+            tuple(child.canonical_key() for child in self.children),
+        )
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def sketch(self, indent: int = 0) -> str:
+        """Compact indented text rendering, e.g. for test failure output."""
+        label = self.tag
+        if self.content is not None:
+            label += f": {self.content}"
+        if self.attributes:
+            attrs = " ".join(f"{k}={v!r}" for k, v in self.attributes.items())
+            label += f" [{attrs}]"
+        lines = ["  " * indent + label]
+        lines.extend(child.sketch(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        n = self.subtree_size()
+        content = f" content={self.content!r}" if self.content is not None else ""
+        return f"<XMLNode tag={self.tag!r}{content} nodes={n}>"
+
+
+def element(tag: str, content: str | None = None, *children: XMLNode, **attributes: str) -> XMLNode:
+    """Functional tree builder used heavily in tests and examples.
+
+    >>> t = element("article", None,
+    ...             element("title", "Querying XML"),
+    ...             element("author", "Jack"))
+    >>> [c.tag for c in t.children]
+    ['title', 'author']
+    """
+    return XMLNode(tag, content, attributes or None, children)

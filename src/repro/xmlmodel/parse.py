@@ -1,0 +1,300 @@
+"""A from-scratch XML parser producing :class:`~repro.xmlmodel.node.XMLNode` trees.
+
+The library does not depend on ``xml.etree``: the loader below implements
+the subset of XML 1.0 that database documents (DBLP-style) use —
+elements, attributes (single- or double-quoted), character data, the five
+predefined entities plus decimal/hex character references, comments,
+CDATA sections, processing instructions, and an optional XML declaration
+and DOCTYPE line (both skipped).
+
+Text handling follows the library's simplified content model: all
+character data directly inside an element is concatenated (whitespace
+between child elements is dropped when the element has children —
+"element content" in XML terms) and stored as the node's ``content``.
+This mirrors how the paper draws nodes such as ``author: Jack``.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLParseError
+from .node import XMLNode
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:-.")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character cursor with line/column tracking for error messages."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def location(self, pos: int | None = None) -> tuple[int, int]:
+        """1-based (line, column) of ``pos`` (default: current position)."""
+        index = self.pos if pos is None else pos
+        prefix = self.text[:index]
+        line = prefix.count("\n") + 1
+        last_newline = prefix.rfind("\n")
+        column = index - last_newline
+        return line, column
+
+    def error(self, message: str, pos: int | None = None) -> XMLParseError:
+        line, column = self.location(pos)
+        return XMLParseError(message, line, column)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end() or not _is_name_start(self.peek()):
+            raise self.error("expected a name")
+        self.advance()
+        while not self.at_end() and _is_name_char(self.peek()):
+            self.advance()
+        return self.text[start : self.pos]
+
+    def read_until(self, token: str, what: str) -> str:
+        """Consume and return text up to (excluding) ``token``; consume it."""
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}: missing {token!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+
+def _decode_entities(raw: str, scanner: _Scanner, at: int) -> str:
+    """Expand entity and character references in character data."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference", at)
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                out.append(chr(int(name[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};", at) from None
+        elif name.startswith("#"):
+            try:
+                out.append(chr(int(name[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{name};", at) from None
+        elif name in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise scanner.error(f"unknown entity &{name};", at)
+        i = end + 1
+    return "".join(out)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs, XML declaration, and DOCTYPE."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", "processing instruction")
+        elif scanner.startswith("<!DOCTYPE"):
+            # Consume a simple (non-internal-subset) DOCTYPE declaration.
+            scanner.advance(len("<!DOCTYPE"))
+            depth = 1
+            while depth > 0:
+                if scanner.at_end():
+                    raise scanner.error("unterminated DOCTYPE")
+                ch = scanner.peek()
+                if ch == "<":
+                    depth += 1
+                elif ch == ">":
+                    depth -= 1
+                scanner.advance()
+        else:
+            return
+
+
+def _parse_attributes(scanner: _Scanner) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or scanner.at_end():
+            return attributes
+        at = scanner.pos
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote, "attribute value")
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}", at)
+        attributes[name] = _decode_entities(raw, scanner, at)
+
+
+def parse_document(text: str) -> XMLNode:
+    """Parse an XML document string and return its root :class:`XMLNode`.
+
+    Raises :class:`~repro.errors.XMLParseError` with line/column info on
+    malformed input.
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    if scanner.at_end() or scanner.peek() != "<":
+        raise scanner.error("expected a root element")
+
+    root: XMLNode | None = None
+    # Stack of (node, text_chunks) under construction.
+    stack: list[tuple[XMLNode, list[str]]] = []
+
+    while True:
+        if scanner.at_end():
+            if stack:
+                raise scanner.error(f"unclosed element <{stack[-1][0].tag}>")
+            break
+
+        if scanner.peek() == "<":
+            if scanner.startswith("<!--"):
+                scanner.advance(4)
+                scanner.read_until("-->", "comment")
+            elif scanner.startswith("<![CDATA["):
+                if not stack:
+                    raise scanner.error("CDATA outside the root element")
+                scanner.advance(9)
+                stack[-1][1].append(scanner.read_until("]]>", "CDATA section"))
+            elif scanner.startswith("<?"):
+                scanner.advance(2)
+                scanner.read_until("?>", "processing instruction")
+            elif scanner.startswith("</"):
+                scanner.advance(2)
+                at = scanner.pos
+                name = scanner.read_name()
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                if not stack:
+                    raise scanner.error(f"unexpected closing tag </{name}>", at)
+                node, chunks = stack.pop()
+                if node.tag != name:
+                    raise scanner.error(
+                        f"mismatched closing tag </{name}> for <{node.tag}>", at
+                    )
+                _finish_node(node, chunks)
+                if not stack:
+                    root = node
+                    _skip_misc(scanner)
+                    if not scanner.at_end():
+                        raise scanner.error("content after the root element")
+                    break
+            else:
+                scanner.advance(1)
+                name = scanner.read_name()
+                attributes = _parse_attributes(scanner)
+                node = XMLNode(name, attributes=attributes or None)
+                if stack:
+                    stack[-1][0].append_child(node)
+                elif root is not None:
+                    raise scanner.error("multiple root elements")
+                scanner.skip_whitespace()
+                if scanner.startswith("/>"):
+                    scanner.advance(2)
+                    if not stack:
+                        root = node
+                        _skip_misc(scanner)
+                        if not scanner.at_end():
+                            raise scanner.error("content after the root element")
+                        break
+                else:
+                    scanner.expect(">")
+                    stack.append((node, []))
+        else:
+            at = scanner.pos
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                end = scanner.length
+            raw = scanner.text[scanner.pos : end]
+            scanner.pos = end
+            if stack:
+                stack[-1][1].append(_decode_entities(raw, scanner, at))
+            elif raw.strip():
+                raise scanner.error("character data outside the root element", at)
+
+    if root is None:
+        raise scanner.error("no root element found")
+    return root
+
+
+def _finish_node(node: XMLNode, chunks: list[str]) -> None:
+    """Assign collected character data to ``node.content``.
+
+    Pure-whitespace data around child elements is treated as formatting
+    and dropped; genuine text is stripped of the surrounding layout
+    whitespace and concatenated.
+    """
+    text = "".join(chunks)
+    if node.children:
+        text = text.strip()
+        node.content = text if text else None
+    else:
+        stripped = text.strip()
+        node.content = stripped if stripped else None
+
+
+def parse_file(path: str) -> XMLNode:
+    """Parse the XML document stored at ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_document(handle.read())

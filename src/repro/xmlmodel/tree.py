@@ -1,0 +1,147 @@
+"""Data trees and collections — the carriers of the TAX algebra.
+
+TAX (Sec. 2 of the paper) is a *bulk* algebra: every operator takes one or
+more **collections of trees** as input and produces a collection of trees
+as output, giving composability and closure.  :class:`DataTree` wraps one
+rooted tree together with provenance bookkeeping (which stored document,
+which source tree it was derived from), and :class:`Collection` is the
+ordered multiset of data trees that operators consume and produce.
+
+Order matters in XML: both the order of trees within a collection and the
+order of nodes within a tree are preserved by all operators, as the paper
+requires ("the relative order among nodes in the input is preserved in
+the output").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .node import XMLNode
+
+
+class DataTree:
+    """One rooted data tree plus provenance.
+
+    Attributes
+    ----------
+    root:
+        The root :class:`XMLNode` of the tree.
+    doc_id:
+        Identifier of the stored document this tree was derived from, or
+        ``None`` for purely constructed trees.
+    source_root_nid:
+        Stored node id of the *source tree* root this tree was obtained
+        from, when applicable.  The groupby operator (Sec. 3) groups
+        *source trees* — "corresponding to each witness tree T_i of P, we
+        keep track of the source tree I_i from which it was obtained" —
+        and this field is that bookkeeping.
+    """
+
+    __slots__ = ("root", "doc_id", "source_root_nid")
+
+    def __init__(
+        self,
+        root: XMLNode,
+        doc_id: int | None = None,
+        source_root_nid: int | None = None,
+    ):
+        self.root = root
+        self.doc_id = doc_id
+        self.source_root_nid = source_root_nid
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return self.root.subtree_size()
+
+    def iter_nodes(self) -> Iterator[XMLNode]:
+        """All nodes in document order."""
+        return self.root.iter()
+
+    def copy(self) -> "DataTree":
+        return DataTree(self.root.deep_copy(), self.doc_id, self.source_root_nid)
+
+    def structurally_equal(self, other: "DataTree") -> bool:
+        return self.root.structurally_equal(other.root)
+
+    def sketch(self) -> str:
+        return self.root.sketch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DataTree root={self.root.tag!r} nodes={self.size()} doc={self.doc_id}>"
+
+
+class Collection:
+    """An ordered collection of :class:`DataTree` — TAX operand/result.
+
+    The collection is a *sequence*, not a set: XML results are ordered and
+    duplicates are meaningful until an explicit duplicate elimination.
+    """
+
+    __slots__ = ("trees", "name")
+
+    def __init__(self, trees: Iterable[DataTree] | None = None, name: str = ""):
+        self.trees: list[DataTree] = list(trees) if trees is not None else []
+        self.name = name
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __iter__(self) -> Iterator[DataTree]:
+        return iter(self.trees)
+
+    def __getitem__(self, index: int) -> DataTree:
+        return self.trees[index]
+
+    def append(self, tree: DataTree) -> None:
+        self.trees.append(tree)
+
+    def extend(self, trees: Iterable[DataTree]) -> None:
+        self.trees.extend(trees)
+
+    # -- conveniences -----------------------------------------------------
+    @classmethod
+    def from_roots(cls, roots: Iterable[XMLNode], name: str = "") -> "Collection":
+        """Wrap bare root nodes in data trees."""
+        return cls([DataTree(root) for root in roots], name=name)
+
+    def roots(self) -> list[XMLNode]:
+        return [tree.root for tree in self.trees]
+
+    def total_nodes(self) -> int:
+        """Sum of node counts over all trees."""
+        return sum(tree.size() for tree in self.trees)
+
+    def map_trees(self, fn: Callable[[DataTree], DataTree]) -> "Collection":
+        """New collection with ``fn`` applied to each tree, order kept."""
+        return Collection([fn(tree) for tree in self.trees], name=self.name)
+
+    def filter_trees(self, predicate: Callable[[DataTree], bool]) -> "Collection":
+        """New collection with only the trees satisfying ``predicate``."""
+        return Collection(
+            [tree for tree in self.trees if predicate(tree)], name=self.name
+        )
+
+    def copy(self) -> "Collection":
+        """Deep copy: operator implementations that mutate trees call this
+        first so that inputs are never destroyed (closure discipline)."""
+        return Collection([tree.copy() for tree in self.trees], name=self.name)
+
+    def structurally_equal(self, other: "Collection") -> bool:
+        """Pairwise deep equality, order-sensitive."""
+        if len(self) != len(other):
+            return False
+        return all(a.structurally_equal(b) for a, b in zip(self.trees, other.trees))
+
+    def sketch(self) -> str:
+        """Readable rendering of every tree, for debugging and tests."""
+        parts = []
+        for i, tree in enumerate(self.trees):
+            parts.append(f"--- tree {i} ---")
+            parts.append(tree.sketch())
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Collection{label} trees={len(self.trees)}>"

@@ -1,0 +1,63 @@
+"""ASCII chart tests."""
+
+from repro.bench.figures import BAR_CHAR, bar_chart, report_chart
+from repro.bench.harness import ExperimentReport, RunRecord
+from repro.datagen.dblp import DBLPProfile
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        text = bar_chart([("a", 4.0), ("b", 1.0)], width=40)
+        lines = text.splitlines()
+        assert lines[0].count(BAR_CHAR) == 40
+        assert lines[1].count(BAR_CHAR) == 10
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart([("a", 2.0), ("b", 0.0)])
+        lines = text.splitlines()
+        assert BAR_CHAR not in lines[1]
+
+    def test_small_nonzero_gets_visible_bar(self):
+        text = bar_chart([("big", 1000.0), ("tiny", 0.001)])
+        assert text.splitlines()[1].count(BAR_CHAR) >= 1
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("a-longer-label", 2.0)])
+        lines = text.splitlines()
+        assert lines[0].index(BAR_CHAR[0]) if BAR_CHAR in lines[0] else True
+        # Both bars start at the same column.
+        starts = [line.find(BAR_CHAR) for line in lines]
+        assert starts[0] == starts[1]
+
+    def test_title_and_unit(self):
+        text = bar_chart([("a", 1.5)], title="demo", unit="s")
+        assert text.startswith("demo")
+        assert "1.5 s" in text
+
+    def test_empty_rows(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_integer_rendering(self):
+        assert "2 s" in bar_chart([("a", 2.0)], unit="s")
+
+
+class TestReportChart:
+    def make_report(self):
+        report = ExperimentReport("demo", DBLPProfile())
+        report.runs.append(
+            RunRecord("direct", "naive", 4.0, {"value_lookups": 100}, 10)
+        )
+        report.runs.append(
+            RunRecord("groupby", "groupby", 1.0, {"value_lookups": 25}, 10)
+        )
+        return report
+
+    def test_seconds_metric(self):
+        text = report_chart(self.make_report())
+        assert "demo — seconds" in text
+        assert "direct" in text and "groupby" in text
+
+    def test_statistics_metric(self):
+        text = report_chart(self.make_report(), metric="value_lookups")
+        assert "value lookups" in text
+        assert "100" in text and "25" in text

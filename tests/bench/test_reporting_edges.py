@@ -1,0 +1,49 @@
+"""Reporting edge cases."""
+
+from repro.bench.harness import ExperimentReport, RunRecord
+from repro.bench.reporting import format_report, format_table
+from repro.datagen.dblp import DBLPProfile
+
+
+def run(label, seconds=1.0, lookups=10):
+    return RunRecord(label, label, seconds, {"value_lookups": lookups}, 5)
+
+
+class TestFormatReport:
+    def test_without_groupby_no_speedup_lines(self):
+        report = ExperimentReport("solo", DBLPProfile())
+        report.runs.append(run("direct-hash-join"))
+        text = format_report(report)
+        assert "speedup" not in text
+
+    def test_without_paper_key(self):
+        report = ExperimentReport("demo", DBLPProfile())
+        report.runs.append(run("direct-hash-join", 2.0))
+        report.runs.append(run("groupby", 1.0))
+        text = format_report(report)
+        assert "paper (" not in text
+        assert "speedup" in text
+
+    def test_infinite_lookup_ratio_safe(self):
+        report = ExperimentReport("demo", DBLPProfile())
+        report.runs.append(run("direct-hash-join", 2.0, lookups=10))
+        report.runs.append(run("groupby", 1.0, lookups=0))
+        assert report.lookup_ratio("direct-hash-join", "groupby") == float("inf")
+        assert "inf" in format_report(report)
+
+    def test_zero_time_speedup_safe(self):
+        report = ExperimentReport("demo", DBLPProfile())
+        report.runs.append(run("a", 1.0))
+        zero = RunRecord("b", "b", 0.0, {}, 5)
+        report.runs.append(zero)
+        assert report.speedup("a", "b") == float("inf")
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table([], ("a", "b"))
+        assert text.splitlines()[0].startswith("a")
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}], ("a", "b"))
+        assert text.splitlines()[2].startswith("1")

@@ -1,0 +1,57 @@
+"""Shared fixtures: sample documents, loaded stores, and databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.sample import figure6_database, transaction_database
+from repro.indexing.manager import IndexManager
+from repro.query.database import Database
+from repro.storage.store import NodeStore
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.tree import Collection, DataTree
+
+BIB_XML = """
+<doc_root>
+  <article><title>Querying XML</title><author>Jack</author><author>John</author></article>
+  <article><title>XML and the Web</title><author>Jill</author><author>Jack</author></article>
+  <article><title>Hack HTML</title><author>John</author></article>
+</doc_root>
+"""
+
+
+@pytest.fixture
+def fig6_tree() -> XMLNode:
+    return figure6_database()
+
+
+@pytest.fixture
+def transaction_tree() -> XMLNode:
+    return transaction_database()
+
+
+@pytest.fixture
+def fig6_collection(fig6_tree) -> Collection:
+    return Collection([DataTree(fig6_tree)])
+
+
+@pytest.fixture
+def store(fig6_tree) -> NodeStore:
+    """In-memory store loaded with the Fig. 6 database as bib.xml."""
+    node_store = NodeStore()
+    node_store.load_tree(fig6_tree, "bib.xml")
+    return node_store
+
+
+@pytest.fixture
+def indexes(store) -> IndexManager:
+    manager = IndexManager(store)
+    manager.build()
+    return manager
+
+
+@pytest.fixture
+def db(fig6_tree) -> Database:
+    database = Database()
+    database.load_tree(fig6_tree, "bib.xml")
+    return database

@@ -1,0 +1,174 @@
+"""Aggregation operator tests (Sec. 4.3)."""
+
+import pytest
+
+from repro.core.aggregation import (
+    AggregateFunction,
+    Aggregation,
+    UpdatePosition,
+    UpdateSpec,
+)
+from repro.errors import AlgebraError
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def order_tree(*amounts: str):
+    children = [element("amount", a) for a in amounts]
+    return element("order", None, *children)
+
+
+def amount_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("order"))
+    root.add("$2", tag("amount"), Axis.PC)
+    return PatternTree(root)
+
+
+def aggregate(function, update=None, new_tag="agg"):
+    return Aggregation(
+        amount_pattern(),
+        function,
+        source_label="$2",
+        new_tag=new_tag,
+        update=update or UpdateSpec(UpdatePosition.AFTER_LAST_CHILD, "$1"),
+    )
+
+
+class TestFunctions:
+    def test_count(self):
+        out = aggregate(AggregateFunction.COUNT).apply(
+            Collection([DataTree(order_tree("1", "2", "3"))])
+        )
+        assert out[0].root.children[-1].content == "3"
+
+    def test_sum(self):
+        out = aggregate(AggregateFunction.SUM).apply(
+            Collection([DataTree(order_tree("1.5", "2.5"))])
+        )
+        assert out[0].root.children[-1].content == "4"
+
+    def test_min_max(self):
+        collection = Collection([DataTree(order_tree("5", "1", "9"))])
+        assert aggregate(AggregateFunction.MIN).apply(collection)[0].root.children[-1].content == "1"
+        assert aggregate(AggregateFunction.MAX).apply(collection)[0].root.children[-1].content == "9"
+
+    def test_avg(self):
+        out = aggregate(AggregateFunction.AVG).apply(
+            Collection([DataTree(order_tree("1", "2", "3", "6"))])
+        )
+        assert out[0].root.children[-1].content == "3"
+
+    def test_fractional_rendering(self):
+        out = aggregate(AggregateFunction.AVG).apply(
+            Collection([DataTree(order_tree("1", "2"))])
+        )
+        assert out[0].root.children[-1].content == "1.5"
+
+    def test_function_from_string(self):
+        operator = aggregate("COUNT")
+        assert operator.function is AggregateFunction.COUNT
+
+    def test_non_numeric_sum_rejected(self):
+        with pytest.raises(AlgebraError):
+            aggregate(AggregateFunction.SUM).apply(
+                Collection([DataTree(order_tree("not-a-number"))])
+            )
+
+
+class TestUpdateSpec:
+    def test_after_last_child(self):
+        out = aggregate(
+            AggregateFunction.COUNT,
+            UpdateSpec(UpdatePosition.AFTER_LAST_CHILD, "$1"),
+        ).apply(Collection([DataTree(order_tree("1", "2"))]))
+        assert out[0].root.children[-1].tag == "agg"
+
+    def test_before_first_child(self):
+        out = aggregate(
+            AggregateFunction.COUNT,
+            UpdateSpec(UpdatePosition.BEFORE_FIRST_CHILD, "$1"),
+        ).apply(Collection([DataTree(order_tree("1", "2"))]))
+        assert out[0].root.children[0].tag == "agg"
+
+    def test_precedes_anchor(self):
+        out = aggregate(
+            AggregateFunction.COUNT, UpdateSpec(UpdatePosition.PRECEDES, "$2")
+        ).apply(Collection([DataTree(order_tree("1", "2"))]))
+        tags = [c.tag for c in out[0].root.children]
+        assert tags == ["agg", "amount", "amount"]
+
+    def test_follows_anchor(self):
+        out = aggregate(
+            AggregateFunction.COUNT, UpdateSpec(UpdatePosition.FOLLOWS, "$2")
+        ).apply(Collection([DataTree(order_tree("1", "2"))]))
+        tags = [c.tag for c in out[0].root.children]
+        assert tags == ["amount", "agg", "amount"]
+
+    def test_precedes_root_rejected(self):
+        with pytest.raises(AlgebraError):
+            aggregate(
+                AggregateFunction.COUNT, UpdateSpec(UpdatePosition.PRECEDES, "$1")
+            ).apply(Collection([DataTree(order_tree("1"))]))
+
+
+class TestSemantics:
+    def test_one_output_per_input_tree(self):
+        collection = Collection(
+            [DataTree(order_tree("1")), DataTree(order_tree("2", "3"))]
+        )
+        out = aggregate(AggregateFunction.COUNT).apply(collection)
+        assert [t.root.children[-1].content for t in out] == ["1", "2"]
+
+    def test_input_not_mutated(self):
+        collection = Collection([DataTree(order_tree("1", "2"))])
+        before = collection.copy()
+        aggregate(AggregateFunction.COUNT).apply(collection)
+        assert collection.structurally_equal(before)
+
+    def test_no_witness_count_zero(self):
+        collection = Collection([DataTree(element("order", None))])
+        out = aggregate(AggregateFunction.COUNT).apply(collection)
+        # The order element matches nothing ($2 missing): count 0 appended.
+        assert out[0].root.children == [] or out[0].root.children[-1].content == "0"
+
+    def test_distinct_nodes_counted_once(self, fig6_tree):
+        """Several witnesses can bind the same node; aggregates must not
+        double-count it."""
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", tag("author"), Axis.PC)
+        root.add("$3", tag("title"), Axis.PC)
+        pattern = PatternTree(root)
+        operator = Aggregation(
+            pattern,
+            AggregateFunction.COUNT,
+            source_label="$3",
+            new_tag="n_titles",
+            update=UpdateSpec(UpdatePosition.AFTER_LAST_CHILD, "$1"),
+        )
+        # Article 1 has two authors -> two witnesses binding one title.
+        collection = Collection([DataTree(fig6_tree.children[0].deep_copy())])
+        out = operator.apply(collection)
+        assert out[0].root.children[-1].content == "1"
+
+    def test_count_of_group_members(self, fig6_tree):
+        from repro.core.groupby import GroupBy
+
+        articles = Collection([DataTree(c.deep_copy()) for c in fig6_tree.children])
+        gb_root = PatternNode("$1", tag("article"))
+        gb_root.add("$2", tag("author"), Axis.PC)
+        groups = GroupBy(PatternTree(gb_root), ["$2"]).apply(articles)
+
+        agg_root = PatternNode("$1", tag("tax_group_root"))
+        subroot = agg_root.add("$2", tag("tax_group_subroot"), Axis.PC)
+        subroot.add("$3", tag("article"), Axis.PC)
+        counted = Aggregation(
+            PatternTree(agg_root),
+            AggregateFunction.COUNT,
+            source_label="$3",
+            new_tag="n_articles",
+            update=UpdateSpec(UpdatePosition.AFTER_LAST_CHILD, "$1"),
+        ).apply(groups)
+        counts = [t.root.children[-1].content for t in counted]
+        assert counts == ["2", "2", "1"]  # Jack, John, Jill

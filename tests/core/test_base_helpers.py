@@ -1,0 +1,81 @@
+"""Tests for the shared operator helpers in repro.core.base."""
+
+import pytest
+
+from repro.core.base import (
+    atomic_value_of,
+    document_positions,
+    numeric_or_text,
+    require,
+    shallow_copy,
+)
+from repro.errors import AlgebraError
+from repro.xmlmodel.node import element
+
+
+class TestDocumentPositions:
+    def test_preorder_indices(self):
+        tree = element("a", None, element("b", None, element("c", None)), element("d", None))
+        positions = document_positions(tree)
+        nodes = list(tree.iter())
+        assert [positions[id(node)] for node in nodes] == [0, 1, 2, 3]
+
+    def test_single_node(self):
+        tree = element("only", None)
+        assert document_positions(tree) == {id(tree): 0}
+
+
+class TestShallowCopy:
+    def test_copies_fields_not_children(self):
+        source = element("a", "text", element("b", None))
+        source.attributes["k"] = "v"
+        source.nid = 42
+        copy = shallow_copy(source)
+        assert copy.tag == "a"
+        assert copy.content == "text"
+        assert copy.attributes == {"k": "v"}
+        assert copy.nid == 42
+        assert copy.children == []
+
+    def test_attribute_dict_not_shared(self):
+        source = element("a", None)
+        source.attributes["k"] = "v"
+        copy = shallow_copy(source)
+        copy.attributes["k"] = "changed"
+        assert source.attributes["k"] == "v"
+
+
+class TestAtomicValue:
+    def test_direct_content(self):
+        assert atomic_value_of(element("a", "x")) == "x"
+
+    def test_subtree_fallback(self):
+        tree = element("a", None, element("b", "1"), element("c", "2"))
+        assert atomic_value_of(tree) == "12"
+
+    def test_empty_tree(self):
+        assert atomic_value_of(element("a", None)) == ""
+
+
+class TestNumericOrText:
+    def test_numbers_sort_before_text(self):
+        keys = sorted([numeric_or_text("beta"), numeric_or_text("10"), numeric_or_text("9")])
+        assert keys == [(0, 9.0), (0, 10.0), (1, "beta")]
+
+    def test_numeric_comparison(self):
+        assert numeric_or_text("9") < numeric_or_text("10")
+
+    def test_text_comparison(self):
+        assert numeric_or_text("alpha") < numeric_or_text("beta")
+
+    def test_mixed_never_raises(self):
+        sorted([numeric_or_text(v) for v in ("1", "x", "2.5", "", "-3")])
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_algebra_error(self):
+        with pytest.raises(AlgebraError, match="boom"):
+            require(False, "boom")

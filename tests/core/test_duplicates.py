@@ -1,0 +1,86 @@
+"""Duplicate-elimination tests."""
+
+import pytest
+
+from repro.core.duplicates import DuplicateElimination
+from repro.errors import AlgebraError
+from repro.pattern.pattern import PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def author_trees(*names: str) -> Collection:
+    return Collection([DataTree(element("author", name)) for name in names])
+
+
+def author_pattern() -> PatternTree:
+    return PatternTree(PatternNode("$1", tag("author")))
+
+
+class TestContentKeyed:
+    def test_first_occurrence_wins(self):
+        collection = author_trees("Jack", "John", "Jack", "Jill", "John")
+        out = DuplicateElimination(author_pattern(), "$1").apply(collection)
+        assert [t.root.content for t in out] == ["Jack", "John", "Jill"]
+
+    def test_all_distinct_untouched(self):
+        collection = author_trees("A", "B", "C")
+        out = DuplicateElimination(author_pattern(), "$1").apply(collection)
+        assert len(out) == 3
+
+    def test_unmatched_trees_kept(self):
+        collection = Collection(
+            [
+                DataTree(element("author", "Jack")),
+                DataTree(element("editor", "Jack")),  # pattern misses
+                DataTree(element("editor", "Jack")),
+            ]
+        )
+        out = DuplicateElimination(author_pattern(), "$1").apply(collection)
+        assert len(out) == 3  # unmatched trees are never merged
+
+    def test_nested_binding_key(self, fig6_collection):
+        root = PatternNode("$1", tag("doc_root"))
+        from repro.pattern.pattern import Axis
+
+        root.add("$2", tag("author"), Axis.AD)
+        pattern = PatternTree(root)
+        # One tree whose authors are its key: multiple matches sorted.
+        out = DuplicateElimination(pattern, "$2").apply(fig6_collection)
+        assert len(out) == 1
+
+    def test_mismatched_arguments_rejected(self):
+        with pytest.raises(AlgebraError):
+            DuplicateElimination(author_pattern(), None)
+        with pytest.raises(AlgebraError):
+            DuplicateElimination(None, "$1")
+
+
+class TestWholeTreeKeyed:
+    def test_structural_duplicates_removed(self):
+        tree = element("pair", None, element("a", "1"), element("b", "2"))
+        collection = Collection(
+            [DataTree(tree), DataTree(tree.deep_copy()), DataTree(element("pair", None))]
+        )
+        out = DuplicateElimination().apply(collection)
+        assert len(out) == 2
+
+    def test_attribute_differences_kept(self):
+        first = element("a", "x")
+        second = element("a", "x")
+        second.attributes["k"] = "v"
+        out = DuplicateElimination().apply(Collection([DataTree(first), DataTree(second)]))
+        assert len(out) == 2
+
+    def test_child_order_matters(self):
+        first = element("p", None, element("a", "1"), element("b", "2"))
+        second = element("p", None, element("b", "2"), element("a", "1"))
+        out = DuplicateElimination().apply(Collection([DataTree(first), DataTree(second)]))
+        assert len(out) == 2
+
+    def test_idempotent(self):
+        collection = author_trees("A", "A", "B")
+        once = DuplicateElimination().apply(collection)
+        twice = DuplicateElimination().apply(once)
+        assert once.structurally_equal(twice)

@@ -1,0 +1,207 @@
+"""GROUPBY operator tests, including the Fig. 3 / Fig. 10 golden shapes."""
+
+import pytest
+
+from repro.core.base import TAX_GROUP_ROOT, TAX_GROUP_SUBROOT, TAX_GROUPING_BASIS
+from repro.core.groupby import BasisItem, GroupBy, OrderItem
+from repro.core.selection import Selection
+from repro.datagen.sample import transaction_database
+from repro.errors import AlgebraError
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import ContentWildcard, conjoin, tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def article_author_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+def article_collection(fig6_tree) -> Collection:
+    """The collection of article trees (Fig. 9)."""
+    return Collection([DataTree(child.deep_copy()) for child in fig6_tree.children])
+
+
+class TestBasisAndOrderParsing:
+    def test_plain_label(self):
+        item = BasisItem.parse("$2")
+        assert (item.label, item.attribute, item.star) == ("$2", None, False)
+
+    def test_attribute(self):
+        item = BasisItem.parse("$2.year")
+        assert (item.label, item.attribute) == ("$2", "year")
+
+    def test_star(self):
+        assert BasisItem.parse("$2*").star
+
+    def test_star_attribute_rejected(self):
+        with pytest.raises(AlgebraError):
+            BasisItem.parse("$2.year*")
+
+    def test_order_item(self):
+        item = OrderItem.parse("$2", "descending")
+        assert item.direction == "DESCENDING"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(AlgebraError):
+            OrderItem.parse("$2", "sideways")
+
+
+class TestGroupShape:
+    def test_group_tree_structure(self, fig6_tree):
+        groups = GroupBy(article_author_pattern(), ["$2"]).apply(
+            article_collection(fig6_tree)
+        )
+        tree = groups[0]
+        assert tree.root.tag == TAX_GROUP_ROOT
+        assert [c.tag for c in tree.root.children] == [
+            TAX_GROUPING_BASIS,
+            TAX_GROUP_SUBROOT,
+        ]
+
+    def test_fig10_groups(self, fig6_tree):
+        """Fig. 10: three groups (Jack, John, Jill), with the two-author
+        articles appearing in two groups each."""
+        groups = GroupBy(article_author_pattern(), ["$2"]).apply(
+            article_collection(fig6_tree)
+        )
+        assert len(groups) == 3
+        basis_values = [
+            tree.root.children[0].children[0].content for tree in groups
+        ]
+        assert basis_values == ["Jack", "John", "Jill"]
+        member_titles = [
+            [member.find("title").content for member in tree.root.children[1].children]
+            for tree in groups
+        ]
+        assert member_titles == [
+            ["Querying XML", "XML and the Web"],  # Jack
+            ["Querying XML", "Hack HTML"],        # John
+            ["XML and the Web"],                  # Jill
+        ]
+
+    def test_overlapping_groups_not_a_partition(self, fig6_tree):
+        groups = GroupBy(article_author_pattern(), ["$2"]).apply(
+            article_collection(fig6_tree)
+        )
+        total_members = sum(len(t.root.children[1].children) for t in groups)
+        assert total_members == 5  # > 3 articles: grouping does not partition
+
+    def test_source_trees_complete(self, fig6_tree):
+        """Group members are the *source trees*, entire subtrees."""
+        groups = GroupBy(article_author_pattern(), ["$2"]).apply(
+            article_collection(fig6_tree)
+        )
+        jack_members = groups[0].root.children[1].children
+        assert jack_members[0].structurally_equal(fig6_tree.children[0])
+
+    def test_empty_basis_rejected(self):
+        with pytest.raises(AlgebraError):
+            GroupBy(article_author_pattern(), [])
+
+    def test_unknown_label_rejected(self):
+        from repro.errors import PatternError
+
+        with pytest.raises(PatternError):
+            GroupBy(article_author_pattern(), ["$9"])
+
+
+class TestOrderingList:
+    def fig3_inputs(self):
+        """Witness trees of the Transaction query (Fig. 2) as input."""
+        root = PatternNode("$1", tag("article"))
+        root.add(
+            "$2", conjoin(tag("title"), ContentWildcard("*Transaction*")), Axis.PC
+        )
+        root.add("$3", tag("author"), Axis.PC)
+        pattern = PatternTree(root)
+        collection = Collection([DataTree(transaction_database())])
+        return pattern, Selection(pattern, {"$2", "$3"}).apply(collection)
+
+    def test_fig3_descending_titles(self):
+        """Fig. 3: group witness trees by author, each group ordered by
+        DESCENDING $2.content."""
+        pattern, witnesses = self.fig3_inputs()
+        groups = GroupBy(pattern, ["$3"], [("$2", "DESCENDING")]).apply(witnesses)
+        assert len(groups) == 3
+        silberschatz = groups[0]
+        assert silberschatz.root.children[0].children[0].content == "Silberschatz"
+        titles = [
+            member.find("title").content
+            for member in silberschatz.root.children[1].children
+        ]
+        assert titles == ["Transaction Mng ...", "Overview of Transaction Mng"]
+
+    def test_ascending_order(self):
+        pattern, witnesses = self.fig3_inputs()
+        groups = GroupBy(pattern, ["$3"], [("$2", "ASCENDING")]).apply(witnesses)
+        titles = [
+            member.find("title").content
+            for member in groups[0].root.children[1].children
+        ]
+        assert titles == sorted(titles)
+
+    def test_numeric_ordering(self):
+        collection = Collection(
+            [
+                DataTree(element("item", None, element("k", "a"), element("n", "10"))),
+                DataTree(element("item", None, element("k", "a"), element("n", "9"))),
+            ]
+        )
+        root = PatternNode("$1", tag("item"))
+        root.add("$2", tag("k"), Axis.PC)
+        root.add("$3", tag("n"), Axis.PC)
+        groups = GroupBy(PatternTree(root), ["$2"], [("$3", "ASCENDING")]).apply(collection)
+        values = [m.find("n").content for m in groups[0].root.children[1].children]
+        assert values == ["9", "10"]  # numeric, not lexicographic
+
+    def test_stable_tie_break_keeps_document_order(self, fig6_tree):
+        groups = GroupBy(article_author_pattern(), ["$2"], []).apply(
+            article_collection(fig6_tree)
+        )
+        jack_titles = [
+            m.find("title").content for m in groups[0].root.children[1].children
+        ]
+        assert jack_titles == ["Querying XML", "XML and the Web"]
+
+
+class TestMultiItemBasis:
+    def test_two_component_basis(self):
+        collection = Collection(
+            [
+                DataTree(element("r", None, element("a", "1"), element("b", "x"))),
+                DataTree(element("r", None, element("a", "1"), element("b", "y"))),
+                DataTree(element("r", None, element("a", "1"), element("b", "x"))),
+            ]
+        )
+        root = PatternNode("$1", tag("r"))
+        root.add("$2", tag("a"), Axis.PC)
+        root.add("$3", tag("b"), Axis.PC)
+        groups = GroupBy(PatternTree(root), ["$2", "$3"]).apply(collection)
+        assert len(groups) == 2  # (1,x) and (1,y)
+        basis = groups[0].root.children[0]
+        assert [c.tag for c in basis.children] == ["a", "b"]
+
+    def test_starred_basis_keeps_subtree(self, fig6_tree):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", tag("author"), Axis.PC)
+        groups = GroupBy(PatternTree(root), ["$1*"]).apply(
+            article_collection(fig6_tree)
+        )
+        # Basis child is the full article subtree.
+        first_basis = groups[0].root.children[0].children[0]
+        assert first_basis.find("title") is not None
+
+    def test_attribute_basis(self):
+        first = element("item", "a")
+        first.attributes["kind"] = "k1"
+        second = element("item", "b")
+        second.attributes["kind"] = "k1"
+        third = element("item", "c")
+        third.attributes["kind"] = "k2"
+        collection = Collection([DataTree(n) for n in (first, second, third)])
+        pattern = PatternTree(PatternNode("$1", tag("item")))
+        groups = GroupBy(pattern, ["$1.kind"]).apply(collection)
+        assert len(groups) == 2

@@ -1,0 +1,79 @@
+"""Generic-function grouping (the Sec. 3 enhancement)."""
+
+import pytest
+
+from repro.core.base import TAX_GROUP_ROOT
+from repro.core.groupby import GroupByFunction
+from repro.errors import AlgebraError
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def articles():
+    def make(title, year):
+        return DataTree(
+            element("article", None, element("title", title), element("year", year))
+        )
+
+    return Collection(
+        [
+            make("Alpha", "1999"),
+            make("Beta", "2000"),
+            make("Gamma", "1999"),
+            make("Delta", "2001"),
+        ]
+    )
+
+
+def year_of(root) -> str:
+    return root.find("year").content
+
+
+class TestGroupByFunction:
+    def test_group_by_field_function(self):
+        groups = GroupByFunction(year_of).apply(articles())
+        assert len(groups) == 3
+        keys = [t.root.children[0].children[0].content for t in groups]
+        assert keys == ["1999", "2000", "2001"]  # first appearance
+
+    def test_group_shape(self):
+        groups = GroupByFunction(year_of).apply(articles())
+        assert groups[0].root.tag == TAX_GROUP_ROOT
+        members = groups[0].root.children[1].children
+        assert [m.find("title").content for m in members] == ["Alpha", "Gamma"]
+
+    def test_computed_key(self):
+        """Keys need not be stored values: bucket by decade."""
+        groups = GroupByFunction(lambda root: int(year_of(root)) // 10 * 10).apply(
+            articles()
+        )
+        keys = [t.root.children[0].children[0].content for t in groups]
+        assert keys == ["1990", "2000"]
+        assert len(groups[0].root.children[1].children) == 2  # 1999, 1999
+        assert len(groups[1].root.children[1].children) == 2  # 2000, 2001
+
+    def test_order_key_and_reverse(self):
+        groups = GroupByFunction(
+            lambda root: "all",
+            order_key=lambda root: root.find("title").content,
+            reverse=True,
+        ).apply(articles())
+        titles = [m.find("title").content for m in groups[0].root.children[1].children]
+        assert titles == ["Gamma", "Delta", "Beta", "Alpha"]
+
+    def test_custom_key_tag(self):
+        groups = GroupByFunction(year_of, key_tag="year_bucket").apply(articles())
+        assert groups[0].root.children[0].children[0].tag == "year_bucket"
+
+    def test_inputs_not_mutated(self):
+        collection = articles()
+        before = collection.copy()
+        GroupByFunction(year_of).apply(collection)
+        assert collection.structurally_equal(before)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(AlgebraError):
+            GroupByFunction("year")
+
+    def test_empty_collection(self):
+        assert len(GroupByFunction(year_of).apply(Collection())) == 0

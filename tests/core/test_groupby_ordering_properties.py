@@ -1,0 +1,89 @@
+"""Property tests for the GROUPBY ordering list."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base import numeric_or_text
+from repro.core.groupby import GroupBy
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+keys = st.sampled_from(["k1", "k2"])
+sort_values = st.sampled_from(["1", "2", "10", "alpha", "beta", ""])
+
+
+def pattern() -> PatternTree:
+    root = PatternNode("$1", tag("item"))
+    root.add("$2", tag("key"), Axis.PC)
+    root.add("$3", tag("rank"), Axis.PC)
+    return PatternTree(root)
+
+
+@st.composite
+def item_collections(draw):
+    trees = []
+    for index in range(draw(st.integers(1, 10))):
+        trees.append(
+            DataTree(
+                element(
+                    "item",
+                    None,
+                    element("key", draw(keys)),
+                    element("rank", draw(sort_values)),
+                    element("seq", str(index)),
+                )
+            )
+        )
+    return Collection(trees)
+
+
+def member_ranks(group) -> list:
+    return [
+        numeric_or_text(member.find("rank").content or "")
+        for member in group.root.children[1].children
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(item_collections())
+def test_ascending_order_sorted(collection):
+    groups = GroupBy(pattern(), ["$2"], [("$3", "ASCENDING")]).apply(collection)
+    for group in groups:
+        ranks = member_ranks(group)
+        assert ranks == sorted(ranks)
+
+
+@settings(max_examples=50, deadline=None)
+@given(item_collections())
+def test_descending_is_reverse_of_ascending(collection):
+    ascending = GroupBy(pattern(), ["$2"], [("$3", "ASCENDING")]).apply(collection)
+    descending = GroupBy(pattern(), ["$2"], [("$3", "DESCENDING")]).apply(collection)
+    for asc_group, desc_group in zip(ascending, descending):
+        asc = member_ranks(asc_group)
+        desc = member_ranks(desc_group)
+        assert sorted(asc) == sorted(desc)
+        assert desc == sorted(desc, reverse=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(item_collections())
+def test_ordering_is_stable_on_ties(collection):
+    """Members with equal ranks keep their document order (the seq tag
+    records input order)."""
+    groups = GroupBy(pattern(), ["$2"], [("$3", "ASCENDING")]).apply(collection)
+    for group in groups:
+        members = group.root.children[1].children
+        for first, second in zip(members, members[1:]):
+            if first.find("rank").content == second.find("rank").content:
+                assert int(first.find("seq").content) < int(second.find("seq").content)
+
+
+@settings(max_examples=50, deadline=None)
+@given(item_collections())
+def test_ordering_does_not_change_membership(collection):
+    plain = GroupBy(pattern(), ["$2"]).apply(collection)
+    ordered = GroupBy(pattern(), ["$2"], [("$3", "DESCENDING")]).apply(collection)
+    assert len(plain) == len(ordered)
+    for a, b in zip(plain, ordered):
+        assert len(a.root.children[1].children) == len(b.root.children[1].children)

@@ -1,0 +1,157 @@
+"""Value-join tests: inner, left outer, full outer (Sec. 4.1's Fig. 8)."""
+
+import pytest
+
+from repro.core.base import TAX_PROD_ROOT
+from repro.core.join import Join, JoinKind
+from repro.errors import AlgebraError
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def left_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("doc_root"))
+    root.add("$2", tag("author"), Axis.AD)
+    return PatternTree(root)
+
+
+def right_pattern() -> PatternTree:
+    root = PatternNode("$4", tag("doc_root"))
+    article = root.add("$5", tag("article"), Axis.AD)
+    article.add("$6", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+def author_side(*names: str) -> Collection:
+    return Collection(
+        [DataTree(element("doc_root", None, element("author", n))) for n in names]
+    )
+
+
+@pytest.fixture
+def database_side(fig6_tree) -> Collection:
+    return Collection([DataTree(fig6_tree)])
+
+
+def join(kind: JoinKind) -> Join:
+    return Join(
+        left_pattern(),
+        right_pattern(),
+        conditions=[("$2", "$6")],
+        kind=kind,
+        selection_list={"$5"},
+    )
+
+
+class TestInnerJoin:
+    def test_pair_trees(self, database_side):
+        out = join(JoinKind.INNER).apply(author_side("Jack"), database_side)
+        assert len(out) == 2  # Jack wrote two articles
+        pair = out[0].root
+        assert pair.tag == TAX_PROD_ROOT
+        assert len(pair.children) == 2
+
+    def test_no_match_drops_left(self, database_side):
+        out = join(JoinKind.INNER).apply(author_side("Nobody"), database_side)
+        assert len(out) == 0
+
+    def test_adorned_article_full_subtree(self, database_side):
+        out = join(JoinKind.INNER).apply(author_side("Jill"), database_side)
+        right_witness = out[0].root.children[1]
+        article = right_witness.children[0]
+        assert article.find("title").content == "XML and the Web"
+
+    def test_multiple_left_matches(self, database_side):
+        out = join(JoinKind.INNER).apply(author_side("Jack", "John"), database_side)
+        assert len(out) == 4  # 2 articles each
+
+
+class TestLeftOuterJoin:
+    def test_padding_for_unmatched_left(self, database_side):
+        """Fig. 8: an author with no matching article still produces a
+        tax_prod_root tree with only the left side."""
+        out = join(JoinKind.LEFT_OUTER).apply(
+            author_side("Jack", "Nobody"), database_side
+        )
+        assert len(out) == 3
+        padded = out[-1].root
+        assert len(padded.children) == 1
+        assert padded.children[0].find("author").content == "Nobody"
+
+    def test_left_order_preserved(self, database_side):
+        out = join(JoinKind.LEFT_OUTER).apply(
+            author_side("John", "Jill"), database_side
+        )
+        lead_authors = [t.root.children[0].find("author").content for t in out]
+        assert lead_authors == ["John", "John", "Jill"]
+
+
+class TestFullOuterJoin:
+    def test_unmatched_right_appended(self):
+        left = author_side("A")
+        right = Collection(
+            [
+                DataTree(
+                    element(
+                        "doc_root",
+                        None,
+                        element("article", None, element("author", "B")),
+                    )
+                )
+            ]
+        )
+        out = join(JoinKind.FULL_OUTER).apply(left, right)
+        # Left pad for A, right pad for B's article.
+        assert len(out) == 2
+        assert len(out[0].root.children) == 1
+        assert len(out[1].root.children) == 1
+
+
+class TestValidation:
+    def test_outer_join_requires_condition(self):
+        with pytest.raises(AlgebraError):
+            Join(left_pattern(), right_pattern(), [], kind=JoinKind.LEFT_OUTER)
+
+    def test_unknown_condition_label_rejected(self):
+        from repro.errors import PatternError
+
+        with pytest.raises(PatternError):
+            Join(left_pattern(), right_pattern(), [("$2", "$99")])
+
+    def test_multi_condition(self, database_side):
+        """Two conditions must both hold."""
+        left_root = PatternNode("$1", tag("doc_root"))
+        left_root.add("$2", tag("author"), Axis.AD)
+        left_root.add("$3", tag("title"), Axis.AD)
+        lp = PatternTree(left_root)
+        operator = Join(
+            lp, right_pattern_with_title(), [("$2", "$6"), ("$3", "$7")]
+        )
+        probe = Collection(
+            [
+                DataTree(
+                    element(
+                        "doc_root",
+                        None,
+                        element("author", "Jack"),
+                        element("title", "Querying XML"),
+                    )
+                )
+            ]
+        )
+        out = operator.apply(probe, database_side)
+        assert len(out) == 1  # only the article with both matches
+
+    def test_describe(self):
+        text = join(JoinKind.LEFT_OUTER).describe()
+        assert "left-outer" in text and "$2=$6" in text
+
+
+def right_pattern_with_title() -> PatternTree:
+    root = PatternNode("$4", tag("doc_root"))
+    article = root.add("$5", tag("article"), Axis.AD)
+    article.add("$6", tag("author"), Axis.PC)
+    article.add("$7", tag("title"), Axis.PC)
+    return PatternTree(root)

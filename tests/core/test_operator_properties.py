@@ -1,0 +1,125 @@
+"""Property-based operator invariants (hypothesis).
+
+Checked for the main operators on random bibliographic collections:
+
+* closure: inputs are never mutated;
+* order preservation;
+* groupby conservation: total group members == witness count (after
+  in-group source dedup is not applied at the operator level);
+* duplicate elimination idempotence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.duplicates import DuplicateElimination
+from repro.core.groupby import GroupBy
+from repro.core.projection import Projection
+from repro.core.selection import Selection
+from repro.pattern.matcher import TreeMatcher
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+author_names = st.sampled_from(["Jack", "Jill", "John", "Mary"])
+titles = st.sampled_from(["T1", "T2", "T3"])
+
+
+@st.composite
+def article_trees(draw):
+    article = element("article", None)
+    article.add("title", draw(titles))
+    for name in draw(st.lists(author_names, max_size=3)):
+        article.add("author", name)
+    if draw(st.booleans()):
+        article.add("year", draw(st.sampled_from(["1999", "2000"])))
+    return article
+
+
+collections = st.lists(article_trees(), min_size=0, max_size=6).map(
+    lambda roots: Collection([DataTree(r) for r in roots])
+)
+
+
+def article_author_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_selection_closure_and_cardinality(collection):
+    before = collection.copy()
+    pattern = article_author_pattern()
+    out = Selection(pattern).apply(collection)
+    assert collection.structurally_equal(before)  # no input mutation
+    witnesses = TreeMatcher().match_collection(pattern, collection)
+    assert len(out) == len(witnesses)  # one output per embedding
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_selection_order_preservation(collection):
+    """Witness trees come out grouped by input tree, in input order."""
+    pattern = article_author_pattern()
+    out = Selection(pattern, {"$1"}).apply(collection)
+    # Selection list $1 returns full articles: map back by structure.
+    source_index = 0
+    for tree in out:
+        while source_index < len(collection) and not collection[
+            source_index
+        ].root.structurally_equal(tree.root):
+            source_index += 1
+        assert source_index < len(collection)
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_groupby_member_conservation(collection):
+    pattern = article_author_pattern()
+    witnesses = TreeMatcher().match_collection(pattern, collection)
+    groups = GroupBy(pattern, ["$2"]).apply(collection)
+    total_members = sum(len(t.root.children[1].children) for t in groups)
+    assert total_members == len(witnesses)
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_groupby_groups_have_distinct_values(collection):
+    groups = GroupBy(article_author_pattern(), ["$2"]).apply(collection)
+    values = [t.root.children[0].children[0].content for t in groups]
+    assert len(values) == len(set(values))
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_groupby_members_share_group_value(collection):
+    groups = GroupBy(article_author_pattern(), ["$2"]).apply(collection)
+    for tree in groups:
+        value = tree.root.children[0].children[0].content
+        for member in tree.root.children[1].children:
+            member_authors = [a.content for a in member.findall("author")]
+            assert value in member_authors
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_dupelim_idempotent_and_subset(collection):
+    operator = DuplicateElimination()
+    once = operator.apply(collection)
+    twice = operator.apply(once)
+    assert once.structurally_equal(twice)
+    assert len(once) <= len(collection)
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_projection_star_identity(collection):
+    """Projecting $1* over articles returns each matching article whole."""
+    pattern = article_author_pattern()
+    out = Projection(pattern, ["$1*"]).apply(collection)
+    matching = [t for t in collection if t.root.find("author") is not None]
+    assert len(out) == len(matching)
+    for got, expected in zip(out, matching):
+        assert got.root.structurally_equal(expected.root)

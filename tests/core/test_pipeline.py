@@ -1,0 +1,146 @@
+"""Fluent TAX pipeline tests."""
+
+from repro.core import (
+    AggregateFunction,
+    JoinKind,
+    TaxPipeline,
+    UpdatePosition,
+    UpdateSpec,
+)
+from repro.pattern import Axis, PatternNode, PatternTree, tag
+from repro.xmlmodel import Collection, DataTree, element
+
+
+def doc_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("doc_root"))
+    root.add("$2", tag("article"), Axis.AD)
+    return PatternTree(root)
+
+
+def group_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+class TestChaining:
+    def test_query1_as_pipeline(self, fig6_collection):
+        """Select articles, group by author, count — the paper's query as
+        fluent algebra."""
+        result = (
+            TaxPipeline.over(fig6_collection)
+            .select(doc_pattern(), adorn={"$2"})
+            .project(doc_pattern(), ["$2*"])
+            .groupby(group_pattern(), basis=["$2"])
+            .collect()
+        )
+        assert len(result) == 3
+        values = [t.root.children[0].children[0].content for t in result]
+        assert values == ["Jack", "John", "Jill"]
+
+    def test_aggregate_step(self, fig6_collection):
+        agg_root = PatternNode("$1", tag("tax_group_root"))
+        subroot = agg_root.add("$2", tag("tax_group_subroot"), Axis.PC)
+        subroot.add("$3", tag("article"), Axis.PC)
+        result = (
+            TaxPipeline.over(fig6_collection)
+            .select(doc_pattern(), adorn={"$2"})
+            .project(doc_pattern(), ["$2*"])
+            .groupby(group_pattern(), basis=["$2"])
+            .aggregate(
+                PatternTree(agg_root),
+                AggregateFunction.COUNT,
+                "$3",
+                "n",
+                UpdateSpec(UpdatePosition.AFTER_LAST_CHILD, "$1"),
+            )
+            .collect()
+        )
+        counts = [t.root.children[-1].content for t in result]
+        assert counts == ["2", "2", "1"]
+
+    def test_distinct_and_rename(self, fig6_collection):
+        author_pattern = PatternTree(PatternNode("$1", tag("author")))
+        result = (
+            TaxPipeline.over(fig6_collection)
+            .select(author_pattern, adorn={"$1"})
+            .distinct(author_pattern, "$1")
+            .rename_root("who")
+            .collect()
+        )
+        assert [t.root.tag for t in result] == ["who"] * 3
+
+    def test_sort_step(self, fig6_collection):
+        pattern = PatternTree(PatternNode("$1", tag("author")))
+        result = (
+            TaxPipeline.over(fig6_collection)
+            .select(pattern, adorn={"$1"})
+            .sort(pattern, [("$1", "ASCENDING")])
+            .collect()
+        )
+        assert [t.root.content for t in result] == sorted(
+            t.root.content for t in result
+        )
+
+    def test_peek_passthrough(self, fig6_collection):
+        seen = []
+        pipeline = TaxPipeline.over(fig6_collection).peek(lambda c: seen.append(len(c)))
+        assert seen == [1]
+        assert len(pipeline) == 1
+
+    def test_iter_protocol(self, fig6_collection):
+        assert len(list(TaxPipeline.over(fig6_collection))) == 1
+
+
+class TestBinarySteps:
+    def items(self, *values):
+        return Collection([DataTree(element("item", v)) for v in values])
+
+    def test_union(self):
+        out = TaxPipeline.over(self.items("a")).union(self.items("b")).collect()
+        assert [t.root.content for t in out] == ["a", "b"]
+
+    def test_union_accepts_pipeline(self):
+        other = TaxPipeline.over(self.items("b"))
+        out = TaxPipeline.over(self.items("a")).union(other).collect()
+        assert len(out) == 2
+
+    def test_intersect_difference_product(self):
+        left = TaxPipeline.over(self.items("a", "b"))
+        assert len(left.intersect(self.items("b")).collect()) == 1
+        assert len(left.difference(self.items("b")).collect()) == 1
+        assert len(left.product(self.items("x", "y")).collect()) == 4
+
+    def test_join_step(self, fig6_collection):
+        authors = Collection(
+            [DataTree(element("doc_root", None, element("author", "Jill")))]
+        )
+        left_pattern_root = PatternNode("$1", tag("doc_root"))
+        left_pattern_root.add("$2", tag("author"), Axis.AD)
+        right_pattern_root = PatternNode("$4", tag("doc_root"))
+        article = right_pattern_root.add("$5", tag("article"), Axis.AD)
+        article.add("$6", tag("author"), Axis.PC)
+        out = (
+            TaxPipeline.over(authors)
+            .join(
+                fig6_collection,
+                PatternTree(left_pattern_root),
+                PatternTree(right_pattern_root),
+                conditions=[("$2", "$6")],
+                kind=JoinKind.INNER,
+                adorn={"$5"},
+            )
+            .collect()
+        )
+        assert len(out) == 1  # Jill wrote one article
+
+
+class TestImmutability:
+    def test_branching_pipelines_independent(self, fig6_collection):
+        base = TaxPipeline.over(fig6_collection).select(doc_pattern(), adorn={"$2"})
+        grouped = base.groupby(group_pattern(), basis=["$2"])
+        renamed = base.rename_root("x")
+        assert len(grouped.collect()) == 3
+        assert all(t.root.tag == "x" for t in renamed.collect())
+        # base itself unchanged (witness roots are doc_root copies)
+        assert all(t.root.tag == "doc_root" for t in base.collect())

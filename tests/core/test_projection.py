@@ -1,0 +1,91 @@
+"""TAX projection tests: hierarchy preservation, splits, stars."""
+
+import pytest
+
+from repro.core.projection import Projection, parse_projection_item
+from repro.errors import AlgebraError
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def doc_article_author() -> PatternTree:
+    root = PatternNode("$1", tag("doc_root"))
+    article = root.add("$2", tag("article"), Axis.AD)
+    article.add("$3", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+class TestParseItem:
+    def test_plain(self):
+        assert parse_projection_item("$2") == ("$2", False)
+
+    def test_starred(self):
+        assert parse_projection_item("$2*") == ("$2", True)
+
+
+class TestProjection:
+    def test_keep_root_and_articles(self, fig6_collection):
+        out = Projection(doc_article_author(), ["$1", "$2"]).apply(fig6_collection)
+        assert len(out) == 1
+        root = out[0].root
+        assert root.tag == "doc_root"
+        assert [c.tag for c in root.children] == ["article", "article", "article"]
+        # Non-starred: article children are dropped.
+        assert all(not c.children for c in root.children)
+
+    def test_star_keeps_subtrees(self, fig6_collection):
+        out = Projection(doc_article_author(), ["$1", "$2*"]).apply(fig6_collection)
+        articles = out[0].root.children
+        assert articles[0].find("title").content == "Querying XML"
+
+    def test_hierarchy_hoists_over_dropped_nodes(self, fig6_collection):
+        """Dropping the articles hoists authors directly under the root."""
+        out = Projection(doc_article_author(), ["$1", "$3"]).apply(fig6_collection)
+        root = out[0].root
+        assert [c.tag for c in root.children] == ["author"] * 5
+
+    def test_split_into_forest(self, fig6_collection):
+        """Without the root, each retained article roots its own tree."""
+        out = Projection(doc_article_author(), ["$2*"]).apply(fig6_collection)
+        assert len(out) == 3
+        assert all(t.root.tag == "article" for t in out)
+
+    def test_no_witness_no_output(self):
+        collection = Collection([DataTree(element("other", None))])
+        out = Projection(doc_article_author(), ["$2"]).apply(collection)
+        assert len(out) == 0
+
+    def test_each_input_tree_processed(self, fig6_tree):
+        collection = Collection([DataTree(fig6_tree), DataTree(fig6_tree.deep_copy())])
+        out = Projection(doc_article_author(), ["$2*"]).apply(collection)
+        assert len(out) == 6
+
+    def test_empty_projection_list_rejected(self):
+        with pytest.raises(AlgebraError):
+            Projection(doc_article_author(), [])
+
+    def test_inputs_not_mutated(self, fig6_collection):
+        before = fig6_collection.copy()
+        Projection(doc_article_author(), ["$2*"]).apply(fig6_collection)
+        assert fig6_collection.structurally_equal(before)
+
+    def test_document_order_preserved(self, fig6_collection):
+        # Authors retained without the root: five single-node trees in
+        # document order.
+        out = Projection(doc_article_author(), ["$3"]).apply(fig6_collection)
+        authors = [t.root.content for t in out]
+        assert authors == ["Jack", "John", "Jill", "Jack", "John"]
+
+    def test_star_inside_star_no_duplication(self):
+        """A starred node nested in another starred node's subtree must
+        not duplicate content."""
+        tree = element("a", None, element("b", None, element("c", "x")))
+        root = PatternNode("$1", tag("a"))
+        b = root.add("$2", tag("b"), Axis.PC)
+        b.add("$3", tag("c"), Axis.PC)
+        out = Projection(PatternTree(root), ["$1", "$2*", "$3*"]).apply(
+            Collection([DataTree(tree)])
+        )
+        assert out[0].root.structurally_equal(tree)

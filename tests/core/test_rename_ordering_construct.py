@@ -1,0 +1,109 @@
+"""Rename, collection ordering, and construction helper tests."""
+
+from repro.core.construct import WrapEach, concat, stitch, wrap_all
+from repro.core.ordering import SortCollection
+from repro.core.rename import Rename, RenameRoot
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def items(*pairs) -> Collection:
+    return Collection(
+        [
+            DataTree(element("item", None, element("k", k), element("v", v)))
+            for k, v in pairs
+        ]
+    )
+
+
+class TestRename:
+    def test_rename_root(self):
+        out = RenameRoot("renamed").apply(items(("a", "1")))
+        assert out[0].root.tag == "renamed"
+
+    def test_rename_root_does_not_mutate_input(self):
+        collection = items(("a", "1"))
+        RenameRoot("renamed").apply(collection)
+        assert collection[0].root.tag == "item"
+
+    def test_rename_bound_nodes(self):
+        root = PatternNode("$1", tag("item"))
+        root.add("$2", tag("k"), Axis.PC)
+        out = Rename(PatternTree(root), "$2", "key").apply(items(("a", "1"), ("b", "2")))
+        assert all(t.root.find("key") is not None for t in out)
+        assert all(t.root.find("k") is None for t in out)
+
+    def test_rename_leaves_unmatched_trees(self):
+        collection = Collection([DataTree(element("other", None))])
+        root = PatternNode("$1", tag("item"))
+        out = Rename(PatternTree(root), "$1", "renamed").apply(collection)
+        assert out[0].root.tag == "other"
+
+
+class TestSortCollection:
+    def sort_pattern(self) -> PatternTree:
+        root = PatternNode("$1", tag("item"))
+        root.add("$2", tag("k"), Axis.PC)
+        root.add("$3", tag("v"), Axis.PC)
+        return PatternTree(root)
+
+    def test_ascending(self):
+        out = SortCollection(self.sort_pattern(), [("$2", "ASCENDING")]).apply(
+            items(("b", "1"), ("a", "2"), ("c", "3"))
+        )
+        assert [t.root.find("k").content for t in out] == ["a", "b", "c"]
+
+    def test_descending(self):
+        out = SortCollection(self.sort_pattern(), [("$2", "DESCENDING")]).apply(
+            items(("b", "1"), ("a", "2"), ("c", "3"))
+        )
+        assert [t.root.find("k").content for t in out] == ["c", "b", "a"]
+
+    def test_numeric_keys(self):
+        out = SortCollection(self.sort_pattern(), [("$3", "ASCENDING")]).apply(
+            items(("a", "10"), ("b", "9"))
+        )
+        assert [t.root.find("v").content for t in out] == ["9", "10"]
+
+    def test_secondary_key(self):
+        out = SortCollection(
+            self.sort_pattern(), [("$2", "ASCENDING"), ("$3", "DESCENDING")]
+        ).apply(items(("a", "1"), ("a", "3"), ("a", "2")))
+        assert [t.root.find("v").content for t in out] == ["3", "2", "1"]
+
+    def test_unmatched_trees_go_last(self):
+        collection = items(("b", "1"))
+        collection.append(DataTree(element("other", None)))
+        collection.trees.insert(0, DataTree(element("misc", None)))
+        out = SortCollection(self.sort_pattern(), [("$2", "ASCENDING")]).apply(collection)
+        assert [t.root.tag for t in out] == ["item", "misc", "other"]
+
+
+class TestConstruct:
+    def test_wrap_each(self):
+        out = WrapEach("box").apply(items(("a", "1"), ("b", "2")))
+        assert all(t.root.tag == "box" for t in out)
+        assert all(t.root.children[0].tag == "item" for t in out)
+
+    def test_wrap_all(self):
+        tree = wrap_all(items(("a", "1"), ("b", "2")), "all")
+        assert tree.root.tag == "all"
+        assert len(tree.root.children) == 2
+
+    def test_stitch_groups(self):
+        groups = [
+            [element("author", "Jack"), element("title", "T1")],
+            [element("author", "Jill")],
+        ]
+        out = stitch(groups, "authorpubs")
+        assert len(out) == 2
+        assert [c.tag for c in out[0].root.children] == ["author", "title"]
+        assert len(out[1].root.children) == 1
+
+    def test_concat_preserves_order(self):
+        a = items(("a", "1"))
+        b = items(("b", "2"))
+        out = concat(a, b)
+        assert [t.root.find("k").content for t in out] == ["a", "b"]

@@ -1,0 +1,85 @@
+"""TAX selection tests (Sec. 2 semantics)."""
+
+import pytest
+
+from repro.core.selection import Selection
+from repro.errors import PatternError
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import ContentEquals, conjoin, tag
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def pattern_article_author() -> PatternTree:
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+class TestBasics:
+    def test_one_witness_per_embedding(self, fig6_collection):
+        out = Selection(pattern_article_author()).apply(fig6_collection)
+        assert len(out) == 5  # selection is one-to-many
+
+    def test_witness_shape(self, fig6_collection):
+        out = Selection(pattern_article_author()).apply(fig6_collection)
+        tree = out[0]
+        assert tree.root.tag == "article"
+        assert [c.tag for c in tree.root.children] == ["author"]
+        assert tree.root.children[0].content == "Jack"
+
+    def test_adornment_returns_subtree(self, fig6_collection):
+        out = Selection(pattern_article_author(), {"$1"}).apply(fig6_collection)
+        # $1 adorned: the whole article subtree comes back.
+        assert out[0].root.find("title") is not None
+
+    def test_inputs_not_mutated(self, fig6_collection):
+        before = fig6_collection.copy()
+        Selection(pattern_article_author(), {"$1"}).apply(fig6_collection)
+        assert fig6_collection.structurally_equal(before)
+
+    def test_no_match_empty_output(self, fig6_collection):
+        root = PatternNode("$1", tag("book"))
+        out = Selection(PatternTree(root)).apply(fig6_collection)
+        assert len(out) == 0
+
+    def test_predicate_filtering(self, fig6_collection):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", conjoin(tag("author"), ContentEquals("Jill")), Axis.PC)
+        out = Selection(PatternTree(root)).apply(fig6_collection)
+        assert len(out) == 1
+        assert out[0].root.find("author").content == "Jill"
+
+    def test_unknown_selection_label_rejected(self):
+        with pytest.raises(PatternError):
+            Selection(pattern_article_author(), {"$9"})
+
+    def test_output_order_follows_document_order(self, fig6_collection):
+        out = Selection(pattern_article_author()).apply(fig6_collection)
+        authors = [tree.root.find("author").content for tree in out]
+        assert authors == ["Jack", "John", "Jill", "Jack", "John"]
+
+    def test_sibling_order_in_witness(self, fig6_collection):
+        """Children of a witness node appear in document order even when
+        the pattern lists them differently."""
+        root = PatternNode("$1", tag("article"))
+        root.add("$3", tag("title"), Axis.PC)   # pattern order: title first
+        root.add("$2", tag("author"), Axis.PC)
+        out = Selection(PatternTree(root)).apply(fig6_collection)
+        # First article stores authors before the title (Fig. 6).
+        first = out[0].root
+        assert [c.tag for c in first.children] == ["author", "title"]
+
+    def test_multi_tree_collection(self):
+        collection = Collection(
+            [
+                DataTree(element("article", None, element("author", "A"))),
+                DataTree(element("article", None, element("author", "B"))),
+            ]
+        )
+        out = Selection(pattern_article_author()).apply(collection)
+        assert [t.root.find("author").content for t in out] == ["A", "B"]
+
+    def test_describe(self):
+        text = Selection(pattern_article_author(), {"$2"}).describe()
+        assert "selection" in text and "$2" in text

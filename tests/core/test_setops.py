@@ -1,0 +1,115 @@
+"""Set-operation and product tests, including bag-semantics properties."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.base import TAX_PROD_ROOT
+from repro.core.setops import Difference, Intersection, Product, Union
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def items(*values: str) -> Collection:
+    return Collection([DataTree(element("item", v)) for v in values])
+
+
+def values_of(collection: Collection) -> list[str]:
+    return [tree.root.content for tree in collection]
+
+
+class TestUnion:
+    def test_bag_union_concatenates(self):
+        out = Union().apply(items("a", "b"), items("b", "c"))
+        assert values_of(out) == ["a", "b", "b", "c"]
+
+    def test_distinct_union(self):
+        out = Union(distinct=True).apply(items("a", "b", "a"), items("b", "c"))
+        assert values_of(out) == ["a", "b", "c"]
+
+    def test_empty_operands(self):
+        assert values_of(Union().apply(items(), items("x"))) == ["x"]
+        assert values_of(Union().apply(items("x"), items())) == ["x"]
+
+
+class TestIntersection:
+    def test_basic(self):
+        out = Intersection().apply(items("a", "b", "c"), items("b", "c", "d"))
+        assert values_of(out) == ["b", "c"]
+
+    def test_multiplicity_bounded_by_right(self):
+        out = Intersection().apply(items("a", "a", "a"), items("a", "a"))
+        assert values_of(out) == ["a", "a"]
+
+    def test_structural_comparison(self):
+        left = Collection([DataTree(element("p", None, element("x", "1")))])
+        right = Collection([DataTree(element("p", None, element("x", "2")))])
+        assert len(Intersection().apply(left, right)) == 0
+
+    def test_disjoint(self):
+        assert len(Intersection().apply(items("a"), items("b"))) == 0
+
+
+class TestDifference:
+    def test_basic(self):
+        out = Difference().apply(items("a", "b", "c"), items("b"))
+        assert values_of(out) == ["a", "c"]
+
+    def test_bag_cancellation(self):
+        out = Difference().apply(items("a", "a", "a"), items("a"))
+        assert values_of(out) == ["a", "a"]
+
+    def test_subtract_everything(self):
+        assert len(Difference().apply(items("a"), items("a", "a"))) == 0
+
+
+class TestProduct:
+    def test_cartesian_pairs(self):
+        out = Product().apply(items("a", "b"), items("x", "y", "z"))
+        assert len(out) == 6
+        assert all(t.root.tag == TAX_PROD_ROOT for t in out)
+        first = out[0].root
+        assert [c.content for c in first.children] == ["a", "x"]
+
+    def test_left_major_order(self):
+        out = Product().apply(items("a", "b"), items("x", "y"))
+        pairs = [tuple(c.content for c in t.root.children) for t in out]
+        assert pairs == [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+
+    def test_copies_not_aliases(self):
+        left = items("a")
+        out = Product().apply(left, items("x"))
+        out[0].root.children[0].content = "changed"
+        assert left[0].root.content == "a"
+
+    def test_empty_side_gives_empty_product(self):
+        assert len(Product().apply(items(), items("x"))) == 0
+
+
+tiny_collections = st.lists(
+    st.sampled_from(["a", "b", "c"]), max_size=5
+).map(lambda vs: items(*vs))
+
+
+@settings(max_examples=50, deadline=None)
+@given(tiny_collections, tiny_collections)
+def test_bag_identity_partition(left, right):
+    """Intersection and difference partition the left input."""
+    inter = Intersection().apply(left, right)
+    diff = Difference().apply(left, right)
+    assert len(inter) + len(diff) == len(left)
+    # Multiset equality: (left ∩ right) ⊎ (left - right) == left.
+    combined = sorted(values_of(inter) + values_of(diff))
+    assert combined == sorted(values_of(left))
+
+
+@settings(max_examples=50, deadline=None)
+@given(tiny_collections, tiny_collections)
+def test_union_length(left, right):
+    assert len(Union().apply(left, right)) == len(left) + len(right)
+    distinct = Union(distinct=True).apply(left, right)
+    assert len(distinct) == len(set(values_of(left) + values_of(right)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(tiny_collections, tiny_collections)
+def test_product_size(left, right):
+    assert len(Product().apply(left, right)) == len(left) * len(right)

@@ -1,0 +1,110 @@
+"""Synthetic DBLP generator tests."""
+
+from repro.datagen.dblp import (
+    DBLPConfig,
+    generate_dblp,
+    generate_dblp_with_profile,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        config = DBLPConfig(n_articles=50, n_authors=20, seed=3)
+        assert generate_dblp(config).structurally_equal(generate_dblp(config))
+
+    def test_different_seeds_differ(self):
+        a = generate_dblp(DBLPConfig(n_articles=50, n_authors=20, seed=3))
+        b = generate_dblp(DBLPConfig(n_articles=50, n_authors=20, seed=4))
+        assert not a.structurally_equal(b)
+
+
+class TestShape:
+    def test_article_count(self):
+        tree = generate_dblp(DBLPConfig(n_articles=37, n_authors=10))
+        assert len(tree.findall("article")) == 37
+        assert tree.tag == "doc_root"
+
+    def test_article_fields(self):
+        tree = generate_dblp(DBLPConfig(n_articles=5, n_authors=3))
+        for article in tree.children:
+            assert article.find("title") is not None
+            assert article.find("journal") is not None
+            assert article.find("year") is not None
+            assert article.find("pages") is not None
+
+    def test_authors_within_pool(self):
+        config = DBLPConfig(n_articles=80, n_authors=7)
+        tree, profile = generate_dblp_with_profile(config)
+        assert profile.n_distinct_authors <= 7
+
+    def test_no_duplicate_authors_per_article(self):
+        tree = generate_dblp(DBLPConfig(n_articles=100, n_authors=5, seed=2))
+        for article in tree.children:
+            names = [a.content for a in article.findall("author")]
+            assert len(names) == len(set(names))
+
+    def test_some_articles_have_no_authors(self):
+        """The paper's motivation: "Yet other articles may have no
+        authors at all."""
+        _, profile = generate_dblp_with_profile(
+            DBLPConfig(n_articles=300, n_authors=40, seed=1)
+        )
+        assert profile.articles_without_authors > 0
+
+    def test_multi_author_articles_exist(self):
+        _, profile = generate_dblp_with_profile(
+            DBLPConfig(n_articles=300, n_authors=40, seed=1)
+        )
+        assert profile.max_authors_per_article >= 2
+
+    def test_popularity_skew(self):
+        """Zipf pick: the most prolific author has clearly more articles
+        than the median one."""
+        _, profile = generate_dblp_with_profile(
+            DBLPConfig(n_articles=500, n_authors=50, seed=1)
+        )
+        counts = sorted(profile.author_article_counts.values())
+        assert counts[-1] >= 3 * counts[len(counts) // 2]
+
+    def test_institutions_optional(self):
+        without = generate_dblp(DBLPConfig(n_articles=10, n_authors=5))
+        assert not without.find_descendants("institution")
+        with_inst = generate_dblp(
+            DBLPConfig(n_articles=10, n_authors=5, with_institutions=True)
+        )
+        assert with_inst.find_descendants("institution")
+
+    def test_author_institution_stable(self):
+        """One author always carries the same institution."""
+        tree = generate_dblp(
+            DBLPConfig(n_articles=200, n_authors=10, seed=5, with_institutions=True)
+        )
+        seen: dict[str, str] = {}
+        for author in tree.find_descendants("author"):
+            institution = author.find("institution").content
+            assert seen.setdefault(author.content, institution) == institution
+
+
+class TestProfile:
+    def test_profile_consistency(self):
+        config = DBLPConfig(n_articles=120, n_authors=30, seed=6)
+        tree, profile = generate_dblp_with_profile(config)
+        assert profile.n_articles == 120
+        assert profile.n_nodes == tree.subtree_size()
+        occurrences = len(tree.find_descendants("author"))
+        assert profile.n_author_occurrences == occurrences
+        assert profile.n_distinct_authors == len(
+            {a.content for a in tree.find_descendants("author")}
+        )
+
+    def test_scaled_config(self):
+        config = DBLPConfig(n_articles=100, n_authors=40)
+        half = config.scaled(0.5)
+        assert half.n_articles == 50
+        assert half.n_authors == 20
+        assert half.seed == config.seed
+
+    def test_scaled_minimum_one(self):
+        tiny = DBLPConfig(n_articles=2, n_authors=2).scaled(0.1)
+        assert tiny.n_articles == 1
+        assert tiny.n_authors == 1

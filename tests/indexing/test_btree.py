@@ -1,0 +1,175 @@
+"""B+tree unit and property tests (model-checked against a dict)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IndexError_
+from repro.indexing.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search("missing") == []
+        assert "missing" not in tree
+
+    def test_insert_and_search(self):
+        tree = BPlusTree()
+        tree.insert("b", 2)
+        tree.insert("a", 1)
+        assert tree.search("a") == [1]
+        assert tree.search("b") == [2]
+        assert "a" in tree
+
+    def test_posting_list_accumulates(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        tree.insert("k", 3)
+        assert tree.search("k") == [1, 2, 3]
+        assert len(tree) == 1
+        assert tree.n_entries == 3
+
+    def test_search_returns_copy(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.search("k").append(99)
+        assert tree.search("k") == [1]
+
+    def test_order_validation(self):
+        with pytest.raises(IndexError_):
+            BPlusTree(order=2)
+
+
+class TestSplitsAndScale:
+    def test_many_keys_split_leaves(self):
+        tree = BPlusTree(order=4)
+        for i in range(500):
+            tree.insert(i, i * 10)
+        assert len(tree) == 500
+        assert tree.height > 2
+        for i in (0, 123, 499):
+            assert tree.search(i) == [i * 10]
+        tree.check_invariants()
+
+    def test_reverse_insertion_order(self):
+        tree = BPlusTree(order=4)
+        for i in reversed(range(200)):
+            tree.insert(i, i)
+        assert list(tree.keys()) == list(range(200))
+        tree.check_invariants()
+
+    def test_interleaved_insertion(self):
+        tree = BPlusTree(order=6)
+        keys = [(i * 37) % 101 for i in range(101)]
+        for key in keys:
+            tree.insert(key, key)
+        assert list(tree.keys()) == sorted(set(keys))
+        tree.check_invariants()
+
+
+class TestRangeScan:
+    def make(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):  # even keys only
+            tree.insert(i, f"v{i}")
+        return tree
+
+    def test_full_scan_ordered(self):
+        tree = self.make()
+        keys = [key for key, _ in tree.range_scan()]
+        assert keys == list(range(0, 100, 2))
+
+    def test_bounded_scan(self):
+        tree = self.make()
+        keys = [key for key, _ in tree.range_scan(lo=10, hi=20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_scan_bounds_between_keys(self):
+        tree = self.make()
+        keys = [key for key, _ in tree.range_scan(lo=11, hi=19)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_open_ended_scan(self):
+        tree = self.make()
+        keys = [key for key, _ in tree.range_scan(lo=90)]
+        assert keys == [90, 92, 94, 96, 98]
+
+    def test_empty_range(self):
+        tree = self.make()
+        assert list(tree.range_scan(lo=200)) == []
+
+    def test_items_alias(self):
+        tree = self.make()
+        assert list(tree.items()) == list(tree.range_scan())
+
+
+class TestRemove:
+    def test_remove_single_posting(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.remove("k", 1)
+        assert tree.search("k") == [2]
+        assert tree.n_entries == 1
+
+    def test_remove_last_posting_drops_key(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        assert tree.remove("k", 1)
+        assert "k" not in tree
+        assert len(tree) == 0
+
+    def test_remove_missing(self):
+        tree = BPlusTree()
+        tree.insert("k", 1)
+        assert not tree.remove("k", 99)
+        assert not tree.remove("other", 1)
+
+    def test_scans_stay_correct_after_removals(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        for i in range(0, 100, 3):
+            assert tree.remove(i, i)
+        expected = [i for i in range(100) if i % 3 != 0]
+        assert list(tree.keys()) == expected
+        tree.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(-50, 50), st.integers(0, 5)), min_size=0, max_size=200
+    )
+)
+def test_model_equivalence(pairs):
+    """The tree behaves exactly like a dict-of-lists model."""
+    tree = BPlusTree(order=4)
+    model: dict[int, list[int]] = {}
+    for key, value in pairs:
+        tree.insert(key, value)
+        model.setdefault(key, []).append(value)
+    assert len(tree) == len(model)
+    for key, values in model.items():
+        assert tree.search(key) == values
+    assert list(tree.keys()) == sorted(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 100), min_size=1, max_size=150),
+    st.integers(-10, 110),
+    st.integers(-10, 110),
+)
+def test_range_scan_model(keys, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    tree = BPlusTree(order=4)
+    for key in keys:
+        tree.insert(key, key)
+    got = [key for key, _ in tree.range_scan(lo=lo, hi=hi)]
+    expected = sorted({k for k in keys if lo <= k <= hi})
+    assert got == expected

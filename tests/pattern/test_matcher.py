@@ -1,0 +1,231 @@
+"""Matcher tests: store matcher vs tree matcher, candidate sources,
+residual predicates, and ordering."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.indexing.manager import IndexManager
+from repro.pattern.matcher import StoreMatcher, TreeMatcher
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import (
+    AttributeEquals,
+    ContentCompare,
+    ContentEquals,
+    ContentWildcard,
+    conjoin,
+    tag,
+)
+from repro.storage.store import NodeStore
+from repro.xmlmodel.node import XMLNode, element
+
+
+def article_author_pattern() -> PatternTree:
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+def matcher_pair(tree: XMLNode):
+    store = NodeStore()
+    store.load_tree(tree, "t.xml")
+    indexes = IndexManager(store)
+    indexes.build()
+    return store, StoreMatcher(store, indexes)
+
+
+class TestStoreMatcher:
+    def test_simple_match_count(self, store, indexes):
+        matcher = StoreMatcher(store, indexes)
+        assert len(matcher.match(article_author_pattern())) == 5
+
+    def test_bindings_are_consistent(self, store, indexes):
+        matcher = StoreMatcher(store, indexes)
+        for match in matcher.match(article_author_pattern()):
+            article = match.bindings["$1"]
+            author = match.bindings["$2"]
+            assert article.contains(author)
+            assert store.tag(article.nid) == "article"
+            assert store.tag(author.nid) == "author"
+
+    def test_matches_in_document_order(self, store, indexes):
+        matcher = StoreMatcher(store, indexes)
+        matches = matcher.match(article_author_pattern())
+        keys = [m.sort_key(["$1", "$2"]) for m in matches]
+        assert keys == sorted(keys)
+
+    def test_value_predicate_uses_value_index(self, store, indexes):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", conjoin(tag("author"), ContentEquals("Jack")), Axis.PC)
+        matcher = StoreMatcher(store, indexes)
+        matches = matcher.match(PatternTree(root))
+        assert len(matches) == 2
+        # Covered by indexes: no residual record checks needed.
+        assert matcher.stats.residual_checks == 0
+
+    def test_wildcard_needs_residual_checks(self, store, indexes):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", conjoin(tag("title"), ContentWildcard("*XML*")), Axis.PC)
+        matcher = StoreMatcher(store, indexes)
+        matches = matcher.match(PatternTree(root))
+        assert len(matches) == 2
+        assert matcher.stats.residual_checks > 0
+
+    def test_comparison_predicate(self):
+        tree = element(
+            "doc_root",
+            None,
+            element("article", None, element("year", "1999")),
+            element("article", None, element("year", "2001")),
+        )
+        store, matcher = matcher_pair(tree)
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", conjoin(tag("year"), ContentCompare("<", "2000")), Axis.PC)
+        matches = matcher.match(PatternTree(root))
+        assert len(matches) == 1
+        assert store.content(matches[0].nid("$2")) == "1999"
+
+    def test_attribute_predicate_scans(self):
+        tree = element("doc_root", None)
+        tree.add("item", "a", lang="en")
+        tree.add("item", "b", lang="fr")
+        store, matcher = matcher_pair(tree)
+        pattern = PatternTree(
+            PatternNode("$1", conjoin(tag("item"), AttributeEquals("lang", "fr")))
+        )
+        matches = matcher.match(pattern)
+        assert len(matches) == 1
+        assert store.content(matches[0].nid("$1")) == "b"
+
+    def test_unconstrained_node_falls_back_to_scan(self, store, indexes):
+        root = PatternNode("$1")  # any node
+        root.add("$2", tag("title"), Axis.PC)
+        matcher = StoreMatcher(store, indexes)
+        matches = matcher.match(PatternTree(root))
+        # Each title has exactly one parent: the articles.
+        assert len(matches) == 3
+
+    def test_no_candidates_short_circuits(self, store, indexes):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", tag("ghost"), Axis.PC)
+        matcher = StoreMatcher(store, indexes)
+        assert matcher.match(PatternTree(root)) == []
+
+    def test_root_candidates_restriction(self, store, indexes):
+        matcher = StoreMatcher(store, indexes)
+        all_articles = indexes.labels_for_tag("article")
+        restricted = matcher.match(
+            article_author_pattern(), root_candidates=all_articles[:1]
+        )
+        assert len(restricted) == 2  # first article has two authors
+
+    def test_scan_mode_equivalent(self, store, indexes):
+        indexed = StoreMatcher(store, indexes, use_indexes=True)
+        scanning = StoreMatcher(store, indexes, use_indexes=False)
+        pattern = article_author_pattern()
+        a = [(m.nid("$1"), m.nid("$2")) for m in indexed.match(pattern)]
+        b = [(m.nid("$1"), m.nid("$2")) for m in scanning.match(pattern)]
+        assert a == b
+
+    def test_ad_vs_pc_depth(self):
+        tree = element(
+            "doc_root",
+            None,
+            element(
+                "article",
+                None,
+                element("author", "Jack", element("author", "Nested")),
+            ),
+        )
+        _, matcher = matcher_pair(tree)
+        pc_root = PatternNode("$1", tag("article"))
+        pc_root.add("$2", tag("author"), Axis.PC)
+        ad_root = PatternNode("$1", tag("article"))
+        ad_root.add("$2", tag("author"), Axis.AD)
+        assert len(matcher.match(PatternTree(pc_root))) == 1
+        assert len(matcher.match(PatternTree(ad_root))) == 2
+
+
+class TestTreeMatcher:
+    def test_match_anywhere_in_tree(self, fig6_tree):
+        matches = TreeMatcher().match_tree(article_author_pattern(), fig6_tree)
+        assert len(matches) == 5
+
+    def test_tree_index_recorded(self, fig6_collection):
+        matches = TreeMatcher().match_collection(
+            article_author_pattern(), fig6_collection
+        )
+        assert all(match.tree_index == 0 for match in matches)
+
+    def test_branching_pattern_cartesian(self, fig6_tree):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", tag("title"), Axis.PC)
+        root.add("$3", tag("author"), Axis.PC)
+        matches = TreeMatcher().match_tree(PatternTree(root), fig6_tree)
+        assert len(matches) == 5  # title x author per article
+
+    def test_no_match_when_child_missing(self):
+        tree = element("doc_root", None, element("article", None))
+        matches = TreeMatcher().match_tree(article_author_pattern(), tree)
+        assert matches == []
+
+    def test_deep_pattern_chain(self):
+        tree = element(
+            "doc_root",
+            None,
+            element(
+                "article",
+                None,
+                element("author", "A", element("institution", "UM")),
+            ),
+        )
+        root = PatternNode("$1", tag("article"))
+        author = root.add("$2", tag("author"), Axis.PC)
+        author.add("$3", tag("institution"), Axis.PC)
+        matches = TreeMatcher().match_tree(PatternTree(root), tree)
+        assert len(matches) == 1
+        assert matches[0].bindings["$3"].content == "UM"
+
+
+# ----------------------------------------------------------------------
+# Equivalence: the two matchers agree on random trees.
+# ----------------------------------------------------------------------
+tags_strategy = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def random_trees(draw, max_depth=3):
+    node = XMLNode(draw(tags_strategy), draw(st.one_of(st.none(), st.sampled_from(["x", "y"]))))
+    if max_depth > 0:
+        for child in draw(st.lists(random_trees(max_depth=max_depth - 1), max_size=3)):
+            node.append_child(child)
+    return node
+
+
+@st.composite
+def random_patterns(draw):
+    root = PatternNode("$1", tag(draw(tags_strategy)))
+    current = root
+    for index in range(draw(st.integers(0, 2))):
+        axis = draw(st.sampled_from([Axis.PC, Axis.AD]))
+        current = current.add(f"$x{index}", tag(draw(tags_strategy)), axis)
+    return PatternTree(root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=random_trees(), pattern=random_patterns())
+def test_store_and_tree_matchers_agree(tree, pattern):
+    """Same witnesses (as nid tuples) from both matchers."""
+    stored = tree.deep_copy()
+    store = NodeStore()
+    store.load_tree(stored, "t.xml")
+    indexes = IndexManager(store)
+    indexes.build()
+    labels = [node.label for node in pattern.nodes()]
+    from_store = [
+        tuple(match.nid(label) for label in labels)
+        for match in StoreMatcher(store, indexes).match(pattern)
+    ]
+    from_tree = sorted(
+        tuple(match.bindings[label].nid for label in labels)
+        for match in TreeMatcher().match_tree(pattern, stored)
+    )
+    assert sorted(from_store) == from_tree

@@ -1,0 +1,58 @@
+"""F1/F2 golden tests: the pattern tree of Fig. 1 and the witness trees
+of Fig. 2 on the Transaction sample database."""
+
+from repro.core.selection import Selection
+from repro.datagen.sample import transaction_database
+from repro.pattern.matcher import TreeMatcher
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import ContentWildcard, conjoin, tag
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def fig1_pattern() -> PatternTree:
+    """$1.tag = article & $2.tag = title & $2.content = "*Transaction*"
+    & $3.tag = author, with pc edges (Fig. 1)."""
+    root = PatternNode("$1", tag("article"))
+    root.add("$2", conjoin(tag("title"), ContentWildcard("*Transaction*")), Axis.PC)
+    root.add("$3", tag("author"), Axis.PC)
+    return PatternTree(root)
+
+
+class TestFigure1And2:
+    def test_four_witnesses(self):
+        """Fig. 2 shows four witness trees: the two-author Transaction
+        article contributes two."""
+        matches = TreeMatcher().match_tree(fig1_pattern(), transaction_database())
+        assert len(matches) == 4
+
+    def test_witness_authors(self):
+        matches = TreeMatcher().match_tree(fig1_pattern(), transaction_database())
+        authors = [match.bindings["$3"].content for match in matches]
+        assert authors == ["Silberschatz", "Silberschatz", "Garcia-Molina", "Thompson"]
+
+    def test_non_transaction_article_excluded(self):
+        matches = TreeMatcher().match_tree(fig1_pattern(), transaction_database())
+        titles = {match.bindings["$2"].content for match in matches}
+        assert "Query Processing" not in titles
+
+    def test_selection_builds_witness_trees(self):
+        """Each selection output is rooted at article with exactly the
+        matched title and author (Fig. 2's shape)."""
+        collection = Collection([DataTree(transaction_database())])
+        witnesses = Selection(fig1_pattern()).apply(collection)
+        assert len(witnesses) == 4
+        for tree in witnesses:
+            assert tree.root.tag == "article"
+            assert [child.tag for child in tree.root.children] == ["title", "author"]
+
+    def test_two_author_article_appears_twice(self):
+        collection = Collection([DataTree(transaction_database())])
+        witnesses = Selection(fig1_pattern()).apply(collection)
+        overview = [
+            tree
+            for tree in witnesses
+            if tree.root.find("title").content == "Overview of Transaction Mng"
+        ]
+        assert len(overview) == 2
+        authors = [tree.root.find("author").content for tree in overview]
+        assert authors == ["Silberschatz", "Garcia-Molina"]

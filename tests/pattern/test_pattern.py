@@ -1,0 +1,144 @@
+"""Pattern-tree structure and tree-subset tests (rewrite Phase 1)."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import TagEquals, tag
+
+
+def chain(*specs) -> PatternTree:
+    """Build a path pattern: specs are (label, tag, axis) with axis for
+    the incoming edge (ignored on the first)."""
+    root_label, root_tag, _ = specs[0]
+    root = PatternNode(root_label, TagEquals(root_tag))
+    current = root
+    for label, tag_name, axis in specs[1:]:
+        current = current.add(label, TagEquals(tag_name), axis)
+    return PatternTree(root)
+
+
+class TestStructure:
+    def test_nodes_preorder(self):
+        root = PatternNode("$1", tag("article"))
+        root.add("$2", tag("title"))
+        root.add("$3", tag("author"))
+        pattern = PatternTree(root)
+        assert pattern.labels() == ["$1", "$2", "$3"]
+
+    def test_edges(self):
+        root = PatternNode("$1", tag("a"))
+        root.add("$2", tag("b"), Axis.AD)
+        pattern = PatternTree(root)
+        [(parent, child, axis)] = pattern.edges()
+        assert (parent.label, child.label, axis) == ("$1", "$2", Axis.AD)
+
+    def test_node_lookup(self):
+        pattern = chain(("$1", "a", None), ("$2", "b", Axis.PC))
+        assert pattern.node("$2").predicate == TagEquals("b")
+        with pytest.raises(PatternError):
+            pattern.node("$9")
+
+    def test_has_node(self):
+        pattern = chain(("$1", "a", None), ("$2", "b", Axis.PC))
+        assert pattern.has_node("$1")
+        assert not pattern.has_node("$3")
+
+    def test_duplicate_labels_rejected(self):
+        root = PatternNode("$1", tag("a"))
+        root.add("$1", tag("b"))
+        with pytest.raises(PatternError):
+            PatternTree(root)
+
+    def test_strengthen_conjoins(self):
+        node = PatternNode("$1", tag("a"))
+        node.strengthen(TagEquals("a"))
+        assert node.predicate.matches("a", None, {})
+
+    def test_sketch(self):
+        pattern = chain(("$1", "doc_root", None), ("$2", "author", Axis.AD))
+        text = pattern.sketch()
+        assert "doc_root" in text and "-ad-" in text
+
+
+class TestTreeSubset:
+    """The Phase-1 subset test with closure marks (paper footnote 6)."""
+
+    def test_identity_subset(self):
+        a = chain(("$1", "doc_root", None), ("$2", "author", Axis.AD))
+        b = chain(("$x", "doc_root", None), ("$y", "author", Axis.AD))
+        mapping = a.is_tree_subset_of(b)
+        assert mapping == {"$1": "$x", "$2": "$y"}
+
+    def test_query1_shape(self):
+        """Fig. 4: outer (root-ad-author) is a subset of the inner
+        (root-ad-article-pc-author) because the composed root~>author
+        edge exists in the closure with an ad mark."""
+        outer = chain(("$1", "doc_root", None), ("$2", "author", Axis.AD))
+        inner = chain(
+            ("$4", "doc_root", None),
+            ("$5", "article", Axis.AD),
+            ("$6", "author", Axis.PC),
+        )
+        mapping = outer.is_tree_subset_of(inner)
+        assert mapping == {"$1": "$4", "$2": "$6"}
+
+    def test_pc_requirement_not_met_by_composition(self):
+        """pc ⊆ ad but NOT ad ⊆ pc: a required pc edge cannot be served
+        by a composed (ad-marked) closure edge."""
+        outer = chain(("$1", "doc_root", None), ("$2", "author", Axis.PC))
+        inner = chain(
+            ("$4", "doc_root", None),
+            ("$5", "article", Axis.PC),
+            ("$6", "author", Axis.PC),
+        )
+        assert outer.is_tree_subset_of(inner) is None
+
+    def test_pc_requirement_met_by_direct_pc(self):
+        outer = chain(("$1", "article", None), ("$2", "author", Axis.PC))
+        inner = chain(("$a", "article", None), ("$b", "author", Axis.PC))
+        assert outer.is_tree_subset_of(inner) is not None
+
+    def test_ad_requirement_met_by_pc_edge(self):
+        outer = chain(("$1", "article", None), ("$2", "author", Axis.AD))
+        inner = chain(("$a", "article", None), ("$b", "author", Axis.PC))
+        assert outer.is_tree_subset_of(inner) is not None
+
+    def test_missing_node_not_subset(self):
+        outer = chain(("$1", "doc_root", None), ("$2", "editor", Axis.AD))
+        inner = chain(
+            ("$4", "doc_root", None),
+            ("$5", "article", Axis.AD),
+            ("$6", "author", Axis.PC),
+        )
+        assert outer.is_tree_subset_of(inner) is None
+
+    def test_branching_pattern_subset(self):
+        outer_root = PatternNode("$1", tag("article"))
+        outer_root.add("$2", tag("author"), Axis.AD)
+        outer = PatternTree(outer_root)
+
+        inner_root = PatternNode("$a", tag("article"))
+        inner_root.add("$b", tag("title"), Axis.PC)
+        inner_root.add("$c", tag("author"), Axis.PC)
+        inner = PatternTree(inner_root)
+
+        mapping = outer.is_tree_subset_of(inner)
+        assert mapping == {"$1": "$a", "$2": "$c"}
+
+    def test_edge_direction_matters(self):
+        outer = chain(("$1", "author", None), ("$2", "article", Axis.AD))
+        inner = chain(("$a", "article", None), ("$b", "author", Axis.PC))
+        assert outer.is_tree_subset_of(inner) is None
+
+    def test_backtracking_over_ambiguous_nodes(self):
+        """Two candidate targets share a predicate; only one satisfies the
+        edge, so the search must backtrack."""
+        outer = chain(("$1", "article", None), ("$2", "author", Axis.PC))
+        inner_root = PatternNode("$a", tag("article"))
+        inner_root.add("$b", tag("author"), Axis.PC)
+        sub = inner_root.add("$c", tag("note"), Axis.PC)
+        sub.add("$d", tag("author"), Axis.PC)  # author NOT a pc-child of article
+        inner = PatternTree(inner_root)
+        mapping = outer.is_tree_subset_of(inner)
+        assert mapping == {"$1": "$a", "$2": "$b"}

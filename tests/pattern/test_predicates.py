@@ -1,0 +1,142 @@
+"""Predicate-language tests."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.predicates import (
+    AnyNode,
+    AttributeEquals,
+    Conjunction,
+    ContentCompare,
+    ContentEquals,
+    ContentWildcard,
+    TagEquals,
+    conjoin,
+    tag,
+    tag_content,
+)
+
+
+def check(pred, tag_name="t", content=None, attributes=None):
+    return pred.matches(tag_name, content, attributes or {})
+
+
+class TestAtoms:
+    def test_any_node(self):
+        assert check(AnyNode(), "anything", "x", {"a": "b"})
+
+    def test_tag_equals(self):
+        assert check(TagEquals("article"), "article")
+        assert not check(TagEquals("article"), "book")
+        assert TagEquals("article").tag_constraint() == "article"
+
+    def test_content_equals(self):
+        pred = ContentEquals("Jack")
+        assert check(pred, content="Jack")
+        assert not check(pred, content="Jill")
+        assert not check(pred, content=None)
+        assert pred.content_equality() == "Jack"
+
+    def test_attribute_equals(self):
+        pred = AttributeEquals("lang", "en")
+        assert check(pred, attributes={"lang": "en"})
+        assert not check(pred, attributes={"lang": "fr"})
+        assert not check(pred, attributes={})
+
+
+class TestWildcard:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("*Transaction*", "Overview of Transaction Mng", True),
+            ("*Transaction*", "Transaction", True),
+            ("*Transaction*", "transactions", False),
+            ("Transaction*", "Transaction Mng", True),
+            ("Transaction*", "A Transaction", False),
+            ("*Mng", "Transaction Mng", True),
+            ("*Mng", "Mng things", False),
+            ("exact", "exact", True),
+            ("exact", "not exact", False),
+            ("a*b*c", "aXXbYYc", True),
+            ("a*b*c", "acb", False),
+            ("*", "anything", True),
+            ("**", "anything", True),
+        ],
+    )
+    def test_glob_semantics(self, pattern, text, expected):
+        assert check(ContentWildcard(pattern), content=text) is expected
+
+    def test_none_content_never_matches(self):
+        assert not check(ContentWildcard("*"), content=None)
+
+    def test_literal_pattern_exposes_equality(self):
+        assert ContentWildcard("exact").content_equality() == "exact"
+        assert ContentWildcard("ex*act").content_equality() is None
+
+
+class TestCompare:
+    def test_numeric_comparison(self):
+        assert check(ContentCompare("<", "2000"), content="1999")
+        assert not check(ContentCompare("<", "2000"), content="2001")
+        assert check(ContentCompare(">=", "10"), content="10")
+
+    def test_lexicographic_fallback(self):
+        assert check(ContentCompare("<", "b"), content="a")
+        assert check(ContentCompare("!=", "x"), content="y")
+
+    def test_none_content(self):
+        assert not check(ContentCompare("<", "5"), content=None)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(PatternError):
+            ContentCompare("~", "x")
+
+
+class TestConjunction:
+    def test_all_parts_required(self):
+        pred = conjoin(TagEquals("author"), ContentEquals("Jack"))
+        assert check(pred, "author", "Jack")
+        assert not check(pred, "author", "Jill")
+        assert not check(pred, "title", "Jack")
+
+    def test_flattening(self):
+        inner = Conjunction([TagEquals("a"), ContentEquals("x")])
+        outer = Conjunction([inner, AttributeEquals("k", "v")])
+        assert len(outer.parts) == 3
+
+    def test_any_node_dropped(self):
+        pred = conjoin(AnyNode(), TagEquals("a"))
+        assert isinstance(pred, TagEquals)
+
+    def test_empty_conjunction_is_any(self):
+        assert isinstance(conjoin(), AnyNode)
+
+    def test_constraint_extraction(self):
+        pred = conjoin(TagEquals("author"), ContentEquals("Jack"))
+        assert pred.tag_constraint() == "author"
+        assert pred.content_equality() == "Jack"
+
+    def test_conflicting_tags_no_constraint(self):
+        pred = Conjunction([TagEquals("a"), TagEquals("b")])
+        assert pred.tag_constraint() is None
+
+
+class TestEquivalence:
+    def test_canonical_equality_order_insensitive(self):
+        a = conjoin(TagEquals("author"), ContentEquals("Jack"))
+        b = conjoin(ContentEquals("Jack"), TagEquals("author"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_predicates_unequal(self):
+        assert TagEquals("a") != TagEquals("b")
+        assert TagEquals("a") != ContentEquals("a")
+
+    def test_helpers(self):
+        assert tag("x") == TagEquals("x")
+        assert tag_content("x", "1") == conjoin(TagEquals("x"), ContentEquals("1"))
+
+    def test_describe_readable(self):
+        pred = conjoin(TagEquals("title"), ContentWildcard("*Transaction*"))
+        text = pred.describe()
+        assert "title" in text and "Transaction" in text

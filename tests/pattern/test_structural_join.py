@@ -1,0 +1,109 @@
+"""Structural-join tests: correctness vs brute force, ordering, stats."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.indexing.labels import NodeLabel
+from repro.pattern.pattern import Axis
+from repro.pattern.structural_join import (
+    brute_force_join,
+    join_statistics,
+    structural_join,
+    structural_join_pairs_by_ancestor,
+)
+from repro.storage.store import NodeStore
+from repro.xmlmodel.node import XMLNode
+
+
+def labels_for(store: NodeStore, tag: str) -> list[NodeLabel]:
+    out = []
+    for record in store.scan():
+        if store.meta.symbols.name(record.tag_sym) == tag:
+            out.append(NodeLabel(record.nid, record.start, record.end, record.level))
+    return out
+
+
+class TestOnSampleDatabase:
+    def test_article_author_ad(self, store):
+        articles = labels_for(store, "article")
+        authors = labels_for(store, "author")
+        pairs = structural_join(articles, authors, Axis.AD)
+        assert len(pairs) == 5  # one per (article, author) occurrence
+
+    def test_article_author_pc_same_here(self, store):
+        articles = labels_for(store, "article")
+        authors = labels_for(store, "author")
+        assert len(structural_join(articles, authors, Axis.PC)) == 5
+
+    def test_root_to_authors(self, store):
+        roots = labels_for(store, "doc_root")
+        authors = labels_for(store, "author")
+        assert len(structural_join(roots, authors, Axis.AD)) == 5
+        assert len(structural_join(roots, authors, Axis.PC)) == 0  # not children
+
+    def test_output_in_descendant_document_order(self, store):
+        roots = labels_for(store, "doc_root")
+        authors = labels_for(store, "author")
+        pairs = structural_join(roots, authors, Axis.AD)
+        starts = [descendant.start for _, descendant in pairs]
+        assert starts == sorted(starts)
+
+    def test_grouped_by_ancestor(self, store):
+        articles = labels_for(store, "article")
+        authors = labels_for(store, "author")
+        grouped = structural_join_pairs_by_ancestor(articles, authors, Axis.AD)
+        assert sorted(len(v) for v in grouped.values()) == [1, 2, 2]
+
+    def test_statistics_advance(self, store):
+        stats = join_statistics()
+        stats.reset()
+        structural_join(labels_for(store, "article"), labels_for(store, "author"), Axis.AD)
+        assert stats.joins == 1
+        assert stats.pairs_emitted == 5
+        assert stats.candidates_consumed == 8
+
+    def test_empty_inputs(self):
+        assert structural_join([], [], Axis.AD) == []
+        assert structural_join([NodeLabel(0, 0, 9, 0)], [], Axis.AD) == []
+        assert structural_join([], [NodeLabel(0, 0, 9, 0)], Axis.AD) == []
+
+
+def random_tree_labels(shape: list[int], fanout_seed: int) -> list[NodeLabel]:
+    """Build a random tree from a shape list and return all its labels."""
+    root = XMLNode("n0")
+    nodes = [root]
+    for i, parent_pick in enumerate(shape, start=1):
+        parent = nodes[parent_pick % len(nodes)]
+        nodes.append(parent.add(f"n{i}"))
+    store = NodeStore()
+    store.load_tree(root, "t.xml")
+    return [
+        NodeLabel(record.nid, record.start, record.end, record.level)
+        for record in store.scan()
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shape=st.lists(st.integers(0, 1000), min_size=0, max_size=40),
+    a_mask=st.integers(0, 2**41 - 1),
+    d_mask=st.integers(0, 2**41 - 1),
+    axis=st.sampled_from([Axis.AD, Axis.PC]),
+)
+def test_matches_brute_force(shape, a_mask, d_mask, axis):
+    """On random trees and random candidate subsets, the stack join
+    returns exactly the brute-force pair set."""
+    labels = random_tree_labels(shape, 0)
+    ancestors = [label for i, label in enumerate(labels) if a_mask & (1 << i)]
+    descendants = [label for i, label in enumerate(labels) if d_mask & (1 << i)]
+    fast = set(structural_join(ancestors, descendants, axis))
+    slow = set(brute_force_join(ancestors, descendants, axis))
+    assert fast == slow
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=st.lists(st.integers(0, 1000), min_size=1, max_size=40))
+def test_self_join_excludes_identity(shape):
+    """Joining a stream with itself never pairs a node with itself."""
+    labels = random_tree_labels(shape, 0)
+    pairs = structural_join(labels, labels, Axis.AD)
+    assert all(a.nid != d.nid for a, d in pairs)

@@ -1,0 +1,40 @@
+"""Witness-binding container tests."""
+
+from repro.indexing.labels import NodeLabel
+from repro.pattern.witness import StoreMatch, TreeMatch
+from repro.xmlmodel.node import element
+
+
+class TestTreeMatch:
+    def test_accessors(self):
+        author = element("author", "Jack")
+        match = TreeMatch(bindings={"$1": author}, tree_index=3)
+        assert match.node("$1") is author
+        assert match.labels() == ["$1"]
+        assert match.tree_index == 3
+
+
+class TestStoreMatch:
+    def make(self):
+        return StoreMatch(
+            bindings={
+                "$1": NodeLabel(10, 20, 29, 1),
+                "$2": NodeLabel(12, 22, 23, 2),
+            }
+        )
+
+    def test_nid_and_label(self):
+        match = self.make()
+        assert match.nid("$1") == 10
+        assert match.label_of("$2") == NodeLabel(12, 22, 23, 2)
+
+    def test_sort_key_follows_pattern_order(self):
+        match = self.make()
+        assert match.sort_key(["$1", "$2"]) == (20, 22)
+        assert match.sort_key(["$2", "$1"]) == (22, 20)
+
+    def test_values_cache_starts_empty(self):
+        match = self.make()
+        assert match.values == {}
+        match.values["$1"] = "Jack"
+        assert self.make().values == {}  # no shared state between matches

@@ -1,0 +1,81 @@
+"""Numeric aggregate builtins (sum/min/max/avg) in the query language."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.query.database import Database
+
+
+@pytest.fixture
+def numbers_db():
+    db = Database()
+    db.load_text(
+        """
+        <doc_root>
+          <sale><region>east</region><amount>10</amount></sale>
+          <sale><region>east</region><amount>5</amount></sale>
+          <sale><region>west</region><amount>2.5</amount></sale>
+        </doc_root>
+        """,
+        "sales.xml",
+    )
+    return db
+
+
+def one_value(db, text):
+    result = db.query(text, plan="direct")
+    [tree] = list(result.collection)
+    return tree.root.content
+
+
+class TestAggregates:
+    def test_sum(self, numbers_db):
+        assert one_value(numbers_db, '<r>{sum(document("sales.xml")//amount)}</r>') == "17.5"
+
+    def test_min(self, numbers_db):
+        assert one_value(numbers_db, '<r>{min(document("sales.xml")//amount)}</r>') == "2.5"
+
+    def test_max(self, numbers_db):
+        assert one_value(numbers_db, '<r>{max(document("sales.xml")//amount)}</r>') == "10"
+
+    def test_avg(self, numbers_db):
+        # (10 + 5 + 2.5) / 3
+        value = one_value(numbers_db, '<r>{avg(document("sales.xml")//amount)}</r>')
+        assert abs(float(value) - 17.5 / 3) < 1e-9
+
+    def test_sum_of_empty_is_zero(self, numbers_db):
+        assert one_value(numbers_db, '<r>{sum(document("sales.xml")//nothing)}</r>') == "0"
+
+    def test_min_of_empty_is_empty(self, numbers_db):
+        assert one_value(numbers_db, '<r>{min(document("sales.xml")//nothing)}</r>') is None
+
+    def test_non_numeric_rejected(self, numbers_db):
+        with pytest.raises(TranslationError):
+            numbers_db.query('<r>{sum(document("sales.xml")//region)}</r>', plan="direct")
+
+    def test_grouped_aggregate(self, numbers_db):
+        query = """
+        FOR $r IN distinct-values(document("sales.xml")//region)
+        RETURN <regiontotal>{$r}{sum(
+            FOR $s IN document("sales.xml")//sale
+            WHERE $r = $s/region RETURN $s/amount)}</regiontotal>
+        """
+        result = numbers_db.query(query, plan="direct").collection
+        got = {t.root.children[0].content: t.root.content for t in result}
+        assert got == {"east": "15", "west": "2.5"}
+
+    def test_auto_mode_rewrites_grouped_sum(self, numbers_db):
+        """sum-grouping is inside the extended rewrite family: auto runs
+        the GROUPBY plan and matches direct execution."""
+        query = """
+        FOR $r IN distinct-values(document("sales.xml")//region)
+        RETURN <t>{$r}{sum(
+            FOR $s IN document("sales.xml")//sale
+            WHERE $r = $s/region RETURN $s/amount)}</t>
+        """
+        result = numbers_db.query(query, plan="auto")
+        assert result.plan_mode == "groupby"
+        reference = numbers_db.query(query, plan="direct").collection
+        assert result.collection.structurally_equal(reference)
+        got = {t.root.children[0].content: t.root.content for t in result.collection}
+        assert got == {"east": "15", "west": "2.5"}

@@ -1,0 +1,67 @@
+"""Attribute path steps (``/@name``)."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.query.ast import Step, render
+from repro.query.database import Database
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def attr_db():
+    db = Database()
+    db.load_text(
+        """
+        <doc_root>
+          <article id="a1" lang="en"><title>T1</title></article>
+          <article id="a2"><title>T2</title></article>
+        </doc_root>
+        """,
+        "bib.xml",
+    )
+    return db
+
+
+class TestParsing:
+    def test_attribute_step(self):
+        expr = parse_query('document("b")//article/@id')
+        assert expr.steps[-1] == Step("@", "id")
+
+    def test_render_roundtrip(self):
+        expr = parse_query('document("b")//article/@id')
+        assert parse_query(render(expr)) == expr
+
+    def test_descendant_attribute_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('document("b")//@id')
+
+
+class TestEvaluation:
+    def run_values(self, db, text):
+        result = db.query(text, plan="direct")
+        return [tree.root.content for tree in result.collection]
+
+    def test_attribute_values(self, attr_db):
+        query = (
+            'FOR $a IN document("bib.xml")//article RETURN <id>{$a/@id}</id>'
+        )
+        assert self.run_values(attr_db, query) == ["a1", "a2"]
+
+    def test_missing_attribute_skipped(self, attr_db):
+        query = (
+            'FOR $a IN document("bib.xml")//article RETURN <l>{$a/@lang}</l>'
+        )
+        assert self.run_values(attr_db, query) == ["en", None]
+
+    def test_attribute_in_where(self, attr_db):
+        query = (
+            'FOR $a IN document("bib.xml")//article '
+            'WHERE $a/@id = "a2" RETURN $a/title'
+        )
+        result = attr_db.query(query, plan="direct").collection
+        assert [t.root.content for t in result] == ["T2"]
+
+    def test_count_of_attributes(self, attr_db):
+        query = '<n>{count(document("bib.xml")//article/@lang)}</n>'
+        assert self.run_values(attr_db, query) == ["1"]

@@ -1,0 +1,135 @@
+"""Database facade tests."""
+
+import os
+
+import pytest
+
+from repro.datagen.sample import QUERY_1, QUERY_COUNT, figure6_database
+from repro.errors import DatabaseError
+from repro.query.database import PLAN_MODES, Database
+
+
+class TestLoading:
+    def test_documents_listed(self, db):
+        assert db.documents() == ["bib.xml"]
+
+    def test_root_tag(self, db):
+        assert db.root_tag("bib.xml") == "doc_root"
+
+    def test_load_text(self):
+        db = Database()
+        db.load_text("<r><x>1</x></r>", "t.xml")
+        assert db.documents() == ["t.xml"]
+
+    def test_load_file(self, tmp_path):
+        path = os.path.join(tmp_path, "t.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("<r><x>1</x></r>")
+        db = Database()
+        db.load_file(path, "t.xml")
+        assert db.documents() == ["t.xml"]
+
+
+class TestQueryModes:
+    def test_all_modes_agree_on_query1(self, db):
+        reference = db.query(QUERY_1, plan="direct").collection
+        for mode in ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby", "auto"):
+            got = db.query(QUERY_1, plan=mode).collection
+            assert got.structurally_equal(reference), mode
+
+    def test_all_modes_agree_on_count(self, db):
+        reference = db.query(QUERY_COUNT, plan="direct").collection
+        for mode in ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby"):
+            got = db.query(QUERY_COUNT, plan=mode).collection
+            assert got.structurally_equal(reference), mode
+
+    def test_auto_uses_groupby_for_grouping_queries(self, db):
+        result = db.query(QUERY_1, plan="auto")
+        assert result.plan_mode == "groupby"
+
+    def test_auto_falls_back_to_direct(self, db):
+        result = db.query(
+            'FOR $t IN document("bib.xml")//title RETURN <t>{$t}</t>', plan="auto"
+        )
+        assert result.plan_mode == "direct"
+        assert len(result.collection) == 3
+
+    def test_unknown_mode_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.query(QUERY_1, plan="warp-speed")
+
+    def test_plan_modes_constant_consistent(self, db):
+        for mode in PLAN_MODES:
+            assert db.query(QUERY_1, plan=mode).collection is not None
+
+    def test_result_metadata(self, db):
+        result = db.query(QUERY_1, plan="groupby")
+        assert result.elapsed_seconds >= 0
+        assert result.plan is not None
+        assert "value_lookups" in result.statistics
+        assert len(result) == 3
+
+
+class TestExplain:
+    def test_explain_shows_both_plans(self, db):
+        text = db.explain(QUERY_1)
+        assert "naive (join) plan" in text
+        assert "GROUPBY" in text
+        assert "left_outer_join" in text
+        assert "groupby basis=['$2*']" in text
+
+    def test_plans_for(self, db):
+        naive, grouped = db.plans_for(QUERY_1)
+        assert naive.op == "stitch"
+        assert grouped.op == "project_groups"
+
+
+class TestPersistence:
+    def test_reopen_and_query(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        with Database(directory=directory) as db:
+            db.load_tree(figure6_database(), "bib.xml")
+            expected = db.query(QUERY_1).collection
+        with Database(directory=directory) as db:
+            assert db.documents() == ["bib.xml"]
+            assert db.query(QUERY_1).collection.structurally_equal(expected)
+
+    def test_cold_run_counts_physical_reads(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        with Database(directory=directory) as db:
+            db.load_tree(figure6_database(), "bib.xml")
+        with Database(directory=directory, pool_frames=4) as db:
+            result = db.query(QUERY_1, plan="groupby")
+            assert result.statistics["physical_reads"] >= 0
+
+
+class TestMultiDocumentSafety:
+    def test_physical_plans_scoped_to_named_document(self, db):
+        """Regression: with several documents loaded, plans over
+        document("bib.xml") must not see the other documents' nodes."""
+        db.load_text(
+            "<doc_root><article><title>Alien</title><author>Zed</author>"
+            "</article></doc_root>",
+            "other.xml",
+        )
+        reference = db.query(QUERY_1, plan="direct").collection
+        assert len(reference) == 3  # Jack, John, Jill — not Zed
+        for mode in ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby"):
+            got = db.query(QUERY_1, plan=mode).collection
+            assert got.structurally_equal(reference), mode
+        # And the other document is queryable on its own.
+        other_query = QUERY_1.replace("bib.xml", "other.xml")
+        other = db.query(other_query, plan="groupby").collection
+        assert [t.root.children[0].content for t in other] == ["Zed"]
+
+    def test_query_must_target_one_document(self, db):
+        db.load_text("<doc_root><author>Solo</author></doc_root>", "other.xml")
+        query = (
+            'FOR $a IN distinct-values(document("bib.xml")//author) RETURN '
+            '<o>{$a}{FOR $b IN document("other.xml")//article '
+            "WHERE $a = $b/author RETURN $b/title}</o>"
+        )
+        from repro.errors import TranslationError
+
+        with pytest.raises(TranslationError):
+            db.plans_for(query)

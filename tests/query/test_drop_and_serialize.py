@@ -1,0 +1,73 @@
+"""Document removal and result serialization."""
+
+import os
+
+import pytest
+
+from repro.datagen.sample import QUERY_1, figure6_database
+from repro.errors import DatabaseError
+from repro.query.database import Database
+from repro.xmlmodel.parse import parse_document
+
+
+class TestDropDocument:
+    def test_drop_removes_from_catalog(self, db):
+        db.drop_document("bib.xml")
+        assert db.documents() == []
+        with pytest.raises(DatabaseError):
+            db.store.document("bib.xml")
+
+    def test_drop_unknown_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.drop_document("ghost.xml")
+
+    def test_queries_stop_seeing_dropped_document(self, db):
+        db.load_text(
+            "<doc_root><article><title>X</title><author>Z</author></article></doc_root>",
+            "other.xml",
+        )
+        db.drop_document("bib.xml")
+        query = QUERY_1.replace("bib.xml", "other.xml")
+        result = db.query(query, plan="groupby")
+        assert len(result.collection) == 1
+        assert result.collection[0].root.children[0].content == "Z"
+
+    def test_indexes_rebuilt_without_dropped_postings(self, db):
+        before = db.indexes.tag_cardinality("author")
+        assert before == 5
+        db.load_text(
+            "<doc_root><article><author>Z</author></article></doc_root>", "o.xml"
+        )
+        db.drop_document("bib.xml")
+        assert db.indexes.tag_cardinality("author") == 1
+
+    def test_drop_persists(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        with Database(directory=directory) as database:
+            database.load_tree(figure6_database(), "bib.xml")
+            database.load_text("<doc_root><x>1</x></doc_root>", "b.xml")
+            database.drop_document("bib.xml")
+        with Database(directory=directory) as database:
+            assert database.documents() == ["b.xml"]
+
+    def test_remaining_document_still_queryable_after_drop(self, db):
+        db.load_tree(figure6_database().deep_copy(), "second.xml")
+        db.drop_document("bib.xml")
+        query = QUERY_1.replace("bib.xml", "second.xml")
+        result = db.query(query, plan="groupby")
+        assert len(result.collection) == 3
+
+
+class TestResultSerialization:
+    def test_to_xml_parses_back(self, db):
+        result = db.query(QUERY_1, plan="groupby")
+        text = result.to_xml(indent=None)
+        fragments = text.splitlines()
+        assert len(fragments) == 3
+        for fragment, tree in zip(fragments, result.collection):
+            assert parse_document(fragment).structurally_equal(tree.root)
+
+    def test_to_xml_indented(self, db):
+        text = db.query(QUERY_1).to_xml()
+        assert "<authorpubs>" in text
+        assert text.count("</authorpubs>") == 3

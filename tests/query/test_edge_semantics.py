@@ -1,0 +1,163 @@
+"""Edge-case semantics, checked across every engine.
+
+XML's permissiveness is the paper's motivation — missing sub-elements,
+repeated sub-elements, empty values.  Each case here runs the grouping
+query on a hand-built document and asserts all engines agree (and what
+they agree on).
+"""
+
+import pytest
+
+from repro.datagen.sample import QUERY_1, QUERY_COUNT
+from repro.query.database import Database
+from repro.xmlmodel.diff import assert_collections_equal
+
+ENGINES = ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby")
+
+
+def database(text: str) -> Database:
+    db = Database()
+    db.load_text(text, "bib.xml")
+    return db
+
+
+def run_all(db: Database, query: str):
+    reference = db.query(query, plan="direct").collection
+    for mode in ENGINES:
+        assert_collections_equal(db.query(query, plan=mode).collection, reference)
+    return reference
+
+
+class TestEmptyShapes:
+    def test_no_articles_at_all(self):
+        db = database("<doc_root><note>empty</note></doc_root>")
+        result = run_all(db, QUERY_1)
+        assert len(result) == 0
+
+    def test_articles_without_authors(self):
+        db = database(
+            "<doc_root><article><title>T1</title></article>"
+            "<article><title>T2</title></article></doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert len(result) == 0  # no authors -> no groups
+
+    def test_mixed_authored_and_authorless(self):
+        db = database(
+            "<doc_root>"
+            "<article><title>T1</title><author>A</author></article>"
+            "<article><title>T2</title></article>"
+            "</doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert len(result) == 1
+        titles = [c.content for c in result[0].root.children[1:]]
+        assert titles == ["T1"]
+
+
+class TestRepetition:
+    def test_duplicate_author_elements_on_one_article(self):
+        """Two <author>A</author> on one article: the title appears once
+        (the 'duplicate elimination based on articles')."""
+        db = database(
+            "<doc_root><article><title>T1</title>"
+            "<author>A</author><author>A</author></article></doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert len(result) == 1
+        titles = [c.content for c in result[0].root.children[1:]]
+        assert titles == ["T1"]
+
+    def test_duplicate_authors_count_once(self):
+        db = database(
+            "<doc_root><article><title>T1</title>"
+            "<author>A</author><author>A</author></article></doc_root>"
+        )
+        result = run_all(db, QUERY_COUNT)
+        assert result[0].root.content == "1"
+
+    def test_one_author_many_articles(self):
+        articles = "".join(
+            f"<article><title>T{i}</title><author>A</author></article>"
+            for i in range(10)
+        )
+        db = database(f"<doc_root>{articles}</doc_root>")
+        result = run_all(db, QUERY_COUNT)
+        assert len(result) == 1
+        assert result[0].root.content == "10"
+
+    def test_article_missing_title(self):
+        """Grouping still works; the member just contributes no title."""
+        db = database(
+            "<doc_root>"
+            "<article><author>A</author></article>"
+            "<article><title>T2</title><author>A</author></article>"
+            "</doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        titles = [c.content for c in result[0].root.children[1:]]
+        assert titles == ["T2"]
+
+
+class TestValues:
+    def test_whitespace_sensitive_values(self):
+        db = database(
+            "<doc_root>"
+            "<article><title>T1</title><author>A B</author></article>"
+            "<article><title>T2</title><author>A  B</author></article>"
+            "</doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert len(result) == 2  # 'A B' != 'A  B'
+
+    def test_unicode_values(self):
+        db = database(
+            "<doc_root><article><title>Grüße 東京</title>"
+            "<author>Ünal Köhler</author></article></doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert result[0].root.children[0].content == "Ünal Köhler"
+        assert result[0].root.children[1].content == "Grüße 東京"
+
+    def test_numeric_looking_values_stay_text(self):
+        db = database(
+            "<doc_root>"
+            "<article><title>T1</title><author>10</author></article>"
+            "<article><title>T2</title><author>10.0</author></article>"
+            "</doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert len(result) == 2  # string grouping: '10' != '10.0'
+
+    def test_case_sensitive_grouping(self):
+        db = database(
+            "<doc_root>"
+            "<article><title>T1</title><author>jack</author></article>"
+            "<article><title>T2</title><author>Jack</author></article>"
+            "</doc_root>"
+        )
+        result = run_all(db, QUERY_1)
+        assert len(result) == 2
+
+
+class TestScaleExtremes:
+    def test_single_node_groups(self):
+        """Every author distinct: as many groups as articles."""
+        articles = "".join(
+            f"<article><title>T{i}</title><author>A{i}</author></article>"
+            for i in range(20)
+        )
+        db = database(f"<doc_root>{articles}</doc_root>")
+        result = run_all(db, QUERY_COUNT)
+        assert len(result) == 20
+        assert all(t.root.content == "1" for t in result)
+
+    def test_everything_in_one_group(self):
+        articles = "".join(
+            f"<article><title>T{i}</title><author>A</author></article>"
+            for i in range(20)
+        )
+        db = database(f"<doc_root>{articles}</doc_root>")
+        result = run_all(db, QUERY_1)
+        assert len(result) == 1
+        assert len(result[0].root.children) == 21  # author + 20 titles

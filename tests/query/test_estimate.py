@@ -1,0 +1,181 @@
+"""Cardinality estimator and plan-costing tests (the optimizer box)."""
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp_with_profile
+from repro.datagen.sample import QUERY_1
+from repro.pattern.matcher import StoreMatcher
+from repro.pattern.pattern import Axis, PatternNode, PatternTree
+from repro.pattern.predicates import tag
+from repro.query.database import Database
+from repro.query.estimate import CardinalityEstimator
+from repro.query.parser import parse_query
+from repro.query.rewrite import rewrite
+from repro.query.translate import naive_plan, recognize
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    tree, profile = generate_dblp_with_profile(
+        DBLPConfig(n_articles=300, n_authors=90, seed=7)
+    )
+    db = Database()
+    db.load_tree(tree, "bib.xml")
+    return db, profile
+
+
+@pytest.fixture
+def estimator(loaded):
+    db, _ = loaded
+    return CardinalityEstimator(db.store, db.indexes)
+
+
+def pattern_of(*chain):
+    root = PatternNode("$1", tag(chain[0]))
+    current = root
+    for index, name in enumerate(chain[1:], start=2):
+        current = current.add(f"${index}", tag(name), Axis.PC)
+    return PatternTree(root)
+
+
+class TestBaseStatistics:
+    def test_tag_count_exact(self, loaded, estimator):
+        _, profile = loaded
+        assert estimator.tag_count("article") == profile.n_articles
+        assert estimator.tag_count("author") == profile.n_author_occurrences
+
+    def test_unknown_tag_zero(self, estimator):
+        assert estimator.tag_count("ghost") == 0
+
+    def test_unconstrained_counts_all_nodes(self, loaded, estimator):
+        db, profile = loaded
+        assert estimator.tag_count(None) == profile.n_nodes
+
+    def test_distinct_count(self, loaded, estimator):
+        _, profile = loaded
+        assert estimator.distinct_count("author") == profile.n_distinct_authors
+
+    def test_distinct_count_cached(self, estimator):
+        first = estimator.distinct_count("author")
+        assert estimator.distinct_count("author") == first
+
+
+class TestPatternCardinality:
+    def test_exact_on_single_chain(self, loaded, estimator):
+        db, profile = loaded
+        pattern = pattern_of("article", "author")
+        estimated = estimator.pattern_cardinality(pattern)
+        actual = len(StoreMatcher(db.store, db.indexes).match(pattern))
+        assert actual == profile.n_author_occurrences
+        assert abs(estimated - actual) < 1e-6  # exact for DBLP shape
+
+    def test_root_anchored_chain(self, loaded, estimator):
+        db, _ = loaded
+        pattern = pattern_of("doc_root", "article")
+        # article is a pc child of doc_root in the generator.
+        actual = len(StoreMatcher(db.store, db.indexes).match(pattern))
+        assert abs(estimator.pattern_cardinality(pattern) - actual) < 1e-6
+
+    def test_empty_tag_gives_zero(self, estimator):
+        assert estimator.pattern_cardinality(pattern_of("ghost", "author")) == 0.0
+
+    def test_match_cost_is_candidate_total(self, loaded, estimator):
+        _, profile = loaded
+        pattern = pattern_of("article", "author")
+        assert estimator.pattern_match_cost(pattern) == (
+            profile.n_articles + profile.n_author_occurrences
+        )
+
+
+class TestValueSelectivity:
+    def test_equality_uses_distinct_count(self, loaded, estimator):
+        db, profile = loaded
+        from repro.pattern.predicates import ContentEquals, conjoin
+        from repro.pattern.pattern import PatternNode, PatternTree
+
+        # Pick an actual author so the exact count is known.
+        name, postings = db.indexes.distinct_values("author")[0]
+        root = PatternNode("$1", conjoin(tag("author"), ContentEquals(name)))
+        estimated = estimator.pattern_cardinality(PatternTree(root))
+        average = profile.n_author_occurrences / profile.n_distinct_authors
+        assert abs(estimated - average) < 1e-6  # uniformity assumption
+
+    def test_comparison_selectivity_heuristic(self, estimator):
+        from repro.pattern.predicates import ContentCompare, conjoin
+        from repro.pattern.pattern import PatternNode, PatternTree
+
+        unfiltered = PatternTree(PatternNode("$1", tag("year")))
+        filtered = PatternTree(
+            PatternNode("$1", conjoin(tag("year"), ContentCompare(">", "1995")))
+        )
+        ratio = estimator.pattern_cardinality(filtered) / estimator.pattern_cardinality(
+            unfiltered
+        )
+        assert abs(ratio - estimator.COMPARE_SELECTIVITY) < 1e-9
+
+    def test_conjunction_multiplies(self, estimator):
+        from repro.pattern.predicates import (
+            AttributeEquals,
+            Conjunction,
+            ContentCompare,
+        )
+
+        predicate = Conjunction(
+            [ContentCompare(">", "1"), AttributeEquals("k", "v")]
+        )
+        expected = estimator.COMPARE_SELECTIVITY * estimator.ATTRIBUTE_SELECTIVITY
+        assert abs(estimator.value_selectivity(predicate, "year") - expected) < 1e-9
+
+    def test_plain_tag_selectivity_is_one(self, estimator):
+        assert estimator.value_selectivity(tag("author"), "author") == 1.0
+
+
+class TestPlanCosting:
+    def plans(self, db):
+        expr = parse_query(QUERY_1)
+        naive = naive_plan(recognize(expr), db.root_tag("bib.xml"))
+        return naive, rewrite(naive)
+
+    def test_groupby_always_cheaper(self, loaded, estimator):
+        db, _ = loaded
+        naive, grouped = self.plans(db)
+        choice = estimator.compare_plans(naive, grouped)
+        assert choice.winner == "groupby"
+        assert choice.advantage > 1
+
+    def test_hash_join_narrows_but_keeps_winner(self, loaded, estimator):
+        db, _ = loaded
+        naive, grouped = self.plans(db)
+        nested = estimator.compare_plans(naive, grouped, "nested-loop")
+        hashed = estimator.compare_plans(naive, grouped, "value-hash")
+        assert hashed.naive_cost < nested.naive_cost
+        assert hashed.winner == "groupby"
+
+    def test_estimates_track_measurement(self, loaded, estimator):
+        """The estimated naive/groupby cost ratio is within 5x of the
+        measured value-lookup+record-lookup ratio (order of magnitude)."""
+        db, _ = loaded
+        naive, grouped = self.plans(db)
+        choice = estimator.compare_plans(naive, grouped)
+        db.store.reset_statistics()
+        db.query(QUERY_1, plan="naive", reset_statistics=False)
+        measured_naive = db.store.statistics()["record_lookups"]
+        db.store.reset_statistics()
+        db.query(QUERY_1, plan="groupby", reset_statistics=False)
+        measured_grouped = db.store.statistics()["record_lookups"]
+        measured_ratio = measured_naive / measured_grouped
+        assert choice.advantage / measured_ratio < 5
+        assert measured_ratio / choice.advantage < 5
+
+    def test_annotate_renders_rows_and_cost(self, loaded, estimator):
+        db, _ = loaded
+        naive, _ = self.plans(db)
+        text = estimator.annotate(naive)
+        assert "rows" in text and "lookups" in text
+        assert "left_outer_join" in text
+
+    def test_database_verbose_explain(self, loaded):
+        db, _ = loaded
+        text = db.explain(QUERY_1, verbose=True)
+        assert "optimizer" in text
+        assert "advantage" in text

@@ -1,0 +1,156 @@
+"""Inner-WHERE value filters composing with grouping (extension).
+
+``WHERE $a = $b/author AND $b/year > "1995"`` — the filter becomes a
+value predicate on the selection pattern trees; a grouping value whose
+members are all filtered away still appears with an empty group (the
+naive plan's left-outer-join padding, kept in the rewritten plan via
+the outer-distinct input).
+"""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.query.database import Database
+from repro.query.parser import parse_query
+from repro.query.rewrite import rewrite
+from repro.query.translate import naive_plan, recognize
+from repro.xmlmodel.diff import assert_collections_equal
+
+ENGINES = ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby")
+
+FILTERED_QUERY = """
+FOR $a IN distinct-values(document("bib.xml")//author)
+RETURN <o>{$a}{
+FOR $b IN document("bib.xml")//article
+WHERE $a = $b/author AND $b/year > "1995"
+RETURN $b/title}</o>
+"""
+
+
+@pytest.fixture
+def filtered_db():
+    db = Database()
+    db.load_text(
+        """
+        <doc_root>
+          <article><title>T1</title><year>1999</year><author>A</author></article>
+          <article><title>T2</title><year>1990</year><author>A</author></article>
+          <article><title>T3</title><year>1990</year><author>C</author></article>
+          <article><title>T4</title><year>2001</year><author>B</author></article>
+        </doc_root>
+        """,
+        "bib.xml",
+    )
+    return db
+
+
+class TestRecognition:
+    def test_filters_extracted(self):
+        query = recognize(parse_query(FILTERED_QUERY))
+        assert query.condition_path == ("author",)
+        assert query.filters == ((("year",), ">", "1995"),)
+
+    def test_literal_on_left_flips_operator(self):
+        text = FILTERED_QUERY.replace('$b/year > "1995"', '"1995" < $b/year')
+        query = recognize(parse_query(text))
+        assert query.filters == ((("year",), ">", "1995"),)
+
+    def test_equality_filter(self):
+        text = FILTERED_QUERY.replace('$b/year > "1995"', '$b/year = "1999"')
+        query = recognize(parse_query(text))
+        assert query.filters == ((("year",), "=", "1999"),)
+
+    def test_multiple_filters(self):
+        text = FILTERED_QUERY.replace(
+            '$b/year > "1995"', '$b/year > "1995" AND $b/year < "2000"'
+        )
+        query = recognize(parse_query(text))
+        assert len(query.filters) == 2
+
+    def test_two_outer_references_rejected(self):
+        text = FILTERED_QUERY.replace('$b/year > "1995"', "$a = $b/author")
+        with pytest.raises(TranslationError):
+            recognize(parse_query(text))
+
+    def test_path_to_path_filter_rejected(self):
+        text = FILTERED_QUERY.replace('$b/year > "1995"', "$b/year = $b/volume")
+        with pytest.raises(TranslationError):
+            recognize(parse_query(text))
+
+
+class TestPlanShape:
+    def test_filter_chain_in_join_pattern(self):
+        plan = naive_plan(recognize(parse_query(FILTERED_QUERY)), "doc_root")
+        join = plan.find("left_outer_join")[0]
+        right = join.params["right_pattern"]
+        assert right.has_node("$f0")
+        predicate = right.node("$f0").predicate
+        assert predicate.matches("year", "1999", {})
+        assert not predicate.matches("year", "1990", {})
+
+    def test_rewrite_moves_filter_to_selection(self):
+        plan = rewrite(naive_plan(recognize(parse_query(FILTERED_QUERY)), "doc_root"))
+        select = plan.find("select")
+        # Two selects: the Phase-2 article selection and the padded
+        # outer-distinct selection.
+        patterns = [node.params["pattern"] for node in select]
+        assert any(p.has_node("$f0") for p in patterns)
+
+    def test_rewrite_keeps_outer_padding_input(self):
+        plan = rewrite(naive_plan(recognize(parse_query(FILTERED_QUERY)), "doc_root"))
+        assert plan.op == "project_groups"
+        assert len(plan.inputs) == 2
+
+    def test_unfiltered_plan_has_no_padding_input(self):
+        from repro.datagen.sample import QUERY_1
+
+        plan = rewrite(naive_plan(recognize(parse_query(QUERY_1)), "doc_root"))
+        assert len(plan.inputs) == 1
+
+
+class TestSemantics:
+    def test_filter_excludes_members(self, filtered_db):
+        result = filtered_db.query(FILTERED_QUERY, plan="groupby").collection
+        got = {
+            t.root.children[0].content: [c.content for c in t.root.children[1:]]
+            for t in result
+        }
+        assert got == {"A": ["T1"], "C": [], "B": ["T4"]}
+
+    def test_orphaned_value_kept_empty(self, filtered_db):
+        """Author C's only article fails the filter: C still appears."""
+        result = filtered_db.query(FILTERED_QUERY, plan="groupby").collection
+        values = [t.root.children[0].content for t in result]
+        assert values == ["A", "C", "B"]  # document order of first occurrence
+
+    def test_engines_agree(self, filtered_db):
+        reference = filtered_db.query(FILTERED_QUERY, plan="direct").collection
+        for engine in ENGINES:
+            assert_collections_equal(
+                filtered_db.query(FILTERED_QUERY, plan=engine).collection, reference
+            )
+
+    def test_filtered_count(self, filtered_db):
+        text = FILTERED_QUERY.replace(
+            "{\nFOR", "{count(\nFOR"
+        ).replace("RETURN $b/title}", "RETURN $b/title)}")
+        reference = filtered_db.query(text, plan="direct").collection
+        got = {t.root.children[0].content: t.root.content for t in reference}
+        assert got == {"A": "1", "C": "0", "B": "1"}
+        for engine in ENGINES:
+            assert_collections_equal(
+                filtered_db.query(text, plan=engine).collection, reference
+            )
+
+    def test_equality_filter_end_to_end(self, filtered_db):
+        text = FILTERED_QUERY.replace('$b/year > "1995"', '$b/year = "1990"')
+        reference = filtered_db.query(text, plan="direct").collection
+        got = {
+            t.root.children[0].content: [c.content for c in t.root.children[1:]]
+            for t in reference
+        }
+        assert got == {"A": ["T2"], "C": ["T3"], "B": []}
+        for engine in ENGINES:
+            assert_collections_equal(
+                filtered_db.query(text, plan=engine).collection, reference
+            )

@@ -1,0 +1,133 @@
+"""Direct-interpreter tests (the Sec. 6 baseline engine)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.query.interpreter import Interpreter
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def interp(store, indexes):
+    return Interpreter(store, indexes)
+
+
+def values(interp, text):
+    return [interp._atomize(item) for item in interp.evaluate(parse_query(text))]
+
+
+class TestPaths:
+    def test_descendant_step(self, interp):
+        assert values(interp, 'document("bib.xml")//author') == [
+            "Jack", "John", "Jill", "Jack", "John",
+        ]
+
+    def test_child_step(self, interp):
+        out = values(interp, 'document("bib.xml")//article/title')
+        assert out == ["Querying XML", "XML and the Web", "Hack HTML"]
+
+    def test_wildcard_child(self, interp, store):
+        items = interp.evaluate(parse_query('document("bib.xml")/*'))
+        assert [store.tag(nid) for nid in items] == ["article"] * 3
+
+    def test_predicate_variable_free(self, interp):
+        out = values(interp, 'document("bib.xml")//article[author = "Jill"]/title')
+        assert out == ["XML and the Web"]
+
+    def test_predicate_no_match(self, interp):
+        assert values(interp, 'document("bib.xml")//article[author = "X"]/title') == []
+
+    def test_unknown_document_rejected(self, interp):
+        from repro.errors import DatabaseError
+
+        with pytest.raises(DatabaseError):
+            interp.evaluate(parse_query('document("nope.xml")//a'))
+
+
+class TestBuiltins:
+    def test_distinct_values(self, interp):
+        out = values(interp, 'distinct-values(document("bib.xml")//author)')
+        assert out == ["Jack", "John", "Jill"]
+
+    def test_count(self, interp):
+        assert values(interp, 'count(document("bib.xml")//article)') == ["3"]
+
+    def test_count_empty(self, interp):
+        assert values(interp, 'count(document("bib.xml")//nothing)') == ["0"]
+
+
+class TestFLWR:
+    def test_for_iterates_items(self, interp):
+        out = values(
+            interp, 'FOR $a IN document("bib.xml")//author RETURN $a'
+        )
+        assert len(out) == 5
+
+    def test_where_filters(self, interp):
+        out = values(
+            interp,
+            'FOR $b IN document("bib.xml")//article '
+            'WHERE $b/author = "Jill" RETURN $b/title',
+        )
+        assert out == ["XML and the Web"]
+
+    def test_let_binds_sequence(self, interp):
+        out = values(
+            interp,
+            'FOR $a IN document("bib.xml")//article '
+            "LET $t := $a/title RETURN count($t)",
+        )
+        assert out == ["1", "1", "1"]
+
+    def test_nested_flwr(self, interp):
+        out = values(
+            interp,
+            'FOR $a IN distinct-values(document("bib.xml")//author) RETURN '
+            'count(FOR $b IN document("bib.xml")//article '
+            "WHERE $a = $b/author RETURN $b)",
+        )
+        assert out == ["2", "2", "1"]
+
+    def test_unbound_variable_rejected(self, interp):
+        with pytest.raises(TranslationError):
+            interp.evaluate(parse_query("$ghost"))
+
+    def test_comparison_operators(self, interp):
+        out = values(
+            interp,
+            'FOR $y IN document("bib.xml")//year WHERE $y >= "1999" RETURN $y',
+        )
+        assert out == ["1999"]
+
+
+class TestConstruction:
+    def test_run_wraps_collection(self, interp):
+        result = interp.run(
+            parse_query(
+                'FOR $a IN distinct-values(document("bib.xml")//author) '
+                "RETURN <who>{$a}</who>"
+            )
+        )
+        assert len(result) == 3
+        assert result[0].root.tag == "who"
+        assert result[0].root.children[0].content == "Jack"
+
+    def test_materialized_nodes_keep_subtrees(self, interp):
+        result = interp.run(
+            parse_query(
+                'FOR $b IN document("bib.xml")//article '
+                'WHERE $b/author = "Jill" RETURN <hit>{$b}</hit>'
+            )
+        )
+        article = result[0].root.children[0]
+        assert article.find("title").content == "XML and the Web"
+
+    def test_text_and_values_joined(self, interp):
+        result = interp.run(
+            parse_query('FOR $a IN document("bib.xml")//title RETURN <t>title: {count($a)}</t>')
+        )
+        assert result[0].root.content == "title: 1"
+
+    def test_constructor_attributes(self, interp):
+        result = interp.run(parse_query('<x kind="probe"/>'))
+        assert result[0].root.attributes == {"kind": "probe"}

@@ -1,0 +1,139 @@
+"""Extended interpreter coverage: multi-variable FOR, nested LET, deep
+paths, wildcards, and error behaviour."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.query.database import Database
+from repro.query.interpreter import Interpreter
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def deep_db():
+    db = Database()
+    db.load_text(
+        """
+        <doc_root>
+          <conf>
+            <session>
+              <article><title>T1</title><author>A</author></article>
+              <article><title>T2</title><author>B</author></article>
+            </session>
+            <session>
+              <article><title>T3</title><author>A</author></article>
+            </session>
+          </conf>
+          <journal>
+            <article><title>T4</title><author>C</author></article>
+          </journal>
+        </doc_root>
+        """,
+        "lib.xml",
+    )
+    return db
+
+
+def values(db, text):
+    interp = Interpreter(db.store, db.indexes)
+    return [interp._atomize(item) for item in interp.evaluate(parse_query(text))]
+
+
+class TestDeepPaths:
+    def test_descendant_anywhere(self, deep_db):
+        assert values(deep_db, 'document("lib.xml")//title') == ["T1", "T2", "T3", "T4"]
+
+    def test_descendant_within_child(self, deep_db):
+        out = values(deep_db, 'document("lib.xml")/conf//title')
+        assert out == ["T1", "T2", "T3"]
+
+    def test_descendant_of_descendant(self, deep_db):
+        out = values(deep_db, 'document("lib.xml")//session//author')
+        assert out == ["A", "B", "A"]
+
+    def test_wildcard_then_named(self, deep_db):
+        out = values(deep_db, 'document("lib.xml")/*/*/article/title')
+        assert out == ["T1", "T2", "T3"]
+
+    def test_mixed_axes_dedup(self, deep_db):
+        # //article from overlapping contexts must not duplicate.
+        out = values(deep_db, 'document("lib.xml")//conf//article/title')
+        assert out == ["T1", "T2", "T3"]
+
+
+class TestMultiVariableFor:
+    def test_cartesian_iteration(self, deep_db):
+        text = (
+            'FOR $s IN document("lib.xml")//session, '
+            '$j IN document("lib.xml")//journal '
+            "RETURN count($s)"
+        )
+        # 2 sessions x 1 journal = 2 bindings.
+        assert values(deep_db, text) == ["1", "1"]
+
+    def test_dependent_inner_source(self, deep_db):
+        text = (
+            'FOR $s IN document("lib.xml")//session, $a IN $s/article '
+            "RETURN $a/title"
+        )
+        assert values(deep_db, text) == ["T1", "T2", "T3"]
+
+    def test_nested_let_rebinding(self, deep_db):
+        text = (
+            'FOR $s IN document("lib.xml")//session '
+            "LET $t := $s/article/title "
+            "LET $n := count($t) "
+            "RETURN $n"
+        )
+        assert values(deep_db, text) == ["2", "1"]
+
+
+class TestWhereShapes:
+    def test_where_on_counted_path(self, deep_db):
+        text = (
+            'FOR $s IN document("lib.xml")//session '
+            'WHERE $s/article/author = "B" RETURN count($s/article)'
+        )
+        assert values(deep_db, text) == ["2"]
+
+    def test_conjunction(self, deep_db):
+        text = (
+            'FOR $a IN document("lib.xml")//article '
+            'WHERE $a/author = "A" AND $a/title = "T3" RETURN $a/title'
+        )
+        assert values(deep_db, text) == ["T3"]
+
+    def test_inequality(self, deep_db):
+        text = (
+            'FOR $a IN document("lib.xml")//article '
+            'WHERE $a/author != "A" RETURN $a/title'
+        )
+        assert values(deep_db, text) == ["T2", "T4"]
+
+
+class TestErrors:
+    def test_step_on_string_rejected(self, deep_db):
+        with pytest.raises(TranslationError):
+            values(deep_db, 'FOR $x IN "literal" RETURN $x/step')
+
+    def test_attribute_on_string_rejected(self, deep_db):
+        with pytest.raises(TranslationError):
+            values(deep_db, 'FOR $x IN "literal" RETURN $x/@id')
+
+
+class TestConstructorComposition:
+    def test_nested_constructors_with_bindings(self, deep_db):
+        result = deep_db.query(
+            'FOR $s IN document("lib.xml")//session '
+            "RETURN <wrap><n>{count($s/article)}</n></wrap>",
+            plan="direct",
+        ).collection
+        assert [t.root.children[0].content for t in result] == ["2", "1"]
+
+    def test_constructor_inside_flwr_inside_constructor(self, deep_db):
+        result = deep_db.query(
+            '<all>{FOR $t IN document("lib.xml")//journal//title RETURN <t>{$t}</t>}</all>',
+            plan="direct",
+        ).collection
+        [tree] = list(result)
+        assert tree.root.children[0].children[0].content == "T4"

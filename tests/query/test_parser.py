@@ -1,0 +1,233 @@
+"""XQuery-subset parser tests."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.query.ast import (
+    Comparison,
+    CountCall,
+    DistinctValues,
+    DocumentCall,
+    ElementConstructor,
+    EmbeddedExpr,
+    FLWR,
+    ForClause,
+    LetClause,
+    NumberLiteral,
+    PathExpr,
+    StringLiteral,
+    TextItem,
+    VarRef,
+    render,
+)
+from repro.query.parser import parse_query
+
+
+class TestPrimaries:
+    def test_string_literal(self):
+        assert parse_query('"hello"') == StringLiteral("hello")
+
+    def test_single_quoted_string(self):
+        assert parse_query("'hi'") == StringLiteral("hi")
+
+    def test_number(self):
+        assert parse_query("42") == NumberLiteral("42")
+
+    def test_variable(self):
+        assert parse_query("$a") == VarRef("a")
+
+    def test_document_call(self):
+        assert parse_query('document("bib.xml")') == DocumentCall("bib.xml")
+
+    def test_parenthesized(self):
+        assert parse_query('("x")') == StringLiteral("x")
+
+    def test_comment_skipped(self):
+        assert parse_query('(: a comment :) "x"') == StringLiteral("x")
+
+
+class TestPaths:
+    def test_descendant_step(self):
+        expr = parse_query('document("b")//author')
+        assert isinstance(expr, PathExpr)
+        assert expr.steps[0].axis == "//"
+        assert expr.steps[0].name == "author"
+
+    def test_child_chain(self):
+        expr = parse_query("$b/author/institution")
+        assert [s.name for s in expr.steps] == ["author", "institution"]
+        assert all(s.axis == "/" for s in expr.steps)
+
+    def test_wildcard_step(self):
+        expr = parse_query("$b/*")
+        assert expr.steps[0].name == "*"
+
+    def test_predicate_with_variable(self):
+        expr = parse_query('document("b")//article[author = $a]/title')
+        step = expr.steps[0]
+        assert step.predicate.path == ("author",)
+        assert step.predicate.op == "="
+        assert step.predicate.right == VarRef("a")
+        assert expr.steps[1].name == "title"
+
+    def test_predicate_with_literal(self):
+        expr = parse_query('document("b")//article[year > "1995"]')
+        predicate = expr.steps[0].predicate
+        assert predicate.op == ">"
+        assert predicate.right == StringLiteral("1995")
+
+    def test_predicate_multi_step_path(self):
+        expr = parse_query("$d//article[author/institution = $i]")
+        assert expr.steps[0].predicate.path == ("author", "institution")
+
+
+class TestFunctions:
+    def test_distinct_values(self):
+        expr = parse_query('distinct-values(document("b")//author)')
+        assert isinstance(expr, DistinctValues)
+
+    def test_count(self):
+        expr = parse_query("count($t)")
+        assert expr == CountCall(VarRef("t"))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("mystery($x)")
+
+    def test_document_requires_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("document($x)")
+
+
+class TestFLWR:
+    def test_simple_for_return(self):
+        expr = parse_query('FOR $a IN document("b")//author RETURN $a')
+        assert isinstance(expr, FLWR)
+        assert expr.clauses == (ForClause("a", PathExpr(DocumentCall("b"), expr.clauses[0].source.steps)),)
+        assert expr.ret == VarRef("a")
+
+    def test_lowercase_keywords(self):
+        expr = parse_query('for $a in document("b")//author return $a')
+        assert isinstance(expr, FLWR)
+
+    def test_let_clause(self):
+        expr = parse_query('LET $t := document("b")//title RETURN $t')
+        assert isinstance(expr.clauses[0], LetClause)
+
+    def test_where_comparison(self):
+        expr = parse_query(
+            'FOR $b IN document("b")//article WHERE $a = $b/author RETURN $b'
+        )
+        assert isinstance(expr.where, Comparison)
+        assert expr.where.left == VarRef("a")
+
+    def test_where_and(self):
+        expr = parse_query(
+            'FOR $b IN document("b")//article '
+            'WHERE $a = $b/author AND $b/year = "1999" RETURN $b'
+        )
+        from repro.query.ast import AndExpr
+
+        assert isinstance(expr.where, AndExpr)
+        assert len(expr.where.parts) == 2
+
+    def test_multiple_for_vars(self):
+        expr = parse_query(
+            'FOR $a IN document("b")//x, $b IN document("b")//y RETURN $a'
+        )
+        assert len(expr.clauses) == 2
+
+    def test_nested_flwr_in_return(self):
+        expr = parse_query(
+            'FOR $a IN document("b")//author RETURN '
+            '<out>{FOR $b IN document("b")//article RETURN $b/title}</out>'
+        )
+        inner = expr.ret.items[0].expr
+        assert isinstance(inner, FLWR)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('FOR $a IN document("b")//x')
+
+    def test_missing_in_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query('FOR $a document("b")//x RETURN $a')
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        expr = parse_query("<a/>")
+        assert expr == ElementConstructor("a", (), ())
+
+    def test_attributes(self):
+        expr = parse_query('<a k="v" l="w"/>')
+        assert expr.attributes == (("k", "v"), ("l", "w"))
+
+    def test_text_content(self):
+        expr = parse_query("<a>hello world</a>")
+        assert expr.items == (TextItem("hello world"),)
+
+    def test_embedded_expression(self):
+        expr = parse_query("<a>{$x}</a>")
+        assert expr.items == (EmbeddedExpr(VarRef("x")),)
+
+    def test_nested_constructor(self):
+        expr = parse_query("<a><b>{$x}</b></a>")
+        assert isinstance(expr.items[0], ElementConstructor)
+
+    def test_mismatched_closing_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("<a></b>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("<a>{$x}")
+
+
+class TestPaperQueries:
+    def test_query1_parses(self):
+        from repro.datagen.sample import QUERY_1
+
+        expr = parse_query(QUERY_1)
+        assert isinstance(expr, FLWR)
+        constructor = expr.ret
+        assert constructor.tag == "authorpubs"
+        assert len([i for i in constructor.items if isinstance(i, EmbeddedExpr)]) == 2
+
+    def test_query2_parses(self):
+        from repro.datagen.sample import QUERY_2
+
+        expr = parse_query(QUERY_2)
+        assert isinstance(expr.clauses[1], LetClause)
+
+    def test_count_query_parses(self):
+        from repro.datagen.sample import QUERY_COUNT
+
+        expr = parse_query(QUERY_COUNT)
+        embedded = [i for i in expr.ret.items if isinstance(i, EmbeddedExpr)]
+        assert isinstance(embedded[1].expr, CountCall)
+
+    def test_render_roundtrip(self):
+        from repro.datagen.sample import QUERY_1
+
+        expr = parse_query(QUERY_1)
+        again = parse_query(render(expr))
+        assert again == expr
+
+
+class TestErrors:
+    def test_trailing_input_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("$a $b")
+
+    def test_error_position(self):
+        try:
+            parse_query("FOR $a IN\n  mystery($x) RETURN $a")
+        except XQuerySyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected syntax error")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("")

@@ -1,0 +1,113 @@
+"""AST rendering coverage: every node type prints, and parses back."""
+
+import pytest
+
+from repro.query.ast import (
+    AggregateCall,
+    AndExpr,
+    Comparison,
+    CountCall,
+    DistinctValues,
+    DocumentCall,
+    ElementConstructor,
+    EmbeddedExpr,
+    FLWR,
+    ForClause,
+    LetClause,
+    NumberLiteral,
+    PathExpr,
+    SortKey,
+    Step,
+    StepPredicate,
+    StringLiteral,
+    TextItem,
+    VarRef,
+    render,
+)
+from repro.query.parser import parse_query
+
+
+class TestAtomRendering:
+    @pytest.mark.parametrize(
+        "node,expected",
+        [
+            (StringLiteral("x"), '"x"'),
+            (NumberLiteral("42"), "42"),
+            (VarRef("a"), "$a"),
+            (DocumentCall("bib.xml"), 'document("bib.xml")'),
+            (CountCall(VarRef("t")), "count($t)"),
+            (AggregateCall("sum", VarRef("t")), "sum($t)"),
+            (DistinctValues(VarRef("a")), "distinct-values($a)"),
+        ],
+    )
+    def test_atoms(self, node, expected):
+        assert render(node) == expected
+
+    def test_comparison_and_conjunction(self):
+        comparison = Comparison(VarRef("a"), "=", StringLiteral("x"))
+        assert render(comparison) == '$a = "x"'
+        both = AndExpr((comparison, Comparison(VarRef("b"), "<", NumberLiteral("3"))))
+        assert render(both) == '$a = "x" AND $b < 3'
+
+    def test_paths_with_predicates(self):
+        path = PathExpr(
+            DocumentCall("b"),
+            (
+                Step("//", "article", StepPredicate(("author",), "=", VarRef("a"))),
+                Step("/", "title"),
+                Step("@", "id"),
+            ),
+        )
+        assert render(path) == 'document("b")//article[author = $a]/title/@id'
+
+    def test_constructor(self):
+        constructor = ElementConstructor(
+            "out",
+            (("k", "v"),),
+            (TextItem("hello"), EmbeddedExpr(VarRef("x"))),
+        )
+        assert render(constructor) == '<out k="v">hello {$x}</out>'
+
+    def test_flwr_with_everything(self):
+        flwr = FLWR(
+            (
+                ForClause("a", DistinctValues(PathExpr(DocumentCall("b"), (Step("//", "author"),)))),
+                LetClause("t", VarRef("a")),
+            ),
+            Comparison(VarRef("a"), "!=", StringLiteral("")),
+            VarRef("t"),
+            (SortKey((".",), "DESCENDING"),),
+        )
+        text = render(flwr)
+        assert "FOR $a IN" in text
+        assert "LET $t :=" in text
+        assert "WHERE" in text
+        assert "SORTBY (. DESCENDING)" in text
+
+    def test_unrenderable_rejected(self):
+        with pytest.raises(TypeError):
+            render(object())
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            '"literal"',
+            "$v",
+            'document("b")//a/b/c',
+            'document("b")//a[x = "1"]/b',
+            "count($t)",
+            "sum($t)",
+            'distinct-values(document("b")//a)',
+            'FOR $a IN document("b")//x RETURN $a',
+            'FOR $a IN document("b")//x WHERE $a = "v" RETURN <o>{$a}</o>',
+            'FOR $a IN document("b")//x RETURN $a SORTBY(. DESCENDING)',
+            'FOR $a IN document("b")//x LET $y := $a/b RETURN count($y)',
+            "<a><b>text</b>{$x}</a>",
+            'document("b")//a/@id',
+        ],
+    )
+    def test_parse_render_parse(self, query):
+        first = parse_query(query)
+        assert parse_query(render(first)) == first

@@ -1,0 +1,162 @@
+"""F6-F10 golden tests: the worked example of Sec. 4.1 on the Fig. 6
+database, step by step through both pipelines."""
+
+from repro.core.base import TAX_GROUP_ROOT, TAX_PROD_ROOT
+from repro.core.duplicates import DuplicateElimination
+from repro.core.groupby import GroupBy
+from repro.core.join import Join, JoinKind
+from repro.core.projection import Projection
+from repro.core.selection import Selection
+from repro.datagen.sample import QUERY_1
+from repro.query.parser import parse_query
+from repro.query.rewrite import groupby_pattern, initial_pattern
+from repro.query.translate import (
+    OUTER_GROUP_LABEL,
+    join_right_pattern,
+    outer_pattern,
+    recognize,
+)
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def database(fig6_tree) -> Collection:
+    return Collection([DataTree(fig6_tree)])
+
+
+class TestFigure7:
+    """Outer selection + projection + duplicate elimination: one tree per
+    distinct author under the document root."""
+
+    def step(self, fig6_tree) -> Collection:
+        pattern = outer_pattern("doc_root", "author")
+        selected = Selection(pattern, {OUTER_GROUP_LABEL}).apply(database(fig6_tree))
+        projected = Projection(pattern, ["$1", "$2*"]).apply(selected)
+        return DuplicateElimination(pattern, "$2").apply(projected)
+
+    def test_three_distinct_authors(self, fig6_tree):
+        out = self.step(fig6_tree)
+        assert len(out) == 3
+        authors = [tree.root.find("author").content for tree in out]
+        assert authors == ["Jack", "John", "Jill"]  # Fig. 7 order
+
+    def test_tree_shape(self, fig6_tree):
+        out = self.step(fig6_tree)
+        for tree in out:
+            assert tree.root.tag == "doc_root"
+            assert [c.tag for c in tree.root.children] == ["author"]
+
+
+class TestFigure8:
+    """The left outer join: one tax_prod_root tree per (author, article)
+    join pair, in author-major order."""
+
+    def step(self, fig6_tree) -> Collection:
+        outer = TestFigure7().step(fig6_tree)
+        operator = Join(
+            outer_pattern("doc_root", "author"),
+            join_right_pattern("doc_root", "article", ("author",)),
+            conditions=[("$2", "$6")],
+            kind=JoinKind.LEFT_OUTER,
+            selection_list={"$5"},
+        )
+        return operator.apply(outer, database(fig6_tree))
+
+    def test_five_join_pairs(self, fig6_tree):
+        out = self.step(fig6_tree)
+        assert len(out) == 5  # Jack x2, John x2, Jill x1 (Fig. 8)
+        assert all(tree.root.tag == TAX_PROD_ROOT for tree in out)
+
+    def test_pairing(self, fig6_tree):
+        out = self.step(fig6_tree)
+        pairs = []
+        for tree in out:
+            author = tree.root.children[0].find("author").content
+            article = tree.root.children[1].children[0]
+            pairs.append((author, article.find("title").content))
+        assert pairs == [
+            ("Jack", "Querying XML"),
+            ("Jack", "XML and the Web"),
+            ("John", "Querying XML"),
+            ("John", "Hack HTML"),
+            ("Jill", "XML and the Web"),
+        ]
+
+
+class TestFigure9:
+    """Phase 2 step 1: selection + projection with the Fig. 5.a pattern
+    yields the collection of complete article trees."""
+
+    def step(self, fig6_tree) -> Collection:
+        pattern = initial_pattern("doc_root", "article")
+        selected = Selection(pattern, {"$2"}).apply(database(fig6_tree))
+        return Projection(pattern, ["$2*"]).apply(selected)
+
+    def test_three_article_trees(self, fig6_tree):
+        out = self.step(fig6_tree)
+        assert len(out) == 3
+        assert all(tree.root.tag == "article" for tree in out)
+
+    def test_entire_subtrees_kept(self, fig6_tree):
+        out = self.step(fig6_tree)
+        for got, expected in zip(out, fig6_tree.children):
+            assert got.root.structurally_equal(expected)
+
+
+class TestFigure10:
+    """The GROUPBY operator produces the intermediate group trees:
+    Jack's, John's, and Jill's groups with their complete articles."""
+
+    def step(self, fig6_tree) -> Collection:
+        articles = TestFigure9().step(fig6_tree)
+        pattern = groupby_pattern("article", ("author",))
+        return GroupBy(pattern, ["$2"]).apply(articles)
+
+    def test_three_groups_in_fig10_order(self, fig6_tree):
+        groups = self.step(fig6_tree)
+        values = [t.root.children[0].children[0].content for t in groups]
+        assert values == ["Jack", "John", "Jill"]
+        assert all(t.root.tag == TAX_GROUP_ROOT for t in groups)
+
+    def test_group_members_match_figure(self, fig6_tree):
+        groups = self.step(fig6_tree)
+        members = {
+            t.root.children[0].children[0].content: [
+                m.find("title").content for m in t.root.children[1].children
+            ]
+            for t in groups
+        }
+        assert members == {
+            "Jack": ["Querying XML", "XML and the Web"],
+            "John": ["Querying XML", "Hack HTML"],
+            "Jill": ["XML and the Web"],
+        }
+
+    def test_members_are_complete_source_trees(self, fig6_tree):
+        groups = self.step(fig6_tree)
+        jack_first = groups[0].root.children[1].children[0]
+        assert jack_first.structurally_equal(fig6_tree.children[0])
+
+
+class TestEndToEnd:
+    """The full pipelines produce the paper's final answer."""
+
+    EXPECTED = {
+        "Jack": ["Querying XML", "XML and the Web"],
+        "John": ["Querying XML", "Hack HTML"],
+        "Jill": ["XML and the Web"],
+    }
+
+    def test_all_engines(self, db):
+        for mode in ("direct", "naive", "groupby", "logical-naive", "logical-groupby"):
+            result = db.query(QUERY_1, plan=mode)
+            got = {
+                tree.root.children[0].content: [
+                    c.content for c in tree.root.children[1:]
+                ]
+                for tree in result.collection
+            }
+            assert got == self.EXPECTED, mode
+
+    def test_query_recognized_as_grouping(self):
+        query = recognize(parse_query(QUERY_1))
+        assert query.group_tag == "author"

@@ -1,0 +1,86 @@
+"""Store compaction tests: dropped space reclaimed, live data intact."""
+
+import os
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1, figure6_database
+from repro.query.database import Database
+from repro.storage.store import NodeStore
+
+
+def big_tree():
+    return generate_dblp(DBLPConfig(n_articles=200, n_authors=40, seed=5))
+
+
+class TestStoreCompact:
+    def test_in_memory_compaction_preserves_documents(self):
+        store = NodeStore()
+        keep = figure6_database()
+        store.load_tree(keep.deep_copy(), "keep.xml")
+        store.load_tree(big_tree(), "drop.xml")
+        store.drop_document("drop.xml")
+        compacted = store.compact()
+        assert [info.name for info in compacted.documents()] == ["keep.xml"]
+        info = compacted.document("keep.xml")
+        assert compacted.materialize(info.root_nid).structurally_equal(keep)
+
+    def test_space_reclaimed(self):
+        store = NodeStore()
+        store.load_tree(figure6_database(), "keep.xml")
+        store.load_tree(big_tree(), "drop.xml")
+        pages_before = store.disk.n_pages
+        store.drop_document("drop.xml")
+        compacted = store.compact()
+        assert compacted.disk.n_pages < pages_before
+
+    def test_nids_renumbered_densely(self):
+        store = NodeStore()
+        store.load_tree(big_tree(), "drop.xml")
+        store.load_tree(figure6_database(), "keep.xml")
+        store.drop_document("drop.xml")
+        compacted = store.compact()
+        info = compacted.document("keep.xml")
+        assert info.first_nid == 0
+        assert compacted.n_nodes() == info.n_nodes
+
+    def test_on_disk_compaction(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        store = NodeStore(directory)
+        store.load_tree(big_tree(), "drop.xml")
+        store.load_tree(figure6_database(), "keep.xml")
+        size_before = os.path.getsize(os.path.join(directory, "data.pages"))
+        store.drop_document("drop.xml")
+        compacted = store.compact()
+        size_after = os.path.getsize(os.path.join(directory, "data.pages"))
+        assert size_after < size_before
+        keep = compacted.document("keep.xml")
+        assert compacted.materialize(keep.root_nid).find("article") is not None
+        compacted.close()
+
+    def test_compaction_survives_reopen(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        store = NodeStore(directory)
+        store.load_tree(big_tree(), "drop.xml")
+        store.load_tree(figure6_database(), "keep.xml")
+        store.drop_document("drop.xml")
+        store.compact().close()
+        with NodeStore(directory) as reopened:
+            assert [info.name for info in reopened.documents()] == ["keep.xml"]
+
+
+class TestDatabaseCompact:
+    def test_queries_work_after_compaction(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        with Database(directory=directory) as db:
+            db.load_tree(big_tree(), "drop.xml")
+            db.load_tree(figure6_database(), "bib.xml")
+            expected = db.query(QUERY_1).collection
+            db.drop_document("drop.xml")
+            db.compact()
+            assert db.query(QUERY_1).collection.structurally_equal(expected)
+
+    def test_in_memory_database_compaction(self, db):
+        db.load_tree(big_tree(), "extra.xml")
+        db.drop_document("extra.xml")
+        db.compact()
+        assert len(db.query(QUERY_1).collection) == 3

@@ -1,0 +1,103 @@
+"""Disk-manager tests for both backings."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskManager
+from repro.storage.page import PAGE_SIZE, Page
+
+
+@pytest.fixture(params=["memory", "file"])
+def disk(request, tmp_path):
+    if request.param == "memory":
+        yield DiskManager(None)
+    else:
+        manager = DiskManager(os.path.join(tmp_path, "data.pages"))
+        yield manager
+        manager.close()
+
+
+class TestAllocateWriteRead:
+    def test_allocate_sequential_ids(self, disk):
+        assert disk.allocate_page() == 0
+        assert disk.allocate_page() == 1
+        assert disk.n_pages == 2
+
+    def test_write_then_read(self, disk):
+        page_id = disk.allocate_page()
+        page = Page(page_id)
+        page.insert_record(b"hello")
+        disk.write_page(page)
+        again = disk.read_page(page_id)
+        assert again.read_record(0) == b"hello"
+
+    def test_write_clears_dirty(self, disk):
+        page = Page(disk.allocate_page())
+        page.insert_record(b"x")
+        disk.write_page(page)
+        assert not page.dirty
+
+    def test_read_unallocated_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.read_page(0)
+
+    def test_write_unallocated_rejected(self, disk):
+        with pytest.raises(StorageError):
+            disk.write_page(Page(5))
+
+    def test_overwrite_page(self, disk):
+        page_id = disk.allocate_page()
+        first = Page(page_id)
+        first.insert_record(b"one")
+        disk.write_page(first)
+        second = Page(page_id)
+        second.insert_record(b"two")
+        disk.write_page(second)
+        assert disk.read_page(page_id).read_record(0) == b"two"
+
+
+class TestStatistics:
+    def test_counters_advance(self, disk):
+        page = Page(disk.allocate_page())
+        disk.write_page(page)
+        disk.read_page(0)
+        disk.read_page(0)
+        assert disk.stats.allocations == 1
+        assert disk.stats.physical_writes == 1
+        assert disk.stats.physical_reads == 2
+
+    def test_reset(self, disk):
+        disk.allocate_page()
+        disk.stats.reset()
+        assert disk.stats.snapshot() == {
+            "physical_reads": 0,
+            "physical_writes": 0,
+            "allocations": 0,
+        }
+
+
+class TestFileBacking:
+    def test_reopen_reads_back(self, tmp_path):
+        path = os.path.join(tmp_path, "d.pages")
+        with DiskManager(path) as disk:
+            page = Page(disk.allocate_page())
+            page.insert_record(b"persisted")
+            disk.write_page(page)
+        with DiskManager(path) as disk:
+            assert disk.n_pages == 1
+            assert disk.read_page(0).read_record(0) == b"persisted"
+
+    def test_memory_read_before_write_rejected(self):
+        disk = DiskManager(None)
+        disk.allocate_page()
+        with pytest.raises(StorageError):
+            disk.read_page(0)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.pages")
+        with open(path, "wb") as handle:
+            handle.write(b"\0" * (PAGE_SIZE + 17))
+        with pytest.raises(StorageError):
+            DiskManager(path)

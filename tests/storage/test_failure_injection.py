@@ -1,0 +1,99 @@
+"""Failure injection: corrupted pages, damaged metadata, missing files."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import DatabaseError, PageCorruptionError, StorageError
+from repro.storage.page import PAGE_SIZE
+from repro.storage.store import DATA_FILE, META_FILE, NodeStore
+
+
+@pytest.fixture
+def db_dir(tmp_path, fig6_tree):
+    directory = os.path.join(tmp_path, "db")
+    with NodeStore(directory) as store:
+        store.load_tree(fig6_tree, "bib.xml")
+    return directory
+
+
+class TestPageCorruption:
+    def _flip_byte(self, path: str, offset: int) -> None:
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+
+    def test_payload_bit_flip_detected_on_read(self, db_dir):
+        # Flip a byte inside the first page's record area.
+        self._flip_byte(os.path.join(db_dir, DATA_FILE), 100)
+        with NodeStore(db_dir) as store:
+            with pytest.raises(PageCorruptionError):
+                store.record(0)
+
+    def test_header_corruption_detected(self, db_dir):
+        self._flip_byte(os.path.join(db_dir, DATA_FILE), 0)  # magic
+        with NodeStore(db_dir) as store:
+            with pytest.raises(PageCorruptionError):
+                store.record(0)
+
+    def test_truncated_page_file_rejected(self, db_dir):
+        path = os.path.join(db_dir, DATA_FILE)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 10)
+        with pytest.raises(StorageError):
+            NodeStore(db_dir)
+
+    def test_intact_reopen_still_works(self, db_dir, fig6_tree):
+        with NodeStore(db_dir) as store:
+            info = store.document("bib.xml")
+            assert store.materialize(info.root_nid).structurally_equal(fig6_tree)
+
+
+class TestMetadataDamage:
+    def test_missing_meta_treated_as_fresh(self, db_dir):
+        """Without meta.json the directory reopens as an empty catalog
+        (documented behaviour: metadata is the source of truth)."""
+        os.remove(os.path.join(db_dir, META_FILE))
+        with NodeStore(db_dir) as store:
+            assert store.documents() == []
+            with pytest.raises(DatabaseError):
+                store.document("bib.xml")
+
+    def test_corrupt_meta_rejected(self, db_dir):
+        with open(os.path.join(db_dir, META_FILE), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            NodeStore(db_dir)
+
+    def test_meta_save_is_atomic(self, db_dir):
+        """A .tmp file never survives a successful save."""
+        with NodeStore(db_dir) as store:
+            store.flush()
+        assert not os.path.exists(os.path.join(db_dir, META_FILE) + ".tmp")
+
+    def test_stale_nid_range_rejected(self, db_dir):
+        """Metadata pointing past the page file fails loudly, not
+        silently."""
+        meta_path = os.path.join(db_dir, META_FILE)
+        with open(meta_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["page_ids"] = [99]  # page that does not exist
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with NodeStore(db_dir) as store:
+            with pytest.raises(StorageError):
+                store.record(0)
+
+
+class TestOutOfRangeAccess:
+    def test_unknown_nid_rejected(self, store):
+        with pytest.raises(DatabaseError):
+            store.record(10_000)
+
+    def test_negative_nid_rejected(self, store):
+        with pytest.raises(DatabaseError):
+            store.record(-1)

@@ -1,0 +1,139 @@
+"""Metadata-manager unit tests: symbol table, catalog, page directory."""
+
+import os
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.storage.metadata import DocumentInfo, MetadataManager, SymbolTable
+
+
+class TestSymbolTable:
+    def test_intern_is_idempotent(self):
+        table = SymbolTable()
+        a = table.intern("article")
+        assert table.intern("article") == a
+        assert len(table) == 1
+
+    def test_symbols_are_dense(self):
+        table = SymbolTable()
+        symbols = [table.intern(name) for name in ("a", "b", "c")]
+        assert symbols == [0, 1, 2]
+
+    def test_name_roundtrip(self):
+        table = SymbolTable()
+        sym = table.intern("author")
+        assert table.name(sym) == "author"
+
+    def test_lookup_missing_is_none(self):
+        assert SymbolTable().lookup("ghost") is None
+
+    def test_serialization_roundtrip(self):
+        table = SymbolTable()
+        for name in ("x", "y", "z"):
+            table.intern(name)
+        again = SymbolTable.from_list(table.to_list())
+        assert again.names() == table.names()
+        assert again.lookup("y") == table.lookup("y")
+
+
+class TestCatalog:
+    def test_register_and_fetch(self):
+        meta = MetadataManager()
+        info = meta.register_document("a.xml", root_nid=0, n_nodes=5)
+        assert meta.document_by_name("a.xml") == info
+        assert meta.document(info.doc_id) == info
+
+    def test_duplicate_rejected(self):
+        meta = MetadataManager()
+        meta.register_document("a.xml", 0, 5)
+        with pytest.raises(DatabaseError):
+            meta.register_document("a.xml", 5, 3)
+
+    def test_document_of_nid(self):
+        meta = MetadataManager()
+        first = meta.register_document("a.xml", 0, 5)
+        second = meta.register_document("b.xml", 5, 3)
+        assert meta.document_of_nid(4) == first
+        assert meta.document_of_nid(5) == second
+        with pytest.raises(DatabaseError):
+            meta.document_of_nid(99)
+
+    def test_nid_range_properties(self):
+        info = DocumentInfo(doc_id=0, name="a", root_nid=10, n_nodes=4)
+        assert info.first_nid == 10
+        assert info.last_nid == 13
+
+    def test_remove_document(self):
+        meta = MetadataManager()
+        meta.register_document("a.xml", 0, 5)
+        removed = meta.remove_document("a.xml")
+        assert removed.name == "a.xml"
+        with pytest.raises(DatabaseError):
+            meta.document_by_name("a.xml")
+        with pytest.raises(DatabaseError):
+            meta.remove_document("a.xml")
+
+
+class TestPageDirectory:
+    def make(self):
+        meta = MetadataManager()
+        meta.register_page(0, 0)    # nids 0..99
+        meta.register_page(1, 100)  # nids 100..149
+        meta.register_page(2, 150)  # nids 150..
+        meta.next_nid = 200
+        return meta
+
+    def test_locate_first_page(self):
+        assert self.make().locate(0) == (0, 0)
+        assert self.make().locate(99) == (0, 99)
+
+    def test_locate_interior_pages(self):
+        meta = self.make()
+        assert meta.locate(100) == (1, 0)
+        assert meta.locate(149) == (1, 49)
+        assert meta.locate(150) == (2, 0)
+        assert meta.locate(199) == (2, 49)
+
+    def test_locate_out_of_range(self):
+        meta = self.make()
+        with pytest.raises(DatabaseError):
+            meta.locate(200)
+        with pytest.raises(DatabaseError):
+            meta.locate(-1)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        meta = MetadataManager()
+        meta.symbols.intern("article")
+        meta.symbols.intern("author")
+        meta.register_document("a.xml", 0, 7)
+        meta.register_page(0, 0)
+        meta.next_nid = 7
+        meta.next_label = 14
+        path = os.path.join(tmp_path, "meta.json")
+        meta.save(path)
+
+        again = MetadataManager.load(path)
+        assert again.symbols.names() == ["article", "author"]
+        assert again.document_by_name("a.xml").n_nodes == 7
+        assert again.locate(3) == (0, 3)
+        assert again.next_label == 14
+
+    def test_missing_next_label_defaults(self, tmp_path):
+        """Forward compatibility: old meta files without next_label load."""
+        import json
+
+        meta = MetadataManager()
+        meta.register_document("a.xml", 0, 1)
+        meta.register_page(0, 0)
+        meta.next_nid = 1
+        path = os.path.join(tmp_path, "meta.json")
+        meta.save(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        del payload["next_label"]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        assert MetadataManager.load(path).next_label == 0

@@ -1,0 +1,104 @@
+"""Slotted-page unit tests."""
+
+import pytest
+
+from repro.errors import PageCorruptionError, StorageError
+from repro.storage.page import HEADER_SIZE, PAGE_SIZE, SLOT_SIZE, Page
+
+
+class TestInsertRead:
+    def test_insert_returns_sequential_slots(self):
+        page = Page(0)
+        assert page.insert_record(b"alpha") == 0
+        assert page.insert_record(b"beta") == 1
+
+    def test_read_back(self):
+        page = Page(0)
+        page.insert_record(b"alpha")
+        page.insert_record(b"beta")
+        assert page.read_record(0) == b"alpha"
+        assert page.read_record(1) == b"beta"
+
+    def test_records_in_order(self):
+        page = Page(0)
+        payloads = [bytes([i]) * (i + 1) for i in range(10)]
+        for payload in payloads:
+            page.insert_record(payload)
+        assert page.records() == payloads
+
+    def test_empty_record_allowed(self):
+        page = Page(0)
+        slot = page.insert_record(b"")
+        assert page.read_record(slot) == b""
+
+    def test_read_missing_slot_raises(self):
+        page = Page(0)
+        with pytest.raises(StorageError):
+            page.read_record(0)
+
+    def test_dirty_flag_set_on_insert(self):
+        page = Page(0)
+        assert not page.dirty
+        page.insert_record(b"x")
+        assert page.dirty
+
+
+class TestFreeSpace:
+    def test_fresh_page_free_space(self):
+        page = Page(0)
+        assert page.free_space() == PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+    def test_free_space_shrinks_by_record_and_slot(self):
+        page = Page(0)
+        before = page.free_space()
+        page.insert_record(b"12345")
+        assert page.free_space() == before - 5 - SLOT_SIZE
+
+    def test_overflow_rejected(self):
+        page = Page(0)
+        with pytest.raises(StorageError):
+            page.insert_record(b"x" * PAGE_SIZE)
+
+    def test_fill_to_capacity(self):
+        page = Page(0)
+        count = 0
+        while page.free_space() >= 8:
+            page.insert_record(b"12345678")
+            count += 1
+        # 8 KB page, 8-byte records + 4-byte slots: ~680 records fit.
+        assert count == (PAGE_SIZE - HEADER_SIZE) // (8 + SLOT_SIZE)
+        assert page.records()[count - 1] == b"12345678"
+
+
+class TestSealValidate:
+    def test_seal_roundtrip(self):
+        page = Page(7)
+        page.insert_record(b"payload")
+        raw = page.seal()
+        again = Page(7, bytearray(raw))
+        assert again.read_record(0) == b"payload"
+
+    def test_bit_flip_detected(self):
+        page = Page(3)
+        page.insert_record(b"payload")
+        raw = bytearray(page.seal())
+        raw[HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(PageCorruptionError):
+            Page(3, raw)
+
+    def test_wrong_page_id_detected(self):
+        page = Page(3)
+        raw = bytearray(page.seal())
+        with pytest.raises(PageCorruptionError):
+            Page(4, raw)
+
+    def test_bad_magic_detected(self):
+        page = Page(3)
+        raw = bytearray(page.seal())
+        raw[0] = 0x00
+        with pytest.raises(PageCorruptionError):
+            Page(3, raw)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0, bytearray(100))

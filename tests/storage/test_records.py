@@ -1,0 +1,108 @@
+"""Node-record encoding tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.records import NO_PARENT, NodeRecord, decode_record, encode_record
+
+
+def record(**overrides) -> NodeRecord:
+    base = dict(
+        nid=5,
+        parent=2,
+        tag_sym=3,
+        start=10,
+        end=15,
+        level=2,
+        content="Jack",
+        attributes=(("lang", "en"),),
+    )
+    base.update(overrides)
+    return NodeRecord(**base)
+
+
+class TestRoundTrip:
+    def test_full_record(self):
+        original = record()
+        assert decode_record(encode_record(original)) == original
+
+    def test_no_content(self):
+        original = record(content=None)
+        assert decode_record(encode_record(original)) == original
+
+    def test_empty_content_distinct_from_none(self):
+        empty = record(content="")
+        assert decode_record(encode_record(empty)).content == ""
+        none = record(content=None)
+        assert decode_record(encode_record(none)).content is None
+
+    def test_no_attributes(self):
+        original = record(attributes=())
+        assert decode_record(encode_record(original)) == original
+
+    def test_unicode_content(self):
+        original = record(content="Grüß 東京 ∞")
+        assert decode_record(encode_record(original)) == original
+
+    def test_root_parent_sentinel(self):
+        original = record(parent=NO_PARENT)
+        assert decode_record(encode_record(original)).parent == NO_PARENT
+
+    def test_truncated_bytes_rejected(self):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            decode_record(b"\x00\x01")
+
+
+class TestDerivedProperties:
+    def test_subtree_node_count(self):
+        # start=10, end=15: counter values 10..15 cover 3 nodes.
+        assert record(start=10, end=15).subtree_node_count == 3
+
+    def test_leaf(self):
+        assert record(start=10, end=11).is_leaf
+        assert not record(start=10, end=15).is_leaf
+
+    def test_contains(self):
+        outer = record(start=0, end=9)
+        inner = record(start=2, end=3, level=3)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_is_parent_of_requires_level(self):
+        outer = record(start=0, end=9, level=1)
+        child = record(start=2, end=3, level=2)
+        grandchild = record(start=4, end=5, level=3)
+        assert outer.is_parent_of(child)
+        assert not outer.is_parent_of(grandchild)
+
+
+contents = st.one_of(st.none(), st.text(max_size=50))
+names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=10
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    nid=st.integers(0, 2**32 - 1),
+    parent=st.integers(0, 2**32 - 1),
+    tag_sym=st.integers(0, 2**32 - 1),
+    start=st.integers(0, 2**31),
+    level=st.integers(0, 2**16 - 1),
+    content=contents,
+    attributes=st.lists(st.tuples(names, st.text(max_size=20)), max_size=4),
+)
+def test_roundtrip_property(nid, parent, tag_sym, start, level, content, attributes):
+    original = NodeRecord(
+        nid=nid,
+        parent=parent,
+        tag_sym=tag_sym,
+        start=start,
+        end=start + 1,
+        level=level,
+        content=content,
+        attributes=tuple(attributes),
+    )
+    assert decode_record(encode_record(original)) == original

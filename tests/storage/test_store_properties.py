@@ -1,0 +1,78 @@
+"""Property-based tests: the store is a faithful tree codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.records import NO_PARENT
+from repro.storage.store import NodeStore
+from repro.xmlmodel.node import XMLNode
+
+tags = st.sampled_from(["a", "b", "c", "item", "author", "title"])
+contents = st.one_of(st.none(), st.text(max_size=12))
+
+
+@st.composite
+def xml_trees(draw, max_depth: int = 3) -> XMLNode:
+    node = XMLNode(draw(tags), draw(contents))
+    if max_depth > 0:
+        for child in draw(st.lists(xml_trees(max_depth=max_depth - 1), max_size=3)):
+            node.append_child(child)
+    return node
+
+
+@settings(max_examples=50, deadline=None)
+@given(xml_trees())
+def test_store_materialize_roundtrip(tree):
+    store = NodeStore()
+    info = store.load_tree(tree.deep_copy(), "t.xml")
+    assert store.materialize(info.root_nid).structurally_equal(tree)
+
+
+@settings(max_examples=50, deadline=None)
+@given(xml_trees())
+def test_label_nesting_invariants(tree):
+    """start < end, children nested, levels parent+1, subtree sizes exact."""
+    store = NodeStore()
+    store.load_tree(tree, "t.xml")
+    records = {record.nid: record for record in store.scan()}
+    for record in records.values():
+        assert record.start < record.end
+        assert (record.end - record.start + 1) % 2 == 0
+        if record.parent != NO_PARENT:
+            parent = records[record.parent]
+            assert parent.start < record.start < record.end < parent.end
+            assert record.level == parent.level + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(xml_trees())
+def test_children_navigation_matches_tree(tree):
+    store = NodeStore()
+    store.load_tree(tree, "t.xml")
+    for node in tree.iter():
+        assert store.children(node.nid) == [child.nid for child in node.children]
+
+
+@settings(max_examples=50, deadline=None)
+@given(xml_trees())
+def test_subtree_count_matches(tree):
+    store = NodeStore()
+    store.load_tree(tree, "t.xml")
+    for node in tree.iter():
+        assert store.subtree_node_count(node.nid) == node.subtree_size()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(xml_trees(max_depth=2), min_size=1, max_size=4))
+def test_multiple_documents_isolated(trees):
+    """Documents stored together keep disjoint nid/label ranges and
+    materialize independently."""
+    store = NodeStore()
+    infos = []
+    for index, tree in enumerate(trees):
+        infos.append((store.load_tree(tree.deep_copy(), f"doc{index}.xml"), tree))
+    previous_end = -1
+    for info, tree in infos:
+        start, end, _ = store.label(info.root_nid)
+        assert start > previous_end
+        previous_end = end
+        assert store.materialize(info.root_nid).structurally_equal(tree)

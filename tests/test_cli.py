@@ -1,0 +1,91 @@
+"""CLI tests (argument wiring and end-to-end subcommands)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.sample import QUERY_COUNT
+
+
+@pytest.fixture
+def bib_file(tmp_path):
+    path = os.path.join(tmp_path, "bib.xml")
+    assert main(["generate", "--articles", "30", "--authors", "10", path]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_xml(self, bib_file):
+        with open(bib_file, encoding="utf-8") as handle:
+            text = handle.read()
+        assert text.startswith("<?xml")
+        assert "<article>" in text
+
+    def test_deterministic_with_seed(self, tmp_path):
+        a = os.path.join(tmp_path, "a.xml")
+        b = os.path.join(tmp_path, "b.xml")
+        main(["generate", "--articles", "10", "--seed", "3", a])
+        main(["generate", "--articles", "10", "--seed", "3", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestQuery:
+    def test_default_query1(self, bib_file, capsys):
+        assert main(["query", bib_file]) == 0
+        out = capsys.readouterr().out
+        assert "authorpubs" in out
+
+    def test_query_file_and_plan(self, bib_file, tmp_path, capsys):
+        query_path = os.path.join(tmp_path, "q.xq")
+        with open(query_path, "w", encoding="utf-8") as handle:
+            handle.write(QUERY_COUNT)
+        assert main(["query", bib_file, "--plan", "naive", "--query-file", query_path]) == 0
+        assert "authorpubs" in capsys.readouterr().out
+
+    def test_explain(self, bib_file, capsys):
+        assert main(["explain", bib_file]) == 0
+        out = capsys.readouterr().out
+        assert "naive (join) plan" in out
+        assert "GROUPBY" in out
+
+    def test_explain_verbose(self, bib_file, capsys):
+        assert main(["explain", bib_file, "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer" in out
+        assert "rows" in out
+
+    def test_info(self, bib_file, capsys):
+        assert main(["info", bib_file]) == 0
+        out = capsys.readouterr().out
+        assert "document bib.xml" in out
+        assert "article=" in out
+
+
+class TestExperiments:
+    def test_e1(self, capsys):
+        assert main(["experiment", "e1", "--articles", "40", "--authors", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "E1 titles-by-author" in out
+
+    def test_a2(self, capsys):
+        assert main(["experiment", "a2", "--articles", "40", "--authors", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "A2 grouping strategies" in out
+
+    def test_e3_scaling(self, capsys):
+        assert main(["experiment", "e3", "--articles", "40", "--authors", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "E3 scaling sweep" in out
+
+    def test_a1_match_strategies(self, capsys):
+        assert main(["experiment", "a1", "--articles", "40", "--authors", "15"]) == 0
+        assert "A1 match strategies" in capsys.readouterr().out
+
+    def test_a3_buffer_pool(self, capsys):
+        assert main(["experiment", "a3", "--articles", "40", "--authors", "15"]) == 0
+        assert "A3 buffer pool" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "zz"])

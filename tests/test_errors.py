@@ -1,0 +1,64 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro.errors import (
+    AlgebraError,
+    BufferPoolError,
+    DatabaseError,
+    PageCorruptionError,
+    PatternError,
+    ReproError,
+    RewriteError,
+    StorageError,
+    TranslationError,
+    XMLParseError,
+    XQuerySyntaxError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            XMLParseError("x"),
+            StorageError("x"),
+            PageCorruptionError("x"),
+            BufferPoolError("x"),
+            PatternError("x"),
+            AlgebraError("x"),
+            XQuerySyntaxError("x"),
+            TranslationError("x"),
+            RewriteError("x"),
+            DatabaseError("x"),
+        ],
+    )
+    def test_everything_is_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_page_corruption_is_storage_error(self):
+        assert isinstance(PageCorruptionError("x"), StorageError)
+
+    def test_buffer_pool_is_storage_error(self):
+        assert isinstance(BufferPoolError("x"), StorageError)
+
+
+class TestPositionCarrying:
+    def test_parse_error_with_full_position(self):
+        exc = XMLParseError("bad tag", line=3, column=7)
+        assert "line 3" in str(exc)
+        assert "column 7" in str(exc)
+        assert (exc.line, exc.column) == (3, 7)
+
+    def test_parse_error_line_only(self):
+        exc = XMLParseError("bad tag", line=3)
+        assert "line 3" in str(exc)
+        assert "column" not in str(exc)
+
+    def test_parse_error_without_position(self):
+        exc = XMLParseError("bad tag")
+        assert str(exc) == "bad tag"
+
+    def test_syntax_error_position(self):
+        exc = XQuerySyntaxError("expected RETURN", line=2, column=5)
+        assert "line 2, column 5" in str(exc)

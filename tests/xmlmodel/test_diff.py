@@ -1,0 +1,110 @@
+"""Structural-diff helper tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlmodel.diff import (
+    assert_collections_equal,
+    diff_collections,
+    first_difference,
+)
+from repro.xmlmodel.node import XMLNode, element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def sample():
+    return element(
+        "article",
+        None,
+        element("title", "T1"),
+        element("author", "Jack"),
+        element("author", "Jill"),
+    )
+
+
+class TestFirstDifference:
+    def test_equal_trees(self):
+        assert first_difference(sample(), sample()) is None
+
+    def test_tag_difference(self):
+        other = sample()
+        other.tag = "book"
+        found = first_difference(sample(), other)
+        assert found.kind == "tag"
+        assert found.path == "article"
+
+    def test_content_difference_with_path(self):
+        other = sample()
+        other.children[2].content = "Jane"
+        found = first_difference(sample(), other)
+        assert found.kind == "content"
+        assert found.path == "article/author[1]"
+        assert (found.left, found.right) == ("Jill", "Jane")
+
+    def test_attribute_difference(self):
+        other = sample()
+        other.children[0].attributes["lang"] = "en"
+        found = first_difference(sample(), other)
+        assert found.kind == "attributes"
+        assert found.path == "article/title[0]"
+
+    def test_child_count_difference(self):
+        other = sample()
+        other.add("year", "1999")
+        found = first_difference(sample(), other)
+        assert found.kind == "child-count"
+
+    def test_render_readable(self):
+        other = sample()
+        other.children[1].content = "X"
+        text = first_difference(sample(), other).render()
+        assert "author[0]" in text and "'Jack'" in text
+
+
+class TestCollections:
+    def test_equal_collections(self):
+        a = Collection([DataTree(sample())])
+        b = Collection([DataTree(sample())])
+        assert diff_collections(a, b) is None
+        assert_collections_equal(a, b)  # must not raise
+
+    def test_size_mismatch(self):
+        a = Collection([DataTree(sample())])
+        b = Collection([DataTree(sample()), DataTree(sample())])
+        assert "sizes differ" in diff_collections(a, b)
+
+    def test_located_tree_report(self):
+        a = Collection([DataTree(sample()), DataTree(sample())])
+        changed = sample()
+        changed.children[0].content = "T2"
+        b = Collection([DataTree(sample()), DataTree(changed)])
+        report = diff_collections(a, b)
+        assert report.startswith("tree 1:")
+
+    def test_assert_raises_with_location(self):
+        a = Collection([DataTree(sample())])
+        changed = sample()
+        changed.tag = "book"
+        b = Collection([DataTree(changed)])
+        with pytest.raises(AssertionError, match="tag differs"):
+            assert_collections_equal(a, b)
+
+
+tags = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def trees(draw, depth=2):
+    node = XMLNode(draw(tags), draw(st.one_of(st.none(), st.sampled_from(["x", "y"]))))
+    if depth > 0:
+        for child in draw(st.lists(trees(depth=depth - 1), max_size=3)):
+            node.append_child(child)
+    return node
+
+
+@settings(max_examples=60, deadline=None)
+@given(trees(), trees())
+def test_diff_agrees_with_structural_equality(a, b):
+    """first_difference is None exactly when trees are structurally
+    equal."""
+    assert (first_difference(a, b) is None) == a.structurally_equal(b)

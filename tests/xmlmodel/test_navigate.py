@@ -1,0 +1,71 @@
+"""Axis-navigation helper tests."""
+
+from repro.xmlmodel.navigate import (
+    atomic_value,
+    attribute_step,
+    child_step,
+    descendant_or_self_step,
+    descendant_step,
+    string_value,
+)
+from repro.xmlmodel.node import element
+
+
+def bib():
+    return element(
+        "doc_root",
+        None,
+        element(
+            "article",
+            None,
+            element("title", "Querying XML"),
+            element("author", "Jack", element("institution", "U Michigan")),
+        ),
+        element("article", None, element("author", "John")),
+    )
+
+
+class TestSteps:
+    def test_child_step_by_tag(self):
+        root = bib()
+        articles = child_step([root], "article")
+        assert len(articles) == 2
+
+    def test_child_step_wildcard(self):
+        root = bib()
+        assert len(child_step([root], None)) == 2
+
+    def test_descendant_step(self):
+        root = bib()
+        authors = descendant_step([root], "author")
+        assert [a.content for a in authors] == ["Jack", "John"]
+
+    def test_descendant_step_dedups_nested_contexts(self):
+        root = bib()
+        contexts = [root, root.children[0]]  # nested contexts overlap
+        authors = descendant_step(contexts, "author")
+        assert [a.content for a in authors] == ["Jack", "John"]
+
+    def test_descendant_or_self(self):
+        root = bib()
+        articles = descendant_or_self_step([root.children[0]], "article")
+        assert len(articles) == 1
+
+    def test_attribute_step(self):
+        node = element("a", None)
+        node.attributes["lang"] = "en"
+        assert attribute_step([node, element("b", None)], "lang") == ["en"]
+
+
+class TestValues:
+    def test_string_value_concatenates(self):
+        root = bib()
+        assert string_value(root.children[0]) == "Querying XMLJackU Michigan"
+
+    def test_atomic_value_prefers_direct_content(self):
+        author = bib().children[0].children[1]
+        assert atomic_value(author) == "Jack"
+
+    def test_atomic_value_falls_back_to_string_value(self):
+        wrapper = element("w", None, element("x", "a"), element("y", "b"))
+        assert atomic_value(wrapper) == "ab"

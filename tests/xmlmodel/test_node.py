@@ -1,0 +1,199 @@
+"""Unit tests for the in-memory tree node."""
+
+import pytest
+
+from repro.xmlmodel.node import XMLNode, element
+
+
+def small_tree() -> XMLNode:
+    return element(
+        "article",
+        None,
+        element("title", "Querying XML"),
+        element("author", "Jack", element("institution", "U Michigan")),
+        element("author", "John"),
+    )
+
+
+class TestConstruction:
+    def test_append_child_sets_parent(self):
+        parent = XMLNode("a")
+        child = parent.append_child(XMLNode("b"))
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_add_builder_returns_child(self):
+        root = XMLNode("root")
+        child = root.add("item", "text", kind="x")
+        assert child.tag == "item"
+        assert child.content == "text"
+        assert child.attributes == {"kind": "x"}
+
+    def test_insert_child_position(self):
+        root = XMLNode("root")
+        first = root.add("a")
+        root.insert_child(0, XMLNode("b"))
+        assert [c.tag for c in root.children] == ["b", "a"]
+        assert root.children[0].parent is root
+        assert root.children[1] is first
+
+    def test_remove_child(self):
+        root = XMLNode("root")
+        child = root.add("a")
+        root.remove_child(child)
+        assert root.children == []
+        assert child.parent is None
+
+    def test_remove_child_missing_raises(self):
+        with pytest.raises(ValueError):
+            XMLNode("root").remove_child(XMLNode("a"))
+
+    def test_child_index(self):
+        root = XMLNode("root")
+        a = root.add("a")
+        b = root.add("b")
+        assert a.child_index() == 0
+        assert b.child_index() == 1
+
+    def test_child_index_of_root_raises(self):
+        with pytest.raises(ValueError):
+            XMLNode("root").child_index()
+
+    def test_element_builder(self):
+        tree = small_tree()
+        assert [c.tag for c in tree.children] == ["title", "author", "author"]
+
+
+class TestTraversal:
+    def test_iter_is_preorder(self):
+        tree = small_tree()
+        tags = [node.tag for node in tree.iter()]
+        assert tags == ["article", "title", "author", "institution", "author"]
+
+    def test_postorder(self):
+        tree = small_tree()
+        tags = [node.tag for node in tree.iter_postorder()]
+        assert tags == ["title", "institution", "author", "author", "article"]
+        assert tags[-1] == "article"
+
+    def test_descendants_excludes_self(self):
+        tree = small_tree()
+        assert all(node is not tree for node in tree.descendants())
+        assert sum(1 for _ in tree.descendants()) == tree.subtree_size() - 1
+
+    def test_ancestors(self):
+        tree = small_tree()
+        institution = tree.children[1].children[0]
+        assert [node.tag for node in institution.ancestors()] == ["author", "article"]
+
+    def test_find_first_child(self):
+        tree = small_tree()
+        assert tree.find("author").content == "Jack"
+        assert tree.find("nope") is None
+
+    def test_findall(self):
+        tree = small_tree()
+        assert [node.content for node in tree.findall("author")] == ["Jack", "John"]
+
+    def test_find_descendants(self):
+        tree = small_tree()
+        assert len(tree.find_descendants("institution")) == 1
+        assert len(tree.find_descendants("article")) == 1  # includes self
+
+    def test_walk_visits_every_node(self):
+        tree = small_tree()
+        visited = []
+        tree.walk(lambda node: visited.append(node.tag))
+        assert len(visited) == tree.subtree_size()
+
+
+class TestMeasures:
+    def test_subtree_size(self):
+        assert small_tree().subtree_size() == 5
+        assert XMLNode("leaf").subtree_size() == 1
+
+    def test_depth(self):
+        tree = small_tree()
+        institution = tree.children[1].children[0]
+        assert tree.depth() == 0
+        assert institution.depth() == 2
+
+    def test_height(self):
+        tree = small_tree()
+        assert tree.height() == 2
+        assert XMLNode("leaf").height() == 0
+
+    def test_is_leaf(self):
+        tree = small_tree()
+        assert tree.children[0].is_leaf()
+        assert not tree.is_leaf()
+
+    def test_root(self):
+        tree = small_tree()
+        institution = tree.children[1].children[0]
+        assert institution.root() is tree
+
+
+class TestCopyAndCompare:
+    def test_deep_copy_is_equal_and_disjoint(self):
+        tree = small_tree()
+        copy = tree.deep_copy()
+        assert copy.structurally_equal(tree)
+        copy.children[0].content = "changed"
+        assert not copy.structurally_equal(tree)
+        assert tree.children[0].content == "Querying XML"
+
+    def test_deep_copy_preserves_nid(self):
+        tree = small_tree()
+        tree.nid = 42
+        tree.children[0].nid = 43
+        copy = tree.deep_copy()
+        assert copy.nid == 42
+        assert copy.children[0].nid == 43
+
+    def test_structural_equality_ignores_nid(self):
+        a = small_tree()
+        b = small_tree()
+        a.nid = 1
+        assert a.structurally_equal(b)
+
+    def test_structural_inequality_on_tag(self):
+        a = small_tree()
+        b = small_tree()
+        b.tag = "book"
+        assert not a.structurally_equal(b)
+
+    def test_structural_inequality_on_child_count(self):
+        a = small_tree()
+        b = small_tree()
+        b.add("extra")
+        assert not a.structurally_equal(b)
+
+    def test_structural_inequality_on_attributes(self):
+        a = small_tree()
+        b = small_tree()
+        b.attributes["lang"] = "en"
+        assert not a.structurally_equal(b)
+
+    def test_canonical_key_equality(self):
+        assert small_tree().canonical_key() == small_tree().canonical_key()
+
+    def test_canonical_key_order_sensitive_children(self):
+        a = element("r", None, element("x", "1"), element("y", "2"))
+        b = element("r", None, element("y", "2"), element("x", "1"))
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_canonical_key_hashable(self):
+        {small_tree().canonical_key(): True}
+
+
+class TestDisplay:
+    def test_sketch_contains_values(self):
+        text = small_tree().sketch()
+        assert "article" in text
+        assert "author: Jack" in text
+        assert text.count("\n") == 4
+
+    def test_sketch_shows_attributes(self):
+        node = XMLNode("a", attributes={"k": "v"})
+        assert "k='v'" in node.sketch()

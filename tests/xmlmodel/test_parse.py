@@ -1,0 +1,145 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.parse import parse_document
+
+
+class TestBasics:
+    def test_single_element(self):
+        root = parse_document("<a/>")
+        assert root.tag == "a"
+        assert root.content is None
+        assert root.children == []
+
+    def test_text_content(self):
+        root = parse_document("<a>hello</a>")
+        assert root.content == "hello"
+
+    def test_nested_elements(self):
+        root = parse_document("<a><b>1</b><c>2</c></a>")
+        assert [c.tag for c in root.children] == ["b", "c"]
+        assert [c.content for c in root.children] == ["1", "2"]
+
+    def test_whitespace_between_children_dropped(self):
+        root = parse_document("<a>\n  <b>1</b>\n  <c>2</c>\n</a>")
+        assert root.content is None
+        assert len(root.children) == 2
+
+    def test_mixed_text_kept_stripped(self):
+        root = parse_document("<a> note <b>1</b></a>")
+        assert root.content == "note"
+
+    def test_deep_nesting(self):
+        depth = 200
+        text = "".join(f"<n{i}>" for i in range(depth))
+        text += "".join(f"</n{i}>" for i in reversed(range(depth)))
+        root = parse_document(text)
+        assert root.subtree_size() == depth
+
+    def test_content_whitespace_stripped(self):
+        root = parse_document("<a>  hi  </a>")
+        assert root.content == "hi"
+
+    def test_empty_content_is_none(self):
+        root = parse_document("<a>   </a>")
+        assert root.content is None
+
+
+class TestAttributes:
+    def test_double_and_single_quotes(self):
+        root = parse_document("<a x=\"1\" y='2'/>")
+        assert root.attributes == {"x": "1", "y": "2"}
+
+    def test_attribute_entities(self):
+        root = parse_document('<a x="a&amp;b"/>')
+        assert root.attributes["x"] == "a&b"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document('<a x="1" x="2"/>')
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a x=1/>")
+
+
+class TestEntitiesAndSections:
+    def test_predefined_entities(self):
+        root = parse_document("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>")
+        assert root.content == "<tag> & \"q\" 's'"
+
+    def test_decimal_character_reference(self):
+        assert parse_document("<a>&#65;</a>").content == "A"
+
+    def test_hex_character_reference(self):
+        assert parse_document("<a>&#x41;</a>").content == "A"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+    def test_cdata(self):
+        root = parse_document("<a><![CDATA[<not-a-tag> & raw]]></a>")
+        assert root.content == "<not-a-tag> & raw"
+
+    def test_comments_skipped(self):
+        root = parse_document("<!-- head --><a><!-- inner -->x</a><!-- tail -->")
+        assert root.content == "x"
+
+    def test_processing_instruction_skipped(self):
+        root = parse_document('<?xml version="1.0"?><a>x</a>')
+        assert root.content == "x"
+
+    def test_doctype_skipped(self):
+        root = parse_document("<!DOCTYPE doc SYSTEM 'd.dtd'><a/>")
+        assert root.tag == "a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a></a><b></b>",
+            "<a><b></a></b>",
+            "<a>&unterminated",
+            "<a x='1'",
+            "<a/><junk/>",
+            "<a/>trailing",
+            "<!-- unterminated",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XMLParseError):
+            parse_document(text)
+
+    def test_error_carries_position(self):
+        try:
+            parse_document("<a>\n<b></c>\n</a>")
+        except XMLParseError as exc:
+            assert exc.line == 2
+            assert "mismatched" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected XMLParseError")
+
+
+class TestDBLPShape:
+    def test_bibliography_document(self):
+        text = """
+        <doc_root>
+          <article>
+            <title>Querying XML</title>
+            <author>Jack</author><author>John</author>
+            <year>1999</year>
+          </article>
+        </doc_root>
+        """
+        root = parse_document(text)
+        article = root.children[0]
+        assert article.find("title").content == "Querying XML"
+        assert [a.content for a in article.findall("author")] == ["Jack", "John"]

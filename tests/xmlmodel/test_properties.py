@@ -1,0 +1,87 @@
+"""Property-based tests for the XML data model (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.parse import parse_document
+from repro.xmlmodel.serialize import serialize
+
+# Tag names: XML-safe identifiers.
+tags = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+# Content: printable text without leading/trailing whitespace ambiguity.
+contents = st.one_of(
+    st.none(),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc"), blacklist_characters="\r"),
+        min_size=1,
+        max_size=30,
+    ).map(str.strip).filter(lambda s: s != ""),
+)
+attribute_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=15
+)
+
+
+@st.composite
+def xml_trees(draw, max_depth: int = 3, max_children: int = 3) -> XMLNode:
+    node = XMLNode(
+        draw(tags),
+        draw(contents),
+        draw(
+            st.dictionaries(tags, attribute_values, max_size=2).map(
+                lambda d: d or None
+            )
+        ),
+    )
+    if max_depth > 0:
+        for child in draw(
+            st.lists(xml_trees(max_depth=max_depth - 1, max_children=max_children), max_size=max_children)
+        ):
+            node.append_child(child)
+    return node
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_serialize_parse_roundtrip_compact(tree):
+    """parse(serialize(t)) is structurally equal to t (compact form)."""
+    assert parse_document(serialize(tree, indent=None)).structurally_equal(tree)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_serialize_parse_roundtrip_indented(tree):
+    assert parse_document(serialize(tree)).structurally_equal(tree)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_deep_copy_equal_but_disjoint(tree):
+    copy = tree.deep_copy()
+    assert copy.structurally_equal(tree)
+    originals = {id(node) for node in tree.iter()}
+    assert all(id(node) not in originals for node in copy.iter())
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_preorder_postorder_same_node_set(tree):
+    pre = {id(node) for node in tree.iter()}
+    post = {id(node) for node in tree.iter_postorder()}
+    assert pre == post
+    assert len(pre) == tree.subtree_size()
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_canonical_key_matches_structural_equality(tree):
+    copy = tree.deep_copy()
+    assert tree.canonical_key() == copy.canonical_key()
+
+
+@settings(max_examples=40, deadline=None)
+@given(xml_trees(), xml_trees())
+def test_canonical_key_distinguishes(tree_a, tree_b):
+    """Equal canonical keys imply structural equality (no collisions)."""
+    if tree_a.canonical_key() == tree_b.canonical_key():
+        assert tree_a.structurally_equal(tree_b)

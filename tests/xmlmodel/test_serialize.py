@@ -1,0 +1,60 @@
+"""Serializer unit tests, including the parse round-trip guarantee."""
+
+import os
+
+from repro.xmlmodel.node import XMLNode, element
+from repro.xmlmodel.parse import parse_document, parse_file
+from repro.xmlmodel.serialize import escape_attribute, escape_text, serialize, write_file
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerialize:
+    def test_empty_element(self):
+        assert serialize(XMLNode("a"), indent=None) == "<a/>"
+
+    def test_text_element(self):
+        assert serialize(XMLNode("a", "hi"), indent=None) == "<a>hi</a>"
+
+    def test_attributes(self):
+        node = XMLNode("a", attributes={"x": "1", "y": "two"})
+        assert serialize(node, indent=None) == '<a x="1" y="two"/>'
+
+    def test_nested_compact(self):
+        tree = element("a", None, element("b", "1"), element("c", None))
+        assert serialize(tree, indent=None) == "<a><b>1</b><c/></a>"
+
+    def test_indented_layout(self):
+        tree = element("a", None, element("b", "1"))
+        assert serialize(tree) == "<a>\n  <b>1</b>\n</a>\n"
+
+    def test_mixed_content_text_first(self):
+        tree = element("a", "note", element("b", "1"))
+        compact = serialize(tree, indent=None)
+        assert compact == "<a>note<b>1</b></a>"
+
+    def test_special_characters_roundtrip(self):
+        tree = XMLNode("a", 'x < y & "z"', attributes={"k": 'v"w'})
+        again = parse_document(serialize(tree, indent=None))
+        assert again.structurally_equal(tree)
+
+
+class TestRoundTrip:
+    def test_bibliography_roundtrip_indented(self, fig6_tree):
+        again = parse_document(serialize(fig6_tree))
+        assert again.structurally_equal(fig6_tree)
+
+    def test_bibliography_roundtrip_compact(self, fig6_tree):
+        again = parse_document(serialize(fig6_tree, indent=None))
+        assert again.structurally_equal(fig6_tree)
+
+    def test_write_file_roundtrip(self, fig6_tree, tmp_path):
+        path = os.path.join(tmp_path, "bib.xml")
+        write_file(fig6_tree, path)
+        assert parse_file(path).structurally_equal(fig6_tree)

@@ -1,0 +1,85 @@
+"""DataTree / Collection tests."""
+
+from repro.xmlmodel.node import element
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def trees():
+    return [
+        DataTree(element("a", "1")),
+        DataTree(element("b", "2", element("c", "3"))),
+    ]
+
+
+class TestDataTree:
+    def test_size_and_iter(self):
+        tree = trees()[1]
+        assert tree.size() == 2
+        assert [n.tag for n in tree.iter_nodes()] == ["b", "c"]
+
+    def test_copy_is_independent(self):
+        tree = trees()[0]
+        copy = tree.copy()
+        copy.root.content = "changed"
+        assert tree.root.content == "1"
+        assert copy.doc_id == tree.doc_id
+
+    def test_provenance_fields(self):
+        tree = DataTree(element("a", None), doc_id=3, source_root_nid=17)
+        copy = tree.copy()
+        assert (copy.doc_id, copy.source_root_nid) == (3, 17)
+
+    def test_structural_equality(self):
+        a, b = DataTree(element("x", "1")), DataTree(element("x", "1"))
+        assert a.structurally_equal(b)
+
+
+class TestCollection:
+    def test_sequence_protocol(self):
+        collection = Collection(trees())
+        assert len(collection) == 2
+        assert collection[0].root.tag == "a"
+        assert [t.root.tag for t in collection] == ["a", "b"]
+
+    def test_append_extend(self):
+        collection = Collection()
+        collection.append(trees()[0])
+        collection.extend(trees())
+        assert len(collection) == 3
+
+    def test_from_roots(self):
+        collection = Collection.from_roots([element("x", None), element("y", None)])
+        assert [t.root.tag for t in collection] == ["x", "y"]
+
+    def test_total_nodes(self):
+        assert Collection(trees()).total_nodes() == 3
+
+    def test_map_preserves_order(self):
+        collection = Collection(trees())
+        mapped = collection.map_trees(lambda t: t.copy())
+        assert mapped.structurally_equal(collection)
+
+    def test_filter(self):
+        collection = Collection(trees())
+        filtered = collection.filter_trees(lambda t: t.size() > 1)
+        assert len(filtered) == 1
+        assert filtered[0].root.tag == "b"
+
+    def test_copy_deep(self):
+        collection = Collection(trees())
+        copy = collection.copy()
+        copy[0].root.content = "changed"
+        assert collection[0].root.content == "1"
+
+    def test_structural_equality_order_sensitive(self):
+        a = Collection(trees())
+        b = Collection(list(reversed(trees())))
+        assert not a.structurally_equal(b)
+
+    def test_structural_equality_length(self):
+        assert not Collection(trees()).structurally_equal(Collection(trees()[:1]))
+
+    def test_sketch_lists_every_tree(self):
+        text = Collection(trees()).sketch()
+        assert "--- tree 0 ---" in text
+        assert "--- tree 1 ---" in text
