@@ -31,6 +31,6 @@ def bench_db_scan():
     return db, profile
 
 
-def run_query(db, query: str, plan: str):
-    db.store.reset_statistics()
-    return db.query(query, plan=plan, reset_statistics=False)
+def run_query(db, query: str, plan: str, analyze: bool = False):
+    db.store.reset_stats()
+    return db.query(query, plan=plan, analyze=analyze, reset_statistics=False)

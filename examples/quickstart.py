@@ -18,7 +18,7 @@ def main() -> None:
     print(serialize(db.store.materialize(info.root_nid)))
 
     print("=== the plans the optimizer considers ===")
-    print(db.explain(QUERY_1))
+    print(db.explain(QUERY_1).render())
 
     print("\n=== Query 1: titles grouped by author ===")
     result = db.query(QUERY_1)  # auto mode: rewritten to the GROUPBY plan
@@ -34,6 +34,17 @@ def main() -> None:
     print("\n=== the COUNT variant ===")
     counted = db.query(QUERY_COUNT)
     print(counted.collection.sketch())
+
+    print("\n=== EXPLAIN ANALYZE: where each plan spends its lookups ===")
+    grouped = db.query(QUERY_COUNT, plan="groupby", analyze=True)
+    naive = db.query(QUERY_COUNT, plan="naive", analyze=True)
+    print(grouped.profile.render())
+    print(
+        f"\nGROUPBY populated {grouped.profile.total('value_lookups')} values "
+        f"and touched {grouped.profile.total('pages_touched')} pages; "
+        f"the naive plan needed {naive.profile.total('value_lookups')} values "
+        f"and {naive.profile.total('pages_touched')} pages."
+    )
 
 
 if __name__ == "__main__":

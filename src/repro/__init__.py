@@ -18,7 +18,8 @@ Quickstart::
 """
 
 from .errors import ReproError
-from .query.database import Database, QueryResult
+from .observability import ExecutionProfile, QueryTrace
+from .query.database import Database, Explanation, PlanMode, QueryResult
 from .xmlmodel import Collection, DataTree, XMLNode, element, parse_document, serialize
 
 __version__ = "1.0.0"
@@ -27,6 +28,10 @@ __all__ = [
     "ReproError",
     "Database",
     "QueryResult",
+    "PlanMode",
+    "Explanation",
+    "ExecutionProfile",
+    "QueryTrace",
     "Collection",
     "DataTree",
     "XMLNode",

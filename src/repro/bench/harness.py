@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..datagen.dblp import DBLPConfig, DBLPProfile, generate_dblp_with_profile
+from ..observability import ExecutionProfile
 from ..query.database import Database
 from ..storage.buffer import DEFAULT_POOL_FRAMES
 
@@ -31,6 +32,7 @@ class RunRecord:
     seconds: float
     statistics: dict[str, int] = field(default_factory=dict)
     result_size: int = 0
+    profile: ExecutionProfile | None = None
 
     def row(self) -> dict[str, object]:
         return {
@@ -90,11 +92,18 @@ def build_database(
     return db, profile
 
 
-def measured_run(db: Database, label: str, query: str, plan: str) -> RunRecord:
-    """Execute once with counters reset; capture time + statistics."""
-    db.store.reset_statistics()
+def measured_run(
+    db: Database, label: str, query: str, plan: str, analyze: bool = False
+) -> RunRecord:
+    """Execute once with counters reset; capture time + statistics.
+
+    ``analyze=True`` additionally attaches the per-operator
+    :class:`~repro.observability.ExecutionProfile` to the record, so a
+    report can show *where* each plan spends its lookups.
+    """
+    db.store.reset_stats()
     started = time.perf_counter()
-    result = db.query(query, plan=plan, reset_statistics=False)
+    result = db.query(query, plan=plan, analyze=analyze, reset_statistics=False)
     seconds = time.perf_counter() - started
     return RunRecord(
         label=label,
@@ -102,4 +111,5 @@ def measured_run(db: Database, label: str, query: str, plan: str) -> RunRecord:
         seconds=seconds,
         statistics=db.store.statistics(),
         result_size=len(result.collection),
+        profile=result.profile,
     )

@@ -61,6 +61,11 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("database", help="XML file to load as bib.xml")
     query.add_argument("--plan", choices=PLAN_MODES, default="auto")
     query.add_argument("--query-file", help="file with the XQuery text (default: Query 1)")
+    query.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print the executed plan with per-operator times and counters",
+    )
 
     explain = commands.add_parser("explain", help="show naive + rewritten plans")
     explain.add_argument("database", help="XML file to load as bib.xml")
@@ -103,10 +108,12 @@ def main(argv: list[str] | None = None) -> int:
         db.load_file(args.database, name="bib.xml")
         text = _read_query(args)
         if args.command == "explain":
-            print(db.explain(text, verbose=getattr(args, "verbose", False)))
+            print(db.explain(text, verbose=getattr(args, "verbose", False)).render())
             return 0
-        result = db.query(text, plan=args.plan)
+        result = db.query(text, plan=args.plan, analyze=args.analyze)
         print(result.collection.sketch())
+        if result.profile is not None:
+            print(f"\n{result.profile.render()}", file=sys.stderr)
         print(
             f"\n[{result.plan_mode}] {len(result.collection)} results in "
             f"{result.elapsed_seconds:.4f}s; statistics: {result.statistics}",

@@ -20,6 +20,7 @@ class TagIndex:
         self._postings: dict[int, list[NodeLabel]] = {}
         self._sorted = True
         self.lookups = 0
+        self.postings_served = 0
 
     def add(self, tag_sym: int, label: NodeLabel) -> None:
         """Post one node under its tag.  Bulk loading appends in document
@@ -39,7 +40,9 @@ class TagIndex:
         """Document-ordered labels of all nodes with this tag."""
         self._ensure_sorted()
         self.lookups += 1
-        return list(self._postings.get(tag_sym, []))
+        postings = list(self._postings.get(tag_sym, []))
+        self.postings_served += len(postings)
+        return postings
 
     def count(self, tag_sym: int) -> int:
         """Posting length without copying (selectivity estimation)."""

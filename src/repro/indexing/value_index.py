@@ -30,6 +30,7 @@ class ValueIndex:
     def __init__(self, order: int = 64):
         self._tree = BPlusTree(order=order)
         self.lookups = 0
+        self.postings_served = 0
 
     def add(self, tag_sym: int, content: str, label: NodeLabel) -> None:
         self._tree.insert((tag_sym, content), label)
@@ -40,6 +41,7 @@ class ValueIndex:
         self.lookups += 1
         postings = self._tree.search((tag_sym, content))
         postings.sort(key=lambda label: label.start)
+        self.postings_served += len(postings)
         return postings
 
     def distinct_values(self, tag_sym: int) -> Iterator[tuple[str, list[NodeLabel]]]:
@@ -50,6 +52,7 @@ class ValueIndex:
             if sym != tag_sym:
                 return
             postings.sort(key=lambda label: label.start)
+            self.postings_served += len(postings)
             yield content, postings
 
     def n_keys(self) -> int:

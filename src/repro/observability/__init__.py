@@ -1,0 +1,39 @@
+"""Execution observability: counters, per-operator profiles, traces.
+
+The paper's evaluation (Sec. 6) argues about *why* the GROUPBY plan
+wins — pages touched, values populated, witnesses sorted — not just how
+long it took.  This package is the instrument panel for those claims:
+
+* :mod:`repro.observability.counters` — immutable point-in-time
+  snapshots of every counter the substrate maintains (store, buffer
+  pool, disk, indexes, matcher, structural joins), with snapshot
+  subtraction for deltas;
+* :mod:`repro.observability.profile` — the per-query
+  :class:`ExecutionProfile`: a tree of timed operator spans, each
+  carrying output cardinality and the counter deltas its subtree
+  caused;
+* :mod:`repro.observability.trace` — :class:`QueryTrace`, a
+  context-manager hook that hands every profiled query to external
+  collectors.
+
+Entry points are on the :class:`~repro.query.database.Database` facade:
+``db.query(text, analyze=True)`` attaches a profile to the result, and
+``db.explain(text)`` describes the plans without executing them.
+"""
+
+from .counters import CounterSnapshot, snapshot_counters
+from .profile import ExecutionProfile, ProfileNode, Profiler, result_cardinality
+from .trace import QueryTrace, TraceEvent, active_traces, tracing_is_active
+
+__all__ = [
+    "CounterSnapshot",
+    "snapshot_counters",
+    "ExecutionProfile",
+    "ProfileNode",
+    "Profiler",
+    "result_cardinality",
+    "QueryTrace",
+    "TraceEvent",
+    "active_traces",
+    "tracing_is_active",
+]

@@ -1,0 +1,185 @@
+"""Per-query execution profiles: timed operator spans + counter deltas.
+
+An :class:`ExecutionProfile` is what ``db.query(text, analyze=True)``
+attaches to its result: the operator tree that actually ran, where each
+node records wall-clock time, output cardinality, and the counter
+deltas (values populated, records fetched, pages touched, ...) caused
+by the operator *and its inputs*.  ``self_counters()`` subtracts the
+children, isolating each operator's own work — the per-operator cost
+accounting the paper's Sec. 6 discussion reasons with.
+
+The rendering contract is stable: :meth:`ExecutionProfile.to_dict` for
+programmatic consumers, :meth:`ExecutionProfile.render` for the
+human-readable tree.  The CLI, the examples, and the benchmark harness
+all go through these two methods.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .counters import EMPTY_SNAPSHOT, CounterSnapshot
+
+#: Counters shown on rendered span lines, with their short display names.
+_RENDERED = (
+    ("value_lookups", "values"),
+    ("record_lookups", "records"),
+    ("pages_touched", "pages"),
+    ("physical_reads", "reads"),
+    ("nodes_materialized", "materialized"),
+    ("witnesses", "witnesses"),
+    ("join_candidates", "join_candidates"),
+)
+
+
+def result_cardinality(result) -> int:
+    """Best-effort "rows out" of an operator result.
+
+    Works across the physical executor's intermediate shapes (witness
+    sets, joined sets, grouped sets) and plain collections without
+    importing any of them.
+    """
+    for attribute in ("matches", "pairs", "groups"):
+        sequence = getattr(result, attribute, None)
+        if isinstance(sequence, list):
+            return len(sequence)
+    try:
+        return len(result)
+    except TypeError:
+        return 1
+
+
+@dataclass
+class ProfileNode:
+    """One operator span: cumulative time/counters over its subtree."""
+
+    op: str
+    detail: str = ""
+    seconds: float = 0.0
+    output_rows: int | None = None
+    counters: CounterSnapshot = EMPTY_SNAPSHOT
+    children: list["ProfileNode"] = field(default_factory=list)
+
+    def self_counters(self) -> CounterSnapshot:
+        """This operator's own counter deltas, inputs excluded."""
+        own = self.counters
+        for child in self.children:
+            own = own - child.counters
+        return own
+
+    def self_seconds(self) -> float:
+        return max(0.0, self.seconds - sum(c.seconds for c in self.children))
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, op: str) -> list["ProfileNode"]:
+        return [node for node in self.walk() if node.op == op]
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "detail": self.detail,
+            "seconds": self.seconds,
+            "output_rows": self.output_rows,
+            "counters": self.counters.as_dict(),
+            "self_counters": self.self_counters().as_dict(),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        own = self.self_counters()
+        parts = [f"rows={self.output_rows}" if self.output_rows is not None else "rows=?"]
+        parts.append(f"{self.self_seconds() * 1000:.2f}ms")
+        for key, short in _RENDERED:
+            value = own.get(key, 0)
+            if value:
+                parts.append(f"{short}={value}")
+        line = "  " * indent + f"{self.op} {self.detail}".rstrip() + f"  [{' '.join(parts)}]"
+        lines = [line]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExecutionProfile:
+    """The analyze output for one query execution."""
+
+    query: str
+    plan_mode: str
+    elapsed_seconds: float
+    root: ProfileNode
+    totals: CounterSnapshot = EMPTY_SNAPSHOT
+
+    def find(self, op: str) -> list[ProfileNode]:
+        """All spans running the given operator."""
+        return self.root.find(op)
+
+    def total(self, counter: str) -> int:
+        """One query-wide counter total (0 when the counter never moved)."""
+        return self.totals.get(counter, 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "plan_mode": self.plan_mode,
+            "elapsed_seconds": self.elapsed_seconds,
+            "totals": self.totals.as_dict(),
+            "root": self.root.to_dict(),
+        }
+
+    def render(self) -> str:
+        """The human-readable profile tree (EXPLAIN ANALYZE output)."""
+        moved = self.totals.nonzero()
+        headline = ", ".join(
+            f"{short}={moved[key]}" for key, short in _RENDERED if key in moved
+        )
+        lines = [
+            f"[{self.plan_mode}] {self.elapsed_seconds:.4f}s"
+            + (f"  totals: {headline}" if headline else ""),
+            self.root.render(),
+        ]
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Builds a span tree around nested operator executions.
+
+    Executors call :meth:`operator` around each handler; nesting follows
+    the call stack, so the resulting tree mirrors the plan tree that
+    actually ran.  ``counter_source`` is a zero-argument callable
+    returning the current :class:`CounterSnapshot`.
+    """
+
+    def __init__(self, counter_source: Callable[[], CounterSnapshot]):
+        self._source = counter_source
+        self._stack: list[ProfileNode] = []
+        self.roots: list[ProfileNode] = []
+
+    @contextmanager
+    def operator(self, op: str, detail: str = ""):
+        node = ProfileNode(op=op, detail=detail)
+        before = self._source()
+        self._stack.append(node)
+        started = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.seconds = time.perf_counter() - started
+            self._stack.pop()
+            node.counters = self._source() - before
+            if self._stack:
+                self._stack[-1].children.append(node)
+            else:
+                self.roots.append(node)
+
+    def root(self) -> ProfileNode:
+        """The single completed root span (errors if none or several)."""
+        if len(self.roots) != 1:
+            raise ValueError(f"profiler recorded {len(self.roots)} root spans")
+        return self.roots[0]

@@ -1,0 +1,92 @@
+"""Query tracing: a context-manager hook API for external collectors.
+
+A :class:`QueryTrace` subscribes to query executions while its ``with``
+block is open.  Every query the :class:`~repro.query.database.Database`
+runs inside the block is profiled (as if ``analyze=True``) and handed
+to the trace as a :class:`TraceEvent`:
+
+>>> with QueryTrace() as trace:
+...     db.query(QUERY)
+>>> trace.events[0].profile.render()
+
+External collectors plug in via ``on_event``:
+
+>>> with QueryTrace(on_event=lambda event: log.info(event.plan_mode)):
+...     db.query(QUERY)
+
+Traces nest; every active trace receives every event.  A trace can also
+be passed explicitly to one call — ``db.query(text, trace=trace)`` —
+without being globally active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .counters import CounterSnapshot
+from .profile import ExecutionProfile
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced query execution."""
+
+    query: str
+    plan_mode: str
+    elapsed_seconds: float
+    profile: ExecutionProfile
+    counters: CounterSnapshot
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "plan_mode": self.plan_mode,
+            "elapsed_seconds": self.elapsed_seconds,
+            "counters": self.counters.as_dict(),
+            "profile": self.profile.to_dict(),
+        }
+
+
+# The stack of globally active traces (outermost first).  Session-scoped
+# by design: the reproduction is single-process, and the Database reads
+# this at query time.
+_ACTIVE: list["QueryTrace"] = []
+
+
+def active_traces() -> tuple["QueryTrace", ...]:
+    """The traces currently subscribed via ``with`` blocks."""
+    return tuple(_ACTIVE)
+
+
+def tracing_is_active() -> bool:
+    return bool(_ACTIVE)
+
+
+@dataclass
+class QueryTrace:
+    """Collects :class:`TraceEvent` records for queries run under it."""
+
+    on_event: Callable[[TraceEvent], None] | None = None
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def profiles(self) -> list[ExecutionProfile]:
+        return [event.profile for event in self.events]
+
+    def record(self, event: TraceEvent) -> None:
+        """Deliver one event (called by the Database)."""
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def __enter__(self) -> "QueryTrace":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Remove this specific trace even under exotic exit orders.
+        for index in range(len(_ACTIVE) - 1, -1, -1):
+            if _ACTIVE[index] is self:
+                del _ACTIVE[index]
+                break

@@ -44,6 +44,13 @@ class MatcherStatistics:
         self.residual_checks = 0
         self.witnesses = 0
 
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "candidate_labels": self.candidate_labels,
+            "residual_checks": self.residual_checks,
+            "witnesses": self.witnesses,
+        }
+
 
 def _index_covers(predicate: Predicate) -> bool:
     """True when candidate streams from the indexes already guarantee the

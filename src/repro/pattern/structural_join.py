@@ -40,6 +40,13 @@ class JoinStatistics:
         self.pairs_emitted = 0
         self.candidates_consumed = 0
 
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "join_runs": self.joins,
+            "join_pairs": self.pairs_emitted,
+            "join_candidates": self.candidates_consumed,
+        }
+
 
 _GLOBAL_STATS = JoinStatistics()
 

@@ -8,25 +8,46 @@ rewriter, and the three evaluators behind one API:
 >>> result = db.query(QUERY_TEXT)           # auto: rewrite to GROUPBY if possible
 >>> result.collection.sketch()
 
-``plan`` selects the engine:
+``plan`` selects the engine (a :class:`PlanMode`, or its string value):
 
-* ``"auto"`` — translate + rewrite to the GROUPBY physical plan; fall
+* ``auto`` — translate + rewrite to the GROUPBY physical plan; fall
   back to the direct interpreter when the query is outside the
   translatable family;
-* ``"direct"`` — the paper's baseline: direct execution as written;
-* ``"naive"`` — the naive join plan, executed physically (nested loops);
-* ``"groupby"`` — the rewritten plan, executed physically;
-* ``"logical-naive"`` / ``"logical-groupby"`` — the same two plans run
+* ``direct`` — the paper's baseline: direct execution as written;
+* ``naive`` / ``naive-hash`` — the naive join plan, executed physically
+  (nested loops, or an amortized hash value-join);
+* ``groupby`` — the rewritten plan, executed physically;
+* ``logical-naive`` / ``logical-groupby`` — the same two plans run
   with the in-memory reference operators (semantics oracle).
+
+Observability entry points:
+
+* ``db.explain(text)`` — the candidate plans *without* executing
+  (:class:`Explanation`: a string, plus ``render()``/``to_dict()``);
+* ``db.query(text, analyze=True)`` — execute and attach an
+  :class:`~repro.observability.ExecutionProfile` (per-operator timed
+  spans with counter deltas) to the result;
+* ``with QueryTrace() as t: db.query(...)`` — hand every profiled
+  execution to external collectors.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
+from enum import Enum
 
 from ..errors import DatabaseError, TranslationError
 from ..indexing.manager import IndexManager
+from ..observability import (
+    CounterSnapshot,
+    ExecutionProfile,
+    QueryTrace,
+    TraceEvent,
+    active_traces,
+    snapshot_counters,
+)
 from ..storage.buffer import DEFAULT_POOL_FRAMES
 from ..storage.store import NodeStore
 from ..xmlmodel.node import XMLNode
@@ -40,26 +61,59 @@ from .plan import PlanNode
 from .rewrite import rewrite
 from .translate import translate
 
-PLAN_MODES = (
-    "auto",
-    "direct",
-    "naive",
-    "naive-hash",
-    "groupby",
-    "logical-naive",
-    "logical-groupby",
+
+class PlanMode(str, Enum):
+    """The execution engines the facade can dispatch to.
+
+    Members compare equal to their string values, so every historical
+    string form (``"groupby"``, ``"naive-hash"``, ...) keeps working.
+    """
+
+    AUTO = "auto"
+    DIRECT = "direct"
+    NAIVE = "naive"
+    NAIVE_HASH = "naive-hash"
+    GROUPBY = "groupby"
+    LOGICAL_NAIVE = "logical-naive"
+    LOGICAL_GROUPBY = "logical-groupby"
+
+
+#: String values, kept for backward compatibility with pre-enum callers.
+PLAN_MODES = tuple(mode.value for mode in PlanMode)
+
+#: The buffer/disk counters surfaced as ``QueryResult.io_stats``.
+_IO_KEYS = (
+    "hits",
+    "misses",
+    "evictions",
+    "dirty_writebacks",
+    "physical_reads",
+    "physical_writes",
 )
 
 
 @dataclass
 class QueryResult:
-    """Execution outcome: the result collection plus run metadata."""
+    """Execution outcome: the result collection plus run metadata.
+
+    * ``statistics`` — the store's merged counters after the run (a
+      plain dict, as before);
+    * ``plan`` — the executed :class:`PlanNode` tree (``None`` for the
+      direct interpreter);
+    * ``io_stats`` — the buffer-pool and disk subset of the counters,
+      plus the derived ``pages_touched``;
+    * ``profile`` — the per-operator
+      :class:`~repro.observability.ExecutionProfile`, present when the
+      query ran with ``analyze=True`` or under an active trace.
+    """
 
     collection: Collection
     plan_mode: str
     elapsed_seconds: float
     statistics: dict[str, int] = field(default_factory=dict)
     plan: PlanNode | None = None
+    profile: ExecutionProfile | None = None
+    io_stats: dict[str, int] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.collection)
@@ -72,6 +126,32 @@ class QueryResult:
         parts = [serialize(tree.root, indent=indent) for tree in self.collection]
         joiner = "" if indent else "\n"
         return joiner.join(parts)
+
+
+class Explanation(str):
+    """The stable rendering contract for ``db.explain()``.
+
+    It *is* the human-readable text (a ``str`` subclass, so existing
+    callers that print or substring-match keep working), and it carries
+    the structured payload behind :meth:`to_dict`.  :meth:`render`
+    returns the text explicitly, for symmetry with
+    :class:`~repro.observability.ExecutionProfile`.
+    """
+
+    _payload: dict
+
+    def __new__(cls, text: str, payload: dict) -> "Explanation":
+        obj = super().__new__(cls, text)
+        obj._payload = payload
+        return obj
+
+    def render(self) -> str:
+        """The human-readable plan comparison."""
+        return str(self)
+
+    def to_dict(self) -> dict:
+        """Structured plans (and optimizer estimates when verbose)."""
+        return self._payload
 
 
 class Database:
@@ -168,25 +248,38 @@ class Database:
         _, naive = translate(expr, self.root_tag(doc))
         return naive, rewrite(naive)
 
-    def explain(self, text: str, verbose: bool = False) -> str:
-        """Readable naive + rewritten plans for a query.
+    def explain(self, text: str, verbose: bool = False) -> Explanation:
+        """The candidate plans for a query, *without* executing it.
 
-        ``verbose=True`` annotates every operator with the optimizer's
-        row/cost estimates and appends the plan comparison.
+        Returns an :class:`Explanation`: usable as plain text, with
+        ``to_dict()`` for programmatic consumers.  ``verbose=True``
+        annotates every operator with the optimizer's row/cost
+        estimates and appends the plan comparison.
         """
         naive, grouped = self.plans_for(text)
+        payload: dict = {
+            "query": text,
+            "plans": {"naive": naive.to_dict(), "groupby": grouped.to_dict()},
+        }
         if not verbose:
-            return (
+            text_out = (
                 "=== naive (join) plan ===\n"
                 + naive.explain()
                 + "\n=== rewritten (GROUPBY) plan ===\n"
                 + grouped.explain()
             )
+            return Explanation(text_out, payload)
         from .estimate import CardinalityEstimator
 
         estimator = CardinalityEstimator(self.store, self.indexes)
         choice = estimator.compare_plans(naive, grouped)
-        return (
+        payload["optimizer"] = {
+            "naive_cost": choice.naive_cost,
+            "groupby_cost": choice.groupby_cost,
+            "winner": choice.winner,
+            "advantage": choice.advantage,
+        }
+        text_out = (
             "=== naive (join) plan ===\n"
             + estimator.annotate(naive)
             + "\n=== rewritten (GROUPBY) plan ===\n"
@@ -198,36 +291,126 @@ class Database:
                 f"{choice.winner} (advantage {choice.advantage:.1f}x)"
             )
         )
+        return Explanation(text_out, payload)
 
-    def query(self, text: str, plan: str = "auto", reset_statistics: bool = True) -> QueryResult:
-        """Parse, plan, and execute ``text``."""
-        if plan not in PLAN_MODES:
-            raise DatabaseError(f"unknown plan mode {plan!r}; pick one of {PLAN_MODES}")
+    def query(
+        self,
+        text: str,
+        *deprecated: object,
+        plan: PlanMode | str | None = None,
+        analyze: bool = False,
+        trace: QueryTrace | None = None,
+        reset_statistics: bool = True,
+    ) -> QueryResult:
+        """Parse, plan, and execute ``text``.
+
+        Options are keyword-only:
+
+        * ``plan`` — a :class:`PlanMode` (or its string value);
+        * ``analyze`` — attach an
+          :class:`~repro.observability.ExecutionProfile` to the result
+          (EXPLAIN ANALYZE: the executed plan annotated with actual
+          per-operator times, cardinalities, and counter deltas);
+        * ``trace`` — a :class:`~repro.observability.QueryTrace` (or
+          any ``event -> None`` callable) that receives this
+          execution's :class:`~repro.observability.TraceEvent` in
+          addition to the globally active traces;
+        * ``reset_statistics`` — zero the store counters first (the
+          default), so ``result.statistics`` is this query's own work.
+
+        The pre-redesign positional form ``query(text, "naive")`` still
+        works but emits a :class:`DeprecationWarning`.
+        """
+        if deprecated:
+            warnings.warn(
+                "positional query options are deprecated; call "
+                "query(text, plan=..., reset_statistics=...) with keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(deprecated) > 2:
+                raise TypeError(
+                    f"query() takes at most 3 positional arguments "
+                    f"({2 + len(deprecated)} given)"
+                )
+            if plan is not None:
+                raise TypeError("query() got plan both positionally and by keyword")
+            plan = deprecated[0]  # type: ignore[assignment]
+            if len(deprecated) == 2:
+                reset_statistics = bool(deprecated[1])
+        mode = self._coerce_plan_mode(plan)
         expr = self.parse(text)
         self.indexes.ensure_built()
         if reset_statistics:
-            self.store.reset_statistics()
+            self.store.reset_stats()
 
-        if plan == "auto":
+        collectors: list = list(active_traces())
+        if trace is not None:
+            collectors.append(trace)
+        profiling = analyze or bool(collectors)
+
+        if mode is PlanMode.AUTO:
             try:
-                return self._run_physical(expr, rewritten=True, mode_name="groupby")
+                result = self._run_physical(
+                    text, expr, rewritten=True, mode_name="groupby", profiling=profiling
+                )
             except TranslationError:
-                return self._run_direct(expr)
-        if plan == "direct":
-            return self._run_direct(expr)
-        if plan == "naive":
-            return self._run_physical(expr, rewritten=False, mode_name="naive")
-        if plan == "naive-hash":
-            return self._run_physical(
-                expr, rewritten=False, mode_name="naive-hash", join_strategy="value-hash"
+                result = self._run_direct(text, expr, profiling=profiling)
+        elif mode is PlanMode.DIRECT:
+            result = self._run_direct(text, expr, profiling=profiling)
+        elif mode is PlanMode.NAIVE:
+            result = self._run_physical(
+                text, expr, rewritten=False, mode_name="naive", profiling=profiling
             )
-        if plan == "groupby":
-            return self._run_physical(expr, rewritten=True, mode_name="groupby")
-        if plan == "logical-naive":
-            return self._run_logical(expr, rewritten=False, mode_name="logical-naive")
-        return self._run_logical(expr, rewritten=True, mode_name="logical-groupby")
+        elif mode is PlanMode.NAIVE_HASH:
+            result = self._run_physical(
+                text,
+                expr,
+                rewritten=False,
+                mode_name="naive-hash",
+                join_strategy="value-hash",
+                profiling=profiling,
+            )
+        elif mode is PlanMode.GROUPBY:
+            result = self._run_physical(
+                text, expr, rewritten=True, mode_name="groupby", profiling=profiling
+            )
+        elif mode is PlanMode.LOGICAL_NAIVE:
+            result = self._run_logical(
+                text, expr, rewritten=False, mode_name="logical-naive", profiling=profiling
+            )
+        else:
+            result = self._run_logical(
+                text, expr, rewritten=True, mode_name="logical-groupby", profiling=profiling
+            )
+
+        if collectors and result.profile is not None:
+            event = TraceEvent(
+                query=text,
+                plan_mode=result.plan_mode,
+                elapsed_seconds=result.elapsed_seconds,
+                profile=result.profile,
+                counters=result.profile.totals,
+            )
+            for collector in collectors:
+                if isinstance(collector, QueryTrace):
+                    collector.record(event)
+                else:
+                    collector(event)
+        return result
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_plan_mode(plan: PlanMode | str | None) -> PlanMode:
+        if plan is None:
+            return PlanMode.AUTO
+        try:
+            return PlanMode(plan)
+        except ValueError:
+            raise DatabaseError(
+                f"unknown plan mode {plan!r}; pick one of {PLAN_MODES}"
+            ) from None
+
     def _target_document(self, expr: Expr) -> str:
         from .ast import DocumentCall
 
@@ -254,12 +437,50 @@ class Database:
             )
         return names.pop()
 
-    def _run_direct(self, expr: Expr) -> QueryResult:
+    def _io_stats(self, statistics: dict[str, int]) -> dict[str, int]:
+        io = {key: statistics.get(key, 0) for key in _IO_KEYS}
+        io["pages_touched"] = io["hits"] + io["misses"]
+        return io
+
+    def _finish(
+        self,
+        text: str,
+        collection: Collection,
+        mode_name: str,
+        elapsed: float,
+        plan: PlanNode | None,
+        profiler,
+        before: CounterSnapshot | None,
+    ) -> QueryResult:
+        statistics = self.store.statistics()
+        profile: ExecutionProfile | None = None
+        if profiler is not None and profiler.roots:
+            totals = snapshot_counters(self.store, self.indexes) - before
+            profile = ExecutionProfile(
+                query=text,
+                plan_mode=mode_name,
+                elapsed_seconds=elapsed,
+                root=profiler.root(),
+                totals=totals,
+            )
+        return QueryResult(
+            collection,
+            mode_name,
+            elapsed,
+            statistics,
+            plan,
+            profile,
+            self._io_stats(statistics),
+        )
+
+    def _run_direct(self, text: str, expr: Expr, profiling: bool = False) -> QueryResult:
         interpreter = Interpreter(self.store, self.indexes)
+        profiler = interpreter.enable_profiling() if profiling else None
+        before = snapshot_counters(self.store, self.indexes) if profiling else None
         started = time.perf_counter()
         collection = interpreter.run(expr)
         elapsed = time.perf_counter() - started
-        return QueryResult(collection, "direct", elapsed, self.store.statistics())
+        return self._finish(text, collection, "direct", elapsed, None, profiler, before)
 
     def _build_plan(self, expr: Expr, rewritten: bool) -> PlanNode:
         doc = self._target_document(expr)
@@ -268,11 +489,16 @@ class Database:
 
     def _run_physical(
         self,
+        text: str,
         expr: Expr,
         rewritten: bool,
         mode_name: str,
         join_strategy: str = "nested-loop",
+        profiling: bool = False,
     ) -> QueryResult:
+        # Snapshot before planning: profile totals cover plan building
+        # plus execution, matching ``statistics`` under a fresh reset.
+        before = snapshot_counters(self.store, self.indexes) if profiling else None
         plan = self._build_plan(expr, rewritten)
         executor = PhysicalExecutor(
             self.store,
@@ -281,18 +507,23 @@ class Database:
             use_indexes=self.use_indexes,
             join_strategy=join_strategy,
         )
+        profiler = executor.enable_profiling() if profiling else None
         started = time.perf_counter()
         collection = executor.execute(plan)
         elapsed = time.perf_counter() - started
-        return QueryResult(collection, mode_name, elapsed, self.store.statistics(), plan)
+        return self._finish(text, collection, mode_name, elapsed, plan, profiler, before)
 
-    def _run_logical(self, expr: Expr, rewritten: bool, mode_name: str) -> QueryResult:
+    def _run_logical(
+        self, text: str, expr: Expr, rewritten: bool, mode_name: str, profiling: bool = False
+    ) -> QueryResult:
+        before = snapshot_counters(self.store, self.indexes) if profiling else None
         plan = self._build_plan(expr, rewritten)
         executor = LogicalExecutor(self.store, self.indexes)
+        profiler = executor.enable_profiling() if profiling else None
         started = time.perf_counter()
         collection = executor.execute(plan)
         elapsed = time.perf_counter() - started
-        return QueryResult(collection, mode_name, elapsed, self.store.statistics(), plan)
+        return self._finish(text, collection, mode_name, elapsed, plan, profiler, before)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -50,6 +50,21 @@ class Interpreter:
     def __init__(self, store: NodeStore, indexes: IndexManager):
         self.store = store
         self.indexes = indexes
+        self.profiler = None
+
+    def enable_profiling(self):
+        """Record the whole evaluation as one ``interpret`` span.
+
+        The direct evaluator has no operator tree to attribute work to —
+        it *is* the paper's tuple-at-a-time baseline — so its profile is
+        a single span carrying the query-wide counter deltas.
+        """
+        from ..observability import Profiler, snapshot_counters
+
+        self.profiler = Profiler(
+            lambda: snapshot_counters(self.store, self.indexes)
+        )
+        return self.profiler
 
     # ------------------------------------------------------------------
     # Entry points
@@ -60,6 +75,14 @@ class Interpreter:
 
     def run(self, expr: Expr) -> Collection:
         """Evaluate and wrap constructed results as a collection."""
+        if self.profiler is not None:
+            with self.profiler.operator("interpret", "direct evaluation") as span:
+                output = self._run_unprofiled(expr)
+                span.output_rows = len(output)
+            return output
+        return self._run_unprofiled(expr)
+
+    def _run_unprofiled(self, expr: Expr) -> Collection:
         output = Collection(name="direct")
         for item in self.evaluate(expr):
             output.append(DataTree(self._to_node(item)))

@@ -34,13 +34,33 @@ class LogicalExecutor:
     def __init__(self, store: NodeStore, indexes: IndexManager | None = None):
         self.store = store
         self._documents: dict[str, Collection] = {}
+        self.profiler = None
+
+    def enable_profiling(self):
+        """Wrap every operator in a timed span; returns the profiler.
+
+        The logical executor materializes full trees, so its spans are
+        dominated by ``nodes_materialized`` and value lookups — the
+        contrast with the physical executor's identifier-only spans is
+        the point of profiling it at all.
+        """
+        from ..observability import Profiler, snapshot_counters
+
+        self.profiler = Profiler(lambda: snapshot_counters(self.store))
+        return self.profiler
 
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode) -> Collection:
         handler = getattr(self, f"_exec_{plan.op}", None)
         if handler is None:
             raise TranslationError(f"logical executor: unsupported op {plan.op!r}")
-        return handler(plan)
+        if self.profiler is None:
+            return handler(plan)
+        detail = plan.describe()[len(plan.op) :].strip()
+        with self.profiler.operator(plan.op, detail) as span:
+            result = handler(plan)
+            span.output_rows = len(result)
+        return result
 
     # ------------------------------------------------------------------
     # Leaf

@@ -116,6 +116,16 @@ class PhysicalExecutor:
         self.grouping_strategy = grouping_strategy
         self.join_strategy = join_strategy
         self.matcher = StoreMatcher(store, indexes, use_indexes=use_indexes)
+        self.profiler = None
+
+    def enable_profiling(self):
+        """Wrap every operator in a timed span; returns the profiler."""
+        from ..observability import Profiler, snapshot_counters
+
+        self.profiler = Profiler(
+            lambda: snapshot_counters(self.store, self.indexes, self.matcher)
+        )
+        return self.profiler
 
     # ------------------------------------------------------------------
     def execute(self, plan: PlanNode) -> Collection:
@@ -130,7 +140,15 @@ class PhysicalExecutor:
         handler = getattr(self, f"_exec_{plan.op}", None)
         if handler is None:
             raise TranslationError(f"physical executor: unsupported op {plan.op!r}")
-        return handler(plan)
+        if self.profiler is None:
+            return handler(plan)
+        from ..observability import result_cardinality
+
+        detail = plan.describe()[len(plan.op) :].strip()
+        with self.profiler.operator(plan.op, detail) as span:
+            result = handler(plan)
+            span.output_rows = result_cardinality(result)
+        return result
 
     # ------------------------------------------------------------------
     # Scan / select / project

@@ -71,6 +71,17 @@ class PlanNode:
         return replacement if replacement is not None else candidate
 
     # -- display ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Stable structural rendering: operator, one-line detail, and
+        inputs.  Parameters holding pattern objects are summarized into
+        ``detail`` rather than exposed raw, so the dict is plain data."""
+        detail = self.describe()[len(self.op) :].strip()
+        return {
+            "op": self.op,
+            "detail": detail,
+            "inputs": [node.to_dict() for node in self.inputs],
+        }
+
     def describe(self) -> str:
         summary = _SUMMARIZERS.get(self.op)
         if summary is not None:

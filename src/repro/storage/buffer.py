@@ -81,9 +81,28 @@ class BufferPool:
             raise BufferPoolError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
-        self.stats = BufferStatistics()
+        self.counters = BufferStatistics()
         # OrderedDict in LRU order: least-recently-used first.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self):
+        """An immutable snapshot of the pool counters.
+
+        Counters only move forward; they are never reset implicitly (a
+        reopened database starts a fresh pool, but an open pool's
+        history survives until :meth:`reset_stats`).  Take snapshots
+        before and after a unit of work and subtract for deltas.
+        """
+        from ..observability.counters import CounterSnapshot
+
+        return CounterSnapshot(self.counters.snapshot())
+
+    def reset_stats(self) -> None:
+        """Explicitly zero the pool counters."""
+        self.counters.reset()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -92,10 +111,10 @@ class BufferPool:
         """Return the page, fetching it on a miss.  Updates LRU order."""
         frame = self._frames.get(page_id)
         if frame is not None:
-            self.stats.hits += 1
+            self.counters.hits += 1
             self._frames.move_to_end(page_id)
             return frame.page
-        self.stats.misses += 1
+        self.counters.misses += 1
         page = self.disk.read_page(page_id)
         self._admit(page)
         return page
@@ -117,9 +136,9 @@ class BufferPool:
             if frame.pin_count == 0:
                 if frame.page.dirty:
                     self.disk.write_page(frame.page)
-                    self.stats.dirty_writebacks += 1
+                    self.counters.dirty_writebacks += 1
                 del self._frames[page_id]
-                self.stats.evictions += 1
+                self.counters.evictions += 1
                 return
         raise BufferPoolError("all frames are pinned; cannot evict")
 

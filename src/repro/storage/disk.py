@@ -58,7 +58,7 @@ class DiskManager:
     def __init__(self, path: str | None = None):
         """``path=None`` selects the in-memory backing."""
         self.path = path
-        self.stats = IOStatistics()
+        self.counters = IOStatistics()
         self._n_pages = 0
         self._memory: dict[int, bytes] | None = None
         self._handle = None
@@ -77,6 +77,19 @@ class DiskManager:
             self._n_pages = size // PAGE_SIZE
 
     # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self):
+        """An immutable snapshot of the physical-I/O counters."""
+        from ..observability.counters import CounterSnapshot
+
+        return CounterSnapshot(self.counters.snapshot())
+
+    def reset_stats(self) -> None:
+        """Explicitly zero the physical-I/O counters."""
+        self.counters.reset()
+
+    # ------------------------------------------------------------------
     @property
     def n_pages(self) -> int:
         return self._n_pages
@@ -85,7 +98,7 @@ class DiskManager:
         """Reserve a new page id (the page is materialized on first write)."""
         page_id = self._n_pages
         self._n_pages += 1
-        self.stats.allocations += 1
+        self.counters.allocations += 1
         return page_id
 
     def write_page(self, page: Page) -> None:
@@ -100,7 +113,7 @@ class DiskManager:
             self._handle.seek(page.page_id * PAGE_SIZE)
             self._handle.write(raw)
         page.dirty = False
-        self.stats.physical_writes += 1
+        self.counters.physical_writes += 1
 
     def read_page(self, page_id: int) -> Page:
         """Fetch a page from the backing store (counts one physical read)."""
@@ -116,7 +129,7 @@ class DiskManager:
             raw = self._handle.read(PAGE_SIZE)
             if len(raw) != PAGE_SIZE:
                 raise StorageError(f"short read on page {page_id}")
-        self.stats.physical_reads += 1
+        self.counters.physical_reads += 1
         return Page(page_id, bytearray(raw))
 
     def flush(self) -> None:

@@ -87,7 +87,7 @@ class NodeStore:
             else:
                 self.meta = MetadataManager()
         self.pool = BufferPool(self.disk, capacity=pool_frames)
-        self.stats = StoreStatistics()
+        self.counters = StoreStatistics()
 
     # ------------------------------------------------------------------
     # Bulk loading
@@ -179,7 +179,7 @@ class NodeStore:
         """Fetch and decode the record for ``nid`` (one logical lookup)."""
         page_id, slot = self.meta.locate(nid)
         page = self.pool.get_page(page_id)
-        self.stats.record_lookups += 1
+        self.counters.record_lookups += 1
         return decode_record(page.read_record(slot))
 
     def tag(self, nid: int) -> str:
@@ -188,7 +188,7 @@ class NodeStore:
     def content(self, nid: int) -> str | None:
         """A *data value lookup* (Sec. 5.3): fetch the node's text value."""
         record = self.record(nid)
-        self.stats.value_lookups += 1
+        self.counters.value_lookups += 1
         return record.content
 
     def label(self, nid: int) -> tuple[int, int, int]:
@@ -267,8 +267,8 @@ class NodeStore:
                 nid=record.nid,
             )
             if with_content and record.content is not None:
-                self.stats.value_lookups += 1
-            self.stats.nodes_materialized += 1
+                self.counters.value_lookups += 1
+            self.counters.nodes_materialized += 1
             nodes[current] = node
             if current == nid:
                 root_node = node
@@ -338,19 +338,36 @@ class NodeStore:
     def n_nodes(self) -> int:
         return self.meta.next_nid
 
+    def stats(self):
+        """One immutable merged snapshot of all counters (store, pool,
+        disk).
+
+        Snapshots never change after capture: compare two to get the
+        work done in between.  Counters are zeroed only by an explicit
+        :meth:`reset_stats` — never implicitly.
+        """
+        from ..observability.counters import CounterSnapshot
+
+        merged: dict[str, int] = {}
+        merged.update(self.counters.snapshot())
+        merged.update(self.pool.counters.snapshot())
+        merged.update(self.disk.counters.snapshot())
+        return CounterSnapshot(merged)
+
+    def reset_stats(self) -> None:
+        """Explicitly zero every counter (store, pool, disk)."""
+        self.counters.reset()
+        self.pool.reset_stats()
+        self.disk.reset_stats()
+
     def reset_statistics(self) -> None:
-        """Zero every counter (store, pool, disk) before a measured run."""
-        self.stats.reset()
-        self.pool.stats.reset()
-        self.disk.stats.reset()
+        """Zero every counter before a measured run (alias kept for the
+        benchmark harness and existing callers)."""
+        self.reset_stats()
 
     def statistics(self) -> dict[str, int]:
-        """One merged snapshot of all counters."""
-        merged: dict[str, int] = {}
-        merged.update(self.stats.snapshot())
-        merged.update(self.pool.stats.snapshot())
-        merged.update(self.disk.stats.snapshot())
-        return merged
+        """All counters as a plain dict (mutable copy of :meth:`stats`)."""
+        return self.stats().as_dict()
 
     def flush(self) -> None:
         """Write dirty pages and persist metadata."""

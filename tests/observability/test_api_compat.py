@@ -1,0 +1,100 @@
+"""The redesigned Database API: PlanMode, keyword options, Explanation."""
+
+import pytest
+
+from repro.datagen.sample import QUERY_1
+from repro.errors import DatabaseError
+from repro.query.database import PLAN_MODES, Database, Explanation, PlanMode
+
+
+class TestPlanMode:
+    def test_members_equal_their_string_values(self):
+        assert PlanMode.GROUPBY == "groupby"
+        assert PlanMode.NAIVE_HASH == "naive-hash"
+        assert PlanMode("logical-naive") is PlanMode.LOGICAL_NAIVE
+
+    def test_plan_modes_tuple_matches_enum(self):
+        assert PLAN_MODES == tuple(mode.value for mode in PlanMode)
+        assert "auto" in PLAN_MODES and "groupby" in PLAN_MODES
+
+    def test_enum_and_string_run_identically(self, db):
+        by_enum = db.query(QUERY_1, plan=PlanMode.GROUPBY)
+        by_string = db.query(QUERY_1, plan="groupby")
+        assert by_enum.plan_mode == by_string.plan_mode == "groupby"
+        assert by_enum.collection.structurally_equal(by_string.collection)
+
+    def test_unknown_mode_raises_database_error(self, db):
+        with pytest.raises(DatabaseError):
+            db.query(QUERY_1, plan="warp-speed")
+
+    def test_default_is_auto(self, db):
+        assert db.query(QUERY_1).plan_mode == "groupby"
+
+
+class TestDeprecatedPositionalForm:
+    def test_positional_plan_warns_and_still_works(self, db):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            result = db.query(QUERY_1, "naive")
+        assert result.plan_mode == "naive"
+        assert len(result.collection) == 3
+
+    def test_positional_reset_statistics_accepted(self, db):
+        with pytest.warns(DeprecationWarning):
+            result = db.query(QUERY_1, "groupby", False)
+        assert result.plan_mode == "groupby"
+
+    def test_keyword_form_does_not_warn(self, db, recwarn):
+        db.query(QUERY_1, plan="groupby")
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_positional_plus_keyword_plan_rejected(self, db):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                db.query(QUERY_1, "naive", plan="groupby")
+
+    def test_too_many_positionals_rejected(self, db):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                db.query(QUERY_1, "naive", True, "extra")
+
+
+class TestExplanation:
+    def test_explain_is_still_a_string(self, db):
+        text = db.explain(QUERY_1)
+        assert isinstance(text, str)
+        assert "naive (join) plan" in text
+        assert "GROUPBY" in text
+
+    def test_render_matches_text(self, db):
+        explanation = db.explain(QUERY_1)
+        assert explanation.render() == str(explanation)
+
+    def test_to_dict_exposes_both_plans(self, db):
+        payload = db.explain(QUERY_1).to_dict()
+        assert payload["query"] == QUERY_1
+        naive = payload["plans"]["naive"]
+        grouped = payload["plans"]["groupby"]
+        ops = {node["op"] for node in _walk_dict(grouped)}
+        assert "groupby" in ops
+        assert {node["op"] for node in _walk_dict(naive)} >= {"scan", "select"}
+
+    def test_verbose_adds_optimizer_estimates(self, db):
+        explanation = db.explain(QUERY_1, verbose=True)
+        payload = explanation.to_dict()
+        assert payload["optimizer"]["winner"] in ("naive", "groupby")
+        assert payload["optimizer"]["groupby_cost"] > 0
+        assert "optimizer" in explanation
+
+    def test_explain_does_not_execute(self, db):
+        db.store.reset_stats()
+        db.explain(QUERY_1)
+        assert db.store.stats().get("nodes_materialized") == 0
+
+    def test_explanation_type(self, db):
+        assert isinstance(db.explain(QUERY_1), Explanation)
+
+
+def _walk_dict(node):
+    yield node
+    for child in node["inputs"]:
+        yield from _walk_dict(child)

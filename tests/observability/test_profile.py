@@ -1,0 +1,137 @@
+"""Execution profiles: span trees, counter attribution, analyze output."""
+
+import pytest
+
+from repro.datagen.sample import QUERY_1, QUERY_COUNT
+from repro.observability import CounterSnapshot, ExecutionProfile, ProfileNode, Profiler
+
+
+class TestProfiler:
+    def test_nested_spans_mirror_call_stack(self):
+        counters = {"work": 0}
+        profiler = Profiler(lambda: CounterSnapshot(counters))
+        with profiler.operator("outer"):
+            counters["work"] += 1
+            with profiler.operator("inner"):
+                counters["work"] += 2
+        root = profiler.root()
+        assert root.op == "outer"
+        assert [child.op for child in root.children] == ["inner"]
+        assert root.counters["work"] == 3
+        assert root.children[0].counters["work"] == 2
+
+    def test_self_counters_exclude_children(self):
+        counters = {"work": 0}
+        profiler = Profiler(lambda: CounterSnapshot(counters))
+        with profiler.operator("outer"):
+            counters["work"] += 1
+            with profiler.operator("inner"):
+                counters["work"] += 2
+            counters["work"] += 4
+        root = profiler.root()
+        assert root.self_counters()["work"] == 5
+
+    def test_root_requires_exactly_one(self):
+        profiler = Profiler(lambda: CounterSnapshot())
+        with pytest.raises(ValueError):
+            profiler.root()
+        with profiler.operator("a"):
+            pass
+        with profiler.operator("b"):
+            pass
+        with pytest.raises(ValueError):
+            profiler.root()
+
+    def test_span_closed_on_exception(self):
+        profiler = Profiler(lambda: CounterSnapshot())
+        with pytest.raises(RuntimeError):
+            with profiler.operator("boom"):
+                raise RuntimeError("operator failed")
+        assert profiler.root().op == "boom"
+
+
+class TestAnalyze:
+    def test_profile_attached_only_when_asked(self, db):
+        assert db.query(QUERY_1, plan="groupby").profile is None
+        result = db.query(QUERY_1, plan="groupby", analyze=True)
+        assert isinstance(result.profile, ExecutionProfile)
+
+    def test_profile_tree_mirrors_plan(self, db):
+        result = db.query(QUERY_1, plan="groupby", analyze=True)
+        plan_ops = [node.op for node in result.plan.walk()]
+        profile_ops = [node.op for node in result.profile.root.walk()]
+        assert profile_ops == plan_ops
+
+    def test_per_operator_deltas_sum_to_root(self, db):
+        result = db.query(QUERY_COUNT, plan="groupby", analyze=True)
+        root = result.profile.root
+        for key in ("value_lookups", "record_lookups", "pages_touched"):
+            summed = sum(node.self_counters().get(key, 0) for node in root.walk())
+            assert summed == root.counters.get(key, 0), key
+
+    def test_totals_agree_with_store_statistics(self, db):
+        result = db.query(QUERY_COUNT, plan="groupby", analyze=True)
+        for key in ("value_lookups", "record_lookups", "nodes_materialized"):
+            assert result.profile.total(key) == result.statistics[key], key
+
+    def test_output_rows_recorded(self, db):
+        result = db.query(QUERY_1, plan="groupby", analyze=True)
+        assert result.profile.root.output_rows == len(result.collection)
+        scan = result.profile.find("scan")
+        assert scan and scan[0].output_rows == 1
+
+    def test_direct_plan_profiles_as_single_span(self, db):
+        result = db.query(QUERY_1, plan="direct", analyze=True)
+        assert result.profile.root.op == "interpret"
+        assert result.profile.total("record_lookups") > 0
+
+    def test_logical_engine_profiles(self, db):
+        result = db.query(QUERY_1, plan="logical-groupby", analyze=True)
+        assert result.profile.root.op in ("project_groups", "rename_root", "stitch")
+
+    def test_groupby_populates_fewer_values_than_naive(self, db):
+        """The acceptance criterion — the paper's Sec. 6 claim, visible
+        through EXPLAIN ANALYZE: on count-by-author the GROUPBY plan
+        populates fewer data values and touches fewer pages."""
+        naive = db.query(QUERY_COUNT, plan="naive", analyze=True)
+        grouped = db.query(QUERY_COUNT, plan="groupby", analyze=True)
+        assert grouped.profile.total("value_lookups") < naive.profile.total("value_lookups")
+        assert grouped.profile.total("pages_touched") < naive.profile.total("pages_touched")
+
+    def test_io_stats_always_present(self, db):
+        result = db.query(QUERY_1, plan="groupby")
+        assert result.io_stats["pages_touched"] == (
+            result.io_stats["hits"] + result.io_stats["misses"]
+        )
+        assert "physical_reads" in result.io_stats
+
+
+class TestRenderingContract:
+    def test_to_dict_round_trips_structure(self, db):
+        result = db.query(QUERY_1, plan="groupby", analyze=True)
+        payload = result.profile.to_dict()
+        assert payload["plan_mode"] == "groupby"
+        assert payload["root"]["op"] == result.profile.root.op
+        assert isinstance(payload["totals"], dict)
+        child_ops = [child["op"] for child in payload["root"]["children"]]
+        assert child_ops == [c.op for c in result.profile.root.children]
+
+    def test_render_mentions_every_operator(self, db):
+        result = db.query(QUERY_1, plan="groupby", analyze=True)
+        text = result.profile.render()
+        for node in result.profile.root.walk():
+            assert node.op in text
+
+    def test_render_shows_rows_and_totals(self, db):
+        result = db.query(QUERY_COUNT, plan="groupby", analyze=True)
+        text = result.profile.render()
+        assert "rows=" in text
+        assert "totals:" in text
+        assert "[groupby]" in text
+
+    def test_profile_node_render_indents_children(self):
+        child = ProfileNode(op="scan", seconds=0.0)
+        root = ProfileNode(op="select", seconds=0.0, children=[child])
+        lines = root.render().splitlines()
+        assert lines[0].startswith("select")
+        assert lines[1].startswith("  scan")

@@ -1,0 +1,69 @@
+"""QueryTrace: the context-manager hook API."""
+
+from repro.datagen.sample import QUERY_1, QUERY_COUNT
+from repro.observability import QueryTrace, TraceEvent, active_traces, tracing_is_active
+
+
+class TestQueryTrace:
+    def test_collects_one_event_per_query(self, db):
+        with QueryTrace() as trace:
+            db.query(QUERY_1, plan="groupby")
+            db.query(QUERY_COUNT, plan="naive")
+        assert [e.plan_mode for e in trace.events] == ["groupby", "naive"]
+        assert trace.events[0].query == QUERY_1
+
+    def test_events_carry_profiles(self, db):
+        with QueryTrace() as trace:
+            db.query(QUERY_1, plan="groupby")
+        event = trace.events[0]
+        assert event.profile is not None
+        assert event.counters == event.profile.totals
+        assert trace.profiles == [event.profile]
+
+    def test_no_events_outside_block(self, db):
+        with QueryTrace() as trace:
+            pass
+        db.query(QUERY_1, plan="groupby")
+        assert trace.events == []
+
+    def test_on_event_callback(self, db):
+        seen = []
+        with QueryTrace(on_event=seen.append):
+            db.query(QUERY_1, plan="groupby")
+        assert len(seen) == 1
+        assert isinstance(seen[0], TraceEvent)
+
+    def test_traces_nest(self, db):
+        with QueryTrace() as outer:
+            db.query(QUERY_1, plan="groupby")
+            with QueryTrace() as inner:
+                db.query(QUERY_COUNT, plan="groupby")
+        assert len(outer.events) == 2
+        assert len(inner.events) == 1
+
+    def test_active_traces_bookkeeping(self, db):
+        assert not tracing_is_active()
+        with QueryTrace() as trace:
+            assert tracing_is_active()
+            assert trace in active_traces()
+        assert not tracing_is_active()
+
+    def test_explicit_trace_without_activation(self, db):
+        trace = QueryTrace()
+        db.query(QUERY_1, plan="groupby", trace=trace)
+        assert len(trace.events) == 1
+        db.query(QUERY_1, plan="groupby")
+        assert len(trace.events) == 1
+
+    def test_callable_trace_argument(self, db):
+        seen = []
+        db.query(QUERY_1, plan="groupby", trace=seen.append)
+        assert len(seen) == 1 and isinstance(seen[0], TraceEvent)
+
+    def test_event_to_dict(self, db):
+        with QueryTrace() as trace:
+            db.query(QUERY_1, plan="groupby")
+        payload = trace.events[0].to_dict()
+        assert payload["plan_mode"] == "groupby"
+        assert payload["profile"]["root"]["op"]
+        assert isinstance(payload["counters"], dict)

@@ -105,16 +105,16 @@ class TestPhysicalExecutor:
         ).execute(grouped)
         # Grouping itself needs no value lookups (keys come off the
         # index); only the output group nodes are materialized.
-        assert store.stats.value_lookups == len(result)
+        assert store.counters.value_lookups == len(result)
 
     def test_replicate_strategy_materializes_more(self, store, indexes):
         _, grouped = plans(QUERY_COUNT)
         store.reset_statistics()
         self.executor(store, indexes, grouping_strategy="sort").execute(grouped)
-        sort_nodes = store.stats.nodes_materialized
+        sort_nodes = store.counters.nodes_materialized
         store.reset_statistics()
         self.executor(store, indexes, grouping_strategy="replicate").execute(grouped)
-        replicate_nodes = store.stats.nodes_materialized
+        replicate_nodes = store.counters.nodes_materialized
         assert replicate_nodes > sort_nodes  # the Sec. 5.3 strawman cost
 
     def test_count_plan_skips_member_materialization(self, store, indexes):
@@ -123,7 +123,7 @@ class TestPhysicalExecutor:
         _, grouped = plans(QUERY_COUNT)
         store.reset_statistics()
         result = self.executor(store, indexes).execute(grouped)
-        assert store.stats.nodes_materialized == len(result)  # 1 per group
+        assert store.counters.nodes_materialized == len(result)  # 1 per group
 
     def test_scan_only_plans_rejected_at_root(self, store, indexes):
         with pytest.raises(TranslationError):

@@ -68,8 +68,8 @@ class TestDescendPath:
         articles = labels_of(indexes, "article")
         store.reset_statistics()
         descend_path(indexes, articles, ("author", "institution"))
-        assert store.stats.record_lookups == 0
-        assert store.stats.value_lookups == 0
+        assert store.counters.record_lookups == 0
+        assert store.counters.value_lookups == 0
 
 
 tags = st.sampled_from(["a", "b", "c"])

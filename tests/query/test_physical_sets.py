@@ -47,8 +47,8 @@ class TestScanAndSelect:
         pattern = initial_pattern("doc_root", "article")
         store.reset_statistics()
         executor._run(select(scan("bib.xml"), pattern, {"$2"}))
-        assert store.stats.value_lookups == 0
-        assert store.stats.nodes_materialized == 0
+        assert store.counters.value_lookups == 0
+        assert store.counters.nodes_materialized == 0
 
 
 class TestProjectionDeferral:
@@ -61,8 +61,8 @@ class TestProjectionDeferral:
         assert isinstance(result, WitnessSet)
         assert result.projection_list == ("$2*",)
         # Deferred: projection touched no data.
-        assert store.stats.value_lookups == 0
-        assert store.stats.nodes_materialized == 0
+        assert store.counters.value_lookups == 0
+        assert store.counters.nodes_materialized == 0
 
 
 class TestDupelimKeys:
@@ -78,7 +78,7 @@ class TestDupelimKeys:
         result = executor._run(plan)
         assert isinstance(result, WitnessSet)
         assert len(result.matches) == 3  # Jack, John, Jill
-        assert store.stats.value_lookups == 5  # one per author occurrence
+        assert store.counters.value_lookups == 5  # one per author occurrence
         assert all("$2" in match.values for match in result.matches)
 
     def test_dupelim_without_label_rejected_on_witnesses(self, executor):

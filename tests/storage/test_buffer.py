@@ -22,9 +22,9 @@ class TestHitsAndMisses:
         pool = make_pool()
         pool.get_page(0)
         pool.get_page(0)
-        assert pool.stats.misses == 1
-        assert pool.stats.hits == 1
-        assert pool.stats.hit_ratio() == 0.5
+        assert pool.counters.misses == 1
+        assert pool.counters.hits == 1
+        assert pool.counters.hit_ratio() == 0.5
 
     def test_content_correct_through_pool(self):
         pool = make_pool()
@@ -35,7 +35,7 @@ class TestHitsAndMisses:
         for page_id in range(6):
             pool.get_page(page_id)
         assert len(pool) == 3
-        assert pool.stats.evictions == 3
+        assert pool.counters.evictions == 3
 
     def test_lru_eviction_order(self):
         pool = make_pool(capacity=2)
@@ -52,7 +52,7 @@ class TestHitsAndMisses:
         pool.get_page(0)
         pool.get_page(1)
         pool.get_page(0)
-        assert pool.stats.requests == 3
+        assert pool.counters.requests == 3
 
 
 class TestPinning:
@@ -104,14 +104,14 @@ class TestDirtyWriteback:
         page.insert_record(b"dirty")
         page.dirty = True
         pool.get_page(1)  # evicts page 0
-        assert pool.stats.dirty_writebacks == 1
+        assert pool.counters.dirty_writebacks == 1
         assert pool.disk.read_page(0).read_record(1) == b"dirty"
 
     def test_clean_eviction_skips_writeback(self):
         pool = make_pool(capacity=1)
         pool.get_page(0)
         pool.get_page(1)
-        assert pool.stats.dirty_writebacks == 0
+        assert pool.counters.dirty_writebacks == 0
 
 
 class TestLifecycle:
@@ -120,7 +120,7 @@ class TestLifecycle:
         pool = BufferPool(disk, capacity=4)
         page = Page(disk.allocate_page())
         pool.put_new_page(page)
-        assert pool.stats.misses == 0
+        assert pool.counters.misses == 0
         assert page.page_id in pool
 
     def test_put_duplicate_rejected(self):

@@ -64,14 +64,14 @@ class TestStatistics:
         disk.write_page(page)
         disk.read_page(0)
         disk.read_page(0)
-        assert disk.stats.allocations == 1
-        assert disk.stats.physical_writes == 1
-        assert disk.stats.physical_reads == 2
+        assert disk.counters.allocations == 1
+        assert disk.counters.physical_writes == 1
+        assert disk.counters.physical_reads == 2
 
     def test_reset(self, disk):
         disk.allocate_page()
-        disk.stats.reset()
-        assert disk.stats.snapshot() == {
+        disk.counters.reset()
+        assert disk.counters.snapshot() == {
             "physical_reads": 0,
             "physical_writes": 0,
             "allocations": 0,

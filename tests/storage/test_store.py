@@ -164,18 +164,18 @@ class TestStatistics:
         store.reset_statistics()
         store.record(0)
         store.record(1)
-        assert store.stats.record_lookups == 2
+        assert store.counters.record_lookups == 2
 
     def test_value_lookup_counted(self, store):
         store.reset_statistics()
         store.content(1)
-        assert store.stats.value_lookups == 1
+        assert store.counters.value_lookups == 1
 
     def test_materialize_counts_nodes(self, store):
         info = store.document("bib.xml")
         store.reset_statistics()
         store.materialize(info.root_nid)
-        assert store.stats.nodes_materialized == info.n_nodes
+        assert store.counters.nodes_materialized == info.n_nodes
 
     def test_statistics_merge_keys(self, store):
         stats = store.statistics()
@@ -185,8 +185,8 @@ class TestStatistics:
     def test_reset_clears_everything(self, store):
         store.record(0)
         store.reset_statistics()
-        assert store.stats.record_lookups == 0
-        assert store.pool.stats.requests == 0
+        assert store.counters.record_lookups == 0
+        assert store.pool.counters.requests == 0
 
 
 class TestLargeDocument:
