@@ -77,6 +77,17 @@ def main(argv: list[str] | None = None) -> int:
     info = commands.add_parser("info", help="database summary: documents, pages, tags")
     info.add_argument("database", help="XML file to load as bib.xml")
 
+    verify = commands.add_parser(
+        "verify", help="check a database directory: checksums, catalog, indexes"
+    )
+    verify.add_argument("directory", help="database directory (data.pages + meta.json)")
+
+    repair = commands.add_parser(
+        "repair",
+        help="quarantine unreadable pages, drop the documents on them, rebuild indexes",
+    )
+    repair.add_argument("directory", help="database directory (data.pages + meta.json)")
+
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
         "which", choices=("e1", "e2", "e3", "a1", "a2", "a3"), help="experiment id"
@@ -84,6 +95,34 @@ def main(argv: list[str] | None = None) -> int:
     _add_config_args(experiment)
 
     args = parser.parse_args(argv)
+
+    if args.command == "verify":
+        from .storage.store import NodeStore
+
+        with NodeStore(args.directory) as store:
+            report = store.verify()
+            if store.directory is not None:
+                from .indexing.persist import snapshot_is_fresh
+
+                report.index_fresh = snapshot_is_fresh(store.meta, store.directory)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.command == "repair":
+        # Degraded open quarantines what verify would flag; the Database
+        # layer then rebuilds + persists indexes over the survivors.
+        db = Database(args.directory, degraded=True)
+        try:
+            report = db.store.verify()
+            print(report.render())
+            recovery = db.store.recovery
+            print(
+                f"quarantined {recovery.pages_quarantined} page(s), "
+                f"dropped {recovery.documents_dropped} document(s); indexes rebuilt"
+            )
+        finally:
+            db.close()
+        return 0
 
     if args.command == "generate":
         tree = generate_dblp(_config_from(args))

@@ -40,6 +40,17 @@ class PageCorruptionError(StorageError):
     """A page failed its checksum or structural validation on read."""
 
 
+class TransientIOError(StorageError):
+    """A physical I/O operation failed in a way that may succeed on
+    retry (injected fault, short read, flaky device).  The buffer-pool
+    read path retries these with bounded backoff before giving up."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a page or structure, or an
+    access touched a page that recovery quarantined as unrecoverable."""
+
+
 class BufferPoolError(StorageError):
     """Buffer pool misuse, e.g. unpinning a page that is not pinned."""
 

@@ -49,9 +49,51 @@ _KIND_VALUE = 0x02
 CHUNK_LABELS = 400
 
 
-def _fingerprint(manager) -> tuple[int, int, int]:
-    meta = manager.store.meta
+def fingerprint_of(meta) -> tuple[int, int, int]:
+    """The store fingerprint a snapshot must match to be fresh."""
     return (meta.next_nid, meta.next_label, len(meta.documents))
+
+
+def _fingerprint(manager) -> tuple[int, int, int]:
+    return fingerprint_of(manager.store.meta)
+
+
+def snapshot_is_fresh(meta, directory: str) -> bool:
+    """Whether the persisted snapshot in ``directory`` matches ``meta``.
+
+    An empty catalog with no snapshot counts as fresh — there is
+    nothing to rebuild.
+    """
+    snapshot = read_fingerprint(directory)
+    if snapshot is None:
+        return not meta.documents
+    return snapshot == fingerprint_of(meta)
+
+
+def read_fingerprint(directory: str) -> tuple[int, int, int] | None:
+    """The fingerprint stored in ``directory/indexes.pages``, or
+    ``None`` when the file is missing or unreadable.  Reads only the
+    first page — used by ``verify`` to report index freshness without
+    deserializing the snapshot."""
+    path = os.path.join(directory, INDEX_FILE)
+    if not os.path.exists(path):
+        return None
+    try:
+        disk = DiskManager(path)
+    except ReproError:
+        return None
+    try:
+        if disk.n_pages == 0:
+            return None
+        for raw in disk.read_page(0).records():
+            if raw[0] == _KIND_HEADER:
+                _, next_nid, next_label, n_docs = _HEADER.unpack_from(raw, 0)
+                return (next_nid, next_label, n_docs)
+        return None
+    except ReproError:
+        return None
+    finally:
+        disk.close()
 
 
 def _pack_labels(labels: list[NodeLabel]) -> bytes:
@@ -104,8 +146,11 @@ def save_indexes(manager, directory: str) -> None:
                 )
         writer.flush()
     finally:
-        disk.close()
+        disk.close()  # flushes and fsyncs the staged file
     os.replace(tmp, path)
+    from ..storage.journal import fsync_directory
+
+    fsync_directory(directory)
 
 
 def load_indexes(manager, directory: str) -> bool:

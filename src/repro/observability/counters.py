@@ -105,6 +105,14 @@ def snapshot_counters(store, indexes=None, matcher=None) -> CounterSnapshot:
     data.update(store.pool.counters.snapshot())
     data.update(store.disk.counters.snapshot())
     data.update(join_statistics().snapshot())
+    # Fault-injection and crash-recovery layers, when present (the disk
+    # may be a FaultyDiskManager; the store keeps recovery counters).
+    recovery = getattr(store, "recovery", None)
+    if recovery is not None:
+        data.update(recovery.snapshot())
+    fault_counters = getattr(store.disk, "fault_counters", None)
+    if fault_counters is not None:
+        data.update(fault_counters.snapshot())
     if indexes is not None:
         data.update(indexes.work_counters())
     if matcher is not None:

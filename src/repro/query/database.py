@@ -163,8 +163,21 @@ class Database:
         pool_frames: int = DEFAULT_POOL_FRAMES,
         grouping_strategy: str = "sort",
         use_indexes: bool = True,
+        fault_plan: "FaultPlan | None" = None,
+        degraded: bool = False,
     ):
-        self.store = NodeStore(directory, pool_frames=pool_frames)
+        """Open (or create) a database.
+
+        ``fault_plan`` installs a fault-injection plan on the storage
+        layer (tests, CI; see :mod:`repro.storage.faults`).
+        ``degraded=True`` opens a damaged directory anyway: unreadable
+        pages are quarantined, the documents on them dropped, and the
+        indexes rebuilt over what survives — instead of the default
+        fail-loudly behaviour.
+        """
+        self.store = NodeStore(
+            directory, pool_frames=pool_frames, fault_plan=fault_plan, degraded=degraded
+        )
         self.indexes = IndexManager(self.store)
         self.grouping_strategy = grouping_strategy
         self.use_indexes = use_indexes
@@ -234,6 +247,28 @@ class Database:
         """Catalog lookup: the tag of the document's root element."""
         info = self.store.document(doc)
         return self.store.tag(info.root_nid)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def verify(self):
+        """Storage health check: page checksums, catalog consistency,
+        and persisted-index freshness.  Returns a
+        :class:`~repro.storage.store.VerifyReport`; read-only."""
+        report = self.store.verify()
+        if self.store.directory is not None:
+            from ..indexing.persist import snapshot_is_fresh
+
+            report.index_fresh = snapshot_is_fresh(self.store.meta, self.store.directory)
+        return report
+
+    def repair(self):
+        """Quarantine unrecoverable pages, drop the documents on them,
+        and rebuild the indexes over the surviving documents.  Returns
+        the storage layer's :class:`~repro.storage.store.RepairReport`."""
+        report = self.store.repair()
+        self._reindex()
+        return report
 
     # ------------------------------------------------------------------
     # Querying

@@ -8,10 +8,29 @@ model: 8 KB slotted pages, an LRU buffer pool with pin counts (default
 
 from .buffer import DEFAULT_POOL_FRAMES, BufferPool, BufferStatistics
 from .disk import DiskManager, IOStatistics
+from .faults import (
+    NO_FAULTS,
+    FaultPlan,
+    FaultStatistics,
+    FaultyDiskManager,
+    SimulatedCrash,
+)
+from .journal import (
+    COMPACT_CRASH_POINTS,
+    JOURNAL_FILE,
+    LOAD_CRASH_POINTS,
+    recover_directory,
+)
 from .metadata import DocumentInfo, MetadataManager, SymbolTable
 from .page import PAGE_SIZE, Page
 from .records import NO_PARENT, NodeRecord, decode_record, encode_record
-from .store import NodeStore, StoreStatistics
+from .store import (
+    NodeStore,
+    RecoveryStatistics,
+    RepairReport,
+    StoreStatistics,
+    VerifyReport,
+)
 
 __all__ = [
     "DEFAULT_POOL_FRAMES",
@@ -19,6 +38,15 @@ __all__ = [
     "BufferStatistics",
     "DiskManager",
     "IOStatistics",
+    "NO_FAULTS",
+    "FaultPlan",
+    "FaultStatistics",
+    "FaultyDiskManager",
+    "SimulatedCrash",
+    "COMPACT_CRASH_POINTS",
+    "JOURNAL_FILE",
+    "LOAD_CRASH_POINTS",
+    "recover_directory",
     "DocumentInfo",
     "MetadataManager",
     "SymbolTable",
@@ -29,5 +57,8 @@ __all__ = [
     "decode_record",
     "encode_record",
     "NodeStore",
+    "RecoveryStatistics",
+    "RepairReport",
     "StoreStatistics",
+    "VerifyReport",
 ]

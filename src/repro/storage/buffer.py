@@ -15,32 +15,49 @@ page before the next pool call.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 
-from ..errors import BufferPoolError, StorageError
+from ..errors import BufferPoolError, StorageError, TransientIOError
 from .disk import DiskManager
 from .page import PAGE_SIZE, Page
 
 DEFAULT_POOL_BYTES = 32 * 1024 * 1024  # the paper's 32 MB
 DEFAULT_POOL_FRAMES = DEFAULT_POOL_BYTES // PAGE_SIZE
 
+#: Bounded retry for transient physical-read faults: total attempts,
+#: and the base of the exponential backoff between them.
+READ_RETRY_ATTEMPTS = 3
+READ_RETRY_BACKOFF_SECONDS = 0.001
+
 
 class BufferStatistics:
     """Counters for logical page requests against the pool."""
 
-    __slots__ = ("hits", "misses", "evictions", "dirty_writebacks")
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "dirty_writebacks",
+        "transient_retries",
+        "transient_failures",
+    )
 
     def __init__(self):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.transient_retries = 0
+        self.transient_failures = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.dirty_writebacks = 0
+        self.transient_retries = 0
+        self.transient_failures = 0
 
     @property
     def requests(self) -> int:
@@ -56,6 +73,8 @@ class BufferStatistics:
             "misses": self.misses,
             "evictions": self.evictions,
             "dirty_writebacks": self.dirty_writebacks,
+            "transient_retries": self.transient_retries,
+            "transient_failures": self.transient_failures,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -76,11 +95,19 @@ class _Frame:
 class BufferPool:
     """Fixed-capacity page cache in front of a :class:`DiskManager`."""
 
-    def __init__(self, disk: DiskManager, capacity: int = DEFAULT_POOL_FRAMES):
+    def __init__(
+        self,
+        disk: DiskManager,
+        capacity: int = DEFAULT_POOL_FRAMES,
+        retry_attempts: int = READ_RETRY_ATTEMPTS,
+        retry_backoff: float = READ_RETRY_BACKOFF_SECONDS,
+    ):
         if capacity < 1:
             raise BufferPoolError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
+        self.retry_attempts = max(1, retry_attempts)
+        self.retry_backoff = retry_backoff
         self.counters = BufferStatistics()
         # OrderedDict in LRU order: least-recently-used first.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
@@ -115,9 +142,27 @@ class BufferPool:
             self._frames.move_to_end(page_id)
             return frame.page
         self.counters.misses += 1
-        page = self.disk.read_page(page_id)
+        page = self._read_with_retry(page_id)
         self._admit(page)
         return page
+
+    def _read_with_retry(self, page_id: int) -> Page:
+        """One physical read with bounded retry-with-backoff on
+        transient faults (flaky device, injected error); corruption is
+        never retried — a bad checksum will not heal."""
+        delay = self.retry_backoff
+        for attempt in range(self.retry_attempts):
+            try:
+                return self.disk.read_page(page_id)
+            except TransientIOError:
+                if attempt + 1 == self.retry_attempts:
+                    self.counters.transient_failures += 1
+                    raise
+                self.counters.transient_retries += 1
+                if delay > 0:
+                    time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def put_new_page(self, page: Page) -> None:
         """Admit a freshly built page (bulk load path) without a disk read."""
@@ -171,6 +216,16 @@ class BufferPool:
             if frame.page.dirty:
                 self.disk.write_page(frame.page)
         self.disk.flush()
+
+    def discard_all(self) -> None:
+        """Drop every frame *without* writing dirty pages back.
+
+        Crash-recovery rollback uses this: the dirty pages belong to an
+        aborted load and must not reach the disk.
+        """
+        if self.pinned_count():
+            raise BufferPoolError("cannot discard the pool while pages are pinned")
+        self._frames.clear()
 
     def clear(self) -> None:
         """Drop all unpinned frames (flushing dirty ones).

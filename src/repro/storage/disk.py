@@ -137,9 +137,34 @@ class DiskManager:
         if self._handle is not None:
             self._handle.flush()
 
-    def close(self) -> None:
+    def sync(self) -> None:
+        """Force file contents to stable storage (flush + fsync)."""
         if self._handle is not None:
             self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def truncate(self, n_pages: int) -> None:
+        """Drop every page past ``n_pages`` (crash-recovery rollback)."""
+        if n_pages < 0 or n_pages > self._n_pages:
+            raise StorageError(
+                f"cannot truncate to {n_pages} pages (have {self._n_pages})"
+            )
+        if self._memory is not None:
+            for page_id in [pid for pid in self._memory if pid >= n_pages]:
+                del self._memory[page_id]
+        else:
+            assert self._handle is not None
+            self._handle.truncate(n_pages * PAGE_SIZE)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._n_pages = n_pages
+
+    def close(self) -> None:
+        """Flush, fsync, and close the handle.  Idempotent: a second
+        close (or ``__exit__`` after an explicit close) is a no-op."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
 

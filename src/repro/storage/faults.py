@@ -1,0 +1,288 @@
+"""Deterministic fault injection for the storage stack.
+
+TIMBER inherits crash safety from Shore; to reproduce (and test) that
+layer we need a way to make our disk misbehave on demand.  This module
+provides it:
+
+* :class:`FaultPlan` — a declarative, seed-driven description of which
+  faults to inject (transient read/write errors, short reads, bit
+  flips, torn writes, fail-after-N, crash at a named journal step).
+  Plans parse from a compact ``key=value`` string so tests, the CLI,
+  and CI can all install one (``REPRO_FAULT_PLAN`` environment
+  variable).
+* :class:`FaultyDiskManager` — a transparent wrapper around a
+  :class:`~repro.storage.disk.DiskManager` that consults the plan on
+  every physical operation.  With an all-zero plan it is a pure
+  pass-through (CI proves this by running the whole suite with
+  ``REPRO_FAULT_PLAN=none``).
+* :func:`maybe_crash` — the crash-point hook the journaled write paths
+  call at every step; a plan with ``crash_at=<point>`` kills the
+  process *model* there (raises :class:`SimulatedCrash`), leaving the
+  on-disk state exactly as a real crash would.
+
+Everything is deterministic: one ``random.Random(seed)`` per wrapper,
+so a failing seed reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+from dataclasses import dataclass
+
+from ..errors import StorageError, TransientIOError
+from .disk import DiskManager
+from .page import HEADER_SIZE, PAGE_SIZE, Page
+
+#: Environment variable holding a parseable fault plan; when set, every
+#: :class:`~repro.storage.store.NodeStore` wraps its disk manager.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" at an injected crash point.
+
+    Deliberately a ``BaseException`` subclass: recovery code that
+    catches ``Exception`` (or :class:`ReproError`) must not be able to
+    swallow a simulated crash — nothing can run after a real one.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject.
+
+    Rates are per-operation probabilities in ``[0, 1]``; counts are
+    absolute operation indices.  ``max_faults`` bounds the *total*
+    number of injected faults so that retry loops eventually succeed.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0  # transient IOError on read
+    write_error_rate: float = 0.0  # transient IOError on write
+    short_read_rate: float = 0.0  # transient short read
+    bit_flip_rate: float = 0.0  # corrupt one payload bit on read
+    torn_write_after: int | None = None  # tear the write after N good ones
+    fail_after: int | None = None  # persistent failure after N operations
+    crash_at: str | None = None  # named crash point (see journal.py)
+    max_faults: int | None = None  # stop injecting after N faults
+
+    def is_noop(self) -> bool:
+        """True when the plan injects nothing (transparent wrapper)."""
+        return (
+            self.read_error_rate == 0.0
+            and self.write_error_rate == 0.0
+            and self.short_read_rate == 0.0
+            and self.bit_flip_rate == 0.0
+            and self.torn_write_after is None
+            and self.fail_after is None
+            and self.crash_at is None
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse ``"seed=7,read_error_rate=0.1,crash_at=load.pages_synced"``.
+
+        ``"none"`` (or an empty string) yields the no-fault plan —
+        useful to install the wrapper without any faults.
+        """
+        text = text.strip()
+        if text in ("", "none", "off"):
+            return cls()
+        fields = {field.name: field for field in dataclasses.fields(cls)}
+        values: dict[str, object] = {}
+        for part in text.replace(";", ",").split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise StorageError(f"fault plan: expected key=value, got {part!r}")
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            if key not in fields:
+                known = ", ".join(sorted(fields))
+                raise StorageError(f"fault plan: unknown key {key!r} (known: {known})")
+            if key == "crash_at":
+                values[key] = raw
+            elif key in ("seed",):
+                values[key] = int(raw)
+            elif key in ("torn_write_after", "fail_after", "max_faults"):
+                values[key] = None if raw.lower() == "none" else int(raw)
+            else:
+                values[key] = float(raw)
+        return cls(**values)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """The plan back in its parseable string form."""
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                parts.append(f"{field.name}={value}")
+        return ",".join(parts) if parts else "none"
+
+
+#: The transparent plan (wrapper installed, nothing injected).
+NO_FAULTS = FaultPlan()
+
+
+def plan_from_env() -> FaultPlan | None:
+    """The plan named by ``REPRO_FAULT_PLAN``, or ``None`` if unset."""
+    text = os.environ.get(FAULT_PLAN_ENV)
+    if text is None:
+        return None
+    return FaultPlan.parse(text)
+
+
+def maybe_crash(plan: FaultPlan | None, point: str, counters: "FaultStatistics | None" = None) -> None:
+    """Raise :class:`SimulatedCrash` when ``plan`` targets ``point``."""
+    if plan is not None and plan.crash_at == point:
+        if counters is not None:
+            counters.crashes += 1
+        raise SimulatedCrash(point)
+
+
+class FaultStatistics:
+    """Counters for every fault actually injected."""
+
+    __slots__ = (
+        "injected_read_errors",
+        "injected_write_errors",
+        "injected_short_reads",
+        "injected_bit_flips",
+        "injected_torn_writes",
+        "injected_fail_after",
+        "crashes",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def total(self) -> int:
+        return sum(getattr(self, name) for name in self.__slots__)
+
+    def snapshot(self) -> dict[str, int]:
+        return {f"fault_{name}": getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = " ".join(f"{n}={getattr(self, n)}" for n in self.__slots__)
+        return f"<FaultStatistics {inner}>"
+
+
+class FaultyDiskManager:
+    """A :class:`DiskManager` wrapper that injects faults per a plan.
+
+    Injected faults:
+
+    * **transient read/write errors** — :class:`TransientIOError`
+      before the operation touches the backing store;
+    * **short reads** — also transient (a retry sees the full page);
+    * **bit flips** — the read succeeds but one payload bit is flipped,
+      so page validation raises ``PageCorruptionError``;
+    * **torn writes** — after ``torn_write_after`` successful writes,
+      the next write persists only a prefix of the page and raises
+      :class:`SimulatedCrash` (the process died mid-write);
+    * **fail-after-N** — every operation past ``fail_after`` raises
+      :class:`TransientIOError`, modelling a dead device (bounded
+      retries exhaust and surface the error).
+
+    Anything not intercepted delegates to the wrapped manager, so the
+    wrapper is invisible to callers (including attribute access).
+    """
+
+    def __init__(self, inner: DiskManager, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.fault_counters = FaultStatistics()
+        self._ops = 0
+        self._good_writes = 0
+
+    # -- plan machinery --------------------------------------------------
+    def _budget_left(self) -> bool:
+        limit = self.plan.max_faults
+        return limit is None or self.fault_counters.total() < limit
+
+    def _roll(self, rate: float) -> bool:
+        if rate <= 0.0 or not self._budget_left():
+            return False
+        return self.rng.random() < rate
+
+    def _count_op(self) -> None:
+        self._ops += 1
+        if self.plan.fail_after is not None and self._ops > self.plan.fail_after:
+            self.fault_counters.injected_fail_after += 1
+            raise TransientIOError(
+                f"injected device failure (operation {self._ops} past "
+                f"fail_after={self.plan.fail_after})"
+            )
+
+    # -- faulted operations ----------------------------------------------
+    def read_page(self, page_id: int) -> Page:
+        self._count_op()
+        if self._roll(self.plan.read_error_rate):
+            self.fault_counters.injected_read_errors += 1
+            raise TransientIOError(f"injected transient read error on page {page_id}")
+        if self._roll(self.plan.short_read_rate):
+            self.fault_counters.injected_short_reads += 1
+            raise TransientIOError(f"injected short read on page {page_id}")
+        page = self.inner.read_page(page_id)
+        if self._roll(self.plan.bit_flip_rate):
+            self.fault_counters.injected_bit_flips += 1
+            flipped = bytearray(page.data)
+            # Flip inside the checksummed payload so validation trips.
+            bit = self.rng.randrange((PAGE_SIZE - HEADER_SIZE) * 8)
+            flipped[HEADER_SIZE + bit // 8] ^= 1 << (bit % 8)
+            return Page(page_id, flipped)  # raises PageCorruptionError
+        return page
+
+    def write_page(self, page: Page) -> None:
+        self._count_op()
+        if (
+            self.plan.torn_write_after is not None
+            and self._good_writes >= self.plan.torn_write_after
+            and self._budget_left()
+        ):
+            self.fault_counters.injected_torn_writes += 1
+            self._tear_write(page)
+            self.fault_counters.crashes += 1
+            raise SimulatedCrash(f"torn write on page {page.page_id}")
+        if self._roll(self.plan.write_error_rate):
+            self.fault_counters.injected_write_errors += 1
+            raise TransientIOError(f"injected transient write error on page {page.page_id}")
+        self.inner.write_page(page)
+        self._good_writes += 1
+
+    def _tear_write(self, page: Page) -> None:
+        """Persist only a prefix of the page — what a crash mid-write
+        leaves behind."""
+        raw = page.seal()
+        cut = self.rng.randrange(1, PAGE_SIZE)
+        inner = self.inner
+        if inner._memory is not None:
+            inner._memory[page.page_id] = raw[:cut]
+        else:
+            assert inner._handle is not None
+            inner._handle.seek(page.page_id * PAGE_SIZE)
+            inner._handle.write(raw[:cut])
+            inner._handle.flush()
+
+    # -- transparent delegation ------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def __enter__(self) -> "FaultyDiskManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultyDiskManager plan=({self.plan.describe()}) inner={self.inner!r}>"

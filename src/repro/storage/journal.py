@@ -1,0 +1,249 @@
+"""Intent journal and crash recovery for directory-backed stores.
+
+The store's two multi-file mutations — bulk load and compaction — are
+made crash-consistent with a write-ahead *intent journal* plus the
+atomicity of ``os.replace``:
+
+**Bulk load** appends pages to ``data.pages`` and then commits by
+atomically replacing ``meta.json`` (whose catalog is the source of
+truth — pages the catalog does not reference are garbage).  Protocol::
+
+    1. write journal {op: load, base_pages, new_next_nid}   (fsync)
+    2. append + flush the new pages; fsync data.pages
+    3. atomically replace meta.json                          <- COMMIT
+    4. remove the journal
+
+A crash anywhere leaves one of two recoverable states: the journal
+present with the *old* meta (steps 1–2: roll back by truncating
+``data.pages`` to ``base_pages``), or the journal present with the
+*new* meta (between 3 and 4: the load committed; just clear the
+journal).  The commit test is ``meta.next_nid == journal.new_next_nid``.
+
+**Compaction** stages a complete fresh store (``data.pages`` +
+``meta.json``) in a scratch subdirectory, fsyncs it, journals the
+intent, then swaps the files in with two ``os.replace`` calls::
+
+    1. build + fsync <dir>/<stage>/{data.pages, meta.json}
+    2. write journal {op: compact, stage_dir}                (fsync)
+    3. replace data.pages from the stage
+    4. replace meta.json  from the stage                     <- COMMIT
+    5. remove the journal; remove the stage directory
+
+With the journal present the stage is known complete, so recovery
+always rolls *forward*: any staged file still present is swapped in,
+then the journal is cleared.  A stage directory without a journal is a
+crash during step 1 — removed wholesale, the old store untouched.
+
+Crash points (:data:`LOAD_CRASH_POINTS`, :data:`COMPACT_CRASH_POINTS`)
+name the instants *after* each step; the crash-enumeration suite kills
+the store at every one and asserts a clean reopen.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+from ..errors import RecoveryError
+from .page import PAGE_SIZE
+
+JOURNAL_FILE = "journal.json"
+#: Scratch subdirectory compaction stages its fresh store in.
+COMPACT_STAGE_DIR = ".compact.stage"
+
+#: Crash points fired by the journaled bulk-load path, in order.
+LOAD_CRASH_POINTS = (
+    "load.journal_written",
+    "load.pages_synced",
+    "load.meta_committed",
+    "load.journal_cleared",
+)
+
+#: Crash points fired by the journaled compaction path, in order.
+COMPACT_CRASH_POINTS = (
+    "compact.staged",
+    "compact.journal_written",
+    "compact.data_swapped",
+    "compact.meta_committed",
+    "compact.journal_cleared",
+)
+
+
+# ----------------------------------------------------------------------
+# fsync discipline
+# ----------------------------------------------------------------------
+def fsync_directory(directory: str) -> None:
+    """fsync a directory so renames within it are durable (best effort:
+    some platforms refuse directory handles)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str, payload: dict) -> None:
+    """Write JSON durably: temp file, flush+fsync, atomic rename,
+    directory fsync."""
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_directory(os.path.dirname(path) or ".")
+
+
+# ----------------------------------------------------------------------
+# Journal file
+# ----------------------------------------------------------------------
+def journal_path(directory: str) -> str:
+    return os.path.join(directory, JOURNAL_FILE)
+
+
+def write_journal(directory: str, payload: dict) -> None:
+    atomic_write_json(journal_path(directory), payload)
+
+
+def read_journal(directory: str) -> dict | None:
+    """The pending journal entry, or ``None`` when no load/compact was
+    in flight.  The journal is written atomically, so a malformed one
+    means outside interference — fail loudly."""
+    path = journal_path(directory)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"unreadable journal {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or "op" not in payload:
+        raise RecoveryError(f"malformed journal {path!r}: {payload!r}")
+    return payload
+
+
+def clear_journal(directory: str) -> None:
+    path = journal_path(directory)
+    if os.path.exists(path):
+        os.remove(path)
+    fsync_directory(directory)
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+def recover_directory(directory: str, recovery_counters=None) -> str | None:
+    """Bring a store directory back to a consistent state after a crash.
+
+    Runs *before* any store file is opened.  Returns the action taken
+    (``"load-rollback"``, ``"load-rollforward"``, ``"compact-rollforward"``,
+    ``"stage-cleanup"``) or ``None`` when the directory was clean.
+    Raises :class:`RecoveryError` on states recovery cannot explain.
+    """
+    entry = read_journal(directory)
+    action: str | None = None
+    if entry is None:
+        # No intent pending: stray staging/temp files are crash debris
+        # from before the journal was written — safe to drop.
+        stage = os.path.join(directory, COMPACT_STAGE_DIR)
+        if os.path.isdir(stage):
+            shutil.rmtree(stage)
+            action = "stage-cleanup"
+        _remove_stray_tmp(directory)
+        if action and recovery_counters is not None:
+            recovery_counters.recoveries += 1
+        return action
+
+    op = entry.get("op")
+    if op == "load":
+        action = _recover_load(directory, entry)
+    elif op == "compact":
+        action = _recover_compact(directory, entry)
+    else:
+        raise RecoveryError(f"journal names unknown operation {op!r}")
+    if recovery_counters is not None:
+        recovery_counters.recoveries += 1
+        if action.endswith("rollback"):
+            recovery_counters.rollbacks += 1
+        else:
+            recovery_counters.rollforwards += 1
+    return action
+
+
+def _recover_load(directory: str, entry: dict) -> str:
+    from .store import DATA_FILE, META_FILE  # local import: no cycle at module load
+
+    meta_path = os.path.join(directory, META_FILE)
+    data_path = os.path.join(directory, DATA_FILE)
+    committed_next_nid = 0
+    if os.path.exists(meta_path):
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                committed_next_nid = json.load(handle).get("next_nid", 0)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RecoveryError(f"unreadable metadata {meta_path!r}: {exc}") from exc
+
+    if committed_next_nid == entry.get("new_next_nid"):
+        # The meta replace (commit point) happened; only the journal
+        # removal was lost.  The pages were fsynced before commit.
+        clear_journal(directory)
+        return "load-rollforward"
+
+    # Not committed: drop every page appended past the journaled base.
+    base_pages = int(entry.get("base_pages", 0))
+    if os.path.exists(data_path):
+        target = base_pages * PAGE_SIZE
+        size = os.path.getsize(data_path)
+        if size < target:
+            raise RecoveryError(
+                f"{data_path}: {size} bytes but the journal promises "
+                f"{base_pages} committed pages"
+            )
+        if size > target:
+            with open(data_path, "r+b") as handle:
+                handle.truncate(target)
+                handle.flush()
+                os.fsync(handle.fileno())
+    elif base_pages:
+        raise RecoveryError(
+            f"{data_path} is missing but the journal promises {base_pages} pages"
+        )
+    clear_journal(directory)
+    return "load-rollback"
+
+
+def _recover_compact(directory: str, entry: dict) -> str:
+    from .store import DATA_FILE, META_FILE
+
+    stage = os.path.join(directory, entry.get("stage_dir", COMPACT_STAGE_DIR))
+    # The journal is only written once the stage is complete and
+    # durable, so recovery always rolls the swap forward.
+    for filename in (DATA_FILE, META_FILE):
+        staged = os.path.join(stage, filename)
+        if os.path.exists(staged):
+            os.replace(staged, os.path.join(directory, filename))
+    fsync_directory(directory)
+    clear_journal(directory)
+    if os.path.isdir(stage):
+        shutil.rmtree(stage)
+    return "compact-rollforward"
+
+
+def _remove_stray_tmp(directory: str) -> None:
+    """Drop ``*.tmp`` leftovers from interrupted atomic writes."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if name.endswith(".tmp"):
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:  # pragma: no cover - race with other cleanup
+                pass

@@ -18,7 +18,6 @@ directory, so a store can be closed and reopened.
 from __future__ import annotations
 
 import json
-import os
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -99,6 +98,10 @@ class MetadataManager:
         # ranges so structural joins across the store never see
         # overlapping regions from different documents.
         self.next_label = 0
+        # Pages recovery deemed unrecoverable: reads raise RecoveryError
+        # instead of surfacing raw corruption, and repair drops the
+        # documents that referenced them.
+        self.quarantined_pages: set[int] = set()
 
     # ------------------------------------------------------------------
     # Documents
@@ -178,11 +181,13 @@ class MetadataManager:
             "page_first_nids": self.page_first_nids,
             "next_nid": self.next_nid,
             "next_label": self.next_label,
+            "quarantined_pages": sorted(self.quarantined_pages),
         }
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
+        # Durable atomic replace: a crash mid-save leaves the previous
+        # metadata intact (the commit point of every journaled write).
+        from .journal import atomic_write_json
+
+        atomic_write_json(path, payload)
 
     @classmethod
     def load(cls, path: str) -> "MetadataManager":
@@ -203,4 +208,5 @@ class MetadataManager:
         manager.page_first_nids = list(payload["page_first_nids"])
         manager.next_nid = payload["next_nid"]
         manager.next_label = payload.get("next_label", 0)
+        manager.quarantined_pages = set(payload.get("quarantined_pages", ()))
         return manager

@@ -149,3 +149,11 @@ class Page:
             raise PageCorruptionError(
                 f"page {expected_page_id}: free offset {free_offset} out of range"
             )
+        # The header itself is not covered by the payload checksum, so
+        # the slot count gets its own structural check: the directory
+        # must fit between the free region and the end of the page.
+        if SLOT_SIZE * n_slots > PAGE_SIZE - free_offset:
+            raise PageCorruptionError(
+                f"page {expected_page_id}: slot count {n_slots} overlaps the "
+                f"record area (free offset {free_offset})"
+            )

@@ -18,13 +18,23 @@ both kinds of access so benchmarks can report them.
 from __future__ import annotations
 
 import os
+import shutil
+import time
+from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..errors import DatabaseError, StorageError
+from ..errors import DatabaseError, RecoveryError, StorageError, TransientIOError
 from ..xmlmodel.node import XMLNode
 from ..xmlmodel.parse import parse_document
 from .buffer import DEFAULT_POOL_FRAMES, BufferPool
 from .disk import DiskManager
+from .faults import FaultPlan, FaultyDiskManager, maybe_crash, plan_from_env
+from .journal import (
+    COMPACT_STAGE_DIR,
+    clear_journal,
+    recover_directory,
+    write_journal,
+)
 from .metadata import DocumentInfo, MetadataManager
 from .page import Page
 from .records import NO_PARENT, NodeRecord, decode_record, encode_record
@@ -62,51 +72,242 @@ class StoreStatistics:
         )
 
 
+class RecoveryStatistics:
+    """Counters for crash-recovery and repair work done by this store."""
+
+    __slots__ = (
+        "recoveries",
+        "rollbacks",
+        "rollforwards",
+        "pages_quarantined",
+        "documents_dropped",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "recoveries": self.recoveries,
+            "recovery_rollbacks": self.rollbacks,
+            "recovery_rollforwards": self.rollforwards,
+            "pages_quarantined": self.pages_quarantined,
+            "documents_dropped": self.documents_dropped,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = " ".join(f"{n}={getattr(self, n)}" for n in self.__slots__)
+        return f"<RecoveryStatistics {inner}>"
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :meth:`NodeStore.verify` — the store's health check."""
+
+    pages_checked: int = 0
+    corrupt_pages: list[int] = field(default_factory=list)
+    quarantined_pages: list[int] = field(default_factory=list)
+    affected_documents: list[str] = field(default_factory=list)
+    meta_problems: list[str] = field(default_factory=list)
+    recovery_action: str | None = None  # what recovery did on open
+    index_fresh: bool | None = None  # None = not checked at this layer
+
+    @property
+    def ok(self) -> bool:
+        return not self.corrupt_pages and not self.meta_problems
+
+    def render(self) -> str:
+        lines = [
+            f"pages: {self.pages_checked} checked, "
+            f"{len(self.corrupt_pages)} corrupt, "
+            f"{len(self.quarantined_pages)} quarantined"
+        ]
+        if self.corrupt_pages:
+            lines.append(f"corrupt pages: {self.corrupt_pages}")
+        if self.affected_documents:
+            lines.append(f"affected documents: {self.affected_documents}")
+        lines.append("metadata: " + ("OK" if not self.meta_problems else "; ".join(self.meta_problems)))
+        if self.recovery_action:
+            lines.append(f"recovery on open: {self.recovery_action}")
+        if self.index_fresh is not None:
+            lines.append("indexes: " + ("fresh" if self.index_fresh else "stale (will rebuild)"))
+        lines.append("verdict: " + ("OK" if self.ok else "CORRUPT"))
+        return "\n".join(lines)
+
+
+@dataclass
+class RepairReport:
+    """Outcome of :meth:`NodeStore.repair`."""
+
+    verify: VerifyReport = field(default_factory=VerifyReport)
+    quarantined_pages: list[int] = field(default_factory=list)
+    dropped_documents: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined_pages and not self.dropped_documents
+
+    def render(self) -> str:
+        if self.clean:
+            return "repair: nothing to do (store is clean)"
+        return (
+            f"repair: quarantined pages {self.quarantined_pages}, "
+            f"dropped documents {self.dropped_documents}"
+        )
+
+
 class NodeStore:
     """Page-backed store of labelled XML nodes."""
 
-    def __init__(self, directory: str | None = None, pool_frames: int = DEFAULT_POOL_FRAMES):
+    def __init__(
+        self,
+        directory: str | None = None,
+        pool_frames: int = DEFAULT_POOL_FRAMES,
+        fault_plan: FaultPlan | None = None,
+        degraded: bool = False,
+    ):
         """Create (or open) a store.
 
         ``directory=None`` gives an in-memory store: same code paths and
         counters, no files.  With a directory, ``data.pages`` and
         ``meta.json`` are created there, and an existing store at that
-        location is reopened.
+        location is reopened — after journal-driven crash recovery when
+        a bulk load or compaction was interrupted.
+
+        ``fault_plan`` wraps the disk manager in a
+        :class:`~repro.storage.faults.FaultyDiskManager` (tests, CI);
+        when omitted, the ``REPRO_FAULT_PLAN`` environment variable is
+        consulted.  ``degraded=True`` additionally quarantines any
+        unreadable pages on open (dropping the documents they carried)
+        instead of letting reads fail later.
         """
         self.directory = directory
+        self._closed = False
+        self.fault_plan = fault_plan if fault_plan is not None else plan_from_env()
+        self.recovery = RecoveryStatistics()
+        self._recovery_action: str | None = None
         if directory is None:
-            self.disk = DiskManager(None)
+            self.disk = self._open_disk(None)
             self.meta = MetadataManager()
         else:
             os.makedirs(directory, exist_ok=True)
+            # Recovery works on the raw files and must run before the
+            # disk manager opens them (a torn tail page makes the file
+            # size invalid until it is truncated away).
+            self._recovery_action = recover_directory(directory, self.recovery)
             data_path = os.path.join(directory, DATA_FILE)
             meta_path = os.path.join(directory, META_FILE)
-            self.disk = DiskManager(data_path)
+            self.disk = self._open_disk(data_path)
             if os.path.exists(meta_path):
                 self.meta = MetadataManager.load(meta_path)
             else:
                 self.meta = MetadataManager()
         self.pool = BufferPool(self.disk, capacity=pool_frames)
         self.counters = StoreStatistics()
+        if degraded and directory is not None:
+            self.repair()
+
+    def _open_disk(self, path: str | None) -> DiskManager:
+        disk = DiskManager(path)
+        if self.fault_plan is not None:
+            return FaultyDiskManager(disk, self.fault_plan)  # type: ignore[return-value]
+        return disk
 
     # ------------------------------------------------------------------
     # Bulk loading
     # ------------------------------------------------------------------
     def load_tree(self, root: XMLNode, name: str) -> DocumentInfo:
-        """Label, encode, and store a document tree under ``name``."""
+        """Label, encode, and store a document tree under ``name``.
+
+        Directory-backed stores run the load under an intent journal:
+        pages are appended and fsynced, then ``meta.json`` is atomically
+        replaced (the commit point), then the journal is cleared.  A
+        crash at any step leaves a state :func:`~repro.storage.journal.
+        recover_directory` restores on the next open — either the
+        complete document or a clean rollback, never a torn store.
+        """
+        if name in self.meta._documents_by_name:
+            raise DatabaseError(f"document {name!r} already exists")
+        if self.directory is None:
+            records = self._label_tree(root)
+            self._pack_records(records)
+            info = self.meta.register_document(name, records[0].nid, len(records))
+            self.flush()
+            return info
+        return self._load_tree_journaled(root, name)
+
+    def _load_tree_journaled(self, root: XMLNode, name: str) -> DocumentInfo:
+        base_pages = self.disk.n_pages
+        base_next_nid = self.meta.next_nid
+        base_next_label = self.meta.next_label
         records = self._label_tree(root)
-        self._pack_records(records)
-        info = self.meta.register_document(name, records[0].nid, len(records))
-        self.flush()
+        write_journal(
+            self.directory,
+            {
+                "op": "load",
+                "name": name,
+                "base_pages": base_pages,
+                "base_next_nid": base_next_nid,
+                "new_next_nid": self.meta.next_nid,
+            },
+        )
+        maybe_crash(self.fault_plan, "load.journal_written")
+        try:
+            self._pack_records(records)
+            info = self.meta.register_document(name, records[0].nid, len(records))
+            self.pool.flush_all()
+            self.disk.sync()
+            maybe_crash(self.fault_plan, "load.pages_synced")
+            self.meta.save(os.path.join(self.directory, META_FILE))  # COMMIT
+            maybe_crash(self.fault_plan, "load.meta_committed")
+        except Exception:
+            # A real failure mid-load (not a simulated crash, which must
+            # leave the torn state for reopen-time recovery): roll back
+            # in-process so the open store stays consistent.
+            self._abort_load(base_pages, base_next_nid, base_next_label, name)
+            raise
+        clear_journal(self.directory)
+        maybe_crash(self.fault_plan, "load.journal_cleared")
         return info
+
+    def _abort_load(
+        self, base_pages: int, base_next_nid: int, base_next_label: int, name: str
+    ) -> None:
+        try:
+            self.pool.discard_all()
+            self.disk.truncate(base_pages)
+        except StorageError:  # pragma: no cover - best-effort rollback
+            pass
+        # Rebuild the in-memory metadata from the committed on-disk
+        # state (the load never committed, so the file is the old one).
+        meta_path = os.path.join(self.directory, META_FILE)
+        if os.path.exists(meta_path):
+            self.meta = MetadataManager.load(meta_path)
+        else:
+            self.meta = MetadataManager()
+        self.meta.next_nid = min(self.meta.next_nid, base_next_nid)
+        self.meta.next_label = min(self.meta.next_label, base_next_label)
+        clear_journal(self.directory)
 
     def load_text(self, text: str, name: str) -> DocumentInfo:
         """Parse XML text and store it."""
         return self.load_tree(parse_document(text), name)
 
     def load_file(self, path: str, name: str | None = None) -> DocumentInfo:
-        with open(path, encoding="utf-8") as handle:
-            return self.load_text(handle.read(), name or os.path.basename(path))
+        """Load an XML file; a missing or unreadable path raises
+        :class:`DatabaseError` naming the path, never a bare
+        ``FileNotFoundError``."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise DatabaseError(f"cannot read document file {path!r}: {exc}") from exc
+        return self.load_text(text, name or os.path.basename(path))
 
     def _label_tree(self, root: XMLNode) -> list[NodeRecord]:
         """Assign nids and (start, end, level) labels in one traversal."""
@@ -178,6 +379,11 @@ class NodeStore:
     def record(self, nid: int) -> NodeRecord:
         """Fetch and decode the record for ``nid`` (one logical lookup)."""
         page_id, slot = self.meta.locate(nid)
+        if page_id in self.meta.quarantined_pages:
+            raise RecoveryError(
+                f"nid {nid} lives on quarantined page {page_id} "
+                "(unrecoverable after corruption; see NodeStore.repair)"
+            )
         page = self.pool.get_page(page_id)
         self.counters.record_lookups += 1
         return decode_record(page.read_record(slot))
@@ -309,28 +515,151 @@ class NodeStore:
         with fresh nids/labels, and — for directory-backed stores — the
         files are swapped in place.  Returns the compacted store (a new
         object; the old handle is closed).
+
+        The directory swap is crash-consistent: the fresh store is
+        staged in a scratch subdirectory and fsynced, the intent is
+        journaled, and only then are ``data.pages`` and ``meta.json``
+        replaced atomically.  A crash at any point either keeps the old
+        store intact or rolls the swap forward on the next open.
         """
         live = [
             (info.name, self.materialize(info.root_nid, with_content=True))
             for info in self.documents()
         ]
         if self.directory is None:
-            fresh = NodeStore(None, pool_frames=self.pool.capacity)
+            fresh = NodeStore(
+                None, pool_frames=self.pool.capacity, fault_plan=self.fault_plan
+            )
             for name, root in live:
                 fresh.load_tree(root, name)
             self.close()
             return fresh
         directory = self.directory
-        self.close()
-        for filename in (DATA_FILE, META_FILE):
-            path = os.path.join(directory, filename)
-            if os.path.exists(path):
-                os.remove(path)
-        fresh = NodeStore(directory, pool_frames=self.pool.capacity)
+        stage = os.path.join(directory, COMPACT_STAGE_DIR)
+        if os.path.isdir(stage):
+            shutil.rmtree(stage)
+        staged = NodeStore(
+            stage, pool_frames=self.pool.capacity, fault_plan=self.fault_plan
+        )
         for name, root in live:
-            fresh.load_tree(root, name)
-        fresh.flush()
-        return fresh
+            staged.load_tree(root, name)
+        staged.close()  # flush + fsync: the stage is complete and durable
+        maybe_crash(self.fault_plan, "compact.staged")
+        self.close()
+        write_journal(directory, {"op": "compact", "stage_dir": COMPACT_STAGE_DIR})
+        maybe_crash(self.fault_plan, "compact.journal_written")
+        os.replace(os.path.join(stage, DATA_FILE), os.path.join(directory, DATA_FILE))
+        maybe_crash(self.fault_plan, "compact.data_swapped")
+        os.replace(os.path.join(stage, META_FILE), os.path.join(directory, META_FILE))
+        maybe_crash(self.fault_plan, "compact.meta_committed")
+        clear_journal(directory)
+        maybe_crash(self.fault_plan, "compact.journal_cleared")
+        shutil.rmtree(stage, ignore_errors=True)
+        return NodeStore(
+            directory, pool_frames=self.pool.capacity, fault_plan=self.fault_plan
+        )
+
+    # ------------------------------------------------------------------
+    # Verification and repair
+    # ------------------------------------------------------------------
+    def verify(self) -> VerifyReport:
+        """Check every registered data page (checksum + structure) and
+        the catalog's internal consistency.  Read-only; transient I/O
+        faults are retried, corruption is reported, never raised."""
+        report = VerifyReport(recovery_action=self._recovery_action)
+        report.quarantined_pages = sorted(self.meta.quarantined_pages)
+        for page_id in self.meta.page_ids:
+            if page_id in self.meta.quarantined_pages:
+                continue
+            report.pages_checked += 1
+            try:
+                self._read_page_direct(page_id)
+            except StorageError:
+                report.corrupt_pages.append(page_id)
+        bad_pages = set(report.corrupt_pages) | self.meta.quarantined_pages
+        if bad_pages:
+            report.affected_documents = [
+                info.name
+                for info in self.documents()
+                if self._document_pages(info) & bad_pages
+            ]
+        report.meta_problems = self._check_meta()
+        return report
+
+    def _read_page_direct(self, page_id: int) -> Page:
+        """One page straight from disk with the pool's bounded retry,
+        bypassing the cache (verify must see the on-disk bytes)."""
+        delay = self.pool.retry_backoff
+        for attempt in range(self.pool.retry_attempts):
+            try:
+                return self.disk.read_page(page_id)
+            except TransientIOError:
+                if attempt + 1 == self.pool.retry_attempts:
+                    raise
+                self.pool.counters.transient_retries += 1
+                if delay > 0:
+                    time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _document_pages(self, info: DocumentInfo) -> set[int]:
+        """The data pages holding any record of ``info``.
+
+        Locating the range endpoints plus every page boundary inside
+        the range covers all pages without touching every nid.
+        """
+        nids = {info.first_nid, info.last_nid}
+        nids.update(
+            first
+            for first in self.meta.page_first_nids
+            if info.first_nid <= first <= info.last_nid
+        )
+        return {self.meta.locate(nid)[0] for nid in nids}
+
+    def _check_meta(self) -> list[str]:
+        problems: list[str] = []
+        if len(self.meta.page_ids) != len(self.meta.page_first_nids):
+            problems.append("page directory arrays disagree in length")
+        for info in self.documents():
+            if info.last_nid >= self.meta.next_nid:
+                problems.append(
+                    f"document {info.name!r} range ends at {info.last_nid} "
+                    f"but next_nid is {self.meta.next_nid}"
+                )
+        for page_id in self.meta.page_ids:
+            if page_id >= self.disk.n_pages:
+                problems.append(
+                    f"page directory names page {page_id} but the file has "
+                    f"{self.disk.n_pages} pages"
+                )
+        return problems
+
+    def repair(self) -> RepairReport:
+        """Quarantine unrecoverable pages and drop the documents that
+        referenced them, leaving the rest of the store fully usable.
+
+        Persisted indexes are invalidated (deleted) so the next open
+        rebuilds them over the surviving documents.  Data on the
+        quarantined pages is lost — the report says exactly what."""
+        verify = self.verify()
+        report = RepairReport(verify=verify)
+        if not verify.corrupt_pages:
+            return report
+        report.quarantined_pages = list(verify.corrupt_pages)
+        self.meta.quarantined_pages.update(verify.corrupt_pages)
+        self.recovery.pages_quarantined += len(verify.corrupt_pages)
+        bad_pages = self.meta.quarantined_pages
+        for info in list(self.documents()):
+            if self._document_pages(info) & bad_pages:
+                self.meta.remove_document(info.name)
+                report.dropped_documents.append(info.name)
+                self.recovery.documents_dropped += 1
+        if self.directory is not None:
+            self.meta.save(os.path.join(self.directory, META_FILE))
+            index_path = os.path.join(self.directory, "indexes.pages")
+            if os.path.exists(index_path):
+                os.remove(index_path)
+        return report
 
     def documents(self) -> list[DocumentInfo]:
         return [self.meta.documents[doc_id] for doc_id in sorted(self.meta.documents)]
@@ -352,10 +681,17 @@ class NodeStore:
         merged.update(self.counters.snapshot())
         merged.update(self.pool.counters.snapshot())
         merged.update(self.disk.counters.snapshot())
+        merged.update(self.recovery.snapshot())
+        fault_counters = getattr(self.disk, "fault_counters", None)
+        if fault_counters is not None:
+            merged.update(fault_counters.snapshot())
         return CounterSnapshot(merged)
 
     def reset_stats(self) -> None:
-        """Explicitly zero every counter (store, pool, disk)."""
+        """Explicitly zero every counter (store, pool, disk).
+
+        Recovery and fault-injection counters are deliberately *not*
+        reset: they describe lifecycle events, not per-query work."""
         self.counters.reset()
         self.pool.reset_stats()
         self.disk.reset_stats()
@@ -376,6 +712,11 @@ class NodeStore:
             self.meta.save(os.path.join(self.directory, META_FILE))
 
     def close(self) -> None:
+        """Flush and close.  Idempotent: double-close (or ``__exit__``
+        after an explicit close) is a no-op."""
+        if self._closed:
+            return
+        self._closed = True
         self.flush()
         self.disk.close()
 

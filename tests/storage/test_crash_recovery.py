@@ -1,0 +1,350 @@
+"""Crash-point enumeration and recovery.
+
+For every named crash point in the journaled bulk-load and compaction
+protocols, kill the store there and assert that reopening observes
+either the complete operation or a clean rollback — never a torn state:
+checksums verify, the catalog is consistent, and surviving documents
+round-trip byte-for-byte.
+
+Seeds come from ``SEEDS``; CI adds extra ones via ``REPRO_FAULT_SEED``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import figure6_database, transaction_database
+from repro.errors import DatabaseError, RecoveryError
+from repro.query.database import Database
+from repro.storage.faults import FaultPlan, SimulatedCrash
+from repro.storage.journal import (
+    COMPACT_CRASH_POINTS,
+    JOURNAL_FILE,
+    LOAD_CRASH_POINTS,
+    COMPACT_STAGE_DIR,
+)
+from repro.storage.page import PAGE_SIZE
+from repro.storage.store import DATA_FILE, META_FILE, NodeStore
+
+SEEDS = [0, 1, 2]
+_env_seed = os.environ.get("REPRO_FAULT_SEED")
+if _env_seed is not None:
+    SEEDS.append(int(_env_seed))
+
+
+def _make_store(directory: str) -> None:
+    with NodeStore(directory) as store:
+        store.load_tree(figure6_database(), "a.xml")
+
+
+def _assert_clean(directory: str, expect_b: "bool | None" = None) -> set:
+    """Reopen after a crash and assert full consistency."""
+    with NodeStore(directory) as store:
+        report = store.verify()
+        assert report.ok, report.render()
+        docs = {info.name for info in store.documents()}
+        assert "a.xml" in docs
+        info = store.document("a.xml")
+        assert store.materialize(info.root_nid).structurally_equal(figure6_database())
+        if "b.xml" in docs:
+            info = store.document("b.xml")
+            assert store.materialize(info.root_nid).structurally_equal(
+                transaction_database()
+            )
+        if expect_b is not None:
+            assert ("b.xml" in docs) == expect_b
+        # The journal never survives recovery, and the data file is
+        # page-aligned again.
+        assert not os.path.exists(os.path.join(directory, JOURNAL_FILE))
+        assert os.path.getsize(os.path.join(directory, DATA_FILE)) % PAGE_SIZE == 0
+        return docs
+
+
+class TestCrashDuringLoad:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("point", LOAD_CRASH_POINTS)
+    def test_every_crash_point_reopens_clean(self, tmp_path, point, seed):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        store = NodeStore(directory, fault_plan=FaultPlan(seed=seed, crash_at=point))
+        with pytest.raises(SimulatedCrash):
+            store.load_tree(transaction_database(), "b.xml")
+        # The process "died": abandon the handle without closing.
+        committed = point in ("load.meta_committed", "load.journal_cleared")
+        _assert_clean(directory, expect_b=committed)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("torn_after", [0, 1, 2])
+    def test_torn_write_rolls_back(self, tmp_path, seed, torn_after):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        store = NodeStore(
+            directory, fault_plan=FaultPlan(seed=seed, torn_write_after=torn_after)
+        )
+        # A multi-page document, so the tear can land on any write of
+        # the batch (sample docs fit in a single page).
+        big = generate_dblp(DBLPConfig(n_articles=100, n_authors=12, seed=3))
+        with pytest.raises(SimulatedCrash):
+            store.load_tree(big, "b.xml")
+        _assert_clean(directory, expect_b=False)
+
+    def test_rollback_and_rollforward_counters(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        store = NodeStore(
+            directory, fault_plan=FaultPlan(crash_at="load.pages_synced")
+        )
+        with pytest.raises(SimulatedCrash):
+            store.load_tree(transaction_database(), "b.xml")
+        reopened = NodeStore(directory)
+        assert reopened.recovery.rollbacks == 1
+        assert reopened.stats()["recovery_rollbacks"] == 1
+        reopened.close()
+
+        store = NodeStore(
+            directory, fault_plan=FaultPlan(crash_at="load.meta_committed")
+        )
+        with pytest.raises(SimulatedCrash):
+            store.load_tree(transaction_database(), "b.xml")
+        reopened = NodeStore(directory)
+        assert reopened.recovery.rollforwards == 1
+        reopened.close()
+
+    def test_reload_after_rollback_succeeds(self, tmp_path):
+        """After a rolled-back load the same document loads cleanly —
+        nids and labels were not burned by the crashed attempt."""
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        store = NodeStore(
+            directory, fault_plan=FaultPlan(crash_at="load.pages_synced")
+        )
+        with pytest.raises(SimulatedCrash):
+            store.load_tree(transaction_database(), "b.xml")
+        with NodeStore(directory) as reopened:
+            reopened.load_tree(transaction_database(), "b.xml")
+        _assert_clean(directory, expect_b=True)
+
+
+class TestCrashDuringCompact:
+    def _setup(self, directory: str) -> None:
+        with NodeStore(directory) as store:
+            store.load_tree(figure6_database(), "a.xml")
+            store.load_tree(transaction_database(), "dropped.xml")
+            store.drop_document("dropped.xml")
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("point", COMPACT_CRASH_POINTS)
+    def test_every_crash_point_reopens_clean(self, tmp_path, point, seed):
+        directory = os.path.join(tmp_path, "db")
+        self._setup(directory)
+        store = NodeStore(directory, fault_plan=FaultPlan(seed=seed, crash_at=point))
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        docs = _assert_clean(directory)
+        assert docs == {"a.xml"}
+        assert not os.path.isdir(os.path.join(directory, COMPACT_STAGE_DIR))
+
+    @pytest.mark.parametrize("point", LOAD_CRASH_POINTS)
+    def test_crash_while_staging_keeps_old_store(self, tmp_path, point):
+        """A crash inside the staged store's own journaled loads leaves
+        the stage half-built; recovery discards it wholesale."""
+        directory = os.path.join(tmp_path, "db")
+        self._setup(directory)
+        store = NodeStore(directory, fault_plan=FaultPlan(crash_at=point))
+        with pytest.raises(SimulatedCrash):
+            store.compact()
+        docs = _assert_clean(directory)
+        assert docs == {"a.xml"}
+        assert not os.path.isdir(os.path.join(directory, COMPACT_STAGE_DIR))
+
+    def test_compact_still_reclaims_space(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        self._setup(directory)
+        store = NodeStore(directory)
+        pages_before = store.disk.n_pages
+        compacted = store.compact()
+        assert compacted.disk.n_pages < pages_before
+        assert {info.name for info in compacted.documents()} == {"a.xml"}
+        assert compacted.verify().ok
+        compacted.close()
+
+
+class TestRecoveryEdgeCases:
+    def test_stray_stage_dir_is_cleaned(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        os.makedirs(os.path.join(directory, COMPACT_STAGE_DIR, "junk"))
+        with NodeStore(directory) as store:
+            assert store.recovery.recoveries == 1
+        assert not os.path.isdir(os.path.join(directory, COMPACT_STAGE_DIR))
+
+    def test_stray_tmp_files_are_cleaned(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        stray = os.path.join(directory, META_FILE + ".tmp")
+        with open(stray, "w", encoding="utf-8") as handle:
+            handle.write("{")
+        with NodeStore(directory):
+            pass
+        assert not os.path.exists(stray)
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        store = NodeStore(
+            directory, fault_plan=FaultPlan(crash_at="load.pages_synced")
+        )
+        with pytest.raises(SimulatedCrash):
+            store.load_tree(transaction_database(), "b.xml")
+        _assert_clean(directory, expect_b=False)
+        _assert_clean(directory, expect_b=False)  # second reopen: no-op recovery
+
+    def test_malformed_journal_fails_loudly(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        with open(os.path.join(directory, JOURNAL_FILE), "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        with pytest.raises(RecoveryError):
+            NodeStore(directory)
+
+    def test_unknown_journal_op_rejected(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        with open(os.path.join(directory, JOURNAL_FILE), "w", encoding="utf-8") as handle:
+            json.dump({"op": "teleport"}, handle)
+        with pytest.raises(RecoveryError):
+            NodeStore(directory)
+
+
+class TestQuarantineAndRepair:
+    def _corrupt_first_page(self, directory: str) -> None:
+        with open(os.path.join(directory, DATA_FILE), "r+b") as handle:
+            handle.seek(100)
+            handle.write(b"\xff\xff\xff\xff")
+
+    def test_verify_reports_corruption(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        self._corrupt_first_page(directory)
+        with NodeStore(directory) as store:
+            report = store.verify()
+            assert not report.ok
+            assert report.corrupt_pages == [0]
+            assert report.affected_documents == ["a.xml"]
+            assert "CORRUPT" in report.render()
+
+    def test_repair_quarantines_and_drops(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        self._corrupt_first_page(directory)
+        with NodeStore(directory) as store:
+            report = store.repair()
+            assert report.quarantined_pages == [0]
+            assert report.dropped_documents == ["a.xml"]
+            assert store.recovery.pages_quarantined == 1
+            assert store.recovery.documents_dropped == 1
+            with pytest.raises(RecoveryError):
+                store.record(0)
+            assert store.verify().ok  # quarantined pages are skipped
+        # Quarantine persists across reopen.
+        with NodeStore(directory) as reopened:
+            assert reopened.meta.quarantined_pages == {0}
+            with pytest.raises(RecoveryError):
+                reopened.record(0)
+
+    def test_repair_on_clean_store_is_a_noop(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        _make_store(directory)
+        with NodeStore(directory) as store:
+            report = store.repair()
+            assert report.clean
+            assert "nothing to do" in report.render()
+
+    def test_degraded_database_open_survives_corruption(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        with Database(directory) as db:
+            db.load_tree(figure6_database(), "a.xml")
+            db.load_tree(transaction_database(), "b.xml")
+            b_pages = {
+                db.store.meta.locate(nid)[0]
+                for nid in range(
+                    db.store.document("b.xml").first_nid,
+                    db.store.document("b.xml").last_nid + 1,
+                )
+            }
+            a_pages = {
+                db.store.meta.locate(nid)[0]
+                for nid in range(
+                    db.store.document("a.xml").first_nid,
+                    db.store.document("a.xml").last_nid + 1,
+                )
+            }
+        victim = min(b_pages - a_pages)
+        with open(os.path.join(directory, DATA_FILE), "r+b") as handle:
+            handle.seek(victim * PAGE_SIZE + 50)
+            handle.write(b"\xff\xff\xff\xff")
+        db = Database(directory, degraded=True)
+        try:
+            assert db.documents() == ["a.xml"]
+            # The surviving document still answers queries.
+            result = db.query(
+                "FOR $a IN document(\"a.xml\")//year RETURN $a", plan="direct"
+            )
+            assert len(result) > 0
+        finally:
+            db.close()
+
+    def test_database_verify_reports_index_freshness(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        with Database(directory) as db:
+            db.load_tree(figure6_database(), "a.xml")
+            report = db.verify()
+            assert report.ok
+            assert report.index_fresh is True
+
+
+class TestIdempotentClose:
+    def test_store_double_close(self, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        store = NodeStore(directory)
+        store.load_tree(figure6_database(), "a.xml")
+        store.close()
+        store.close()
+
+    def test_store_exit_after_close(self, tmp_path):
+        with NodeStore(os.path.join(tmp_path, "db")) as store:
+            store.load_tree(figure6_database(), "a.xml")
+            store.close()
+
+    def test_database_double_close_and_exit(self, tmp_path):
+        with Database(os.path.join(tmp_path, "db")) as db:
+            db.load_tree(figure6_database(), "a.xml")
+            db.close()
+            db.close()
+
+    def test_memory_store_double_close(self, store):
+        store.close()
+        store.close()
+
+
+class TestLoadFileErrors:
+    def test_store_load_file_missing_path(self, tmp_path):
+        store = NodeStore()
+        missing = os.path.join(tmp_path, "nope.xml")
+        with pytest.raises(DatabaseError) as excinfo:
+            store.load_file(missing)
+        assert missing in str(excinfo.value)
+
+    def test_database_load_file_missing_path(self, tmp_path):
+        db = Database()
+        missing = os.path.join(tmp_path, "gone.xml")
+        with pytest.raises(DatabaseError) as excinfo:
+            db.load_file(missing)
+        assert missing in str(excinfo.value)
+
+    def test_load_file_unreadable_directory_path(self, tmp_path):
+        db = Database()
+        with pytest.raises(DatabaseError):
+            db.load_file(str(tmp_path))  # a directory, not a file

@@ -1,0 +1,213 @@
+"""The fault-injection harness: plans, the faulty disk wrapper, and the
+buffer pool's bounded retry-with-backoff on transient faults."""
+
+import os
+
+import pytest
+
+from repro.errors import PageCorruptionError, StorageError, TransientIOError
+from repro.storage.disk import DiskManager
+from repro.storage.faults import (
+    NO_FAULTS,
+    FaultPlan,
+    FaultyDiskManager,
+    SimulatedCrash,
+    plan_from_env,
+)
+from repro.storage.page import Page
+from repro.storage.store import NodeStore
+
+
+def _fast_retries(store: NodeStore) -> NodeStore:
+    store.pool.retry_backoff = 0.0
+    return store
+
+
+class TestFaultPlanParsing:
+    def test_none_is_noop(self):
+        assert FaultPlan.parse("none").is_noop()
+        assert FaultPlan.parse("").is_noop()
+        assert NO_FAULTS.is_noop()
+
+    def test_round_trip(self):
+        plan = FaultPlan(seed=7, read_error_rate=0.25, fail_after=10, crash_at="load.pages_synced")
+        assert FaultPlan.parse(plan.describe()) == plan
+
+    def test_parse_fields(self):
+        plan = FaultPlan.parse("seed=3, bit_flip_rate=0.5, torn_write_after=2")
+        assert plan.seed == 3
+        assert plan.bit_flip_rate == 0.5
+        assert plan.torn_write_after == 2
+        assert not plan.is_noop()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(StorageError):
+            FaultPlan.parse("explode=1")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(StorageError):
+            FaultPlan.parse("read_error_rate")
+
+    def test_plan_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert plan_from_env() is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=9,read_error_rate=0.1")
+        assert plan_from_env() == FaultPlan(seed=9, read_error_rate=0.1)
+
+
+class TestTransparency:
+    """A no-fault plan installs the wrapper but changes nothing."""
+
+    def test_wrapper_is_installed(self, fig6_tree):
+        store = NodeStore(fault_plan=NO_FAULTS)
+        assert isinstance(store.disk, FaultyDiskManager)
+        store.load_tree(fig6_tree, "bib.xml")
+        assert store.record(0).nid == 0
+
+    def test_counters_identical_with_and_without_wrapper(self, fig6_tree, monkeypatch):
+        # The CI transparency job sets REPRO_FAULT_PLAN=none globally;
+        # drop it so the "plain" store is genuinely unwrapped.
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        plain = NodeStore()
+        assert not isinstance(plain.disk, FaultyDiskManager)
+        wrapped = NodeStore(fault_plan=NO_FAULTS)
+        for store in (plain, wrapped):
+            store.load_tree(fig6_tree, "bib.xml")
+            for nid in range(store.n_nodes()):
+                store.record(nid)
+        assert plain.stats().as_dict() == {
+            key: value
+            for key, value in wrapped.stats().as_dict().items()
+            if not key.startswith("fault_")
+        }
+        assert all(value == 0 for key, value in wrapped.stats().items() if key.startswith("fault_"))
+
+    def test_wrapper_delegates_attributes(self, tmp_path):
+        path = os.path.join(tmp_path, "data.pages")
+        wrapped = FaultyDiskManager(DiskManager(path), NO_FAULTS)
+        assert wrapped.path == path
+        assert wrapped.n_pages == 0
+        page_id = wrapped.allocate_page()
+        page = Page(page_id)
+        page.insert_record(b"payload")
+        wrapped.write_page(page)
+        assert wrapped.read_page(page_id).read_record(0) == b"payload"
+        wrapped.close()
+        wrapped.close()  # idempotent through the wrapper too
+
+
+class TestTransientFaults:
+    def test_retry_recovers_bounded_fault(self, fig6_tree):
+        store = _fast_retries(
+            NodeStore(fault_plan=FaultPlan(seed=1, read_error_rate=1.0, max_faults=1))
+        )
+        store.load_tree(fig6_tree, "bib.xml")
+        store.pool.clear()  # force a physical read
+        assert store.record(0).nid == 0
+        assert store.pool.counters.transient_retries >= 1
+        assert store.stats()["fault_injected_read_errors"] == 1
+
+    def test_retry_exhaustion_surfaces_transient_error(self, fig6_tree):
+        store = _fast_retries(
+            NodeStore(fault_plan=FaultPlan(seed=1, read_error_rate=1.0))
+        )
+        store.load_tree(fig6_tree, "bib.xml")
+        store.pool.clear()
+        with pytest.raises(TransientIOError):
+            store.record(0)
+        assert store.pool.counters.transient_failures == 1
+
+    def test_short_reads_are_transient(self, fig6_tree):
+        store = _fast_retries(
+            NodeStore(fault_plan=FaultPlan(seed=5, short_read_rate=1.0, max_faults=2))
+        )
+        store.load_tree(fig6_tree, "bib.xml")
+        store.pool.clear()
+        assert store.record(0).nid == 0
+        assert store.stats()["fault_injected_short_reads"] >= 1
+
+    def test_write_errors_injected(self, fig6_tree, tmp_path):
+        directory = os.path.join(tmp_path, "db")
+        store = NodeStore(
+            directory, fault_plan=FaultPlan(seed=2, write_error_rate=1.0)
+        )
+        with pytest.raises(TransientIOError):
+            store.load_tree(fig6_tree, "bib.xml")
+        # The failed load rolled back in-process: the store is clean.
+        assert store.documents() == []
+        reopened = NodeStore(directory)
+        assert reopened.documents() == []
+        assert reopened.verify().ok
+        reopened.close()
+
+
+class TestCorruptionFaults:
+    def test_bit_flip_detected_by_checksum(self, fig6_tree):
+        store = NodeStore(fault_plan=FaultPlan(seed=2, bit_flip_rate=1.0, max_faults=1))
+        store.load_tree(fig6_tree, "bib.xml")
+        store.pool.clear()
+        with pytest.raises(PageCorruptionError):
+            store.record(0)
+        assert store.stats()["fault_injected_bit_flips"] == 1
+
+    def test_fail_after_is_persistent(self, fig6_tree):
+        store = _fast_retries(NodeStore(fault_plan=FaultPlan(fail_after=0)))
+        with pytest.raises(TransientIOError):
+            store.load_tree(fig6_tree, "bib.xml")
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self, fig6_tree):
+        def run(seed: int) -> dict:
+            store = _fast_retries(
+                NodeStore(
+                    fault_plan=FaultPlan(seed=seed, read_error_rate=0.3, max_faults=50)
+                )
+            )
+            store.load_tree(fig6_tree, "bib.xml")
+            store.pool.clear()
+            for nid in range(store.n_nodes()):
+                store.record(nid)
+            return {
+                key: value
+                for key, value in store.stats().items()
+                if key.startswith("fault_") or key.startswith("transient_")
+            }
+
+        assert run(42) == run(42)
+
+    def test_different_seed_different_faults(self, fig6_tree):
+        """Distinct seeds shuffle which operations fault (total counts
+        may coincide, the injected op sequence should not)."""
+
+        def trace(seed: int) -> list[int]:
+            disk = FaultyDiskManager(
+                DiskManager(None), FaultPlan(seed=seed, read_error_rate=0.5)
+            )
+            page_id = disk.allocate_page()
+            page = Page(page_id)
+            page.insert_record(b"x")
+            disk.write_page(page)
+            hits = []
+            for attempt in range(64):
+                try:
+                    disk.read_page(page_id)
+                except TransientIOError:
+                    hits.append(attempt)
+            return hits
+
+        assert trace(1) != trace(2)
+
+
+class TestEnvInstalledPlan:
+    def test_store_picks_up_env_plan(self, monkeypatch, fig6_tree):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "none")
+        store = NodeStore()
+        assert isinstance(store.disk, FaultyDiskManager)
+        store.load_tree(fig6_tree, "bib.xml")
+        assert store.record(0).nid == 0
+
+    def test_explicit_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "read_error_rate=1.0")
+        store = NodeStore(fault_plan=NO_FAULTS)
+        assert store.disk.plan == NO_FAULTS

@@ -1,0 +1,145 @@
+"""Corruption detection on encoded pages.
+
+Flip bytes in a sealed page image — payload, slot count, page id,
+magic — and assert :class:`PageCorruptionError` surfaces on the next
+read, for both the file and the memory disk backings.
+
+Header layout (see page.py): magic at 0 (u16), page id at 2 (u32),
+slot count at 6 (u16), free offset at 8 (u16), payload CRC32 at 10
+(u32).  The CRC covers only ``data[HEADER_SIZE:]``, so header fields
+need their own structural checks — these tests pin both detectors.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import PageCorruptionError
+from repro.storage.disk import DiskManager
+from repro.storage.page import HEADER_SIZE, PAGE_SIZE, Page
+
+BACKINGS = ("file", "memory")
+
+
+def _open_disk(backing: str, tmp_path) -> DiskManager:
+    if backing == "memory":
+        return DiskManager(None)
+    return DiskManager(os.path.join(tmp_path, "data.pages"))
+
+
+def _write_sample_page(disk: DiskManager) -> int:
+    page_id = disk.allocate_page()
+    page = Page(page_id)
+    page.insert_record(b"alpha record")
+    page.insert_record(b"beta record")
+    disk.write_page(page)
+    return page_id
+
+
+def _read_raw(disk: DiskManager, page_id: int) -> bytearray:
+    if disk._memory is not None:
+        return bytearray(disk._memory[page_id])
+    disk._handle.seek(page_id * PAGE_SIZE)
+    return bytearray(disk._handle.read(PAGE_SIZE))
+
+
+def _write_raw(disk: DiskManager, page_id: int, raw: bytearray) -> None:
+    assert len(raw) == PAGE_SIZE
+    if disk._memory is not None:
+        disk._memory[page_id] = bytes(raw)
+    else:
+        disk._handle.seek(page_id * PAGE_SIZE)
+        disk._handle.write(bytes(raw))
+        disk._handle.flush()
+
+
+@pytest.fixture(params=BACKINGS)
+def corruptible(request, tmp_path):
+    """(disk, page_id) with one sealed page, cleanly closed afterwards."""
+    disk = _open_disk(request.param, tmp_path)
+    page_id = _write_sample_page(disk)
+    yield disk, page_id
+    disk.close()
+
+
+def _corrupt(disk: DiskManager, page_id: int, mutate) -> None:
+    raw = _read_raw(disk, page_id)
+    mutate(raw)
+    _write_raw(disk, page_id, raw)
+
+
+class TestPageCorruptionDetection:
+    def test_clean_page_reads_back(self, corruptible):
+        disk, page_id = corruptible
+        assert disk.read_page(page_id).records() == [b"alpha record", b"beta record"]
+
+    def test_payload_byte_flip_fails_checksum(self, corruptible):
+        disk, page_id = corruptible
+
+        def mutate(raw):
+            raw[HEADER_SIZE + 3] ^= 0xFF
+
+        _corrupt(disk, page_id, mutate)
+        with pytest.raises(PageCorruptionError, match="checksum mismatch"):
+            disk.read_page(page_id)
+
+    def test_single_bit_flip_fails_checksum(self, corruptible):
+        disk, page_id = corruptible
+
+        def mutate(raw):
+            raw[PAGE_SIZE - 1] ^= 0x01  # last slot-directory byte
+
+        _corrupt(disk, page_id, mutate)
+        with pytest.raises(PageCorruptionError, match="checksum mismatch"):
+            disk.read_page(page_id)
+
+    def test_bad_slot_count_is_structural(self, corruptible):
+        """The header escapes the CRC, so an absurd slot count must be
+        caught by the directory-overlap check, not the checksum."""
+        disk, page_id = corruptible
+
+        def mutate(raw):
+            struct.pack_into(">H", raw, 6, 0xFFFF)
+
+        _corrupt(disk, page_id, mutate)
+        with pytest.raises(PageCorruptionError, match="slot count"):
+            disk.read_page(page_id)
+
+    def test_bad_page_id_detected(self, corruptible):
+        disk, page_id = corruptible
+
+        def mutate(raw):
+            struct.pack_into(">I", raw, 2, page_id + 99)
+
+        _corrupt(disk, page_id, mutate)
+        with pytest.raises(PageCorruptionError, match="claims page id"):
+            disk.read_page(page_id)
+
+    def test_bad_magic_detected(self, corruptible):
+        disk, page_id = corruptible
+
+        def mutate(raw):
+            struct.pack_into(">H", raw, 0, 0xDEAD)
+
+        _corrupt(disk, page_id, mutate)
+        with pytest.raises(PageCorruptionError, match="bad magic"):
+            disk.read_page(page_id)
+
+    def test_bad_free_offset_detected(self, corruptible):
+        disk, page_id = corruptible
+
+        def mutate(raw):
+            struct.pack_into(">H", raw, 8, HEADER_SIZE - 1)
+
+        _corrupt(disk, page_id, mutate)
+        with pytest.raises(PageCorruptionError, match="free offset"):
+            disk.read_page(page_id)
+
+    def test_unsealed_construction_rejects_corruption_too(self, corruptible):
+        """Page() itself validates raw images, independent of the disk."""
+        disk, page_id = corruptible
+        raw = _read_raw(disk, page_id)
+        raw[HEADER_SIZE] ^= 0x10
+        with pytest.raises(PageCorruptionError):
+            Page(page_id, raw)

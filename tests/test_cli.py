@@ -89,3 +89,49 @@ class TestExperiments:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "zz"])
+
+
+class TestVerifyRepair:
+    @pytest.fixture
+    def db_dir(self, tmp_path):
+        from repro.datagen.sample import figure6_database
+        from repro.storage.store import NodeStore
+
+        directory = os.path.join(tmp_path, "db")
+        with NodeStore(directory) as store:
+            store.load_tree(figure6_database(), "a.xml")
+        return directory
+
+    def _corrupt(self, directory):
+        from repro.storage.store import DATA_FILE
+
+        with open(os.path.join(directory, DATA_FILE), "r+b") as handle:
+            handle.seek(80)
+            handle.write(b"\x00\xff\x00\xff")
+
+    def test_verify_clean_store(self, db_dir, capsys):
+        assert main(["verify", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+    def test_verify_corrupt_store_exits_nonzero(self, db_dir, capsys):
+        self._corrupt(db_dir)
+        assert main(["verify", db_dir]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: CORRUPT" in out
+        assert "a.xml" in out
+
+    def test_repair_then_verify_ok(self, db_dir, capsys):
+        self._corrupt(db_dir)
+        assert main(["repair", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 1 page(s)" in out
+        assert "dropped 1 document(s)" in out
+        capsys.readouterr()
+        assert main(["verify", db_dir]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_repair_clean_store_is_noop(self, db_dir, capsys):
+        assert main(["repair", db_dir]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined 0 page(s)" in out
