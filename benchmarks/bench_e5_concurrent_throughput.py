@@ -1,0 +1,124 @@
+"""E5 — concurrent service throughput and cache effectiveness.
+
+Beyond the paper: the service layer (`repro.service`) turns the
+embedded engine into a concurrent server.  Two questions:
+
+* **throughput vs worker count** — queries/sec for a fixed batch of
+  distinct (uncacheable) query shapes, across 1/2/4/8 workers, recorded
+  as ``extra_info["qps_by_workers"]``;
+* **warm vs cold latency** — the same repeated query with the result
+  cache on vs off.  The acceptance bar: warm repeat-query throughput is
+  at least 5x cold.
+
+Pure-Python execution holds the GIL for compute, so qps scaling across
+workers is modest — the win of the worker pool here is queueing,
+isolation, and cache sharing, and the cache is where the numbers move.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datagen.sample import QUERY_1, QUERY_2
+
+from conftest import bench_db  # noqa: F401 - session fixture
+
+from repro.service import QueryService, ServiceConfig
+
+#: Distinct query shapes (different tags => different fingerprints), so
+#: the throughput batch cannot be served from the result cache.
+_SHAPES = [
+    QUERY_1.replace("authorpubs", f"authorpubs{i}") for i in range(4)
+] + [QUERY_2.replace("authorpubs", f"byauthor{i}") for i in range(4)]
+
+WORKER_COUNTS = (1, 2, 4, 8)
+BATCH = 16  # queries per throughput measurement
+
+
+def _run_batch(service: QueryService) -> float:
+    """Submit BATCH queries (cycling the distinct shapes), wait for all,
+    return elapsed seconds."""
+    started = time.perf_counter()
+    tickets = [
+        service.submit(_SHAPES[i % len(_SHAPES)]) for i in range(BATCH)
+    ]
+    for ticket in tickets:
+        assert len(ticket.result(120.0)) > 0
+    return time.perf_counter() - started
+
+
+def test_e5_throughput_vs_workers(benchmark, bench_db):  # noqa: F811
+    db, _ = bench_db
+    qps_by_workers: dict[int, float] = {}
+    for workers in WORKER_COUNTS:
+        with QueryService(
+            db,
+            ServiceConfig(
+                workers=workers, queue_depth=BATCH, result_cache_entries=0
+            ),
+        ) as service:
+            _run_batch(service)  # warm the plan cache
+            elapsed = _run_batch(service)
+        qps_by_workers[workers] = round(BATCH / elapsed, 2)
+
+    def measured():
+        with QueryService(
+            db, ServiceConfig(workers=4, queue_depth=BATCH, result_cache_entries=0)
+        ) as service:
+            _run_batch(service)
+
+    benchmark.pedantic(measured, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["qps_by_workers"] = qps_by_workers
+    benchmark.extra_info["batch"] = BATCH
+    benchmark.extra_info["distinct_shapes"] = len(_SHAPES)
+
+
+def test_e5_cold_latency(benchmark, bench_db):  # noqa: F811
+    """Repeated query with the result cache disabled: every run pays
+    full execution."""
+    db, _ = bench_db
+    with QueryService(
+        db, ServiceConfig(workers=1, result_cache_entries=0)
+    ) as service:
+        service.query(QUERY_1)  # plan cache warm, results never cached
+        outcome = benchmark.pedantic(
+            service.query, args=(QUERY_1,), rounds=5, iterations=1, warmup_rounds=1
+        )
+        assert not outcome.cached
+        benchmark.extra_info["result_cache"] = "disabled"
+
+
+def test_e5_warm_latency(benchmark, bench_db):  # noqa: F811
+    """The same repeated query served from the result cache."""
+    db, _ = bench_db
+    with QueryService(db, ServiceConfig(workers=1)) as service:
+        service.query(QUERY_1)  # populate
+        outcome = benchmark.pedantic(
+            service.query, args=(QUERY_1,), rounds=5, iterations=1, warmup_rounds=1
+        )
+        assert outcome.cached
+        benchmark.extra_info["result_cache"] = "enabled"
+        benchmark.extra_info["hit_rate"] = round(service.cache_hit_rate(), 3)
+
+
+def test_e5_warm_beats_cold_5x(bench_db):
+    """The acceptance criterion, asserted directly (not just recorded):
+    warm repeat-query throughput >= 5x cold."""
+    db, _ = bench_db
+    repeats = 5
+    with QueryService(
+        db, ServiceConfig(workers=1, result_cache_entries=0)
+    ) as service:
+        service.query(QUERY_1)
+        started = time.perf_counter()
+        for _ in range(repeats):
+            assert not service.query(QUERY_1).cached
+        cold = time.perf_counter() - started
+    with QueryService(db, ServiceConfig(workers=1)) as service:
+        service.query(QUERY_1)
+        started = time.perf_counter()
+        for _ in range(repeats):
+            assert service.query(QUERY_1).cached
+        warm = time.perf_counter() - started
+    speedup = cold / warm
+    assert speedup >= 5.0, f"warm path only {speedup:.1f}x faster than cold"

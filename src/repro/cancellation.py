@@ -1,0 +1,110 @@
+"""Cooperative deadlines and cancellation for query execution.
+
+Query evaluation in this repo is pure Python: there is no blocking
+syscall to interrupt, so cancellation is *cooperative*.  The execution
+engines (interpreter, pattern matcher, physical operators, store
+materialization) call :func:`checkpoint` inside their hot loops; when a
+:class:`Deadline` is active on the current thread and has expired (or
+was cancelled), the checkpoint raises and the query unwinds through the
+normal exception path — ``finally`` blocks release buffer pins and
+locks on the way out.
+
+The active deadline is thread-local, installed with
+:func:`deadline_scope`.  Code outside any scope pays one attribute
+lookup per checkpoint; engines never need to thread a deadline object
+through their call graphs.
+
+This module deliberately sits below every subsystem (like
+:mod:`repro.errors`) so the storage, pattern, and query layers can
+import it without touching :mod:`repro.service`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from .errors import QueryCancelledError, QueryTimeoutError
+
+
+class Deadline:
+    """A per-query time budget plus an explicit cancellation flag.
+
+    ``seconds=None`` means no time limit — the deadline is then only a
+    cancellation token.  ``cancel()`` may be called from any thread;
+    the running query observes it at its next checkpoint.
+    """
+
+    __slots__ = ("seconds", "expires_at", "_cancelled")
+
+    def __init__(self, seconds: float | None = None):
+        self.seconds = seconds
+        self.expires_at = None if seconds is None else time.monotonic() + seconds
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation; takes effect at the next checkpoint."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` for an unbounded deadline."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def check(self) -> None:
+        """Raise if cancelled or past the deadline; otherwise return."""
+        if self._cancelled:
+            raise QueryCancelledError("query was cancelled")
+        if self.expires_at is not None and time.monotonic() >= self.expires_at:
+            raise QueryTimeoutError(
+                f"query exceeded its deadline of {self.seconds:.3f}s"
+            )
+
+
+_local = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline active on this thread, if any."""
+    return getattr(_local, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Install ``deadline`` as this thread's active deadline.
+
+    Scopes nest: the innermost wins while active and the outer one is
+    restored on exit.  ``None`` runs the body without a deadline (and
+    shields it from an enclosing one — used by maintenance paths that
+    must not be cancelled half way).
+    """
+    previous = current_deadline()
+    _local.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _local.deadline = previous
+
+
+def checkpoint() -> None:
+    """Cancellation point: cheap no-op without an active deadline.
+
+    Execution engines call this once per loop iteration (per outer
+    binding, per candidate label, per materialized node...).  Raises
+    :class:`~repro.errors.QueryTimeoutError` or
+    :class:`~repro.errors.QueryCancelledError` when the thread's
+    deadline says stop.
+    """
+    deadline = getattr(_local, "deadline", None)
+    if deadline is not None:
+        deadline.check()

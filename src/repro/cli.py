@@ -3,9 +3,13 @@
 Subcommands::
 
     timber-py generate --articles 800 --authors 160 out.xml
-    timber-py query db.xml --plan groupby --query-file q.xq
+    timber-py query db.xml --plan groupby --query-file q.xq --timeout 5
     timber-py explain db.xml --query-file q.xq
+    timber-py serve db.xml --port 8491 --workers 8
     timber-py experiment e1|e2|e3|a1|a2|a3 [--articles N --authors M]
+
+Exit codes: 0 success, 1 failure (e.g. verify found damage), 2 query
+deadline exceeded (``--timeout``).
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from .bench import (
 )
 from .datagen.dblp import DBLPConfig, generate_dblp
 from .datagen.sample import QUERY_1
+from .errors import QueryTimeoutError
 from .query.database import PLAN_MODES, Database
 from .xmlmodel.serialize import write_file
 
@@ -66,6 +71,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the executed plan with per-operator times and counters",
     )
+    query.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="cancel the query after this many seconds (exit code 2)",
+    )
 
     explain = commands.add_parser("explain", help="show naive + rewritten plans")
     explain.add_argument("database", help="XML file to load as bib.xml")
@@ -87,6 +98,32 @@ def main(argv: list[str] | None = None) -> int:
         help="quarantine unreadable pages, drop the documents on them, rebuild indexes",
     )
     repair.add_argument("directory", help="database directory (data.pages + meta.json)")
+
+    serve = commands.add_parser(
+        "serve", help="run the concurrent query service over TCP"
+    )
+    serve.add_argument("database", help="XML file to load as bib.xml")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8491, help="0 picks a free port")
+    serve.add_argument("--workers", type=int, default=4, help="query worker threads")
+    serve.add_argument(
+        "--queue-depth", type=int, default=32, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="default per-query deadline (clients may override per query)",
+    )
+    serve.add_argument(
+        "--plan-cache", type=int, default=128, help="plan cache entries (0 disables)"
+    )
+    serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=256,
+        help="result cache entries (0 disables)",
+    )
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -149,7 +186,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "explain":
             print(db.explain(text, verbose=getattr(args, "verbose", False)).render())
             return 0
-        result = db.query(text, plan=args.plan, analyze=args.analyze)
+        try:
+            result = db.query(
+                text, plan=args.plan, analyze=args.analyze, timeout=args.timeout
+            )
+        except QueryTimeoutError as error:
+            print(f"timber-py: query timed out: {error}", file=sys.stderr)
+            return 2
         print(result.collection.sketch())
         if result.profile is not None:
             print(f"\n{result.profile.render()}", file=sys.stderr)
@@ -158,6 +201,40 @@ def main(argv: list[str] | None = None) -> int:
             f"{result.elapsed_seconds:.4f}s; statistics: {result.statistics}",
             file=sys.stderr,
         )
+        return 0
+
+    if args.command == "serve":
+        from .service import QueryService, ServiceConfig
+        from .service.server import serve as bind_server
+
+        db = Database()
+        db.load_file(args.database, name="bib.xml")
+        service = QueryService(
+            db,
+            ServiceConfig(
+                workers=args.workers,
+                queue_depth=args.queue_depth,
+                default_timeout=args.timeout,
+                plan_cache_entries=args.plan_cache,
+                result_cache_entries=args.result_cache,
+            ),
+        )
+        server = bind_server(service, host=args.host, port=args.port)
+        host, port = server.endpoint
+        print(
+            f"timber-py service on {host}:{port} "
+            f"({args.workers} workers, queue depth {args.queue_depth})",
+            file=sys.stderr,
+        )
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            db.close()
         return 0
 
     from .bench import report_chart

@@ -97,3 +97,34 @@ class RewriteError(ReproError):
 
 class DatabaseError(ReproError):
     """Errors from the Database facade (unknown document, closed handle...)."""
+
+
+class ServiceError(ReproError):
+    """Errors from the concurrent query service layer."""
+
+
+class AdmissionError(ServiceError):
+    """The service's admission queue is full — backpressure.
+
+    Clients should retry later (or shed the request); the error carries
+    no partial work.
+    """
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its deadline and was cancelled at the next
+    cooperative checkpoint.  All resources (buffer pins, queue slots)
+    are released before the error propagates."""
+
+
+class QueryCancelledError(ServiceError):
+    """A query was cancelled explicitly (client disconnect, shutdown)
+    before completing."""
+
+
+class SessionError(ServiceError):
+    """Unknown, closed, or otherwise invalid service session."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed request on the line-oriented service protocol."""

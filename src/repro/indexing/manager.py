@@ -14,6 +14,9 @@ statistics are reset for a run).
 
 from __future__ import annotations
 
+import threading
+
+from ..cancellation import deadline_scope
 from ..errors import IndexError_
 from ..storage.store import NodeStore
 from .labels import NodeLabel
@@ -29,24 +32,40 @@ class IndexManager:
         self.tag_index = TagIndex()
         self.value_index = ValueIndex()
         self._built = False
+        self._build_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def build(self) -> None:
-        """(Re)build both indexes with one full store scan."""
-        self.tag_index = TagIndex()
-        self.value_index = ValueIndex()
-        for record in self.store.scan():
-            label = NodeLabel(record.nid, record.start, record.end, record.level)
-            self.tag_index.add(record.tag_sym, label)
-            if record.content is not None:
-                self.value_index.add(record.tag_sym, record.content, label)
+        """(Re)build both indexes with one full store scan.
+
+        The build is maintenance work shared by every future query, so
+        it runs shielded from any per-query deadline active on this
+        thread — a slow query may time out, but it must not abandon a
+        half-built index for its successors.
+        """
+        tag_index = TagIndex()
+        value_index = ValueIndex()
+        with deadline_scope(None):
+            for record in self.store.scan():
+                label = NodeLabel(record.nid, record.start, record.end, record.level)
+                tag_index.add(record.tag_sym, label)
+                if record.content is not None:
+                    value_index.add(record.tag_sym, record.content, label)
+        # Swap in atomically (w.r.t. the GIL) only once complete, so
+        # concurrent readers never observe a partially filled index.
+        self.tag_index = tag_index
+        self.value_index = value_index
         self._built = True
 
     def ensure_built(self) -> None:
-        if not self._built:
-            self.build()
+        """Build on first use; safe to race from many query threads."""
+        if self._built:
+            return
+        with self._build_lock:
+            if not self._built:
+                self.build()
 
     # ------------------------------------------------------------------
     # Persistence (indexes.pages in the database directory)

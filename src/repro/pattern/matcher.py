@@ -18,6 +18,7 @@ paper's order-preservation guarantees.
 
 from __future__ import annotations
 
+from ..cancellation import checkpoint
 from ..indexing.labels import NodeLabel
 from ..indexing.manager import IndexManager
 from ..pattern.pattern import Axis, PatternNode, PatternTree
@@ -155,6 +156,7 @@ class StoreMatcher:
             grouped = structural_join_pairs_by_ancestor(parent_stream, child_candidates, axis)
             extended: list[dict[str, NodeLabel]] = []
             for partial in tuples:
+                checkpoint()
                 bound_parent = partial[parent.label]
                 for descendant in grouped.get(bound_parent.nid, ()):
                     new_partial = dict(partial)

@@ -38,6 +38,7 @@ import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 
+from ..cancellation import Deadline, deadline_scope
 from ..errors import DatabaseError, TranslationError
 from ..indexing.manager import IndexManager
 from ..observability import (
@@ -126,6 +127,30 @@ class QueryResult:
         parts = [serialize(tree.root, indent=indent) for tree in self.collection]
         joiner = "" if indent else "\n"
         return joiner.join(parts)
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A parsed and planned query, ready to execute (and to cache).
+
+    Produced by :meth:`Database.prepare`; executed by
+    :meth:`Database.execute`.  The service layer's plan cache stores
+    these: preparation (parse + translate + rewrite) is the part of a
+    query whose cost is identical across repetitions, so a cache hit
+    skips it entirely.
+
+    ``generation`` records the store's data generation at preparation
+    time; a prepared query is re-plannable when the store has changed
+    (document set, nids) since.
+    """
+
+    text: str
+    requested: "PlanMode"  # what the caller asked for (may be AUTO)
+    resolved: "PlanMode"  # the concrete engine AUTO settled on
+    expr: Expr
+    plan: PlanNode | None  # None for the direct interpreter
+    join_strategy: str = "nested-loop"
+    generation: int = 0
 
 
 class Explanation(str):
@@ -223,6 +248,16 @@ class Database:
     def documents(self) -> list[str]:
         return [info.name for info in self.store.documents()]
 
+    @property
+    def data_generation(self) -> int:
+        """The store's monotonic data-generation counter.
+
+        Bumped by every mutation (load, drop, compact, repair) —
+        including across :meth:`compact`'s store replacement — so
+        caches keyed on it are invalidated by any data change.
+        """
+        return self.store.generation
+
     def info(self) -> dict[str, object]:
         """Summary of the database: documents, sizes, index statistics."""
         self.indexes.ensure_built()
@@ -283,14 +318,30 @@ class Database:
         _, naive = translate(expr, self.root_tag(doc))
         return naive, rewrite(naive)
 
-    def explain(self, text: str, verbose: bool = False) -> Explanation:
+    def explain(self, text: str, *deprecated: object, verbose: bool = False) -> Explanation:
         """The candidate plans for a query, *without* executing it.
 
         Returns an :class:`Explanation`: usable as plain text, with
         ``to_dict()`` for programmatic consumers.  ``verbose=True``
-        annotates every operator with the optimizer's row/cost
-        estimates and appends the plan comparison.
+        (keyword-only, matching the redesigned :meth:`query`) annotates
+        every operator with the optimizer's row/cost estimates and
+        appends the plan comparison.  The pre-redesign positional form
+        ``explain(text, True)`` still works but emits a
+        :class:`DeprecationWarning`.
         """
+        if deprecated:
+            warnings.warn(
+                "positional explain options are deprecated; call "
+                "explain(text, verbose=...) with the keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(deprecated) > 1:
+                raise TypeError(
+                    f"explain() takes at most 2 positional arguments "
+                    f"({2 + len(deprecated)} given)"
+                )
+            verbose = bool(deprecated[0])
         naive, grouped = self.plans_for(text)
         payload: dict = {
             "query": text,
@@ -328,6 +379,84 @@ class Database:
         )
         return Explanation(text_out, payload)
 
+    def prepare(self, text: str, *, plan: PlanMode | str | None = None) -> PreparedQuery:
+        """Parse and plan ``text`` without executing it.
+
+        ``AUTO`` is resolved here: the GROUPBY rewrite when the query is
+        translatable, the direct interpreter otherwise.  The returned
+        :class:`PreparedQuery` can be executed any number of times with
+        :meth:`execute` — the service layer's plan cache is built on
+        exactly this split.
+        """
+        mode = self._coerce_plan_mode(plan)
+        expr = self.parse(text)
+        join_strategy = "nested-loop"
+        built: PlanNode | None = None
+        if mode is PlanMode.AUTO:
+            try:
+                built = self._build_plan(expr, rewritten=True)
+                resolved = PlanMode.GROUPBY
+            except TranslationError:
+                resolved = PlanMode.DIRECT
+        elif mode is PlanMode.DIRECT:
+            resolved = PlanMode.DIRECT
+        else:
+            rewritten = mode in (PlanMode.GROUPBY, PlanMode.LOGICAL_GROUPBY)
+            built = self._build_plan(expr, rewritten=rewritten)
+            resolved = mode
+            if mode is PlanMode.NAIVE_HASH:
+                join_strategy = "value-hash"
+        return PreparedQuery(
+            text=text,
+            requested=mode,
+            resolved=resolved,
+            expr=expr,
+            plan=built,
+            join_strategy=join_strategy,
+            generation=self.store.generation,
+        )
+
+    def execute(
+        self,
+        prepared: PreparedQuery,
+        *,
+        analyze: bool = False,
+        trace: QueryTrace | None = None,
+        reset_statistics: bool = True,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Execute a :class:`PreparedQuery` (see :meth:`query` for the
+        option semantics; ``timeout`` installs a per-query deadline)."""
+        self.indexes.ensure_built()
+        if reset_statistics:
+            self.store.reset_stats()
+
+        collectors: list = list(active_traces())
+        if trace is not None:
+            collectors.append(trace)
+        profiling = analyze or bool(collectors)
+
+        if timeout is not None:
+            with deadline_scope(Deadline(timeout)):
+                result = self._execute_prepared(prepared, profiling)
+        else:
+            result = self._execute_prepared(prepared, profiling)
+
+        if collectors and result.profile is not None:
+            event = TraceEvent(
+                query=prepared.text,
+                plan_mode=result.plan_mode,
+                elapsed_seconds=result.elapsed_seconds,
+                profile=result.profile,
+                counters=result.profile.totals,
+            )
+            for collector in collectors:
+                if isinstance(collector, QueryTrace):
+                    collector.record(event)
+                else:
+                    collector(event)
+        return result
+
     def query(
         self,
         text: str,
@@ -336,6 +465,7 @@ class Database:
         analyze: bool = False,
         trace: QueryTrace | None = None,
         reset_statistics: bool = True,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Parse, plan, and execute ``text``.
 
@@ -351,7 +481,11 @@ class Database:
           execution's :class:`~repro.observability.TraceEvent` in
           addition to the globally active traces;
         * ``reset_statistics`` — zero the store counters first (the
-          default), so ``result.statistics`` is this query's own work.
+          default), so ``result.statistics`` is this query's own work;
+        * ``timeout`` — a per-query deadline in seconds: execution is
+          cancelled at the next cooperative checkpoint past it, raising
+          :class:`~repro.errors.QueryTimeoutError` with all resources
+          (buffer pins included) released.
 
         The pre-redesign positional form ``query(text, "naive")`` still
         works but emits a :class:`DeprecationWarning`.
@@ -373,66 +507,46 @@ class Database:
             plan = deprecated[0]  # type: ignore[assignment]
             if len(deprecated) == 2:
                 reset_statistics = bool(deprecated[1])
-        mode = self._coerce_plan_mode(plan)
-        expr = self.parse(text)
-        self.indexes.ensure_built()
-        if reset_statistics:
-            self.store.reset_stats()
+        prepared = self.prepare(text, plan=plan)
+        return self.execute(
+            prepared,
+            analyze=analyze,
+            trace=trace,
+            reset_statistics=reset_statistics,
+            timeout=timeout,
+        )
 
-        collectors: list = list(active_traces())
-        if trace is not None:
-            collectors.append(trace)
-        profiling = analyze or bool(collectors)
-
-        if mode is PlanMode.AUTO:
-            try:
-                result = self._run_physical(
-                    text, expr, rewritten=True, mode_name="groupby", profiling=profiling
-                )
-            except TranslationError:
-                result = self._run_direct(text, expr, profiling=profiling)
-        elif mode is PlanMode.DIRECT:
-            result = self._run_direct(text, expr, profiling=profiling)
-        elif mode is PlanMode.NAIVE:
-            result = self._run_physical(
-                text, expr, rewritten=False, mode_name="naive", profiling=profiling
-            )
-        elif mode is PlanMode.NAIVE_HASH:
-            result = self._run_physical(
-                text,
-                expr,
-                rewritten=False,
-                mode_name="naive-hash",
-                join_strategy="value-hash",
+    def _execute_prepared(self, prepared: PreparedQuery, profiling: bool) -> QueryResult:
+        mode = prepared.resolved
+        if mode is PlanMode.DIRECT:
+            return self._run_direct(prepared.text, prepared.expr, profiling=profiling)
+        if mode in (PlanMode.LOGICAL_NAIVE, PlanMode.LOGICAL_GROUPBY):
+            return self._run_logical(
+                prepared.text,
+                prepared.expr,
+                rewritten=mode is PlanMode.LOGICAL_GROUPBY,
+                mode_name=mode.value,
                 profiling=profiling,
+                plan=prepared.plan,
             )
-        elif mode is PlanMode.GROUPBY:
-            result = self._run_physical(
-                text, expr, rewritten=True, mode_name="groupby", profiling=profiling
+        try:
+            return self._run_physical(
+                prepared.text,
+                prepared.expr,
+                rewritten=mode is PlanMode.GROUPBY,
+                mode_name=mode.value,
+                join_strategy=prepared.join_strategy,
+                profiling=profiling,
+                plan=prepared.plan,
             )
-        elif mode is PlanMode.LOGICAL_NAIVE:
-            result = self._run_logical(
-                text, expr, rewritten=False, mode_name="logical-naive", profiling=profiling
-            )
-        else:
-            result = self._run_logical(
-                text, expr, rewritten=True, mode_name="logical-groupby", profiling=profiling
-            )
-
-        if collectors and result.profile is not None:
-            event = TraceEvent(
-                query=text,
-                plan_mode=result.plan_mode,
-                elapsed_seconds=result.elapsed_seconds,
-                profile=result.profile,
-                counters=result.profile.totals,
-            )
-            for collector in collectors:
-                if isinstance(collector, QueryTrace):
-                    collector.record(event)
-                else:
-                    collector(event)
-        return result
+        except TranslationError:
+            # AUTO's runtime fallback: a plan that translated but hits an
+            # unsupported shape during execution still degrades to the
+            # direct interpreter, exactly as before the prepare/execute
+            # split.
+            if prepared.requested is PlanMode.AUTO:
+                return self._run_direct(prepared.text, prepared.expr, profiling=profiling)
+            raise
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -530,11 +644,15 @@ class Database:
         mode_name: str,
         join_strategy: str = "nested-loop",
         profiling: bool = False,
+        plan: PlanNode | None = None,
     ) -> QueryResult:
-        # Snapshot before planning: profile totals cover plan building
-        # plus execution, matching ``statistics`` under a fresh reset.
+        # Snapshot before any plan building: profile totals then match
+        # ``statistics`` under a fresh reset.  A prebuilt ``plan`` (the
+        # prepare/execute split, the service's plan cache) skips the
+        # build entirely.
         before = snapshot_counters(self.store, self.indexes) if profiling else None
-        plan = self._build_plan(expr, rewritten)
+        if plan is None:
+            plan = self._build_plan(expr, rewritten)
         executor = PhysicalExecutor(
             self.store,
             self.indexes,
@@ -549,10 +667,17 @@ class Database:
         return self._finish(text, collection, mode_name, elapsed, plan, profiler, before)
 
     def _run_logical(
-        self, text: str, expr: Expr, rewritten: bool, mode_name: str, profiling: bool = False
+        self,
+        text: str,
+        expr: Expr,
+        rewritten: bool,
+        mode_name: str,
+        profiling: bool = False,
+        plan: PlanNode | None = None,
     ) -> QueryResult:
         before = snapshot_counters(self.store, self.indexes) if profiling else None
-        plan = self._build_plan(expr, rewritten)
+        if plan is None:
+            plan = self._build_plan(expr, rewritten)
         executor = LogicalExecutor(self.store, self.indexes)
         profiler = executor.enable_profiling() if profiling else None
         started = time.perf_counter()

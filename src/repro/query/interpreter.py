@@ -14,6 +14,7 @@ strings.  Sequences are Python lists of items.
 
 from __future__ import annotations
 
+from ..cancellation import checkpoint
 from ..errors import TranslationError
 from ..indexing.manager import IndexManager
 from ..storage.store import NodeStore
@@ -139,6 +140,9 @@ class Interpreter:
                 return
             assert isinstance(clause, ForClause)
             for item in self._eval(clause.source, scope):
+                # Cancellation point per outer binding: nested FLWRs are
+                # the direct baseline's O(n*m) hot loop.
+                checkpoint()
                 bound = dict(scope)
                 bound[clause.var] = [item]
                 recurse(index + 1, bound)
@@ -212,6 +216,7 @@ class Interpreter:
         out: Sequence = []
         seen: set[int] = set()
         for item in context:
+            checkpoint()
             for nid in self._step_from(item, step):
                 if nid in seen:
                     continue

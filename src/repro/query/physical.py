@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cancellation import checkpoint
 from ..errors import TranslationError
 from ..indexing.labels import NodeLabel
 from ..indexing.manager import IndexManager
@@ -271,6 +272,7 @@ class PhysicalExecutor:
             # operator-level value cache; only the buffer pool caches
             # pages, as in a real tuple-at-a-time evaluator.
             for left_match in left_source.matches:
+                checkpoint()
                 left_value = self._populate(left_match, left_label)
                 padded = True
                 for right_match in right_matches:
@@ -291,6 +293,7 @@ class PhysicalExecutor:
             value = self._populate(right_match, right_label)
             by_value.setdefault(value, []).append(right_match)
         for left_match in left_source.matches:
+            checkpoint()
             left_value = self._populate(left_match, left_label)
             partners = by_value.get(left_value, ())
             if not partners:
@@ -332,6 +335,7 @@ class PhysicalExecutor:
         # Populate only the grouping-basis values.
         keyed: list[tuple[str, int, StoreMatch]] = []
         for index, match in enumerate(witnesses):
+            checkpoint()
             value = self._populate(match, basis_label)
             keyed.append((value, index, match))
 

@@ -1,0 +1,52 @@
+"""`repro.service` — the concurrent query service over the embedded Database.
+
+Public surface:
+
+* :class:`QueryService` / :class:`ServiceConfig` — the worker-pool
+  front door: admission control, per-query deadlines, the two-tier
+  plan/result cache, and the reader/writer gate around loads;
+* :class:`QueryTicket` / :class:`ServiceResult` — the async handle and
+  the enriched outcome (cache/queue metadata alongside the result);
+* :class:`Session` / :class:`SessionRegistry` — per-client defaults
+  and accounting;
+* :func:`fingerprint_text` / :func:`fingerprint_expr` — the normalized
+  AST fingerprint the caches key on;
+* :class:`LRUCache` — the bounded cache both tiers are built from;
+* :class:`ReadWriteLock` — the load/query gate;
+* :func:`serve` (in :mod:`repro.service.server`) — the line-oriented
+  TCP front end behind ``timber-py serve``.
+"""
+
+from .cache import CacheStatistics, LRUCache
+from .fingerprint import (
+    FINGERPRINT_HEX_CHARS,
+    canonicalize,
+    fingerprint_expr,
+    fingerprint_text,
+)
+from .rwlock import ReadWriteLock
+from .service import (
+    QueryService,
+    QueryTicket,
+    ServiceConfig,
+    ServiceResult,
+    ServiceStatistics,
+)
+from .session import Session, SessionRegistry
+
+__all__ = [
+    "CacheStatistics",
+    "LRUCache",
+    "FINGERPRINT_HEX_CHARS",
+    "canonicalize",
+    "fingerprint_expr",
+    "fingerprint_text",
+    "ReadWriteLock",
+    "QueryService",
+    "QueryTicket",
+    "ServiceConfig",
+    "ServiceResult",
+    "ServiceStatistics",
+    "Session",
+    "SessionRegistry",
+]

@@ -1,0 +1,147 @@
+"""Size-bounded, thread-safe LRU caches for the query service.
+
+Two tiers sit in front of execution (Sec. 5.3's late value population
+pays off only when repeated plans can reuse prior work):
+
+* the **plan cache** maps a normalized AST fingerprint (plus requested
+  plan mode) to a :class:`~repro.query.database.PreparedQuery` — parse,
+  translate, and rewrite happen once per query shape;
+* the **result cache** maps ``(fingerprint, mode, store generation)``
+  to a finished result — a repeat of an identical read query against
+  unchanged data returns without touching the store at all.
+
+Invalidation is by *generation*: every data mutation bumps the store's
+generation counter, so stale result entries simply stop being looked
+up and age out of the LRU; plan entries carry their build generation
+and are refreshed on mismatch.  ``capacity=0`` disables a cache (every
+``get`` misses, ``put`` is a no-op) — benchmarks use this to measure
+cold paths under the full service machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+
+class CacheStatistics:
+    """Hit/miss/eviction counters for one cache tier."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def hit_ratio(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CacheStatistics hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions}>"
+        )
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A thread-safe LRU mapping with bounded entry count.
+
+    Same discipline as the buffer pool one layer down: bounded
+    capacity, least-recently-*used* eviction (a ``get`` refreshes), and
+    forward-only counters.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.counters = CacheStatistics()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, counting a hit or miss and refreshing LRU
+        order on a hit."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.counters.misses += 1
+                return default
+            self.counters.hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def peek(self, key: Hashable, default=None):
+        """Look up without touching counters or LRU order (tests)."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert or replace; evicts the least-recently-used entry when
+        over capacity.  No-op when the cache is disabled."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.counters.evictions += 1
+
+    def invalidate(self, predicate: Callable[[Hashable], bool] | None = None) -> int:
+        """Drop entries whose key satisfies ``predicate`` (all entries
+        when ``None``).  Returns how many were dropped."""
+        with self._lock:
+            if predicate is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [key for key in self._entries if predicate(key)]
+                for key in doomed:
+                    del self._entries[key]
+                dropped = len(doomed)
+            self.counters.invalidations += dropped
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries.keys())

@@ -1,0 +1,140 @@
+"""Normalized AST fingerprints — the plan-cache key.
+
+Two query texts that parse to the same shape must share one plan-cache
+entry, no matter how they are formatted or what their variables are
+called.  The fingerprint therefore hashes a *canonical form* of the
+parsed AST, not the text:
+
+* whitespace and layout vanish in parsing;
+* variables are alpha-renamed in binding order (``$a`` and ``$author``
+  in the same position become the same canonical name), so the paper's
+  Query 1 written with different variable names is one cache entry;
+* everything else — tags, document names, literals, operators, axes,
+  sort directions — is preserved verbatim, because it changes the
+  result.
+
+The canonical form is a nested tuple of primitives; the fingerprint is
+a SHA-256 prefix over its ``repr``.  Free (unbound) variables keep
+their own names prefixed with ``?`` — queries differing only in a free
+variable name are *not* unified, since their meaning depends on the
+environment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..query.ast import (
+    AggregateCall,
+    AndExpr,
+    Comparison,
+    CountCall,
+    DistinctValues,
+    DocumentCall,
+    ElementConstructor,
+    EmbeddedExpr,
+    Expr,
+    FLWR,
+    ForClause,
+    LetClause,
+    NumberLiteral,
+    PathExpr,
+    SortKey,
+    Step,
+    StepPredicate,
+    StringLiteral,
+    TextItem,
+    VarRef,
+)
+from ..query.parser import parse_query
+
+#: Width of the hex fingerprint (128 bits of SHA-256 — collision-safe
+#: for any realistic cache population).
+FINGERPRINT_HEX_CHARS = 32
+
+
+def canonicalize(expr: Expr) -> tuple:
+    """The canonical (alpha-renamed, order-preserving) form of an AST."""
+    return _canon(expr, {})
+
+
+def fingerprint_expr(expr: Expr) -> str:
+    """Fingerprint of a parsed query expression."""
+    digest = hashlib.sha256(repr(canonicalize(expr)).encode("utf-8"))
+    return digest.hexdigest()[:FINGERPRINT_HEX_CHARS]
+
+
+def fingerprint_text(text: str) -> str:
+    """Parse ``text`` and fingerprint it (convenience for callers that
+    do not keep the AST around)."""
+    return fingerprint_expr(parse_query(text))
+
+
+def _canon(node: object, env: dict[str, str]) -> tuple:
+    """Recursive canonicalization.  ``env`` maps source variable names
+    to canonical ones (``v0``, ``v1``, ... in binding order)."""
+    if isinstance(node, StringLiteral):
+        return ("str", node.value)
+    if isinstance(node, NumberLiteral):
+        return ("num", node.text)
+    if isinstance(node, VarRef):
+        return ("var", env.get(node.name, "?" + node.name))
+    if isinstance(node, DocumentCall):
+        return ("doc", node.name)
+    if isinstance(node, DistinctValues):
+        return ("distinct", _canon(node.argument, env))
+    if isinstance(node, CountCall):
+        return ("count", _canon(node.argument, env))
+    if isinstance(node, AggregateCall):
+        return ("agg", node.function, _canon(node.argument, env))
+    if isinstance(node, PathExpr):
+        return (
+            "path",
+            _canon(node.base, env),
+            tuple(_canon_step(step, env) for step in node.steps),
+        )
+    if isinstance(node, Comparison):
+        return ("cmp", node.op, _canon(node.left, env), _canon(node.right, env))
+    if isinstance(node, AndExpr):
+        return ("and", tuple(_canon(part, env) for part in node.parts))
+    if isinstance(node, FLWR):
+        return _canon_flwr(node, env)
+    if isinstance(node, ElementConstructor):
+        return (
+            "elem",
+            node.tag,
+            tuple(node.attributes),
+            tuple(_canon(item, env) for item in node.items),
+        )
+    if isinstance(node, TextItem):
+        return ("text", node.text)
+    if isinstance(node, EmbeddedExpr):
+        return ("embed", _canon(node.expr, env))
+    raise TypeError(f"cannot canonicalize {type(node).__name__}")  # pragma: no cover
+
+
+def _canon_step(step: Step, env: dict[str, str]) -> tuple:
+    predicate = step.predicate
+    canon_pred = (
+        None
+        if predicate is None
+        else (predicate.path, predicate.op, _canon(predicate.right, env))
+    )
+    return ("step", step.axis, step.name, canon_pred)
+
+
+def _canon_flwr(node: FLWR, env: dict[str, str]) -> tuple:
+    # Clauses bind left to right; each clause's source sees the bindings
+    # made before it, the WHERE/RETURN see them all.
+    scope = dict(env)
+    clauses: list[tuple] = []
+    for clause in node.clauses:
+        source = _canon(clause.source, scope)
+        canonical = f"v{len(scope)}"
+        scope[clause.var] = canonical
+        kind = "for" if isinstance(clause, ForClause) else "let"
+        clauses.append((kind, canonical, source))
+    where = None if node.where is None else _canon(node.where, scope)
+    ret = _canon(node.ret, scope)
+    sortby = tuple((key.path, key.direction) for key in node.sortby)
+    return ("flwr", tuple(clauses), where, ret, sortby)

@@ -1,0 +1,91 @@
+"""A reader/writer gate: many concurrent queries, exclusive loads.
+
+The query read path (store record lookups, index probes, buffer pool)
+is made thread-safe by fine-grained locks one layer down, but a *load*
+rewrites shared structures wholesale — it appends pages, replaces the
+metadata catalog, and rebuilds both indexes.  Queries must not observe
+that half-done.  :class:`ReadWriteLock` is the gate: any number of
+readers (queries) share it; a writer (load, drop, compact, repair)
+waits for in-flight readers to drain, excludes everything while it
+runs, and hands back to the readers when done.
+
+Writers are preferred: once a writer is waiting, new readers queue
+behind it, so a steady query stream cannot starve a load forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Writer-preference reader/writer lock built on one condition."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, stats)
+    # ------------------------------------------------------------------
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        with self._cond:
+            return self._writer_active

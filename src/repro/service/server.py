@@ -1,0 +1,182 @@
+"""A line-oriented TCP front end for the query service.
+
+One request per line, one response per line — trivially scriptable
+with ``nc`` and trivially testable with a raw socket.  Each connection
+gets its own :class:`~repro.service.session.Session`; the protocol is
+documented in ``docs/service.md``.
+
+Requests (UTF-8, newline-terminated)::
+
+    PING
+    QUERY {"q": "FOR $b IN ...", "plan": "groupby", "timeout": 2.5}
+    EXPLAIN {"q": "...", "verbose": true}
+    STATS
+    SESSION
+    QUIT
+
+Responses::
+
+    OK {...json payload...}
+    ERR {"kind": "QueryTimeoutError", "message": "..."}
+    BYE
+
+Errors never tear down the connection (except protocol-level garbage
+after which the client is out of sync anyway — still answered with
+``ERR`` and the connection stays open).  The server is a
+``ThreadingTCPServer``: each connection runs in its own thread and
+submits through the shared service, so admission control and the
+worker pool govern total concurrency, not the socket count.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+from ..errors import ProtocolError, ReproError
+from .service import QueryService, ServiceResult
+
+#: Refuse absurd request lines before json-decoding them (1 MiB).
+MAX_LINE_BYTES = 1 << 20
+
+
+def encode_result(outcome: ServiceResult) -> dict:
+    """The JSON payload for a completed query."""
+    return {
+        "rows": len(outcome),
+        "xml": outcome.result.to_xml(indent=None),
+        "plan_mode": outcome.plan_mode,
+        "cached": outcome.cached,
+        "plan_cached": outcome.plan_cached,
+        "fingerprint": outcome.fingerprint,
+        "generation": outcome.generation,
+        "queue_wait_seconds": outcome.queue_wait_seconds,
+        "elapsed_seconds": outcome.result.elapsed_seconds,
+    }
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a session plus a request loop."""
+
+    server: "ServiceServer"
+
+    def handle(self) -> None:  # noqa: D102 - socketserver contract
+        service = self.server.service
+        session = service.open_session(name=f"tcp:{self.client_address[0]}")
+        try:
+            while True:
+                raw = self.rfile.readline(MAX_LINE_BYTES + 1)
+                if not raw:
+                    return  # client hung up
+                try:
+                    reply = self._dispatch(raw, session)
+                except ReproError as error:
+                    reply = _err(error)
+                except json.JSONDecodeError as error:
+                    reply = _err(ProtocolError(f"bad JSON argument: {error}"))
+                if reply is None:
+                    self._send("BYE")
+                    return
+                self._send(reply)
+        finally:
+            try:
+                service.close_session(session.session_id)
+            except ReproError:
+                pass  # already closed (service shutdown)
+
+    def _dispatch(self, raw: bytes, session) -> str | None:
+        if len(raw) > MAX_LINE_BYTES:
+            raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+        line = raw.decode("utf-8", errors="replace").strip()
+        if not line:
+            raise ProtocolError("empty request line")
+        command, _, argument = line.partition(" ")
+        command = command.upper()
+        service = self.server.service
+        if command == "PING":
+            return "OK " + json.dumps({"pong": True})
+        if command == "QUIT":
+            return None
+        if command == "STATS":
+            return "OK " + json.dumps(service.stats().as_dict())
+        if command == "SESSION":
+            return "OK " + json.dumps(session.snapshot())
+        if command == "QUERY":
+            spec = _spec(argument)
+            outcome = service.query(
+                _required(spec, "q"),
+                plan=spec.get("plan"),
+                timeout=spec.get("timeout"),
+                session=session,
+            )
+            return "OK " + json.dumps(encode_result(outcome))
+        if command == "EXPLAIN":
+            spec = _spec(argument)
+            explanation = service.db.explain(
+                _required(spec, "q"), verbose=bool(spec.get("verbose", False))
+            )
+            return "OK " + json.dumps(
+                {"text": explanation.render(), "plans": explanation.to_dict()}
+            )
+        raise ProtocolError(f"unknown command {command!r}")
+
+    def _send(self, reply: str) -> None:
+        self.wfile.write(reply.encode("utf-8") + b"\n")
+        self.wfile.flush()
+
+
+def _spec(argument: str) -> dict:
+    if not argument:
+        raise ProtocolError("command needs a JSON argument")
+    spec = json.loads(argument)
+    if not isinstance(spec, dict):
+        raise ProtocolError("JSON argument must be an object")
+    return spec
+
+
+def _required(spec: dict, key: str) -> str:
+    value = spec.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"missing required string field {key!r}")
+    return value
+
+
+def _err(error: Exception) -> str:
+    return "ERR " + json.dumps(
+        {"kind": type(error).__name__, "message": str(error)}
+    )
+
+
+class ServiceServer(socketserver.ThreadingTCPServer):
+    """The TCP server bound to one :class:`QueryService`.
+
+    ``port=0`` binds an ephemeral port (tests); ``server_address``
+    reports the real one after construction.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        super().__init__((host, port), _Handler)
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.server_address[:2]
+
+    def serve_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests, embedding). ``shutdown()``
+        stops it."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="timber-service-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve(service: QueryService, host: str = "127.0.0.1", port: int = 0) -> ServiceServer:
+    """Bind a :class:`ServiceServer`; the caller decides foreground
+    (``serve_forever``) or background (``serve_background``)."""
+    return ServiceServer(service, host, port)

@@ -1,0 +1,511 @@
+"""The concurrent query service: TIMBER as a *server*, not a library.
+
+The paper describes TIMBER as a multi-component database server
+(Fig. 12); :class:`QueryService` is that front door over the embedded
+:class:`~repro.query.database.Database`:
+
+* a **worker pool** executes queries concurrently over the (now
+  thread-safe) shared read path;
+* **admission control** bounds the waiting queue — when it is full,
+  :meth:`submit` fails fast with
+  :class:`~repro.errors.AdmissionError` instead of letting latency
+  grow without bound (backpressure);
+* **per-query deadlines** (measured from submission, so queue wait
+  counts against the budget) cancel runaway queries at the next
+  cooperative checkpoint, releasing buffer pins and the read gate on
+  the way out;
+* a **two-tier cache** — prepared plans keyed on the normalized AST
+  fingerprint, results keyed on ``(fingerprint, mode, store
+  generation)`` — is invalidated wholesale by the store's generation
+  counter, which every mutation bumps;
+* a **reader/writer gate** lets any number of queries share the store
+  while loads, drops, compaction, and repair run exclusively.
+
+Every cache hit/miss/eviction, admission rejection, timeout, and queue
+wait flows into the same :class:`~repro.observability.CounterSnapshot`
+machinery as the storage counters; profiled queries carry their
+service-side counters in ``profile.totals``.
+"""
+
+from __future__ import annotations
+
+import copy
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from ..cancellation import Deadline, deadline_scope
+from ..errors import (
+    AdmissionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServiceError,
+)
+from ..observability import CounterSnapshot
+from ..query.database import Database, PlanMode, PreparedQuery, QueryResult
+from ..xmlmodel.node import XMLNode
+from .cache import LRUCache
+from .fingerprint import fingerprint_expr
+from .rwlock import ReadWriteLock
+from .session import Session, SessionRegistry
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for a :class:`QueryService`.
+
+    ``queue_depth`` bounds *waiting* requests only; up to ``workers``
+    more are executing, so at most ``queue_depth + workers`` queries
+    are in flight.  A cache with 0 entries is disabled.
+    """
+
+    workers: int = 4
+    queue_depth: int = 32
+    default_timeout: float | None = None
+    plan_cache_entries: int = 128
+    result_cache_entries: int = 256
+    #: Hand out deep copies of cached result collections, so one
+    #: client mutating its trees cannot poison the cache for others.
+    copy_cached_results: bool = True
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ServiceError("service needs at least one worker")
+        if self.queue_depth < 1:
+            # queue.Queue treats 0 as "unbounded", which would silently
+            # disable admission control — refuse it instead.
+            raise ServiceError("queue depth must be >= 1")
+
+
+class ServiceStatistics:
+    """Forward-only counters for the service layer (same discipline as
+    the storage counters: snapshot and subtract for deltas)."""
+
+    __slots__ = (
+        "submitted",
+        "rejected",
+        "completed",
+        "failed",
+        "timeouts",
+        "cancelled",
+        "queue_waits",
+        "queue_wait_us_total",
+        "peak_queue_depth",
+        "_lock",
+    )
+
+    def __init__(self):
+        for name in self.__slots__[:-1]:
+            setattr(self, name, 0)
+        self._lock = threading.Lock()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "queries_submitted": self.submitted,
+                "admission_rejections": self.rejected,
+                "queries_completed": self.completed,
+                "queries_failed": self.failed,
+                "query_timeouts": self.timeouts,
+                "queries_cancelled": self.cancelled,
+                "queue_waits": self.queue_waits,
+                "queue_wait_us_total": self.queue_wait_us_total,
+                "peak_queue_depth": self.peak_queue_depth,
+            }
+
+
+@dataclass
+class ServiceResult:
+    """A query outcome plus its trip through the service."""
+
+    result: QueryResult
+    fingerprint: str
+    generation: int
+    cached: bool = False  # served from the result cache
+    plan_cached: bool = False  # plan came from the plan cache
+    queue_wait_seconds: float = 0.0
+    session_id: int | None = None
+
+    @property
+    def collection(self):
+        return self.result.collection
+
+    @property
+    def profile(self):
+        return self.result.profile
+
+    @property
+    def plan_mode(self) -> str:
+        return self.result.plan_mode
+
+    def __len__(self) -> int:
+        return len(self.result.collection)
+
+
+_SHUTDOWN = object()
+
+
+class QueryTicket:
+    """Future-like handle for a submitted query.
+
+    ``result()`` blocks until the query completes, re-raising whatever
+    the execution raised.  ``cancel()`` flips the query's deadline to
+    cancelled: a queued ticket dies on dequeue, a running one unwinds
+    at its next checkpoint.
+    """
+
+    def __init__(self, deadline: Deadline, session: Session | None):
+        self.deadline = deadline
+        self.session = session
+        self.enqueued_at = time.perf_counter()
+        self._done = threading.Event()
+        self._value: ServiceResult | None = None
+        self._error: BaseException | None = None
+
+    def cancel(self) -> None:
+        self.deadline.cancel()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ServiceResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError("query has not completed yet")
+        if self._error is not None:
+            raise self._error
+        assert self._value is not None
+        return self._value
+
+    # Called by the worker.
+    def _finish(self, value: ServiceResult | None, error: BaseException | None) -> None:
+        self._value = value
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class _Request:
+    """What travels through the admission queue."""
+
+    ticket: QueryTicket
+    text: str
+    plan: str | None
+    analyze: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+class QueryService:
+    """Concurrent front door over one :class:`Database`."""
+
+    def __init__(self, db: Database, config: ServiceConfig | None = None, **overrides):
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            config = replace(config, **overrides)
+        self.db = db
+        self.config = config
+        self.counters = ServiceStatistics()
+        self.plan_cache = LRUCache(config.plan_cache_entries)
+        self.result_cache = LRUCache(config.result_cache_entries)
+        self.sessions = SessionRegistry()
+        self._gate = ReadWriteLock()
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=config.queue_depth)
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"query-worker-{i}", daemon=True
+            )
+            for i in range(config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        name: str = "",
+        default_plan: str | None = None,
+        default_timeout: float | None = None,
+    ) -> Session:
+        return self.sessions.open(name, default_plan, default_timeout)
+
+    def close_session(self, session_id: int) -> Session:
+        return self.sessions.close(session_id)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        text: str,
+        *,
+        plan: str | None = None,
+        session: Session | None = None,
+        timeout: float | None = None,
+        analyze: bool = False,
+    ) -> QueryTicket:
+        """Admit a query for asynchronous execution.
+
+        Raises :class:`~repro.errors.AdmissionError` immediately when
+        the waiting queue is full — the caller sheds or retries; no
+        partial work happened.  The deadline clock starts *now*: time
+        spent waiting in the queue counts against the budget.
+        """
+        if self._closed:
+            raise ServiceError("the query service is shut down")
+        if session is not None:
+            if plan is None:
+                plan = session.default_plan
+            if timeout is None:
+                timeout = session.default_timeout
+        if timeout is None:
+            timeout = self.config.default_timeout
+        ticket = QueryTicket(Deadline(timeout), session)
+        request = _Request(ticket=ticket, text=text, plan=plan, analyze=analyze)
+        self.counters.add("submitted")
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.counters.add("rejected")
+            if session is not None:
+                session.rejected += 1
+            raise AdmissionError(
+                f"admission queue full ({self.config.queue_depth} waiting); "
+                "retry later"
+            ) from None
+        self.counters.observe_queue_depth(self._queue.qsize())
+        return ticket
+
+    def query(
+        self,
+        text: str,
+        *,
+        plan: str | None = None,
+        session: Session | None = None,
+        timeout: float | None = None,
+        analyze: bool = False,
+        wait: float | None = None,
+    ) -> ServiceResult:
+        """Submit and wait — the synchronous convenience wrapper."""
+        return self.submit(
+            text, plan=plan, session=session, timeout=timeout, analyze=analyze
+        ).result(wait)
+
+    # ------------------------------------------------------------------
+    # Data mutation (write-gated)
+    # ------------------------------------------------------------------
+    def load_text(self, text: str, name: str) -> None:
+        with self._gate.write_locked():
+            self.db.load_text(text, name)
+            self._drop_stale_results()
+
+    def load_tree(self, root: XMLNode, name: str) -> None:
+        with self._gate.write_locked():
+            self.db.load_tree(root, name)
+            self._drop_stale_results()
+
+    def load_file(self, path: str, name: str | None = None) -> None:
+        with self._gate.write_locked():
+            self.db.load_file(path, name)
+            self._drop_stale_results()
+
+    def drop_document(self, name: str) -> None:
+        with self._gate.write_locked():
+            self.db.drop_document(name)
+            self._drop_stale_results()
+
+    def compact(self) -> None:
+        with self._gate.write_locked():
+            self.db.compact()
+            self._drop_stale_results()
+
+    def repair(self):
+        with self._gate.write_locked():
+            report = self.db.repair()
+            self._drop_stale_results()
+            return report
+
+    def _drop_stale_results(self) -> None:
+        """Eagerly drop result entries for older generations.
+
+        Correctness never needs this — stale keys are simply never
+        looked up again — but dropping them keeps the LRU full of
+        entries that can still hit.
+        """
+        generation = self.db.store.generation
+        self.result_cache.invalidate(lambda key: key[2] != generation)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> CounterSnapshot:
+        """One immutable snapshot across the service layer: admission,
+        queue-wait, timeout, and both cache tiers' counters."""
+        data: dict[str, int] = {}
+        data.update(self.counters.snapshot())
+        for prefix, cache in (
+            ("plan_cache", self.plan_cache),
+            ("result_cache", self.result_cache),
+        ):
+            for key, value in cache.counters.snapshot().items():
+                data[f"{prefix}_{key}"] = value
+        return CounterSnapshot(data)
+
+    def cache_hit_rate(self) -> float:
+        """The result cache's lifetime hit ratio."""
+        return self.result_cache.counters.hit_ratio()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work, drain the queue, and stop the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)  # FIFO: queued requests drain first
+        if wait:
+            for worker in self._workers:
+                worker.join()
+        self.sessions.close_all()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            request: _Request = item  # type: ignore[assignment]
+            ticket = request.ticket
+            waited = time.perf_counter() - ticket.enqueued_at
+            self.counters.add("queue_waits")
+            self.counters.add("queue_wait_us_total", int(waited * 1_000_000))
+            try:
+                result = self._execute(request, waited)
+            except BaseException as error:  # noqa: BLE001 - relayed to the caller
+                self._count_failure(error, ticket.session)
+                ticket._finish(None, error)
+            else:
+                self.counters.add("completed")
+                if ticket.session is not None:
+                    session = ticket.session
+                    session.queries += 1
+                    session.last_active = time.time()
+                    if result.cached:
+                        session.cache_hits += 1
+                ticket._finish(result, None)
+
+    def _count_failure(self, error: BaseException, session: Session | None) -> None:
+        if isinstance(error, QueryTimeoutError):
+            self.counters.add("timeouts")
+            if session is not None:
+                session.timeouts += 1
+        elif isinstance(error, QueryCancelledError):
+            self.counters.add("cancelled")
+        else:
+            self.counters.add("failed")
+
+    def _execute(self, request: _Request, waited: float) -> ServiceResult:
+        with deadline_scope(request.ticket.deadline) as deadline:
+            deadline.check()  # a queued ticket may already be dead
+            with self._gate.read_locked():
+                return self._execute_locked(request, waited)
+
+    def _execute_locked(self, request: _Request, waited: float) -> ServiceResult:
+        service_before = self.stats()
+        prepared, fingerprint, plan_hit = self._prepared(request.text, request.plan)
+        generation = self.db.store.generation
+        result_key = (fingerprint, prepared.resolved.value, generation)
+        cacheable = not request.analyze and self.result_cache.enabled
+        if cacheable:
+            hit = self.result_cache.get(result_key)
+            if hit is not None:
+                return ServiceResult(
+                    result=self._from_cache(hit),
+                    fingerprint=result_key[0],
+                    generation=generation,
+                    cached=True,
+                    plan_cached=plan_hit,
+                    queue_wait_seconds=waited,
+                    session_id=_session_id(request.ticket.session),
+                )
+        # Shared counters must not be reset by concurrent queries —
+        # deltas come from snapshots, never from zeroing.
+        result = self.db.execute(
+            prepared,
+            analyze=request.analyze,
+            reset_statistics=False,
+        )
+        if cacheable:
+            self.result_cache.put(result_key, result)
+        if result.profile is not None:
+            delta = self.stats() - service_before
+            delta = delta + CounterSnapshot(queue_wait_us=int(waited * 1_000_000))
+            result.profile = replace(
+                result.profile, totals=result.profile.totals + delta
+            )
+        return ServiceResult(
+            result=result,
+            fingerprint=result_key[0],
+            generation=generation,
+            cached=False,
+            plan_cached=plan_hit,
+            queue_wait_seconds=waited,
+            session_id=_session_id(request.ticket.session),
+        )
+
+    def _prepared(self, text: str, plan: str | None) -> tuple[PreparedQuery, str, bool]:
+        """Plan-cache lookup: fingerprint the parsed query, reuse the
+        prepared plan when it was built against the current data
+        generation, rebuild (and replace) otherwise."""
+        mode = Database._coerce_plan_mode(plan)
+        expr = self.db.parse(text)
+        fingerprint = fingerprint_expr(expr)
+        key = (fingerprint, mode.value)
+        entry = self.plan_cache.get(key)
+        if entry is not None and entry.generation == self.db.store.generation:
+            return entry, fingerprint, True
+        prepared = self.db.prepare(text, plan=plan)
+        self.plan_cache.put(key, prepared)
+        return prepared, fingerprint, False
+
+    def _from_cache(self, result: QueryResult) -> QueryResult:
+        """A cache hit: a fresh :class:`QueryResult` whose statistics
+        honestly say "no store work was done"."""
+        collection = result.collection
+        if self.config.copy_cached_results:
+            collection = copy.deepcopy(collection)
+        return QueryResult(
+            collection=collection,
+            plan_mode=result.plan_mode,
+            elapsed_seconds=0.0,
+            statistics={},
+            plan=result.plan,
+            profile=None,
+            io_stats={},
+        )
+
+
+def _session_id(session: Session | None) -> int | None:
+    return None if session is None else session.session_id

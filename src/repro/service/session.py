@@ -1,0 +1,101 @@
+"""Client sessions for the query service.
+
+A :class:`Session` is the unit of client state the TIMBER-style server
+front end keeps (Fig. 12's "user interface / API" box): a default plan
+mode and timeout for the client's queries, plus per-session accounting
+(queries run, cache hits, timeouts) so an operator can see who is doing
+what.  Sessions are cheap — a socket connection gets one implicitly —
+and carry no transactional meaning in this read-mostly store.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import SessionError
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class Session:
+    """One client's state within a :class:`~repro.service.QueryService`."""
+
+    session_id: int
+    name: str = ""
+    created_at: float = field(default_factory=time.time)
+    default_plan: str | None = None
+    default_timeout: float | None = None
+    closed: bool = False
+    # Per-session accounting (guarded by the registry lock).
+    queries: int = 0
+    cache_hits: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+    last_active: float = field(default_factory=time.time)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "session_id": self.session_id,
+            "name": self.name,
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "closed": self.closed,
+        }
+
+
+class SessionRegistry:
+    """Thread-safe id -> :class:`Session` map."""
+
+    def __init__(self):
+        self._sessions: dict[int, Session] = {}
+        self._lock = threading.Lock()
+
+    def open(
+        self,
+        name: str = "",
+        default_plan: str | None = None,
+        default_timeout: float | None = None,
+    ) -> Session:
+        session = Session(
+            session_id=next(_session_ids),
+            name=name,
+            default_plan=default_plan,
+            default_timeout=default_timeout,
+        )
+        with self._lock:
+            self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: int) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None or session.closed:
+            raise SessionError(f"unknown or closed session {session_id}")
+        return session
+
+    def close(self, session_id: int) -> Session:
+        session = self.get(session_id)
+        with self._lock:
+            session.closed = True
+            del self._sessions[session_id]
+        return session
+
+    def active(self) -> list[Session]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close_all(self) -> None:
+        with self._lock:
+            for session in self._sessions.values():
+                session.closed = True
+            self._sessions.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

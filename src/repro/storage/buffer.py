@@ -11,12 +11,21 @@ callers holding raw references across operations pin first and unpin
 when done.  Most single-record reads use :meth:`get_page` without
 pinning, which is safe because the store copies what it needs out of the
 page before the next pool call.
+
+The pool is thread-safe: an ``RLock`` guards the frame map, pin counts,
+and counters, so many reader threads (the query service's worker pool)
+can share one pool.  A miss holds the lock across the physical read —
+misses serialize, hits on other threads wait — which is the simple,
+correct discipline; the service layer's result cache is what takes
+pressure off the miss path under concurrency.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 
 from ..errors import BufferPoolError, StorageError, TransientIOError
 from .disk import DiskManager
@@ -111,6 +120,8 @@ class BufferPool:
         self.counters = BufferStatistics()
         # OrderedDict in LRU order: least-recently-used first.
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        # Reentrant: pin() calls get_page() under the same lock.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -125,26 +136,29 @@ class BufferPool:
         """
         from ..observability.counters import CounterSnapshot
 
-        return CounterSnapshot(self.counters.snapshot())
+        with self._lock:
+            return CounterSnapshot(self.counters.snapshot())
 
     def reset_stats(self) -> None:
         """Explicitly zero the pool counters."""
-        self.counters.reset()
+        with self._lock:
+            self.counters.reset()
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def get_page(self, page_id: int) -> Page:
         """Return the page, fetching it on a miss.  Updates LRU order."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.counters.hits += 1
-            self._frames.move_to_end(page_id)
-            return frame.page
-        self.counters.misses += 1
-        page = self._read_with_retry(page_id)
-        self._admit(page)
-        return page
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.counters.hits += 1
+                self._frames.move_to_end(page_id)
+                return frame.page
+            self.counters.misses += 1
+            page = self._read_with_retry(page_id)
+            self._admit(page)
+            return page
 
     def _read_with_retry(self, page_id: int) -> Page:
         """One physical read with bounded retry-with-backoff on
@@ -166,10 +180,11 @@ class BufferPool:
 
     def put_new_page(self, page: Page) -> None:
         """Admit a freshly built page (bulk load path) without a disk read."""
-        if page.page_id in self._frames:
-            raise BufferPoolError(f"page {page.page_id} already buffered")
-        page.dirty = True
-        self._admit(page)
+        with self._lock:
+            if page.page_id in self._frames:
+                raise BufferPoolError(f"page {page.page_id} already buffered")
+            page.dirty = True
+            self._admit(page)
 
     def _admit(self, page: Page) -> None:
         while len(self._frames) >= self.capacity:
@@ -192,30 +207,48 @@ class BufferPool:
     # ------------------------------------------------------------------
     def pin(self, page_id: int) -> Page:
         """Fetch and pin; the page will survive until unpinned."""
-        page = self.get_page(page_id)
-        self._frames[page_id].pin_count += 1
-        return page
+        with self._lock:
+            page = self.get_page(page_id)
+            self._frames[page_id].pin_count += 1
+            return page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pin_count == 0:
-            raise BufferPoolError(f"page {page_id} is not pinned")
-        frame.pin_count -= 1
-        if dirty:
-            frame.page.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count == 0:
+                raise BufferPoolError(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            if dirty:
+                frame.page.dirty = True
+
+    @contextmanager
+    def pinned(self, page_id: int):
+        """Pin for the duration of a ``with`` block.
+
+        The unpin runs in ``finally``, so a query cancelled or timed
+        out mid-block (see :mod:`repro.cancellation`) releases its pin
+        on the way out — the invariant the service stress tests assert.
+        """
+        page = self.pin(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id)
 
     def pinned_count(self) -> int:
-        return sum(1 for frame in self._frames.values() if frame.pin_count > 0)
+        with self._lock:
+            return sum(1 for frame in self._frames.values() if frame.pin_count > 0)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def flush_all(self) -> None:
         """Write every dirty buffered page back to disk."""
-        for frame in self._frames.values():
-            if frame.page.dirty:
-                self.disk.write_page(frame.page)
-        self.disk.flush()
+        with self._lock:
+            for frame in self._frames.values():
+                if frame.page.dirty:
+                    self.disk.write_page(frame.page)
+            self.disk.flush()
 
     def discard_all(self) -> None:
         """Drop every frame *without* writing dirty pages back.
@@ -223,30 +256,35 @@ class BufferPool:
         Crash-recovery rollback uses this: the dirty pages belong to an
         aborted load and must not reach the disk.
         """
-        if self.pinned_count():
-            raise BufferPoolError("cannot discard the pool while pages are pinned")
-        self._frames.clear()
+        with self._lock:
+            if self.pinned_count():
+                raise BufferPoolError("cannot discard the pool while pages are pinned")
+            self._frames.clear()
 
     def clear(self) -> None:
         """Drop all unpinned frames (flushing dirty ones).
 
         Benchmarks call this between runs for a cold-cache start.
         """
-        if self.pinned_count():
-            raise BufferPoolError("cannot clear the pool while pages are pinned")
-        self.flush_all()
-        self._frames.clear()
+        with self._lock:
+            if self.pinned_count():
+                raise BufferPoolError("cannot clear the pool while pages are pinned")
+            self.flush_all()
+            self._frames.clear()
 
     def resize(self, capacity: int) -> None:
         """Change the frame budget, evicting as needed (ablation A3)."""
         if capacity < 1:
             raise BufferPoolError("buffer pool needs at least one frame")
-        self.capacity = capacity
-        while len(self._frames) > self.capacity:
-            self._evict_one()
+        with self._lock:
+            self.capacity = capacity
+            while len(self._frames) > self.capacity:
+                self._evict_one()
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     def __contains__(self, page_id: int) -> bool:
-        return page_id in self._frames
+        with self._lock:
+            return page_id in self._frames

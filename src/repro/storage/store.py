@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..cancellation import checkpoint
 from ..errors import DatabaseError, RecoveryError, StorageError, TransientIOError
 from ..xmlmodel.node import XMLNode
 from ..xmlmodel.parse import parse_document
@@ -188,6 +189,11 @@ class NodeStore:
         """
         self.directory = directory
         self._closed = False
+        #: Monotonic data-generation counter: bumped on every mutation
+        #: of the stored data (load, drop, compact, repair).  The
+        #: service layer keys its result cache on it, so any mutation
+        #: invalidates all cached results without a scan.
+        self.generation = 0
         self.fault_plan = fault_plan if fault_plan is not None else plan_from_env()
         self.recovery = RecoveryStatistics()
         self._recovery_action: str | None = None
@@ -238,8 +244,11 @@ class NodeStore:
             self._pack_records(records)
             info = self.meta.register_document(name, records[0].nid, len(records))
             self.flush()
+            self.generation += 1
             return info
-        return self._load_tree_journaled(root, name)
+        info = self._load_tree_journaled(root, name)
+        self.generation += 1
+        return info
 
     def _load_tree_journaled(self, root: XMLNode, name: str) -> DocumentInfo:
         base_pages = self.disk.n_pages
@@ -444,10 +453,12 @@ class NodeStore:
             # Only live documents: dropped ranges are garbage.
             for info in self.documents():
                 for nid in range(info.first_nid, info.last_nid + 1):
+                    checkpoint()
                     yield self.record(nid)
             return
         info = self.meta.document(doc_id)
         for nid in range(info.first_nid, info.last_nid + 1):
+            checkpoint()
             yield self.record(nid)
 
     # ------------------------------------------------------------------
@@ -460,31 +471,40 @@ class NodeStore:
         tags and nids only, contents left unpopulated — the late
         materialization mode of Sec. 5.3.  Value lookups are counted per
         populated node.
+
+        The root's page stays pinned for the duration: the traversal
+        re-enters the pool once per record, and the anchor page must not
+        be evicted out from under it by a concurrent query.  The pin is
+        released on *every* exit path, including a deadline expiring at
+        one of the per-node checkpoints.
         """
         root_record = self.record(nid)
-        nodes: dict[int, XMLNode] = {}
-        root_node: XMLNode | None = None
-        for current in range(nid, nid + root_record.subtree_node_count):
-            record = root_record if current == nid else self.record(current)
-            node = XMLNode(
-                self.meta.symbols.name(record.tag_sym),
-                content=record.content if with_content else None,
-                attributes=dict(record.attributes) or None,
-                nid=record.nid,
-            )
-            if with_content and record.content is not None:
-                self.counters.value_lookups += 1
-            self.counters.nodes_materialized += 1
-            nodes[current] = node
-            if current == nid:
-                root_node = node
-            else:
-                parent = nodes.get(record.parent)
-                if parent is None:
-                    raise StorageError(
-                        f"nid {current}: parent {record.parent} outside the subtree"
-                    )
-                parent.append_child(node)
+        root_page_id, _ = self.meta.locate(nid)
+        with self.pool.pinned(root_page_id):
+            nodes: dict[int, XMLNode] = {}
+            root_node: XMLNode | None = None
+            for current in range(nid, nid + root_record.subtree_node_count):
+                checkpoint()
+                record = root_record if current == nid else self.record(current)
+                node = XMLNode(
+                    self.meta.symbols.name(record.tag_sym),
+                    content=record.content if with_content else None,
+                    attributes=dict(record.attributes) or None,
+                    nid=record.nid,
+                )
+                if with_content and record.content is not None:
+                    self.counters.value_lookups += 1
+                self.counters.nodes_materialized += 1
+                nodes[current] = node
+                if current == nid:
+                    root_node = node
+                else:
+                    parent = nodes.get(record.parent)
+                    if parent is None:
+                        raise StorageError(
+                            f"nid {current}: parent {record.parent} outside the subtree"
+                        )
+                    parent.append_child(node)
         assert root_node is not None
         return root_node
 
@@ -506,6 +526,7 @@ class NodeStore:
         until :meth:`compact`)."""
         info = self.meta.remove_document(name)
         self.flush()
+        self.generation += 1
         return info
 
     def compact(self) -> "NodeStore":
@@ -533,6 +554,9 @@ class NodeStore:
             for name, root in live:
                 fresh.load_tree(root, name)
             self.close()
+            # The rebuilt store holds *different* nids for the same data:
+            # any cached result keyed on the old generation is stale.
+            fresh.generation = self.generation + 1
             return fresh
         directory = self.directory
         stage = os.path.join(directory, COMPACT_STAGE_DIR)
@@ -555,9 +579,11 @@ class NodeStore:
         clear_journal(directory)
         maybe_crash(self.fault_plan, "compact.journal_cleared")
         shutil.rmtree(stage, ignore_errors=True)
-        return NodeStore(
+        fresh = NodeStore(
             directory, pool_frames=self.pool.capacity, fault_plan=self.fault_plan
         )
+        fresh.generation = self.generation + 1
+        return fresh
 
     # ------------------------------------------------------------------
     # Verification and repair
@@ -659,6 +685,7 @@ class NodeStore:
             index_path = os.path.join(self.directory, "indexes.pages")
             if os.path.exists(index_path):
                 os.remove(index_path)
+        self.generation += 1
         return report
 
     def documents(self) -> list[DocumentInfo]:

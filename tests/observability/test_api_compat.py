@@ -94,6 +94,63 @@ class TestExplanation:
         assert isinstance(db.explain(QUERY_1), Explanation)
 
 
+class TestDeprecatedPositionalExplain:
+    def test_positional_verbose_warns_and_still_works(self, db):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            explanation = db.explain(QUERY_1, True)
+        assert "optimizer" in explanation
+
+    def test_positional_false_warns(self, db):
+        with pytest.warns(DeprecationWarning):
+            explanation = db.explain(QUERY_1, False)
+        assert "optimizer" not in explanation
+
+    def test_keyword_form_does_not_warn(self, db, recwarn):
+        db.explain(QUERY_1, verbose=True)
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_too_many_positionals_rejected(self, db):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                db.explain(QUERY_1, True, "extra")
+
+
+class TestPrepareExecute:
+    """The prepare/execute split underpinning the service's plan cache."""
+
+    def test_prepare_resolves_auto(self, db):
+        prepared = db.prepare(QUERY_1)
+        assert prepared.requested is PlanMode.AUTO
+        assert prepared.resolved is PlanMode.GROUPBY
+        assert prepared.plan is not None
+        assert prepared.generation == db.data_generation
+
+    def test_prepare_direct_has_no_plan(self, db):
+        prepared = db.prepare(QUERY_1, plan="direct")
+        assert prepared.resolved is PlanMode.DIRECT
+        assert prepared.plan is None
+
+    def test_execute_matches_query(self, db):
+        prepared = db.prepare(QUERY_1)
+        executed = db.execute(prepared)
+        direct = db.query(QUERY_1)
+        assert executed.plan_mode == direct.plan_mode
+        assert executed.collection.structurally_equal(direct.collection)
+
+    def test_prepared_query_is_reusable(self, db):
+        prepared = db.prepare(QUERY_1, plan="naive")
+        first = db.execute(prepared)
+        second = db.execute(prepared)
+        assert first.collection.structurally_equal(second.collection)
+
+    def test_generation_tracks_mutations(self, db, fig6_tree):
+        before = db.data_generation
+        db.load_tree(fig6_tree, "again.xml")
+        assert db.data_generation == before + 1
+        db.drop_document("again.xml")
+        assert db.data_generation == before + 2
+
+
 def _walk_dict(node):
     yield node
     for child in node["inputs"]:

@@ -1,0 +1,135 @@
+"""Deadlines and cooperative cancellation: timeouts fire, resources
+are released, maintenance paths are shielded."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cancellation import Deadline, checkpoint, current_deadline, deadline_scope
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.query.database import Database
+from repro.service import QueryService, ServiceConfig
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+def test_checkpoint_is_noop_without_scope():
+    checkpoint()  # must not raise
+    assert current_deadline() is None
+
+
+def test_expired_deadline_raises_timeout():
+    with deadline_scope(Deadline(0.0)):
+        with pytest.raises(QueryTimeoutError):
+            checkpoint()
+
+
+def test_cancelled_deadline_raises_cancelled():
+    deadline = Deadline(None)  # unbounded: pure cancellation token
+    deadline.cancel()
+    with deadline_scope(deadline):
+        with pytest.raises(QueryCancelledError):
+            checkpoint()
+
+
+def test_scopes_nest_and_restore():
+    outer = Deadline(60.0)
+    with deadline_scope(outer):
+        with deadline_scope(Deadline(None)) as inner:
+            assert current_deadline() is inner
+        assert current_deadline() is outer
+    assert current_deadline() is None
+
+
+def test_none_scope_shields_from_outer_deadline():
+    with deadline_scope(Deadline(0.0)):
+        with deadline_scope(None):
+            checkpoint()  # shielded: must not raise
+
+
+def test_remaining_counts_down():
+    deadline = Deadline(60.0)
+    assert 0 < deadline.remaining() <= 60.0
+    assert Deadline(None).remaining() is None
+
+
+# ----------------------------------------------------------------------
+# Through the Database facade
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def big_db() -> Database:
+    db = Database()
+    db.load_tree(
+        generate_dblp(DBLPConfig(n_articles=120, n_authors=30, seed=13)), "bib.xml"
+    )
+    return db
+
+
+@pytest.mark.parametrize("plan", ["auto", "direct", "naive"])
+def test_query_timeout_raises_and_releases_pins(big_db, plan):
+    with pytest.raises(QueryTimeoutError):
+        big_db.query(QUERY_1, plan=plan, timeout=0.0)
+    assert big_db.store.pool.pinned_count() == 0
+
+
+def test_generous_timeout_does_not_interfere(big_db):
+    result = big_db.query(QUERY_1, timeout=60.0)
+    assert len(result) > 0
+    assert big_db.store.pool.pinned_count() == 0
+
+
+def test_timeout_leaves_database_usable(big_db):
+    with pytest.raises(QueryTimeoutError):
+        big_db.query(QUERY_1, timeout=0.0)
+    assert len(big_db.query(QUERY_1)) > 0
+
+
+# ----------------------------------------------------------------------
+# Through the service
+# ----------------------------------------------------------------------
+def test_service_timeout_counted_and_pins_released(big_db):
+    with QueryService(big_db, ServiceConfig(workers=2)) as service:
+        with pytest.raises(QueryTimeoutError):
+            service.query(QUERY_1, timeout=0.0)
+        assert service.stats()["query_timeouts"] == 1
+        assert big_db.store.pool.pinned_count() == 0
+        # A timed-out query caches nothing.
+        assert not service.query(QUERY_1).cached
+
+
+def test_ticket_cancel_before_execution(big_db):
+    # One busy worker: the second ticket waits in the queue, so a
+    # cancel lands before it starts executing.
+    with QueryService(big_db, ServiceConfig(workers=1)) as service:
+        first = service.submit(QUERY_1)
+        second = service.submit(QUERY_1)
+        second.cancel()
+        first.result(30.0)
+        with pytest.raises(QueryCancelledError):
+            second.result(30.0)
+        assert service.stats()["queries_cancelled"] == 1
+        assert big_db.store.pool.pinned_count() == 0
+
+
+def test_queue_wait_counts_against_deadline(big_db):
+    # Deadline starts at submission: a queued query whose budget burns
+    # away while it waits must time out, not run.
+    with QueryService(big_db, ServiceConfig(workers=1)) as service:
+        blocker = service.submit(QUERY_1)
+        starved = service.submit(QUERY_1, timeout=0.000001)
+        blocker.result(30.0)
+        with pytest.raises(QueryTimeoutError):
+            starved.result(30.0)
+
+
+def test_session_default_timeout_applies(big_db):
+    with QueryService(big_db, ServiceConfig(workers=1)) as service:
+        session = service.open_session(name="t", default_timeout=0.0)
+        with pytest.raises(QueryTimeoutError):
+            service.query(QUERY_1, session=session)
+        assert session.timeouts == 1

@@ -1,0 +1,55 @@
+"""Normalized AST fingerprints: what must unify, what must not."""
+
+from __future__ import annotations
+
+from repro.datagen.sample import QUERY_1, QUERY_2
+from repro.query.parser import parse_query
+from repro.service import FINGERPRINT_HEX_CHARS, canonicalize, fingerprint_text
+
+
+def test_fingerprint_shape():
+    fp = fingerprint_text(QUERY_1)
+    assert len(fp) == FINGERPRINT_HEX_CHARS
+    int(fp, 16)  # valid hex
+
+
+def test_whitespace_and_layout_do_not_matter():
+    squeezed = " ".join(QUERY_1.split())
+    assert fingerprint_text(QUERY_1) == fingerprint_text(squeezed)
+
+
+def test_bound_variable_names_do_not_matter():
+    renamed = QUERY_1.replace("$a", "$author").replace("$b", "$art")
+    assert fingerprint_text(QUERY_1) == fingerprint_text(renamed)
+
+
+def test_different_query_shapes_differ():
+    assert fingerprint_text(QUERY_1) != fingerprint_text(QUERY_2)
+
+
+def test_literals_matter():
+    other = QUERY_1.replace('"bib.xml"', '"other.xml"')
+    assert fingerprint_text(QUERY_1) != fingerprint_text(other)
+
+
+def test_tags_matter():
+    other = QUERY_1.replace("authorpubs", "pubsbyauthor")
+    assert fingerprint_text(QUERY_1) != fingerprint_text(other)
+
+
+def test_canonical_form_alpha_renames_in_binding_order():
+    canon = canonicalize(parse_query(QUERY_1))
+    text = repr(canon)
+    assert "v0" in text and "v1" in text
+    assert "$a" not in text and "$b" not in text
+
+
+def test_nested_scopes_restore_outer_bindings():
+    # $x in the outer scope is v0; the inner FLWR rebinds $y as v1 and
+    # the outer binding stays visible afterwards.
+    outer = """
+    FOR $x IN document("bib.xml")//article
+    RETURN <r>{FOR $y IN $x/author RETURN $y}{$x/title}</r>
+    """
+    renamed = outer.replace("$x", "$art").replace("$y", "$person")
+    assert fingerprint_text(outer) == fingerprint_text(renamed)

@@ -1,0 +1,131 @@
+"""End-to-end tests of the line-oriented TCP protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1
+from repro.query.database import Database
+from repro.service import QueryService, ServiceConfig
+from repro.service.server import serve
+
+
+@pytest.fixture()
+def running_server():
+    db = Database()
+    db.load_tree(
+        generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), "bib.xml"
+    )
+    service = QueryService(db, ServiceConfig(workers=2))
+    server = serve(service, port=0)  # ephemeral port
+    server.serve_background()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        db.close()
+
+
+class Client:
+    """A minimal line-protocol client over a raw socket."""
+
+    def __init__(self, endpoint):
+        self.sock = socket.create_connection(endpoint, timeout=30.0)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, line: str) -> str:
+        self.file.write(line + "\n")
+        self.file.flush()
+        return self.file.readline().strip()
+
+    def ok(self, line: str) -> dict:
+        reply = self.send(line)
+        assert reply.startswith("OK "), reply
+        return json.loads(reply[3:])
+
+    def err(self, line: str) -> dict:
+        reply = self.send(line)
+        assert reply.startswith("ERR "), reply
+        return json.loads(reply[4:])
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+@pytest.fixture()
+def client(running_server):
+    c = Client(running_server.endpoint)
+    yield c
+    c.close()
+
+
+def test_ping(client):
+    assert client.ok("PING") == {"pong": True}
+
+
+def test_query_round_trip(client):
+    payload = client.ok("QUERY " + json.dumps({"q": QUERY_1}))
+    assert payload["rows"] > 0
+    assert payload["plan_mode"] == "groupby"
+    assert payload["cached"] is False
+    assert "<authorpubs>" in payload["xml"]
+    warm = client.ok("QUERY " + json.dumps({"q": QUERY_1}))
+    assert warm["cached"] is True
+    assert warm["fingerprint"] == payload["fingerprint"]
+
+
+def test_query_with_plan_and_timeout(client):
+    payload = client.ok("QUERY " + json.dumps({"q": QUERY_1, "plan": "direct"}))
+    assert payload["plan_mode"] == "direct"
+    error = client.err("QUERY " + json.dumps({"q": QUERY_1, "timeout": 0.0}))
+    assert error["kind"] == "QueryTimeoutError"
+
+
+def test_explain(client):
+    payload = client.ok("EXPLAIN " + json.dumps({"q": QUERY_1}))
+    assert "GROUPBY" in payload["text"] or "groupby" in payload["text"]
+    assert "plans" in payload
+
+
+def test_stats_and_session(client):
+    client.ok("QUERY " + json.dumps({"q": QUERY_1}))
+    stats = client.ok("STATS")
+    assert stats["queries_completed"] >= 1
+    assert "result_cache_hits" in stats
+    session = client.ok("SESSION")
+    assert session["queries"] == 1
+    assert session["name"].startswith("tcp:")
+
+
+def test_errors_keep_connection_alive(client):
+    assert client.err("BOGUS")["kind"] == "ProtocolError"
+    assert client.err("QUERY not-json")["kind"] == "ProtocolError"
+    assert client.err("QUERY {}")["kind"] == "ProtocolError"
+    assert client.err("QUERY []")["kind"] == "ProtocolError"
+    assert client.err("")["kind"] == "ProtocolError"
+    bad_query = client.err("QUERY " + json.dumps({"q": "THIS IS NOT XQUERY ("}))
+    assert "message" in bad_query
+    assert client.ok("PING") == {"pong": True}  # still usable
+
+
+def test_quit_closes_cleanly(client):
+    assert client.send("QUIT") == "BYE"
+    assert client.file.readline() == ""  # server closed the stream
+
+
+def test_each_connection_gets_own_session(running_server):
+    a, b = Client(running_server.endpoint), Client(running_server.endpoint)
+    try:
+        a.ok("QUERY " + json.dumps({"q": QUERY_1}))
+        assert a.ok("SESSION")["queries"] == 1
+        assert b.ok("SESSION")["queries"] == 0
+        assert a.ok("SESSION")["session_id"] != b.ok("SESSION")["session_id"]
+    finally:
+        a.close()
+        b.close()

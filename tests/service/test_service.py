@@ -1,0 +1,227 @@
+"""The query service proper: admission control, sessions, statistics,
+and the concurrency stress test from the acceptance criteria."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1, QUERY_2
+from repro.errors import AdmissionError, ServiceError, SessionError
+from repro.query.database import Database
+from repro.service import QueryService, ServiceConfig
+from repro.xmlmodel.diff import assert_collections_equal
+
+
+def make_db(articles: int = 60, authors: int = 20, seed: int = 5) -> Database:
+    db = Database()
+    db.load_tree(
+        generate_dblp(DBLPConfig(n_articles=articles, n_authors=authors, seed=seed)),
+        "bib.xml",
+    )
+    return db
+
+
+# ----------------------------------------------------------------------
+# Configuration and lifecycle
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ServiceError):
+        ServiceConfig(workers=0)
+    # queue.Queue treats 0 as unbounded, so the config must refuse it.
+    with pytest.raises(ServiceError):
+        ServiceConfig(queue_depth=0)
+
+
+def test_close_rejects_new_work_and_drains():
+    service = QueryService(make_db(20, 8), ServiceConfig(workers=2))
+    ticket = service.submit(QUERY_1)
+    service.close()
+    assert ticket.result(30.0).result is not None  # queued work drained
+    with pytest.raises(ServiceError):
+        service.submit(QUERY_1)
+    service.close()  # idempotent
+
+
+def test_context_manager_closes():
+    with QueryService(make_db(20, 8), ServiceConfig(workers=1)) as service:
+        assert len(service.query(QUERY_1)) > 0
+    with pytest.raises(ServiceError):
+        service.submit(QUERY_1)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+def test_queue_full_raises_admission_error():
+    db = make_db(20, 8)
+    with QueryService(db, ServiceConfig(workers=1, queue_depth=1)) as service:
+        with service._gate.write_locked():  # park the worker at the read gate
+            first = service.submit(QUERY_1)
+            deadline = time.monotonic() + 10.0
+            while service._queue.qsize() > 0:  # wait until the worker holds it
+                assert time.monotonic() < deadline, "worker never dequeued"
+                time.sleep(0.001)
+            second = service.submit(QUERY_1)
+            with pytest.raises(AdmissionError):
+                service.submit(QUERY_1)
+        assert len(first.result(30.0)) > 0
+        assert len(second.result(30.0)) > 0
+        stats = service.stats()
+        assert stats["admission_rejections"] == 1
+        assert stats["queries_submitted"] == 3
+        assert stats["queries_completed"] == 2
+
+
+def test_rejection_does_no_partial_work():
+    db = make_db(20, 8)
+    with QueryService(db, ServiceConfig(workers=1, queue_depth=1)) as service:
+        with service._gate.write_locked():
+            first = service.submit(QUERY_1)  # goes straight to the worker
+            deadline = time.monotonic() + 10.0
+            while service._queue.qsize() > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            second = service.submit(QUERY_1)  # fills the queue
+            with pytest.raises(AdmissionError):
+                service.submit(QUERY_2)
+        first.result(30.0)
+        second.result(30.0)
+        # The rejected QUERY_2 never touched the caches: the two
+        # admitted runs of QUERY_1 account for all cache traffic.
+        stats = service.stats()
+        assert stats["result_cache_misses"] == 1
+        assert stats["result_cache_hits"] == 1
+        assert stats["plan_cache_misses"] == 1
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+def test_session_accounting_and_close():
+    with QueryService(make_db(20, 8), ServiceConfig(workers=1)) as service:
+        session = service.open_session(name="alice")
+        service.query(QUERY_1, session=session)
+        service.query(QUERY_1, session=session)
+        assert session.queries == 2
+        assert session.cache_hits == 1
+        assert session.snapshot()["name"] == "alice"
+        assert len(service.sessions) == 1
+        service.close_session(session.session_id)
+        with pytest.raises(SessionError):
+            service.sessions.get(session.session_id)
+
+
+def test_session_default_plan_applies():
+    with QueryService(make_db(20, 8), ServiceConfig(workers=1)) as service:
+        session = service.open_session(default_plan="direct")
+        outcome = service.query(QUERY_1, session=session)
+        assert outcome.plan_mode == "direct"
+        # An explicit plan still wins over the session default.
+        assert service.query(QUERY_1, plan="groupby", session=session).plan_mode == "groupby"
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+def test_profile_reports_cache_and_queue_counters():
+    with QueryService(make_db(30, 10), ServiceConfig(workers=1)) as service:
+        service.query(QUERY_1)  # populate the plan cache
+        outcome = service.query(QUERY_1, analyze=True)
+        assert outcome.profile is not None
+        totals = outcome.profile.totals
+        assert totals.get("plan_cache_hits") == 1
+        assert "queue_wait_us" in totals
+        assert "result_cache_misses" in totals
+        assert service.cache_hit_rate() == 0.0  # analyze runs bypass the result cache
+
+
+def test_stats_snapshot_arithmetic():
+    with QueryService(make_db(20, 8), ServiceConfig(workers=1)) as service:
+        before = service.stats()
+        service.query(QUERY_1)
+        service.query(QUERY_1)
+        delta = service.stats() - before
+        assert delta["queries_completed"] == 2
+        assert delta["result_cache_hits"] == 1
+        assert delta["result_cache_misses"] == 1
+        assert service.cache_hit_rate() == 0.5
+
+
+# ----------------------------------------------------------------------
+# The acceptance stress test: 8 concurrent readers + 1 loader
+# ----------------------------------------------------------------------
+def test_stress_readers_with_concurrent_loader():
+    workers = int(os.environ.get("TIMBER_STRESS_WORKERS", "8"))
+    rounds = int(os.environ.get("TIMBER_STRESS_ROUNDS", "6"))
+    db = make_db(50, 15)
+    oracle = {
+        QUERY_1: db.query(QUERY_1).collection,
+        QUERY_2: db.query(QUERY_2).collection,
+    }
+    errors: list[BaseException] = []
+    with QueryService(db, ServiceConfig(workers=workers, queue_depth=128)) as service:
+
+        def reader(seed: int) -> None:
+            try:
+                for i in range(rounds):
+                    query = QUERY_1 if (seed + i) % 2 else QUERY_2
+                    plan = ("auto", "direct", "naive")[(seed + i) % 3]
+                    outcome = service.query(query, plan=plan, wait=60.0)
+                    # Results must match the single-threaded oracle
+                    # whenever the extra document is not loaded; with it
+                    # loaded the row count can only grow.
+                    if outcome.generation == 1:
+                        assert_collections_equal(outcome.collection, oracle[query])
+                    else:
+                        assert len(outcome) >= len(oracle[query])
+            except BaseException as error:  # noqa: BLE001 - collected for the main thread
+                errors.append(error)
+
+        def loader() -> None:
+            try:
+                for i in range(3):
+                    extra = generate_dblp(
+                        DBLPConfig(n_articles=8, n_authors=4, seed=100 + i)
+                    )
+                    service.load_tree(extra, f"extra-{i}.xml")
+                    time.sleep(0.01)
+                    service.drop_document(f"extra-{i}.xml")
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader, args=(n,)) for n in range(8)]
+        threads.append(threading.Thread(target=loader))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+            assert not thread.is_alive(), "stress thread hung"
+
+        assert errors == []
+        stats = service.stats()
+        assert stats["queries_completed"] == 8 * rounds
+        assert stats["queue_waits"] == 8 * rounds
+        assert "queue_wait_us_total" in stats
+
+    # Post-run invariants: clean store, no leaked pins.
+    report = db.store.verify()
+    assert report.ok, report.render()
+    assert db.store.pool.pinned_count() == 0
+    # The loader's six mutations all bumped the generation.
+    assert db.store.generation == 7
+
+
+def test_concurrent_identical_queries_agree():
+    db = make_db(40, 12)
+    expected = db.query(QUERY_1).collection
+    with QueryService(db, ServiceConfig(workers=8, queue_depth=64)) as service:
+        tickets = [service.submit(QUERY_1) for _ in range(16)]
+        outcomes = [ticket.result(60.0) for ticket in tickets]
+    for outcome in outcomes:
+        assert_collections_equal(outcome.collection, expected)
+    assert sum(1 for o in outcomes if o.cached) >= 1  # repeats hit the cache

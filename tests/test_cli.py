@@ -62,6 +62,58 @@ class TestQuery:
         assert "article=" in out
 
 
+class TestQueryTimeout:
+    def test_expired_timeout_exits_2(self, bib_file, capsys):
+        assert main(["query", bib_file, "--timeout", "0"]) == 2
+        assert "timed out" in capsys.readouterr().err
+
+    def test_generous_timeout_succeeds(self, bib_file, capsys):
+        assert main(["query", bib_file, "--timeout", "60"]) == 0
+        assert "authorpubs" in capsys.readouterr().out
+
+    def test_timeout_with_plan_and_analyze(self, bib_file, capsys):
+        assert main(["query", bib_file, "--plan", "naive", "--analyze", "--timeout", "0"]) == 2
+        assert "timed out" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_end_to_end(self, bib_file):
+        import json
+        import socket
+
+        from repro.datagen.sample import QUERY_1
+        from repro.query.database import Database
+        from repro.service import QueryService, ServiceConfig
+        from repro.service.server import serve
+
+        # Exercise the same wiring `timber-py serve` performs, against
+        # an ephemeral port (serve_forever itself would block main()).
+        db = Database()
+        db.load_file(bib_file, name="bib.xml")
+        service = QueryService(db, ServiceConfig(workers=2))
+        server = serve(service, port=0)
+        server.serve_background()
+        try:
+            with socket.create_connection(server.endpoint, timeout=30.0) as sock:
+                handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+                handle.write("QUERY " + json.dumps({"q": QUERY_1}) + "\n")
+                handle.flush()
+                reply = handle.readline().strip()
+            assert reply.startswith("OK ")
+            assert json.loads(reply[3:])["rows"] > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            db.close()
+
+    def test_serve_flags_parse(self):
+        # Argument wiring only: bad flag values must be rejected by
+        # argparse before any server starts.
+        with pytest.raises(SystemExit):
+            main(["serve", "nope.xml", "--port", "not-a-port"])
+
+
 class TestExperiments:
     def test_e1(self, capsys):
         assert main(["experiment", "e1", "--articles", "40", "--authors", "15"]) == 0
