@@ -1,0 +1,155 @@
+"""E6 — throughput under network chaos, and the cost of resilience.
+
+Beyond the paper: the network resilience layer (`repro.service.server`
+hardening + `repro.service.client` + `repro.service.chaos`).  Two
+questions:
+
+* **clean-path overhead** — queries/sec through the full TCP stack
+  with a transparent :class:`ChaosProxy` in the path, versus a direct
+  connection.  The proxy (and the client's retry/breaker machinery)
+  should cost little when nothing fails;
+* **throughput under a storm** — the same workload through a seeded
+  chaotic plan.  Recorded, not asserted: chaos qps depends on the
+  fault mix.  What *is* asserted is the resilience contract — every
+  failure is a typed :class:`~repro.errors.ClientError`, some requests
+  still succeed, and after ``heal()`` the service answers cleanly with
+  the breaker closed.
+
+All fault/retry/breaker counts land in ``extra_info`` so a regression
+in retry behavior is visible across runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1, QUERY_2
+from repro.errors import ClientError
+from repro.query.database import Database
+from repro.service import (
+    ChaosProxy,
+    NetFaultPlan,
+    QueryService,
+    ServiceConfig,
+)
+from repro.service.client import BreakerConfig, RetryPolicy, ServiceClient
+from repro.service.server import ServerConfig, serve
+
+import pytest
+
+STORM = NetFaultPlan(
+    seed=11,
+    refuse_rate=0.05,
+    reset_rate=0.03,
+    delay_rate=0.05,
+    delay_seconds=0.002,
+    partial_write_rate=0.05,
+    truncate_rate=0.02,
+)
+
+BATCH = 40  # requests per measured run
+
+
+@pytest.fixture(scope="module")
+def service_stack():
+    """A small dedicated db + service + server (module-scoped: the
+    resilience benchmarks measure the network edge, not build time)."""
+    db = Database()
+    db.load_tree(
+        generate_dblp(DBLPConfig(n_articles=40, n_authors=12, seed=5)), "bib.xml"
+    )
+    service = QueryService(db, ServiceConfig(workers=4))
+    server = serve(service, port=0, config=ServerConfig(poll_interval=0.02))
+    server.serve_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+    db.close()
+
+
+def _client(endpoint, read_timeout: float = 5.0) -> ServiceClient:
+    return ServiceClient(
+        endpoint[0],
+        endpoint[1],
+        retry=RetryPolicy(max_attempts=6, base_delay=0.01, max_delay=0.1, jitter_seed=7),
+        breaker=BreakerConfig(failure_threshold=8, reset_timeout=0.1),
+        read_timeout=read_timeout,
+    )
+
+
+def _run_batch(client: ServiceClient) -> tuple[int, int, float]:
+    """(successes, typed_failures, elapsed).  Anything untyped raises."""
+    successes = failures = 0
+    started = time.perf_counter()
+    for index in range(BATCH):
+        query = QUERY_1 if index % 2 == 0 else QUERY_2
+        try:
+            payload = client.query(query)
+        except ClientError:
+            failures += 1
+        else:
+            assert payload["rows"] > 0
+            successes += 1
+    return successes, failures, time.perf_counter() - started
+
+
+def test_e6_clean_path_overhead(benchmark, service_stack):
+    """Direct vs transparent-proxy throughput: the resilience stack's
+    no-fault cost."""
+    direct = _client(service_stack.endpoint)
+    successes, failures, direct_elapsed = _run_batch(direct)
+    assert failures == 0
+    assert successes == BATCH
+    direct.close()
+
+    with ChaosProxy(service_stack.endpoint).start() as proxy:
+        proxied = _client(proxy.endpoint)
+
+        def measured():
+            ok, bad, _ = _run_batch(proxied)
+            assert bad == 0 and ok == BATCH
+
+        benchmark.pedantic(measured, rounds=3, iterations=1, warmup_rounds=1)
+        assert proxy.fault_counters.total_faults() == 0  # transparent
+        proxied.close()
+    benchmark.extra_info["direct_qps"] = round(BATCH / direct_elapsed, 2)
+    benchmark.extra_info["batch"] = BATCH
+
+
+def test_e6_throughput_under_storm(benchmark, service_stack):
+    """The mixed workload through the seeded storm, then heal and
+    verify the post-storm contract."""
+    with ChaosProxy(service_stack.endpoint, STORM).start() as proxy:
+        client = _client(proxy.endpoint, read_timeout=2.0)
+        totals = {"successes": 0, "failures": 0}
+
+        def measured():
+            ok, bad, _ = _run_batch(client)
+            totals["successes"] += ok
+            totals["failures"] += bad
+
+        benchmark.pedantic(measured, rounds=3, iterations=1, warmup_rounds=1)
+        assert totals["successes"] > 0, "storm drowned every request"
+
+        # Post-storm contract: heal, and the path is clean again.
+        proxy.heal()
+        survivor = _client(proxy.endpoint)
+        assert survivor.ping() == {"pong": True}
+        assert survivor.breaker.state == "closed"
+        survivor.close()
+
+        snap = client.counter_snapshot()
+        benchmark.extra_info["storm_plan"] = STORM.describe()
+        benchmark.extra_info["successes"] = totals["successes"]
+        benchmark.extra_info["typed_failures"] = totals["failures"]
+        benchmark.extra_info["faults_injected"] = dict(
+            proxy.fault_counters.snapshot()
+        )
+        benchmark.extra_info["client_retries"] = snap["client_retries"]
+        benchmark.extra_info["client_reconnects"] = snap["client_reconnects"]
+        benchmark.extra_info["breaker_opens"] = snap["client_breaker_opens"]
+        client.close()
+    server_snap = service_stack.stats()
+    assert server_snap["server_handler_crashes"] == 0

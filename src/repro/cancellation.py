@@ -37,15 +37,23 @@ class Deadline:
     the running query observes it at its next checkpoint.
     """
 
-    __slots__ = ("seconds", "expires_at", "_cancelled")
+    __slots__ = ("seconds", "expires_at", "_cancelled", "_cancel_reason")
 
     def __init__(self, seconds: float | None = None):
         self.seconds = seconds
         self.expires_at = None if seconds is None else time.monotonic() + seconds
         self._cancelled = False
+        self._cancel_reason: str | None = None
 
-    def cancel(self) -> None:
-        """Request cancellation; takes effect at the next checkpoint."""
+    def cancel(self, reason: str | None = None) -> None:
+        """Request cancellation; takes effect at the next checkpoint.
+
+        ``reason`` (e.g. "server drain grace expired", "client
+        disconnected") is carried into the
+        :class:`~repro.errors.QueryCancelledError` message so operators
+        can tell *why* a query died.
+        """
+        self._cancel_reason = reason
         self._cancelled = True
 
     @property
@@ -64,7 +72,10 @@ class Deadline:
     def check(self) -> None:
         """Raise if cancelled or past the deadline; otherwise return."""
         if self._cancelled:
-            raise QueryCancelledError("query was cancelled")
+            message = "query was cancelled"
+            if self._cancel_reason:
+                message += f" ({self._cancel_reason})"
+            raise QueryCancelledError(message)
         if self.expires_at is not None and time.monotonic() >= self.expires_at:
             raise QueryTimeoutError(
                 f"query exceeded its deadline of {self.seconds:.3f}s"

@@ -5,11 +5,16 @@ Subcommands::
     timber-py generate --articles 800 --authors 160 out.xml
     timber-py query db.xml --plan groupby --query-file q.xq --timeout 5
     timber-py explain db.xml --query-file q.xq
-    timber-py serve db.xml --port 8491 --workers 8
+    timber-py serve db.xml --port 8491 --workers 8 --drain-seconds 5
     timber-py experiment e1|e2|e3|a1|a2|a3 [--articles N --authors M]
 
 Exit codes: 0 success, 1 failure (e.g. verify found damage), 2 query
-deadline exceeded (``--timeout``).
+deadline exceeded (``--timeout``), 3 a ``serve`` drain that had to
+force-close in-flight work when its grace budget expired.
+
+``serve`` runs in the foreground until SIGINT/SIGTERM, then drains
+gracefully: it stops accepting, lets in-flight requests finish within
+``--drain-seconds``, and closes lingering connections with ``BYE``.
 """
 
 from __future__ import annotations
@@ -124,6 +129,27 @@ def main(argv: list[str] | None = None) -> int:
         default=256,
         help="result cache entries (0 disables)",
     )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="disconnect a client that sends no complete request for this long",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="connection cap; above it new connections are shed with ERR",
+    )
+    serve.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="grace budget for in-flight requests on SIGINT/SIGTERM "
+        "(exit 3 if work had to be force-closed)",
+    )
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument(
@@ -204,8 +230,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "serve":
+        import signal
+        import threading
+
         from .service import QueryService, ServiceConfig
-        from .service.server import serve as bind_server
+        from .service.server import ServerConfig, serve as bind_server
 
         db = Database()
         db.load_file(args.database, name="bib.xml")
@@ -219,23 +248,48 @@ def main(argv: list[str] | None = None) -> int:
                 result_cache_entries=args.result_cache,
             ),
         )
-        server = bind_server(service, host=args.host, port=args.port)
+        server = bind_server(
+            service,
+            host=args.host,
+            port=args.port,
+            config=ServerConfig(
+                idle_timeout=args.idle_timeout,
+                max_connections=args.max_connections,
+                drain_grace=args.drain_seconds,
+            ),
+        )
         host, port = server.endpoint
         print(
             f"timber-py service on {host}:{port} "
-            f"({args.workers} workers, queue depth {args.queue_depth})",
+            f"({args.workers} workers, queue depth {args.queue_depth}, "
+            f"max {args.max_connections} connections)",
             file=sys.stderr,
         )
+        # Foreground mode: SIGINT/SIGTERM request a graceful drain
+        # rather than killing mid-request.  The serve loop runs on a
+        # helper thread so the main thread can wait for the signal and
+        # then drive the drain.
+        stop = threading.Event()
+
+        def _request_drain(signum, frame):  # pragma: no cover - signal path
+            stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                signal.signal(signum, _request_drain)
+            except ValueError:
+                pass  # not the main thread (embedded use); rely on stop.set()
+        server.serve_background()
         try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
+            stop.wait()
+            print("timber-py service: draining...", file=sys.stderr)
+            report = server.drain(args.drain_seconds)
+            print(f"timber-py service: {report.render()}", file=sys.stderr)
         finally:
-            server.shutdown()
             server.server_close()
             service.close()
             db.close()
-        return 0
+        return 0 if report.clean else 3
 
     from .bench import report_chart
 

@@ -128,3 +128,56 @@ class SessionError(ServiceError):
 
 class ProtocolError(ServiceError):
     """Malformed request on the line-oriented service protocol."""
+
+
+class ServerOverloadedError(ServiceError):
+    """The server is at its connection cap and shed this connection
+    with an immediate ``ERR`` instead of queueing it.  Retryable."""
+
+
+class ServerDrainingError(ServiceError):
+    """The server is draining for shutdown and no longer accepts new
+    connections or requests.  Retryable against a replacement server."""
+
+
+class ClientError(ServiceError):
+    """Base class for errors raised by the resilient service client.
+
+    Every failure :class:`~repro.service.client.ServiceClient` surfaces
+    is a subclass — raw socket exceptions never escape the client.
+    """
+
+
+class ConnectionFailedError(ClientError):
+    """A connection attempt (or an established connection) failed at
+    the socket level.  The original ``OSError`` is chained as the
+    cause."""
+
+
+class RetryBudgetExceededError(ClientError):
+    """The client exhausted its retry budget without a successful
+    round trip; the last underlying failure is chained as the cause."""
+
+
+class CircuitOpenError(ClientError):
+    """The client's circuit breaker is open: recent calls failed
+    consecutively, so the client fails fast instead of hammering a
+    struggling server.  The breaker re-probes after its reset
+    timeout."""
+
+
+class AmbiguousResultError(ClientError):
+    """A non-idempotent command failed *after* the request was written:
+    the server may or may not have executed it, so the client refuses
+    to replay and surfaces the ambiguity instead."""
+
+
+class RemoteError(ClientError):
+    """The server answered ``ERR``: the round trip worked but the
+    request itself failed.  Carries the server-side exception ``kind``
+    and message."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.remote_message = message

@@ -13,11 +13,36 @@ Public surface:
   AST fingerprint the caches key on;
 * :class:`LRUCache` — the bounded cache both tiers are built from;
 * :class:`ReadWriteLock` — the load/query gate;
-* :func:`serve` (in :mod:`repro.service.server`) — the line-oriented
-  TCP front end behind ``timber-py serve``.
+* :func:`serve` / :class:`ServerConfig` (in
+  :mod:`repro.service.server`) — the hardened line-oriented TCP front
+  end behind ``timber-py serve``: idle/write timeouts, connection-cap
+  shedding, ``HEALTH``, graceful drain;
+* :class:`ServiceClient` / :class:`RetryPolicy` /
+  :class:`CircuitBreaker` — the resilient client library: reconnects,
+  exponential backoff with full jitter, idempotent-only replay, and a
+  closed/open/half-open circuit breaker;
+* :class:`ChaosProxy` / :class:`NetFaultPlan` — deterministic
+  network-fault injection between client and server (the
+  ``repro.storage.faults`` discipline, applied to sockets).
 """
 
 from .cache import CacheStatistics, LRUCache
+from .chaos import (
+    NET_FAULT_PLAN_ENV,
+    NO_NET_FAULTS,
+    ChaosProxy,
+    NetFaultPlan,
+    NetFaultStatistics,
+    net_plan_from_env,
+)
+from .client import (
+    IDEMPOTENT_COMMANDS,
+    BreakerConfig,
+    CircuitBreaker,
+    ClientStatistics,
+    RetryPolicy,
+    ServiceClient,
+)
 from .fingerprint import (
     FINGERPRINT_HEX_CHARS,
     canonicalize,
@@ -25,6 +50,7 @@ from .fingerprint import (
     fingerprint_text,
 )
 from .rwlock import ReadWriteLock
+from .server import DrainReport, ServerConfig, ServiceServer, serve
 from .service import (
     QueryService,
     QueryTicket,
@@ -37,11 +63,27 @@ from .session import Session, SessionRegistry
 __all__ = [
     "CacheStatistics",
     "LRUCache",
+    "NET_FAULT_PLAN_ENV",
+    "NO_NET_FAULTS",
+    "ChaosProxy",
+    "NetFaultPlan",
+    "NetFaultStatistics",
+    "net_plan_from_env",
+    "IDEMPOTENT_COMMANDS",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ClientStatistics",
+    "RetryPolicy",
+    "ServiceClient",
     "FINGERPRINT_HEX_CHARS",
     "canonicalize",
     "fingerprint_expr",
     "fingerprint_text",
     "ReadWriteLock",
+    "DrainReport",
+    "ServerConfig",
+    "ServiceServer",
+    "serve",
     "QueryService",
     "QueryTicket",
     "ServiceConfig",

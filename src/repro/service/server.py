@@ -1,4 +1,4 @@
-"""A line-oriented TCP front end for the query service.
+"""A hardened, line-oriented TCP front end for the query service.
 
 One request per line, one response per line — trivially scriptable
 with ``nc`` and trivially testable with a raw socket.  Each connection
@@ -8,6 +8,7 @@ documented in ``docs/service.md``.
 Requests (UTF-8, newline-terminated)::
 
     PING
+    HEALTH
     QUERY {"q": "FOR $b IN ...", "plan": "groupby", "timeout": 2.5}
     EXPLAIN {"q": "...", "verbose": true}
     STATS
@@ -20,25 +21,139 @@ Responses::
     ERR {"kind": "QueryTimeoutError", "message": "..."}
     BYE
 
-Errors never tear down the connection (except protocol-level garbage
-after which the client is out of sync anyway — still answered with
-``ERR`` and the connection stays open).  The server is a
-``ThreadingTCPServer``: each connection runs in its own thread and
-submits through the shared service, so admission control and the
-worker pool govern total concurrency, not the socket count.
+Application errors never tear down the connection; *stream* errors do.
+The two cases that close after an ``ERR``:
+
+* an **oversized request line** — the rest of the line is still in
+  flight, so the next ``readline`` would parse garbage; the only safe
+  answer is ``ERR`` then close;
+* an **idle timeout** — a connection that sends no complete request
+  within ``idle_timeout`` seconds is disconnected (the same clock
+  bounds a slow-loris client trickling one byte at a time, because it
+  resets per completed *line*, not per byte).
+
+The server mirrors the deterministic fault discipline of
+``repro.storage.faults`` at the network edge:
+
+* **write deadlines** — a response send that blocks longer than
+  ``write_timeout`` aborts the connection instead of pinning the
+  handler thread on a dead or stalled client;
+* a **connection cap** — above ``max_connections`` a new connection is
+  answered with one ``ERR ServerOverloadedError`` line and closed
+  (shedding), so overload degrades crisply instead of oversubscribing;
+* **graceful drain** — :meth:`ServiceServer.drain` stops accepting,
+  says ``BYE`` to idle connections, lets in-flight requests finish
+  within a grace budget, then cancels and force-closes what remains;
+* a **HEALTH command** reporting readiness/liveness: drain state,
+  queue depth, connection count, and whether the store is degraded
+  (quarantined pages).
+
+The server is a ``ThreadingTCPServer``: each connection runs in its
+own thread and submits through the shared service, so admission
+control and the worker pool govern total concurrency, not the socket
+count.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import socketserver
+import sys
 import threading
+import time
+from dataclasses import dataclass
 
-from ..errors import ProtocolError, ReproError
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    ServiceError,
+)
+from ..observability import CounterSnapshot
 from .service import QueryService, ServiceResult
 
 #: Refuse absurd request lines before json-decoding them (1 MiB).
 MAX_LINE_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Resilience knobs for the TCP front end.
+
+    ``idle_timeout`` is per *completed request line*: a client may
+    think between requests for that long, but may not trickle a single
+    request forever (slow-loris).  ``write_timeout`` bounds each
+    response send.  ``poll_interval`` is how quickly blocked reads
+    notice a drain — purely an internal responsiveness knob.
+    """
+
+    idle_timeout: float = 30.0
+    write_timeout: float = 10.0
+    max_connections: int = 64
+    drain_grace: float = 5.0
+    poll_interval: float = 0.1
+
+    def __post_init__(self):
+        if self.idle_timeout <= 0 or self.write_timeout <= 0:
+            raise ServiceError("server timeouts must be positive")
+        if self.max_connections < 1:
+            raise ServiceError("server needs at least one connection slot")
+        if self.poll_interval <= 0:
+            raise ServiceError("poll interval must be positive")
+
+
+class ServerStatistics:
+    """Forward-only counters for the network edge (same discipline as
+    the service counters: snapshot and subtract for deltas)."""
+
+    __slots__ = (
+        "connections_accepted",
+        "connections_shed",
+        "connections_aborted",
+        "idle_disconnects",
+        "oversized_requests",
+        "write_timeouts",
+        "requests_received",
+        "drains_started",
+        "drain_forced_closes",
+        "handler_crashes",
+        "_lock",
+    )
+
+    def __init__(self):
+        for name in self.__slots__[:-1]:
+            setattr(self, name, 0)
+        self._lock = threading.Lock()
+
+    def add(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                f"server_{name}": getattr(self, name)
+                for name in self.__slots__[:-1]
+            }
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What a graceful drain accomplished."""
+
+    clean: bool  # every connection finished within the grace budget
+    forced_closes: int  # connections cancelled and closed at the budget
+    grace_seconds: float
+    elapsed_seconds: float
+
+    def render(self) -> str:
+        verdict = "clean" if self.clean else f"forced {self.forced_closes}"
+        return (
+            f"drain: {verdict} in {self.elapsed_seconds:.2f}s "
+            f"(grace {self.grace_seconds:g}s)"
+        )
 
 
 def encode_result(outcome: ServiceResult) -> dict:
@@ -56,29 +171,165 @@ def encode_result(outcome: ServiceResult) -> dict:
     }
 
 
-class _Handler(socketserver.StreamRequestHandler):
+class _ClientGone(Exception):
+    """Internal: the client vanished (or stalled) mid-response."""
+
+
+class _OversizedLine(Exception):
+    """Internal: a request line exceeded :data:`MAX_LINE_BYTES`."""
+
+
+#: Distinct from ``None`` (no complete line yet) and ``b""`` (an empty
+#: request line, which is a protocol error but keeps the connection).
+_EOF = object()
+
+
+class _LineReader:
+    """Incremental newline-framed reads over a raw socket.
+
+    ``poll`` blocks at most ``interval`` seconds and returns one of:
+    a complete line (without the newline), ``None`` (nothing complete
+    yet — the caller re-checks idle/drain state and polls again), or
+    :data:`_EOF` (connection over).  Buffering is explicit, so a
+    timeout mid-line never corrupts the stream the way a buffered
+    ``makefile`` reader would.
+    """
+
+    __slots__ = ("sock", "max_line", "buffer")
+
+    def __init__(self, sock: socket.socket, max_line: int):
+        self.sock = sock
+        self.max_line = max_line
+        self.buffer = bytearray()
+
+    def poll(self, interval: float):
+        line = self._pop_line()
+        if line is not None:
+            return line
+        self.sock.settimeout(interval)
+        try:
+            chunk = self.sock.recv(65536)
+        except TimeoutError:
+            return None
+        except OSError:
+            return _EOF  # reset / closed under us: same as a hang-up
+        if not chunk:
+            return _EOF  # orderly EOF (a partial line is discarded)
+        self.buffer += chunk
+        return self._pop_line()
+
+    def _pop_line(self):
+        cut = self.buffer.find(b"\n")
+        if cut < 0:
+            if len(self.buffer) > self.max_line:
+                raise _OversizedLine(
+                    f"request line exceeds {self.max_line} bytes"
+                )
+            return None
+        if cut > self.max_line:
+            raise _OversizedLine(f"request line exceeds {self.max_line} bytes")
+        line = bytes(self.buffer[:cut])
+        del self.buffer[: cut + 1]
+        return line
+
+
+class _Handler(socketserver.BaseRequestHandler):
     """One client connection: a session plus a request loop."""
 
     server: "ServiceServer"
 
+    def setup(self) -> None:  # noqa: D102 - socketserver contract
+        self._busy = False
+        self._active_ticket = None
+        try:
+            self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
     def handle(self) -> None:  # noqa: D102 - socketserver contract
-        service = self.server.service
+        server = self.server
+        config = server.config
+        stats = server.server_stats
+        if not server._register(self):
+            stats.add("connections_shed")
+            if server.draining:
+                shed: ReproError = ServerDrainingError(
+                    "server is draining; no new connections"
+                )
+            else:
+                shed = ServerOverloadedError(
+                    f"connection cap ({config.max_connections}) reached; "
+                    "shedding this connection"
+                )
+            self._best_effort_send(_err(shed))
+            return
+        try:
+            self._serve_connection()
+        finally:
+            server._deregister(self)
+
+    def _serve_connection(self) -> None:
+        server = self.server
+        config = server.config
+        stats = server.server_stats
+        service = server.service
         session = service.open_session(name=f"tcp:{self.client_address[0]}")
+        reader = _LineReader(self.request, MAX_LINE_BYTES)
+        idle_since = time.monotonic()
         try:
             while True:
-                raw = self.rfile.readline(MAX_LINE_BYTES + 1)
-                if not raw:
-                    return  # client hung up
+                if server.draining:
+                    self._best_effort_send("BYE")
+                    return
                 try:
-                    reply = self._dispatch(raw, session)
+                    raw = reader.poll(config.poll_interval)
+                except _OversizedLine as error:
+                    # The rest of the oversized line is still in the
+                    # socket; answering and carrying on would desync
+                    # the stream — answer ERR, then close.
+                    stats.add("oversized_requests")
+                    self._best_effort_send(_err(ProtocolError(str(error))))
+                    return
+                if raw is _EOF:
+                    return  # client hung up
+                if raw is None:
+                    if time.monotonic() - idle_since >= config.idle_timeout:
+                        stats.add("idle_disconnects")
+                        self._best_effort_send(
+                            _err(
+                                ProtocolError(
+                                    "no complete request within "
+                                    f"{config.idle_timeout:g}s; closing"
+                                )
+                            )
+                        )
+                        return
+                    continue
+                idle_since = time.monotonic()
+                stats.add("requests_received")
+                try:
+                    self._busy = True
+                    try:
+                        reply = self._dispatch(raw, session)
+                    finally:
+                        self._busy = False
                 except ReproError as error:
                     reply = _err(error)
                 except json.JSONDecodeError as error:
                     reply = _err(ProtocolError(f"bad JSON argument: {error}"))
-                if reply is None:
-                    self._send("BYE")
+                try:
+                    if reply is None:
+                        self._send("BYE")
+                        return
+                    self._send(reply)
+                except _ClientGone:
+                    # The client disconnected mid-response.  Swallowing
+                    # the send error (instead of letting the handler
+                    # thread die with a traceback) keeps the session
+                    # accounting below intact.
+                    stats.add("connections_aborted")
+                    session.aborted += 1
                     return
-                self._send(reply)
         finally:
             try:
                 service.close_session(session.session_id)
@@ -86,30 +337,40 @@ class _Handler(socketserver.StreamRequestHandler):
                 pass  # already closed (service shutdown)
 
     def _dispatch(self, raw: bytes, session) -> str | None:
-        if len(raw) > MAX_LINE_BYTES:
-            raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
         line = raw.decode("utf-8", errors="replace").strip()
         if not line:
             raise ProtocolError("empty request line")
         command, _, argument = line.partition(" ")
         command = command.upper()
-        service = self.server.service
+        server = self.server
+        service = server.service
         if command == "PING":
             return "OK " + json.dumps({"pong": True})
         if command == "QUIT":
             return None
+        if command == "HEALTH":
+            return "OK " + json.dumps(server.health())
         if command == "STATS":
-            return "OK " + json.dumps(service.stats().as_dict())
+            data = service.stats().as_dict()
+            data.update(server.stats().as_dict())
+            return "OK " + json.dumps(data)
         if command == "SESSION":
             return "OK " + json.dumps(session.snapshot())
         if command == "QUERY":
             spec = _spec(argument)
-            outcome = service.query(
+            ticket = service.submit(
                 _required(spec, "q"),
                 plan=spec.get("plan"),
                 timeout=spec.get("timeout"),
                 session=session,
             )
+            # Exposed so a drain past its grace budget can cancel the
+            # in-flight query instead of stranding this thread.
+            self._active_ticket = ticket
+            try:
+                outcome = ticket.result()
+            finally:
+                self._active_ticket = None
             return "OK " + json.dumps(encode_result(outcome))
         if command == "EXPLAIN":
             spec = _spec(argument)
@@ -122,8 +383,36 @@ class _Handler(socketserver.StreamRequestHandler):
         raise ProtocolError(f"unknown command {command!r}")
 
     def _send(self, reply: str) -> None:
-        self.wfile.write(reply.encode("utf-8") + b"\n")
-        self.wfile.flush()
+        payload = reply.encode("utf-8") + b"\n"
+        self.request.settimeout(self.server.config.write_timeout)
+        try:
+            self.request.sendall(payload)
+        except OSError as error:
+            if isinstance(error, TimeoutError):
+                self.server.server_stats.add("write_timeouts")
+            raise _ClientGone from error
+
+    def _best_effort_send(self, reply: str) -> None:
+        try:
+            self._send(reply)
+        except _ClientGone:
+            pass
+
+    def force_abort(self, reason: str) -> None:
+        """Called by a drain whose grace budget expired: cancel the
+        in-flight query (the worker unwinds at its next checkpoint)
+        and close the socket so a blocked read/write returns."""
+        ticket = self._active_ticket
+        if ticket is not None:
+            ticket.cancel(reason)
+        try:
+            self.request.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.request.close()
+        except OSError:
+            pass
 
 
 def _spec(argument: str) -> dict:
@@ -158,13 +447,102 @@ class ServiceServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: ServerConfig | None = None,
+    ):
         self.service = service
+        self.config = config or ServerConfig()
+        self.server_stats = ServerStatistics()
+        self._handlers: set[_Handler] = set()
+        self._registry_lock = threading.Lock()
+        self._draining = False
+        self._serving = threading.Event()
         super().__init__((host, port), _Handler)
 
+    # ------------------------------------------------------------------
+    # Connection registry
+    # ------------------------------------------------------------------
+    def _register(self, handler: _Handler) -> bool:
+        with self._registry_lock:
+            if self._draining:
+                return False
+            if len(self._handlers) >= self.config.max_connections:
+                return False
+            self._handlers.add(handler)
+        self.server_stats.add("connections_accepted")
+        return True
+
+    def _deregister(self, handler: _Handler) -> None:
+        with self._registry_lock:
+            self._handlers.discard(handler)
+
+    def active_connections(self) -> int:
+        with self._registry_lock:
+            return len(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Health and observability
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def health(self) -> dict:
+        """Readiness/liveness for the ``HEALTH`` command (and load
+        balancers): drain state, queue depth, connection pressure, and
+        storage degradation (quarantined pages survive restarts, so a
+        degraded store stays visible here until repaired)."""
+        service = self.service
+        store = service.db.store
+        quarantined = len(getattr(store.meta, "quarantined_pages", ()) or ())
+        degraded = quarantined > 0
+        draining = self._draining
+        if draining:
+            status = "draining"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "live": True,
+            "ready": not draining and not service.closed,
+            "draining": draining,
+            "degraded_store": degraded,
+            "quarantined_pages": quarantined,
+            "queue_depth": service.queue_size(),
+            "queue_capacity": service.config.queue_depth,
+            "workers": service.config.workers,
+            "active_connections": self.active_connections(),
+            "max_connections": self.config.max_connections,
+            "generation": store.generation,
+        }
+
+    def stats(self) -> CounterSnapshot:
+        """The network edge's counters (``server_*``-prefixed, so they
+        merge into the service snapshot without collisions)."""
+        data = self.server_stats.snapshot()
+        data["server_active_connections"] = self.active_connections()
+        data["server_draining"] = int(self._draining)
+        return CounterSnapshot(data)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     @property
     def endpoint(self) -> tuple[str, int]:
         return self.server_address[:2]
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving.set()
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving.clear()
 
     def serve_background(self) -> threading.Thread:
         """Serve on a daemon thread (tests, embedding). ``shutdown()``
@@ -175,8 +553,67 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         thread.start()
         return thread
 
+    def drain(self, grace: float | None = None) -> DrainReport:
+        """Graceful shutdown of the network edge.
 
-def serve(service: QueryService, host: str = "127.0.0.1", port: int = 0) -> ServiceServer:
+        Tells idle connections ``BYE`` (their read loops notice within
+        ``poll_interval``), waits up to ``grace`` seconds for in-flight
+        requests to finish, then cancels and force-closes whatever
+        remains.  While the drain runs the accept loop stays up so new
+        connections get a crisp ``ERR ServerDrainingError`` instead of
+        hanging in the kernel backlog; it is shut down as the drain's
+        last act.  Returns a :class:`DrainReport`; ``clean`` means
+        nothing was forced.  The service itself is *not* closed — the
+        caller owns that.
+        """
+        grace = self.config.drain_grace if grace is None else grace
+        started = time.monotonic()
+        self._draining = True
+        self.server_stats.add("drains_started")
+        deadline = started + grace
+        while time.monotonic() < deadline:
+            if self.active_connections() == 0:
+                break
+            time.sleep(min(0.01, self.config.poll_interval))
+        with self._registry_lock:
+            leftovers = list(self._handlers)
+        for handler in leftovers:
+            handler.force_abort("server drain grace expired")
+            self.server_stats.add("drain_forced_closes")
+        # Give forced handlers a bounded moment to unwind, so callers
+        # can trust active_connections() after a drain.
+        settle = time.monotonic() + 10 * self.config.poll_interval
+        while leftovers and time.monotonic() < settle:
+            if self.active_connections() == 0:
+                break
+            time.sleep(min(0.01, self.config.poll_interval))
+        if self._serving.is_set():
+            self.shutdown()  # stop the accept loop
+        return DrainReport(
+            clean=not leftovers,
+            forced_closes=len(leftovers),
+            grace_seconds=grace,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    def handle_error(self, request, client_address) -> None:  # noqa: D102
+        # A handler died on something we did not anticipate.  Count it
+        # (the soak asserts this stays zero) and keep the server up.
+        self.server_stats.add("handler_crashes")
+        kind = sys.exc_info()[0]
+        name = kind.__name__ if kind else "unknown"
+        print(
+            f"timber-service: handler for {client_address} crashed: {name}",
+            file=sys.stderr,
+        )
+
+
+def serve(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: ServerConfig | None = None,
+) -> ServiceServer:
     """Bind a :class:`ServiceServer`; the caller decides foreground
     (``serve_forever``) or background (``serve_background``)."""
-    return ServiceServer(service, host, port)
+    return ServiceServer(service, host, port, config)

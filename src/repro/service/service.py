@@ -172,8 +172,8 @@ class QueryTicket:
         self._value: ServiceResult | None = None
         self._error: BaseException | None = None
 
-    def cancel(self) -> None:
-        self.deadline.cancel()
+    def cancel(self, reason: str | None = None) -> None:
+        self.deadline.cancel(reason)
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -366,6 +366,16 @@ class QueryService:
     def cache_hit_rate(self) -> float:
         """The result cache's lifetime hit ratio."""
         return self.result_cache.counters.hit_ratio()
+
+    def queue_size(self) -> int:
+        """Requests currently *waiting* for a worker (approximate, as
+        any queue depth under concurrency is) — the readiness signal
+        the server's ``HEALTH`` command reports."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -35,6 +35,9 @@ class Session:
     cache_hits: int = 0
     timeouts: int = 0
     rejected: int = 0
+    #: Abnormal disconnects (client vanished mid-response); the server
+    #: front end counts these so an operator can spot flapping clients.
+    aborted: int = 0
     last_active: float = field(default_factory=time.time)
 
     def snapshot(self) -> dict[str, object]:
@@ -45,6 +48,7 @@ class Session:
             "cache_hits": self.cache_hits,
             "timeouts": self.timeouts,
             "rejected": self.rejected,
+            "aborted": self.aborted,
             "closed": self.closed,
         }
 

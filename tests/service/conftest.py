@@ -1,0 +1,98 @@
+"""Shared fixtures for the service suite.
+
+The interesting one is :func:`chaos_route`: when the
+``REPRO_NET_FAULT_PLAN`` environment variable is set, every test
+connection is routed through a :class:`~repro.service.chaos.ChaosProxy`
+built from that plan.  CI sets ``REPRO_NET_FAULT_PLAN=none`` and runs
+this whole suite through the proxy to prove the proxy is transparent;
+a chaotic plan turns the same suite into an ad-hoc storm.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.query.database import Database
+from repro.service import ChaosProxy, QueryService, ServiceConfig, net_plan_from_env
+from repro.service.server import serve
+
+
+class LineClient:
+    """A minimal line-protocol client over a raw socket — deliberately
+    dumber than :class:`~repro.service.client.ServiceClient`, so the
+    wire protocol itself is what gets tested."""
+
+    def __init__(self, endpoint):
+        self.sock = socket.create_connection(endpoint, timeout=30.0)
+        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def send(self, line: str) -> str:
+        self.file.write(line + "\n")
+        self.file.flush()
+        return self.file.readline().strip()
+
+    def ok(self, line: str) -> dict:
+        reply = self.send(line)
+        assert reply.startswith("OK "), reply
+        return json.loads(reply[3:])
+
+    def err(self, line: str) -> dict:
+        reply = self.send(line)
+        assert reply.startswith("ERR "), reply
+        return json.loads(reply[4:])
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+@pytest.fixture()
+def chaos_route():
+    """endpoint -> endpoint mapper: identity normally, through a
+    ChaosProxy when ``REPRO_NET_FAULT_PLAN`` is set."""
+    proxies: list[ChaosProxy] = []
+
+    def route(endpoint):
+        plan = net_plan_from_env()
+        if plan is None:
+            return endpoint
+        proxy = ChaosProxy(endpoint, plan).start()
+        proxies.append(proxy)
+        return proxy.endpoint
+
+    yield route
+    for proxy in proxies:
+        proxy.close()
+
+
+@pytest.fixture()
+def running_server():
+    db = Database()
+    db.load_tree(
+        generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), "bib.xml"
+    )
+    service = QueryService(db, ServiceConfig(workers=2))
+    server = serve(service, port=0)  # ephemeral port
+    server.serve_background()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        db.close()
+
+
+@pytest.fixture()
+def endpoint(running_server, chaos_route):
+    return chaos_route(running_server.endpoint)
+
+
+@pytest.fixture()
+def client(endpoint):
+    c = LineClient(endpoint)
+    yield c
+    c.close()

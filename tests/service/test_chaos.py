@@ -1,0 +1,193 @@
+"""ChaosProxy + NetFaultPlan: plan parsing, transparency, each fault
+mode, and healing."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1
+from repro.errors import ClientError, RetryBudgetExceededError, ServiceError
+from repro.query.database import Database
+from repro.service import (
+    NET_FAULT_PLAN_ENV,
+    NO_NET_FAULTS,
+    ChaosProxy,
+    NetFaultPlan,
+    QueryService,
+    ServiceConfig,
+    net_plan_from_env,
+)
+from repro.service.client import BreakerConfig, RetryPolicy, ServiceClient
+from repro.service.server import ServerConfig, serve
+
+from .conftest import LineClient
+
+
+# ----------------------------------------------------------------------
+# Plan parsing
+# ----------------------------------------------------------------------
+def test_plan_parse_roundtrip():
+    plan = NetFaultPlan.parse("seed=7, reset_rate=0.05, delay_rate=0.1, max_faults=3")
+    assert plan.seed == 7
+    assert plan.reset_rate == 0.05
+    assert plan.delay_rate == 0.1
+    assert plan.max_faults == 3
+    assert not plan.is_noop()
+    assert NetFaultPlan.parse(plan.describe()) == plan
+
+
+def test_plan_parse_none_forms():
+    for text in ("", "none", "off", "  none  "):
+        plan = NetFaultPlan.parse(text)
+        assert plan.is_noop()
+        assert plan == NO_NET_FAULTS
+    assert NO_NET_FAULTS.describe() == "none"
+
+
+def test_plan_parse_rejects_unknown_key():
+    with pytest.raises(ServiceError, match="unknown key"):
+        NetFaultPlan.parse("tornado_rate=0.5")
+    with pytest.raises(ServiceError, match="key=value"):
+        NetFaultPlan.parse("garbage")
+
+
+def test_plan_from_env(monkeypatch):
+    monkeypatch.delenv(NET_FAULT_PLAN_ENV, raising=False)
+    assert net_plan_from_env() is None
+    monkeypatch.setenv(NET_FAULT_PLAN_ENV, "reset_rate=0.25,seed=3")
+    plan = net_plan_from_env()
+    assert plan == NetFaultPlan(seed=3, reset_rate=0.25)
+    monkeypatch.setenv(NET_FAULT_PLAN_ENV, "none")
+    assert net_plan_from_env().is_noop()
+
+
+# ----------------------------------------------------------------------
+# Proxy behavior against a real server
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def backend():
+    db = Database()
+    db.load_tree(
+        generate_dblp(DBLPConfig(n_articles=20, n_authors=8, seed=5)), "bib.xml"
+    )
+    service = QueryService(db, ServiceConfig(workers=2))
+    server = serve(service, port=0, config=ServerConfig(poll_interval=0.02))
+    server.serve_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+    db.close()
+
+
+def _resilient_client(endpoint, **kwargs) -> ServiceClient:
+    kwargs.setdefault(
+        "retry",
+        RetryPolicy(max_attempts=6, base_delay=0.005, max_delay=0.05, jitter_seed=1),
+    )
+    kwargs.setdefault("breaker", BreakerConfig(failure_threshold=8, reset_timeout=0.1))
+    return ServiceClient(endpoint[0], endpoint[1], **kwargs)
+
+
+def test_transparent_proxy_changes_nothing(backend):
+    with ChaosProxy(backend.endpoint).start() as proxy:
+        client = LineClient(proxy.endpoint)
+        assert client.ok("PING") == {"pong": True}
+        payload = client.ok("QUERY " + json.dumps({"q": QUERY_1}))
+        assert payload["rows"] > 0
+        assert client.send("QUIT") == "BYE"
+        client.close()
+        assert proxy.fault_counters.total_faults() == 0
+        assert proxy.fault_counters.connections_proxied == 1
+
+
+def test_refusals_are_bounded_and_survivable(backend):
+    plan = NetFaultPlan(seed=11, refuse_rate=1.0, max_faults=2)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(proxy.endpoint)
+        # Two refused connects burn the fault budget; the third connect
+        # goes through and the retried PING succeeds.
+        assert client.ping() == {"pong": True}
+        assert proxy.fault_counters.refused_connections == 2
+        snap = client.counter_snapshot()
+        assert snap["client_connect_failures"] + snap["client_network_errors"] >= 2
+        assert snap["client_retries"] >= 2
+        client.close()
+
+
+def test_constant_resets_surface_as_typed_error(backend):
+    plan = NetFaultPlan(seed=11, reset_rate=1.0)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(proxy.endpoint)
+        with pytest.raises(ClientError):  # breaker may trip before budget
+            client.ping()
+        assert proxy.fault_counters.resets >= 1
+        client.close()
+
+
+def test_truncation_tears_the_reply_line(backend):
+    # Truncate only server->client traffic: rolls alternate pumps, so
+    # force every chunk and let the fault budget keep it finite.
+    plan = NetFaultPlan(seed=23, truncate_rate=1.0, max_faults=1)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(proxy.endpoint)
+        # The first exchange is torn somewhere; the retry (budget
+        # exhausted after one fault) completes against a clean pipe.
+        assert client.ping() == {"pong": True}
+        assert proxy.fault_counters.truncations == 1
+        assert client.counter_snapshot()["client_network_errors"] >= 1
+        client.close()
+
+
+def test_delays_are_injected_not_fatal(backend):
+    plan = NetFaultPlan(seed=5, delay_rate=1.0, delay_seconds=0.02)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(proxy.endpoint)
+        assert client.ping() == {"pong": True}
+        assert client.ping() == {"pong": True}
+        assert proxy.fault_counters.delays >= 2
+        # Latency alone costs no retries.
+        assert client.counter_snapshot()["client_retries"] == 0
+        client.close()
+
+
+def test_heal_lets_breaker_reclose(backend):
+    plan = NetFaultPlan(seed=47, reset_rate=1.0)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(
+            proxy.endpoint,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01),
+            breaker=BreakerConfig(failure_threshold=2, reset_timeout=0.05),
+        )
+        with pytest.raises(ClientError):
+            client.ping()
+        assert client.breaker.state == "open"
+        proxy.heal()
+        # After the reset window, the half-open probe sails through the
+        # now-transparent proxy and the breaker re-closes.
+        for _ in range(50):
+            try:
+                if client.ping() == {"pong": True}:
+                    break
+            except ClientError:
+                time.sleep(0.02)  # let the breaker's reset window elapse
+        assert client.breaker.state == "closed"
+        snap = client.counter_snapshot()
+        assert snap["client_breaker_opens"] >= 1
+        assert snap["client_breaker_closes"] >= 1
+        client.close()
+
+
+def test_set_plan_swaps_midstream(backend):
+    with ChaosProxy(backend.endpoint).start() as proxy:
+        client = _resilient_client(proxy.endpoint)
+        assert client.ping() == {"pong": True}
+        assert proxy.fault_counters.total_faults() == 0
+        proxy.set_plan(NetFaultPlan(seed=3, delay_rate=1.0, delay_seconds=0.01))
+        assert client.ping() == {"pong": True}
+        assert proxy.fault_counters.delays >= 1
+        client.close()

@@ -1,0 +1,391 @@
+"""ServiceClient: reconnects, retry budgets, idempotency discipline,
+backoff jitter, and the circuit breaker.
+
+Server behavior is played by :class:`ScriptedServer` — a tiny accept
+loop that runs one canned script per connection — so each test
+controls exactly which failure the network serves up.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import (
+    AmbiguousResultError,
+    CircuitOpenError,
+    RemoteError,
+    RetryBudgetExceededError,
+    ServiceError,
+)
+from repro.service.client import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+    ClientStatistics,
+    RetryPolicy,
+    ServiceClient,
+)
+
+
+# ----------------------------------------------------------------------
+# Scripted server
+# ----------------------------------------------------------------------
+class ScriptedServer:
+    """Runs one script per accepted connection (the last script repeats
+    for any further connections).  Every request line lands in
+    ``self.requests`` so tests can assert what was actually replayed."""
+
+    def __init__(self, *scripts):
+        assert scripts
+        self.scripts = list(scripts)
+        self.requests: list[str] = []
+        self.connections = 0
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.listener.settimeout(0.2)
+        self._stop = False
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    @property
+    def endpoint(self):
+        return self.listener.getsockname()[:2]
+
+    def _run(self):
+        while not self._stop:
+            try:
+                conn, _ = self.listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return
+            index = min(self.connections, len(self.scripts) - 1)
+            self.connections += 1
+            try:
+                self.scripts[index](self, conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._stop = True
+        self.listener.close()
+        self.thread.join(5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _read_line(conn) -> str | None:
+    conn.settimeout(5.0)
+    buffer = b""
+    while b"\n" not in buffer:
+        try:
+            chunk = conn.recv(4096)
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        buffer += chunk
+    return buffer.split(b"\n", 1)[0].decode()
+
+
+def replies(payload_for):
+    """A well-behaved connection: answer every request from
+    ``payload_for(line)`` until the client quits."""
+
+    def script(server, conn):
+        while True:
+            line = _read_line(conn)
+            if line is None:
+                return
+            server.requests.append(line)
+            if line == "QUIT":
+                conn.sendall(b"BYE\n")
+                return
+            conn.sendall((payload_for(line) + "\n").encode())
+
+    return script
+
+
+def ok(payload: dict):
+    return replies(lambda line: "OK " + json.dumps(payload))
+
+
+def close_without_reply(server, conn):
+    """Read one request, then hang up — the classic ambiguous failure."""
+    line = _read_line(conn)
+    if line is not None:
+        server.requests.append(line)
+
+
+def bye_immediately(server, conn):
+    line = _read_line(conn)
+    if line is not None:
+        server.requests.append(line)
+    conn.sendall(b"BYE\n")
+
+
+def _dead_endpoint():
+    """A host:port with nothing listening (connects are refused)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return "127.0.0.1", port
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _client(endpoint, **kwargs) -> ServiceClient:
+    kwargs.setdefault(
+        "retry", RetryPolicy(max_attempts=4, base_delay=0.001, max_delay=0.01)
+    )
+    kwargs.setdefault("sleep", lambda _delay: None)
+    return ServiceClient(endpoint[0], endpoint[1], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Happy path + observability
+# ----------------------------------------------------------------------
+def test_happy_path_and_counters():
+    with ScriptedServer(ok({"pong": True})) as server:
+        with _client(server.endpoint) as client:
+            assert client.ping() == {"pong": True}
+            assert client.ping() == {"pong": True}
+            snap = client.counter_snapshot()
+            assert snap["client_requests"] == 2
+            assert snap["client_replies_ok"] == 2
+            assert snap["client_connects"] == 1  # one connection, reused
+            assert snap["client_reconnects"] == 0
+            assert snap["client_retries"] == 0
+        assert server.requests == ["PING", "PING", "QUIT"]
+
+
+def test_stats_merges_both_ends():
+    with ScriptedServer(ok({"queries_completed": 7})) as server:
+        with _client(server.endpoint) as client:
+            snapshot = client.stats()
+            assert snapshot["queries_completed"] == 7  # server side
+            assert snapshot["client_requests"] == 1  # client side rides along
+            assert snapshot["client_replies_ok"] == 1
+
+
+def test_remote_error_carries_kind():
+    def err(line):
+        return "ERR " + json.dumps(
+            {"kind": "QueryTimeoutError", "message": "deadline exceeded"}
+        )
+
+    with ScriptedServer(replies(err)) as server:
+        with _client(server.endpoint) as client:
+            with pytest.raises(RemoteError) as info:
+                client.query("FOR $x IN ...")
+            assert info.value.kind == "QueryTimeoutError"
+            assert "deadline exceeded" in info.value.remote_message
+            # An ERR is an *answer*: no retry, breaker stays closed.
+            assert client.counter_snapshot()["client_retries"] == 0
+            assert client.breaker.state == CLOSED
+        assert len(server.requests) == 2  # the QUERY + the QUIT
+
+
+# ----------------------------------------------------------------------
+# Retry + reconnect
+# ----------------------------------------------------------------------
+def test_idempotent_command_retries_after_drop():
+    with ScriptedServer(close_without_reply, ok({"pong": True})) as server:
+        with _client(server.endpoint) as client:
+            assert client.ping() == {"pong": True}
+            snap = client.counter_snapshot()
+            assert snap["client_retries"] == 1
+            assert snap["client_network_errors"] == 1
+            assert snap["client_reconnects"] == 1
+        # The PING was replayed: once per connection.
+        assert server.requests.count("PING") == 2
+
+
+def test_retryable_err_kind_is_replayed():
+    first = replies(
+        lambda line: "ERR "
+        + json.dumps({"kind": "AdmissionError", "message": "queue full"})
+    )
+
+    def once_then_ok(server, conn):
+        line = _read_line(conn)
+        server.requests.append(line)
+        conn.sendall(
+            ("ERR " + json.dumps({"kind": "AdmissionError", "message": "full"}) + "\n").encode()
+        )
+        ok({"pong": True})(server, conn)
+
+    with ScriptedServer(once_then_ok) as server:
+        with _client(server.endpoint) as client:
+            assert client.ping() == {"pong": True}
+            snap = client.counter_snapshot()
+            assert snap["client_retries"] == 1
+            assert snap["client_replies_err"] == 1
+            # Backpressure is an answer, not a transport failure.
+            assert client.breaker.state == CLOSED
+    del first
+
+
+def test_non_idempotent_command_is_never_replayed():
+    with ScriptedServer(close_without_reply, ok({"queries": 0})) as server:
+        with _client(server.endpoint) as client:
+            with pytest.raises(AmbiguousResultError):
+                client.session()
+            assert client.counter_snapshot()["client_ambiguous_failures"] == 1
+        # Exactly one SESSION ever reached a server — no silent replay.
+        assert server.requests.count("SESSION") == 1
+
+
+def test_connect_failures_exhaust_retry_budget():
+    endpoint = _dead_endpoint()
+    client = _client(
+        endpoint, retry=RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01)
+    )
+    with pytest.raises(RetryBudgetExceededError):
+        client.ping()
+    snap = client.counter_snapshot()
+    assert snap["client_connect_failures"] == 3
+    assert snap["client_retries"] == 2  # first try is not a retry
+    assert snap["client_retries_exhausted"] == 1
+
+
+def test_bye_mid_stream_retries_on_fresh_connection():
+    with ScriptedServer(bye_immediately, ok({"pong": True})) as server:
+        with _client(server.endpoint) as client:
+            assert client.ping() == {"pong": True}
+            snap = client.counter_snapshot()
+            assert snap["client_server_goodbyes"] == 1
+            assert snap["client_retries"] == 1
+        assert server.connections == 2
+
+
+# ----------------------------------------------------------------------
+# Backoff
+# ----------------------------------------------------------------------
+def test_backoff_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=0.1, jitter_seed=42)
+    endpoint = _dead_endpoint()
+
+    def run():
+        sleeps = []
+        client = ServiceClient(
+            endpoint[0], endpoint[1], retry=policy, sleep=sleeps.append
+        )
+        with pytest.raises(RetryBudgetExceededError):
+            client.ping()
+        return sleeps
+
+    first, second = run(), run()
+    assert first == second  # same seed, same schedule
+    assert len(first) <= 4
+    for index, delay in enumerate(first, start=1):
+        assert 0.0 <= delay <= min(policy.max_delay, policy.base_delay * 2 ** (index - 1))
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ServiceError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ServiceError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ServiceError):
+        BreakerConfig(failure_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+def test_breaker_unit_lifecycle():
+    clock = FakeClock()
+    counters = ClientStatistics()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=2, reset_timeout=10.0), counters, clock
+    )
+    assert breaker.state == CLOSED
+    breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # one short of the threshold
+    breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()  # fail fast while open
+    clock.advance(10.0)
+    breaker.allow()  # admitted as the half-open probe
+    assert breaker.state == HALF_OPEN
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()  # a second caller is rejected while the probe flies
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    snap = counters.snapshot()
+    assert snap["client_breaker_opens"] == 1
+    assert snap["client_breaker_half_opens"] == 1
+    assert snap["client_breaker_closes"] == 1
+    assert snap["client_breaker_rejections"] == 2
+
+
+def test_breaker_reopens_on_failed_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, reset_timeout=5.0), clock=clock
+    )
+    breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(5.0)
+    breaker.allow()
+    breaker.record_failure()  # probe failed
+    assert breaker.state == OPEN  # straight back to open
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+
+
+def test_client_breaker_opens_then_heals():
+    clock = FakeClock()
+    counters = ClientStatistics()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=1, reset_timeout=30.0), counters, clock
+    )
+    with ScriptedServer(close_without_reply, ok({"pong": True})) as server:
+        client = _client(
+            server.endpoint,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, max_delay=0.0),
+            breaker=breaker,
+        )
+        # Attempt 1 hits the hang-up script and opens the breaker;
+        # attempt 2 is rejected at the gate — the open circuit wins
+        # over the retry budget (fail fast beats retrying a dead host).
+        with pytest.raises(CircuitOpenError):
+            client.ping()
+        assert breaker.state == OPEN
+        # After the reset window the probe goes through to the healthy
+        # script and the breaker re-closes.
+        clock.advance(30.0)
+        assert client.ping() == {"pong": True}
+        assert breaker.state == CLOSED
+        snap = counters.snapshot()
+        assert snap["client_breaker_opens"] == 1
+        assert snap["client_breaker_half_opens"] == 1
+        assert snap["client_breaker_closes"] == 1
+        client.close()

@@ -1,0 +1,361 @@
+"""Server hardening: timeouts, shedding, oversized lines, aborted
+clients, HEALTH under damage, and graceful drain."""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import QUERY_1, figure6_database
+from repro.query.database import Database
+from repro.service import QueryService, ServiceConfig
+from repro.service.server import MAX_LINE_BYTES, ServerConfig, serve
+from repro.storage.store import DATA_FILE, NodeStore
+
+from .conftest import LineClient
+
+
+class _Harness:
+    """One db + service + server, with direct access to all three."""
+
+    def __init__(self, config: ServerConfig, db: Database | None = None, workers: int = 2):
+        if db is None:
+            db = Database()
+            db.load_tree(
+                generate_dblp(DBLPConfig(n_articles=20, n_authors=8, seed=5)),
+                "bib.xml",
+            )
+        self.db = db
+        self.service = QueryService(db, ServiceConfig(workers=workers))
+        self.server = serve(self.service, port=0, config=config)
+        self.server.serve_background()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+        self.db.close()
+
+
+@pytest.fixture()
+def fast_poll():
+    """A server config tuned for test speed (snappy drain/idle polling)."""
+    return ServerConfig(poll_interval=0.02)
+
+
+def _wait_until(predicate, timeout=10.0, message="condition not reached"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError(message)
+
+
+# ----------------------------------------------------------------------
+# Oversized request lines (satellite: ERR then close, no desync)
+# ----------------------------------------------------------------------
+def test_oversized_line_errs_then_closes(fast_poll):
+    harness = _Harness(fast_poll)
+    try:
+        with socket.create_connection(harness.server.endpoint, timeout=30.0) as sock:
+            handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+            # A >1 MiB line followed by a PING: before the fix the tail
+            # of the big line desynced the stream; now the server
+            # answers ERR and closes, so the PING is never parsed as
+            # garbage.
+            handle.write("QUERY " + "x" * (MAX_LINE_BYTES + 64) + "\nPING\n")
+            handle.flush()
+            reply = handle.readline().strip()
+            assert reply.startswith("ERR "), reply
+            payload = json.loads(reply[4:])
+            assert payload["kind"] == "ProtocolError"
+            assert "exceeds" in payload["message"]
+            assert handle.readline() == ""  # connection closed, no garbage reply
+        assert harness.server.server_stats.oversized_requests == 1
+        _wait_until(lambda: harness.server.active_connections() == 0)
+        assert len(harness.service.sessions) == 0  # session accounting intact
+    finally:
+        harness.close()
+
+
+# ----------------------------------------------------------------------
+# Disconnecting clients mid-response (satellite: no handler traceback,
+# counted as aborted, session cleaned up)
+# ----------------------------------------------------------------------
+def test_client_reset_mid_response_counts_aborted(fast_poll):
+    harness = _Harness(fast_poll)
+    try:
+        stats = harness.server.server_stats
+        # The RST must land while the query runs; retry the scenario a
+        # few times in case the query wins the race.
+        for _ in range(10):
+            sock = socket.create_connection(harness.server.endpoint, timeout=30.0)
+            sock.sendall(("QUERY " + json.dumps({"q": QUERY_1}) + "\n").encode())
+            # Hard close (RST): the server's response send must fail.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            sock.close()
+            time.sleep(0.05)
+            if stats.connections_aborted > 0:
+                break
+        _wait_until(
+            lambda: stats.connections_aborted > 0,
+            message="server never noticed the aborted client",
+        )
+        assert stats.handler_crashes == 0  # no thread died with a traceback
+        # close_session accounting was not skipped.
+        _wait_until(lambda: len(harness.service.sessions) == 0)
+        _wait_until(lambda: harness.server.active_connections() == 0)
+        assert harness.db.store.pool.pinned_count() == 0
+    finally:
+        harness.close()
+
+
+# ----------------------------------------------------------------------
+# Idle timeout (slow-loris protection)
+# ----------------------------------------------------------------------
+def test_idle_timeout_disconnects(fast_poll):
+    config = ServerConfig(idle_timeout=0.3, poll_interval=0.02)
+    harness = _Harness(config)
+    try:
+        with socket.create_connection(harness.server.endpoint, timeout=30.0) as sock:
+            handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+            reply = handle.readline().strip()  # block until the server acts
+            assert reply.startswith("ERR "), reply
+            assert "no complete request" in json.loads(reply[4:])["message"]
+            assert handle.readline() == ""  # closed
+        assert harness.server.server_stats.idle_disconnects == 1
+        _wait_until(lambda: len(harness.service.sessions) == 0)
+    finally:
+        harness.close()
+
+
+def test_slow_loris_trickle_still_times_out(fast_poll):
+    """The idle clock resets per *completed line*, so trickling bytes
+    does not keep a connection alive."""
+    config = ServerConfig(idle_timeout=0.4, poll_interval=0.02)
+    harness = _Harness(config)
+    try:
+        with socket.create_connection(harness.server.endpoint, timeout=30.0) as sock:
+            started = time.monotonic()
+            disconnected = None
+            for _ in range(40):  # one byte every 50 ms, never a newline
+                try:
+                    sock.sendall(b"P")
+                except OSError:
+                    disconnected = time.monotonic()
+                    break
+                data = sock.recv(4096) if _readable(sock) else b""
+                if data and not _still_open(sock, data):
+                    disconnected = time.monotonic()
+                    break
+                time.sleep(0.05)
+            assert disconnected is not None, "trickling client was never cut off"
+            assert disconnected - started < 5.0
+        assert harness.server.server_stats.idle_disconnects == 1
+    finally:
+        harness.close()
+
+
+def _readable(sock) -> bool:
+    import select
+
+    readable, _, _ = select.select([sock], [], [], 0)
+    return bool(readable)
+
+
+def _still_open(sock, data: bytes) -> bool:
+    # An ERR line followed by EOF means the server cut us off.
+    return not data.startswith(b"ERR ")
+
+
+# ----------------------------------------------------------------------
+# Connection cap shedding
+# ----------------------------------------------------------------------
+def test_connection_cap_sheds_with_err(fast_poll):
+    config = ServerConfig(max_connections=2, poll_interval=0.02)
+    harness = _Harness(config)
+    try:
+        first = LineClient(harness.server.endpoint)
+        second = LineClient(harness.server.endpoint)
+        # A round trip guarantees both handlers registered.
+        assert first.ok("PING") == {"pong": True}
+        assert second.ok("PING") == {"pong": True}
+        third = LineClient(harness.server.endpoint)
+        reply = third.file.readline().strip()  # shed without a request
+        assert reply.startswith("ERR "), reply
+        payload = json.loads(reply[4:])
+        assert payload["kind"] == "ServerOverloadedError"
+        assert third.file.readline() == ""  # closed immediately
+        third.close()
+        assert harness.server.server_stats.connections_shed == 1
+        # Capacity frees as soon as a connection leaves.
+        first.send("QUIT")
+        first.close()
+        _wait_until(lambda: harness.server.active_connections() < 2)
+        fourth = LineClient(harness.server.endpoint)
+        assert fourth.ok("PING") == {"pong": True}
+        fourth.close()
+        second.close()
+    finally:
+        harness.close()
+
+
+# ----------------------------------------------------------------------
+# HEALTH: healthy vs degraded vs draining
+# ----------------------------------------------------------------------
+def test_health_reports_degraded_store(tmp_path, fast_poll):
+    directory = os.path.join(tmp_path, "db")
+    with NodeStore(directory) as store:
+        store.load_tree(figure6_database(), "a.xml")
+    with open(os.path.join(directory, DATA_FILE), "r+b") as handle:
+        handle.seek(80)
+        handle.write(b"\x00\xff\x00\xff")
+    db = Database(directory, degraded=True)  # quarantines the bad page
+    harness = _Harness(fast_poll, db=db)
+    try:
+        client = LineClient(harness.server.endpoint)
+        health = client.ok("HEALTH")
+        assert health["status"] == "degraded"
+        assert health["degraded_store"] is True
+        assert health["quarantined_pages"] >= 1
+        assert health["ready"] is True  # degraded but still serving
+        assert health["live"] is True
+        client.close()
+    finally:
+        harness.close()
+
+
+def test_health_reports_draining(fast_poll):
+    harness = _Harness(fast_poll)
+    try:
+        report = harness.server.drain(grace=1.0)
+        assert report.clean
+        health = harness.server.health()
+        assert health["status"] == "draining"
+        assert health["draining"] is True
+        assert health["ready"] is False
+    finally:
+        harness.close()
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+def test_drain_says_bye_and_sheds_latecomers(fast_poll):
+    harness = _Harness(fast_poll)
+    try:
+        idle = LineClient(harness.server.endpoint)
+        busy = LineClient(harness.server.endpoint)
+        assert idle.ok("PING") == {"pong": True}
+        busy_replies = []
+
+        def run_query():
+            busy_replies.append(busy.send("QUERY " + json.dumps({"q": QUERY_1})))
+            busy_replies.append(busy.file.readline().strip())  # BYE
+
+        reports = []
+        # Hold the write gate so the busy client's query stays in
+        # flight: the drain is then guaranteed to still be running when
+        # the latecomer connects.
+        with harness.service._gate.write_locked():
+            thread = threading.Thread(target=run_query)
+            thread.start()
+            _wait_until(lambda: harness.server.server_stats.requests_received >= 2)
+            drainer = threading.Thread(
+                target=lambda: reports.append(harness.server.drain(grace=30.0))
+            )
+            drainer.start()
+            _wait_until(lambda: harness.server.draining)
+            # The idle connection is told BYE promptly...
+            assert idle.file.readline().strip() == "BYE"
+            assert idle.file.readline() == ""  # closed after BYE
+            idle.close()
+            # ...and a latecomer is shed with a typed ERR, not left
+            # hanging in the kernel backlog.
+            late = LineClient(harness.server.endpoint)
+            reply = late.file.readline().strip()
+            assert reply.startswith("ERR "), reply
+            assert json.loads(reply[4:])["kind"] == "ServerDrainingError"
+            assert late.file.readline() == ""  # closed immediately
+            late.close()
+            assert harness.server.server_stats.connections_shed == 1
+        # Gate released: the in-flight query finishes inside the grace
+        # budget and the drain comes back clean.
+        drainer.join(30.0)
+        thread.join(30.0)
+        assert not drainer.is_alive() and not thread.is_alive()
+        assert reports[0].clean
+        assert reports[0].forced_closes == 0
+        assert busy_replies[0].startswith("OK "), busy_replies
+        assert busy_replies[1] == "BYE"
+        busy.close()
+    finally:
+        harness.close()
+
+
+def test_drain_lets_running_query_finish(fast_poll):
+    harness = _Harness(fast_poll)
+    try:
+        client = LineClient(harness.server.endpoint)
+        replies = []
+
+        def run_query():
+            replies.append(client.send("QUERY " + json.dumps({"q": QUERY_1})))
+            replies.append(client.file.readline().strip())  # BYE after drain
+
+        thread = threading.Thread(target=run_query)
+        thread.start()
+        _wait_until(lambda: harness.server.server_stats.requests_received >= 1)
+        report = harness.server.drain(grace=30.0)
+        thread.join(30.0)
+        assert not thread.is_alive()
+        assert report.clean, "query should have finished inside the grace budget"
+        assert replies[0].startswith("OK "), replies
+        assert replies[1] == "BYE"
+        client.close()
+    finally:
+        harness.close()
+
+
+def test_drain_grace_expiry_cancels_stuck_query(fast_poll):
+    harness = _Harness(fast_poll)
+    try:
+        client = LineClient(harness.server.endpoint)
+        outcome = []
+
+        def run_query():
+            try:
+                outcome.append(client.send("QUERY " + json.dumps({"q": QUERY_1})))
+            except OSError:
+                outcome.append("connection severed")
+
+        # Hold the write gate so the query cannot even start executing:
+        # it is guaranteed to still be in flight when the grace expires.
+        with harness.service._gate.write_locked():
+            thread = threading.Thread(target=run_query)
+            thread.start()
+            _wait_until(lambda: harness.server.server_stats.requests_received >= 1)
+            report = harness.server.drain(grace=0.2)
+            assert not report.clean
+            assert report.forced_closes == 1
+            assert harness.server.server_stats.drain_forced_closes == 1
+        # Gate released: the cancelled query unwinds and everything
+        # settles — no stranded handler thread, no leaked pins.
+        thread.join(30.0)
+        assert not thread.is_alive()
+        _wait_until(lambda: harness.server.active_connections() == 0)
+        _wait_until(lambda: len(harness.service.sessions) == 0)
+        assert harness.db.store.pool.pinned_count() == 0
+        client.close()
+    finally:
+        harness.close()

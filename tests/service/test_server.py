@@ -1,68 +1,19 @@
-"""End-to-end tests of the line-oriented TCP protocol."""
+"""End-to-end tests of the line-oriented TCP protocol.
+
+The ``client``/``endpoint``/``running_server`` fixtures live in
+``conftest.py`` (they optionally route through a ChaosProxy when
+``REPRO_NET_FAULT_PLAN`` is set).  Server *resilience* behavior —
+timeouts, shedding, drain, HEALTH under damage — is covered in
+``test_resilience.py``; this file is the protocol happy path.
+"""
 
 from __future__ import annotations
 
 import json
-import socket
 
-import pytest
-
-from repro.datagen.dblp import DBLPConfig, generate_dblp
 from repro.datagen.sample import QUERY_1
-from repro.query.database import Database
-from repro.service import QueryService, ServiceConfig
-from repro.service.server import serve
 
-
-@pytest.fixture()
-def running_server():
-    db = Database()
-    db.load_tree(
-        generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), "bib.xml"
-    )
-    service = QueryService(db, ServiceConfig(workers=2))
-    server = serve(service, port=0)  # ephemeral port
-    server.serve_background()
-    try:
-        yield server
-    finally:
-        server.shutdown()
-        server.server_close()
-        service.close()
-        db.close()
-
-
-class Client:
-    """A minimal line-protocol client over a raw socket."""
-
-    def __init__(self, endpoint):
-        self.sock = socket.create_connection(endpoint, timeout=30.0)
-        self.file = self.sock.makefile("rw", encoding="utf-8", newline="\n")
-
-    def send(self, line: str) -> str:
-        self.file.write(line + "\n")
-        self.file.flush()
-        return self.file.readline().strip()
-
-    def ok(self, line: str) -> dict:
-        reply = self.send(line)
-        assert reply.startswith("OK "), reply
-        return json.loads(reply[3:])
-
-    def err(self, line: str) -> dict:
-        reply = self.send(line)
-        assert reply.startswith("ERR "), reply
-        return json.loads(reply[4:])
-
-    def close(self) -> None:
-        self.sock.close()
-
-
-@pytest.fixture()
-def client(running_server):
-    c = Client(running_server.endpoint)
-    yield c
-    c.close()
+from .conftest import LineClient
 
 
 def test_ping(client):
@@ -98,9 +49,26 @@ def test_stats_and_session(client):
     stats = client.ok("STATS")
     assert stats["queries_completed"] >= 1
     assert "result_cache_hits" in stats
+    # The network edge's counters ride along, server_*-prefixed.
+    assert stats["server_connections_accepted"] >= 1
+    assert stats["server_requests_received"] >= 1
     session = client.ok("SESSION")
     assert session["queries"] == 1
+    assert session["aborted"] == 0
     assert session["name"].startswith("tcp:")
+
+
+def test_health_healthy(client):
+    health = client.ok("HEALTH")
+    assert health["status"] == "ok"
+    assert health["live"] is True
+    assert health["ready"] is True
+    assert health["draining"] is False
+    assert health["degraded_store"] is False
+    assert health["quarantined_pages"] == 0
+    assert health["queue_depth"] >= 0
+    assert health["active_connections"] >= 1
+    assert health["workers"] == 2
 
 
 def test_errors_keep_connection_alive(client):
@@ -119,8 +87,8 @@ def test_quit_closes_cleanly(client):
     assert client.file.readline() == ""  # server closed the stream
 
 
-def test_each_connection_gets_own_session(running_server):
-    a, b = Client(running_server.endpoint), Client(running_server.endpoint)
+def test_each_connection_gets_own_session(endpoint):
+    a, b = LineClient(endpoint), LineClient(endpoint)
     try:
         a.ok("QUERY " + json.dumps({"q": QUERY_1}))
         assert a.ok("SESSION")["queries"] == 1

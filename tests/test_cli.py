@@ -113,6 +113,59 @@ class TestServe:
         with pytest.raises(SystemExit):
             main(["serve", "nope.xml", "--port", "not-a-port"])
 
+    def test_serve_foreground_sigterm_drains_cleanly(self, bib_file):
+        import re
+        import signal
+        import socket
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                bib_file,
+                "--port",
+                "0",
+                "--workers",
+                "2",
+                "--drain-seconds",
+                "5",
+            ],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            match = re.search(r"on 127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no endpoint in banner: {banner!r}"
+            port = int(match.group(1))
+            with socket.create_connection(("127.0.0.1", port), timeout=30.0) as sock:
+                handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+                handle.write("PING\n")
+                handle.flush()
+                assert handle.readline().strip() == 'OK {"pong": true}'
+                process.send_signal(signal.SIGTERM)
+                # The drain tells this idle connection BYE, then closes.
+                assert handle.readline().strip() == "BYE"
+            returncode = process.wait(timeout=30.0)
+            remainder = process.stderr.read()
+            assert returncode == 0, remainder
+            assert "draining" in remainder
+            assert "drain: clean" in remainder
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10.0)
+
 
 class TestExperiments:
     def test_e1(self, capsys):
