@@ -23,7 +23,7 @@ FRAME_BUDGETS = (2, 8, 64, 512)
 def disk_db_dir(tmp_path_factory):
     directory = str(tmp_path_factory.mktemp("a3") / "db")
     with Database(directory=directory) as db:
-        db.load_tree(generate_dblp(BENCH_CONFIG), "bib.xml")
+        db.load(tree=generate_dblp(BENCH_CONFIG), name="bib.xml")
     return directory
 
 

@@ -56,9 +56,7 @@ def service_stack():
     """A small dedicated db + service + server (module-scoped: the
     resilience benchmarks measure the network edge, not build time)."""
     db = Database()
-    db.load_tree(
-        generate_dblp(DBLPConfig(n_articles=40, n_authors=12, seed=5)), "bib.xml"
-    )
+    db.load(tree=generate_dblp(DBLPConfig(n_articles=40, n_authors=12, seed=5)), name="bib.xml")
     service = QueryService(db, ServiceConfig(workers=4))
     server = serve(service, port=0, config=ServerConfig(poll_interval=0.02))
     server.serve_background()

@@ -4,14 +4,24 @@ One database per scale is built once per session; every benchmark run
 resets the statistics counters so measured work is the query's own.
 The default benchmark scale keeps the full suite in the minutes range
 while leaving the plan-cost differences dominant.
+
+Besides the pytest-benchmark tables, measured runs append to the
+process-global benchmark trajectory (:mod:`repro.bench.trajectory`);
+at session end the consolidated ``BENCH_trajectory.json`` is written at
+the repository root — one machine-readable artifact per benchmark run.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
 from repro.bench.experiments import DEFAULT_CONFIG
 from repro.bench.harness import build_database
+from repro.bench.trajectory import TRAJECTORY_FILE, record_run, write_trajectory
+from repro.indexing.columnar import columnar_statistics
+from repro.pattern.structural_join import join_statistics
 
 # Same scale as repro.bench.experiments so EXPERIMENTS.md numbers and
 # `pytest benchmarks/` numbers tell one story.
@@ -31,6 +41,69 @@ def bench_db_scan():
     return db, profile
 
 
+@pytest.fixture(scope="session")
+def bench_db_fallback():
+    """Same workload with the columnar hot path forced off — the
+    object-walk fallback baseline for the columnar comparisons."""
+    db, profile = build_database(BENCH_CONFIG, columnar=False)
+    return db, profile
+
+
 def run_query(db, query: str, plan: str, analyze: bool = False):
     db.store.reset_stats()
     return db.query(query, plan=plan, analyze=analyze, reset_statistics=False)
+
+
+def timed_query(
+    db, query: str, plan: str, *, bench: str, scale=None, rounds: int = 3, **extra
+):
+    """Best-of-``rounds`` query timing, recorded into the trajectory.
+
+    Returns ``(seconds, result)`` for the fastest round; the recorded
+    counters (store + columnar + join deltas) are that round's own.
+    """
+    best_seconds = float("inf")
+    best_stats: dict[str, int] = {}
+    result = None
+    for _ in range(rounds):
+        db.store.reset_stats()
+        before = columnar_statistics().snapshot()
+        before.update(join_statistics().snapshot())
+        started = time.perf_counter()
+        result = db.query(query, plan=plan, reset_statistics=False)
+        seconds = time.perf_counter() - started
+        if seconds < best_seconds:
+            after = columnar_statistics().snapshot()
+            after.update(join_statistics().snapshot())
+            best_stats = db.store.statistics()
+            best_stats.update({key: after[key] - before[key] for key in after})
+            best_seconds = seconds
+    record_run(
+        bench,
+        best_seconds,
+        scale=scale,
+        counters=best_stats,
+        plan=result.plan_mode,
+        results=len(result.collection),
+        **extra,
+    )
+    return best_seconds, result
+
+
+def time_best(fn, rounds: int = 5):
+    """Best-of-``rounds`` wall time of ``fn()``; returns (seconds, value)."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, value
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = write_trajectory(str(session.config.rootpath / TRAJECTORY_FILE))
+    if path is not None:
+        reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+        if reporter is not None:
+            reporter.write_line(f"benchmark trajectory written to {path}")

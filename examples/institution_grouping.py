@@ -30,7 +30,7 @@ RETURN $b/title
 def main() -> None:
     config = DBLPConfig(n_articles=120, n_authors=40, seed=11, with_institutions=True)
     db = Database()
-    db.load_tree(generate_dblp(config), name="bib.xml")
+    db.load(tree=generate_dblp(config), name="bib.xml")
 
     print("=== plans ===")
     print(db.explain(INSTITUTION_QUERY))

@@ -120,7 +120,7 @@ def _author_in_institution(subroot: XMLNode, author: str, institution: str) -> b
 def main() -> None:
     config = DBLPConfig(n_articles=40, n_authors=10, seed=3, with_institutions=True)
     db = Database()
-    db.load_tree(generate_dblp(config), "bib.xml")
+    db.load(tree=generate_dblp(config), name="bib.xml")
 
     result = db.query(NESTED_QUERY, plan="auto")
     print(f"engine route: {result.plan_mode} plan, {len(result.collection)} institutions")

@@ -21,7 +21,7 @@ def main() -> None:
     try:
         print(f"database directory: {directory}")
         with Database(directory=directory) as db:
-            db.load_tree(generate_dblp(DBLPConfig(n_articles=300, n_authors=80)), "bib.xml")
+            db.load(tree=generate_dblp(DBLPConfig(n_articles=300, n_authors=80)), name="bib.xml")
             print(f"loaded {db.store.n_nodes()} nodes "
                   f"across {db.store.disk.n_pages} pages")
 

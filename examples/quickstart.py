@@ -11,7 +11,7 @@ from repro.xmlmodel import serialize
 
 def main() -> None:
     db = Database()  # in-memory; pass directory="..." to persist
-    db.load_tree(figure6_database(), name="bib.xml")
+    db.load(tree=figure6_database(), name="bib.xml")
 
     print("=== the database (Fig. 6 of the paper) ===")
     info = db.store.document("bib.xml")

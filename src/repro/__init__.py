@@ -12,7 +12,7 @@ Quickstart::
     from repro import Database
 
     db = Database()
-    db.load_text(BIB_XML, name="bib.xml")
+    db.load(text=BIB_XML, name="bib.xml")
     result = db.query(QUERY_1)          # rewritten to a GROUPBY plan
     print(result.collection.sketch())
 """

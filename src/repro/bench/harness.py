@@ -80,36 +80,67 @@ def build_database(
     pool_frames: int = DEFAULT_POOL_FRAMES,
     grouping_strategy: str = "sort",
     use_indexes: bool = True,
+    columnar: bool | None = None,
 ) -> tuple[Database, DBLPProfile]:
-    """Generate, load, and index a synthetic DBLP database."""
+    """Generate, load, and index a synthetic DBLP database.
+
+    ``columnar`` forces the columnar hot path on or off (``None``
+    defers to the ``REPRO_COLUMNAR`` environment flag).
+    """
     tree, profile = generate_dblp_with_profile(config)
     db = Database(
         pool_frames=pool_frames,
         grouping_strategy=grouping_strategy,
         use_indexes=use_indexes,
+        columnar=columnar,
     )
-    db.load_tree(tree, "bib.xml")
+    db.load(tree=tree, name="bib.xml")
     return db, profile
 
 
 def measured_run(
-    db: Database, label: str, query: str, plan: str, analyze: bool = False
+    db: Database,
+    label: str,
+    query: str,
+    plan: str,
+    analyze: bool = False,
+    scale: float | None = None,
 ) -> RunRecord:
     """Execute once with counters reset; capture time + statistics.
 
     ``analyze=True`` additionally attaches the per-operator
     :class:`~repro.observability.ExecutionProfile` to the record, so a
-    report can show *where* each plan spends its lookups.
+    report can show *where* each plan spends its lookups.  Every run is
+    also appended to the global benchmark trajectory
+    (:mod:`repro.bench.trajectory`).
     """
+    from ..indexing.columnar import columnar_statistics
+    from ..pattern.structural_join import join_statistics
+    from .trajectory import record_run
+
     db.store.reset_stats()
+    before = columnar_statistics().snapshot()
+    before.update(join_statistics().snapshot())
     started = time.perf_counter()
     result = db.query(query, plan=plan, analyze=analyze, reset_statistics=False)
     seconds = time.perf_counter() - started
+    statistics = db.store.statistics()
+    after = columnar_statistics().snapshot()
+    after.update(join_statistics().snapshot())
+    statistics.update({key: after[key] - before[key] for key in after})
+    record_run(
+        label,
+        seconds,
+        scale=scale,
+        counters=statistics,
+        plan=result.plan_mode,
+        results=len(result.collection),
+    )
     return RunRecord(
         label=label,
         plan_mode=result.plan_mode,
         seconds=seconds,
-        statistics=db.store.statistics(),
+        statistics=statistics,
         result_size=len(result.collection),
         profile=result.profile,
     )

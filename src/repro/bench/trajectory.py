@@ -1,0 +1,96 @@
+"""Consolidated benchmark trajectory: one JSON artifact per run.
+
+Every measured benchmark execution appends an entry to a process-global
+recorder; at the end of the run the harness (the pytest benchmark
+session, or the CLI ``experiment`` subcommand) writes a single
+``BENCH_trajectory.json`` capturing the whole trajectory — bench id,
+scale, wall time, and the key counters — so a CI artifact or a local
+run leaves one machine-readable record instead of scattered stdout
+tables.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+#: The default artifact name, written at the invoking directory's root.
+TRAJECTORY_FILE = "BENCH_trajectory.json"
+
+#: The counter subset worth carrying into the trajectory (storage cost,
+#: I/O, join work, and the columnar-path counters).
+KEY_COUNTERS = (
+    "value_lookups",
+    "record_lookups",
+    "hits",
+    "misses",
+    "physical_reads",
+    "join_runs",
+    "join_pairs",
+    "columnar_builds",
+    "columnar_scans",
+    "columnar_fallbacks",
+    "columnar_window_scans",
+    "columnar_merge_joins",
+)
+
+
+@dataclass
+class TrajectoryRecorder:
+    """Accumulates benchmark entries; serializes to one JSON document."""
+
+    entries: list[dict] = field(default_factory=list)
+
+    def record(
+        self,
+        bench: str,
+        seconds: float,
+        *,
+        scale: float | None = None,
+        counters: dict | None = None,
+        **extra: object,
+    ) -> dict:
+        entry: dict = {"bench": bench, "seconds": round(seconds, 6)}
+        if scale is not None:
+            entry["scale"] = scale
+        if counters:
+            entry["counters"] = {
+                key: counters[key] for key in KEY_COUNTERS if counters.get(key)
+            }
+        entry.update(extra)
+        self.entries.append(entry)
+        return entry
+
+    def reset(self) -> None:
+        self.entries.clear()
+
+    def to_dict(self) -> dict:
+        return {"created": time.time(), "entries": list(self.entries)}
+
+    def write(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return path
+
+
+_GLOBAL_RECORDER = TrajectoryRecorder()
+
+
+def trajectory_recorder() -> TrajectoryRecorder:
+    """The process-global recorder benches append to."""
+    return _GLOBAL_RECORDER
+
+
+def record_run(bench: str, seconds: float, **kwargs) -> dict:
+    """Append one entry to the global trajectory (see
+    :meth:`TrajectoryRecorder.record` for the fields)."""
+    return _GLOBAL_RECORDER.record(bench, seconds, **kwargs)
+
+
+def write_trajectory(path: str = TRAJECTORY_FILE) -> str | None:
+    """Write the global trajectory to ``path``; None when empty."""
+    if not _GLOBAL_RECORDER.entries:
+        return None
+    return _GLOBAL_RECORDER.write(path)

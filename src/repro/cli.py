@@ -195,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "info":
         db = Database()
-        db.load_file(args.database, name="bib.xml")
+        db.load(path=args.database, name="bib.xml")
         summary = db.info()
         for document in summary["documents"]:
             print(f"document {document['name']}: {document['nodes']} nodes")
@@ -207,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command in ("query", "explain"):
         db = Database()
-        db.load_file(args.database, name="bib.xml")
+        db.load(path=args.database, name="bib.xml")
         text = _read_query(args)
         if args.command == "explain":
             print(db.explain(text, verbose=getattr(args, "verbose", False)).render())
@@ -237,7 +237,7 @@ def main(argv: list[str] | None = None) -> int:
         from .service.server import ServerConfig, serve as bind_server
 
         db = Database()
-        db.load_file(args.database, name="bib.xml")
+        db.load(path=args.database, name="bib.xml")
         service = QueryService(
             db,
             ServiceConfig(
@@ -312,6 +312,11 @@ def main(argv: list[str] | None = None) -> int:
         print(format_report(run_ablation_grouping_strategies(config)))
     else:
         print(format_report(run_ablation_buffer_pool(config)))
+    from .bench.trajectory import write_trajectory
+
+    written = write_trajectory()
+    if written is not None:
+        print(f"trajectory written to {written}", file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,334 @@
+"""Columnar node table: the XPath-accelerator hot path.
+
+The pattern matcher's structural predicates are interval containment
+tests over ``(start, end, level)`` labels.  The object-walk path
+evaluates them against per-node :class:`~repro.indexing.labels.NodeLabel`
+tuples — one Python object per candidate, one attribute access per
+comparison.  This module stores the same encoding *columnarly*: parallel
+``array`` columns in document order (``start``, ``end``, ``level``,
+``tag``, ``doc``, ``nid``), plus a tag → row-range directory over a
+tag-major permutation of the rows.  Axis steps then become ``bisect``
+range scans (Grust's staircase windows: every descendant of a node is a
+contiguous ``start`` run) and structural joins become stack-based
+staircase merges over flat integer arrays.
+
+A table is built once per store *generation* — the monotonic mutation
+counter every load/drop/compact/repair bumps — and cached on the
+:class:`~repro.indexing.manager.IndexManager` beside the tag and value
+indexes.  ``indexing/persist.py`` serializes it into the same
+``indexes.pages`` snapshot (record kind ``0x03``), so reopening a
+database directory skips the rebuild.
+
+Row identity: rows are assigned in ascending ``start`` order, and both
+``start`` labels and nids come from global monotonic counters assigned
+in the same preorder pass, so *row order = start order = nid order*.  A
+row index is therefore a complete node identity within one generation,
+and the matcher can carry binding tuples as plain integer columns until
+final witness materialization.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import NamedTuple, Sequence
+
+try:  # Vectorized staircase kernels when numpy is present (optional).
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
+
+from .labels import NodeLabel
+
+__all__ = [
+    "ColumnarTable",
+    "ColumnarStatistics",
+    "RowStream",
+    "EMPTY_STREAM",
+    "build_columnar_table",
+    "columnar_statistics",
+    "numpy_or_none",
+]
+
+
+def numpy_or_none():
+    """The numpy module when importable, else None.  The staircase
+    kernels vectorize over it; without it the pure-Python merge runs."""
+    return _np
+
+
+def np_view(column):
+    """A zero-copy numpy view over an ``array('l')`` column."""
+    return _np.frombuffer(column, dtype=_np.dtype("l"))
+
+
+class ColumnarStatistics:
+    """Counters for columnar-path work (surfaced in CounterSnapshot)."""
+
+    __slots__ = ("builds", "scans", "fallbacks", "window_scans", "merge_joins")
+
+    def __init__(self):
+        self.builds = 0
+        self.scans = 0
+        self.fallbacks = 0
+        self.window_scans = 0
+        self.merge_joins = 0
+
+    def reset(self) -> None:
+        self.builds = 0
+        self.scans = 0
+        self.fallbacks = 0
+        self.window_scans = 0
+        self.merge_joins = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "columnar_builds": self.builds,
+            "columnar_scans": self.scans,
+            "columnar_fallbacks": self.fallbacks,
+            "columnar_window_scans": self.window_scans,
+            "columnar_merge_joins": self.merge_joins,
+        }
+
+
+_GLOBAL_STATS = ColumnarStatistics()
+
+
+def columnar_statistics() -> ColumnarStatistics:
+    """The module-level statistics object (reset per measured run)."""
+    return _GLOBAL_STATS
+
+
+class RowStream(NamedTuple):
+    """A candidate stream as a window over parallel columns.
+
+    ``rows[p]`` maps stream position ``p`` to the global table row;
+    ``starts``/``ends``/``levels`` are parallel to ``rows``.  Positions
+    ``lo <= p < hi`` are live, and ``starts`` is ascending on them —
+    the sortedness every staircase scan relies on.
+    """
+
+    rows: Sequence[int]
+    starts: Sequence[int]
+    ends: Sequence[int]
+    levels: Sequence[int]
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        """Live window length (``len`` would break ``_replace``)."""
+        return self.hi - self.lo
+
+    def row_list(self) -> list[int]:
+        """The global rows of the live window, ascending."""
+        return list(self.rows[self.lo : self.hi])
+
+    def np_arrays(self):
+        """The live window as four numpy arrays (rows, starts, ends,
+        levels) — zero-copy for ``array`` columns.  numpy only."""
+
+        def as_np(column):
+            if isinstance(column, array):
+                return np_view(column)[self.lo : self.hi]
+            if isinstance(column, range):
+                return _np.arange(
+                    column.start + self.lo, column.start + self.hi, dtype=_np.dtype("l")
+                )
+            return _np.asarray(column[self.lo : self.hi], dtype=_np.dtype("l"))
+
+        return as_np(self.rows), as_np(self.starts), as_np(self.ends), as_np(self.levels)
+
+
+class ColumnarTable:
+    """Document-order columnar node table for one store generation."""
+
+    __slots__ = (
+        "generation",
+        "nids",
+        "starts",
+        "ends",
+        "levels",
+        "tags",
+        "docs",
+        "tag_rows",
+        "tag_starts",
+        "tag_ends",
+        "tag_levels",
+        "tag_dir",
+        "_labels",
+    )
+
+    def __init__(
+        self,
+        nids: Sequence[int],
+        starts: Sequence[int],
+        ends: Sequence[int],
+        levels: Sequence[int],
+        tags: Sequence[int],
+        docs: Sequence[int],
+        generation: int = 0,
+    ):
+        self.generation = generation
+        self.nids = array("l", nids)
+        self.starts = array("l", starts)
+        self.ends = array("l", ends)
+        self.levels = array("l", levels)
+        self.tags = array("l", tags)
+        self.docs = array("l", docs)
+
+        # Tag-major permutation: rows grouped by tag symbol, ascending
+        # within each group, with parallel start/end/level columns so a
+        # tag stream needs no per-query gather.
+        by_tag: dict[int, list[int]] = {}
+        for row, tag in enumerate(self.tags):
+            by_tag.setdefault(tag, []).append(row)
+        tag_rows = array("l")
+        tag_dir: dict[int, tuple[int, int]] = {}
+        for tag in sorted(by_tag):
+            lo = len(tag_rows)
+            tag_rows.extend(by_tag[tag])
+            tag_dir[tag] = (lo, len(tag_rows))
+        starts_col = self.starts
+        ends_col = self.ends
+        levels_col = self.levels
+        self.tag_rows = tag_rows
+        self.tag_starts = array("l", [starts_col[r] for r in tag_rows])
+        self.tag_ends = array("l", [ends_col[r] for r in tag_rows])
+        self.tag_levels = array("l", [levels_col[r] for r in tag_rows])
+        self.tag_dir = tag_dir
+        # Lazily materialized NodeLabel per row (witness construction).
+        self._labels: list[NodeLabel | None] = [None] * len(self.nids)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.nids)
+
+    def label_of_row(self, row: int) -> NodeLabel:
+        label = self._labels[row]
+        if label is None:
+            label = NodeLabel(
+                self.nids[row], self.starts[row], self.ends[row], self.levels[row]
+            )
+            self._labels[row] = label
+        return label
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+    def stream_for_tag(self, tag_sym: int) -> RowStream:
+        """All rows with the tag, as a zero-copy tag-directory window."""
+        bounds = self.tag_dir.get(tag_sym)
+        if bounds is None:
+            return EMPTY_STREAM
+        lo, hi = bounds
+        return RowStream(
+            self.tag_rows, self.tag_starts, self.tag_ends, self.tag_levels, lo, hi
+        )
+
+    def stream_all(self) -> RowStream:
+        """Every row, in document order (wildcard candidates)."""
+        n = len(self.nids)
+        return RowStream(range(n), self.starts, self.ends, self.levels, 0, n)
+
+    def stream_for_rows(self, rows: Sequence[int]) -> RowStream:
+        """A stream over an ascending ad-hoc row list (binding streams)."""
+        starts_col = self.starts
+        ends_col = self.ends
+        levels_col = self.levels
+        return RowStream(
+            rows if isinstance(rows, (list, array)) else list(rows),
+            array("l", [starts_col[r] for r in rows]),
+            array("l", [ends_col[r] for r in rows]),
+            array("l", [levels_col[r] for r in rows]),
+            0,
+            len(rows),
+        )
+
+    def restrict(self, stream: RowStream, start_lo: int, start_hi: int) -> RowStream:
+        """Narrow a stream to rows whose start lies in [start_lo, start_hi].
+
+        Because a document (or any subtree) occupies one contiguous
+        label region, this is document scoping as two bisects.
+        """
+        lo = bisect_left(stream.starts, start_lo, stream.lo, stream.hi)
+        hi = bisect_right(stream.starts, start_hi, lo, stream.hi)
+        return stream._replace(lo=lo, hi=hi)
+
+    # ------------------------------------------------------------------
+    # Label <-> row conversion
+    # ------------------------------------------------------------------
+    def row_of_label(self, label: NodeLabel) -> int | None:
+        """The row holding ``label``, or None when it is not in the table."""
+        row = bisect_left(self.starts, label.start)
+        if row < len(self.starts) and self.starts[row] == label.start:
+            if self.nids[row] == label.nid:
+                return row
+        return None
+
+    def rows_for_labels(self, labels: Sequence[NodeLabel]) -> list[int] | None:
+        """Convert a start-sorted label list to ascending rows.
+
+        Returns None when any label is unknown — the caller then falls
+        back to the object walk rather than silently dropping nodes.
+        """
+        starts_col = self.starts
+        nids_col = self.nids
+        n = len(starts_col)
+        rows: list[int] = []
+        append = rows.append
+        for label in labels:
+            row = bisect_left(starts_col, label.start)
+            if row >= n or starts_col[row] != label.start or nids_col[row] != label.nid:
+                return None
+            append(row)
+        return rows
+
+
+EMPTY_STREAM = RowStream((), (), (), (), 0, 0)
+
+
+def build_columnar_table(store, tag_index) -> ColumnarTable:
+    """Build the table for the store's current generation.
+
+    Sourced from the tag index's posting lists (already labeled and
+    complete — every node has a tag) plus the document catalog; no data
+    page is read.
+    """
+    entries: list[tuple[int, int, int, int, int]] = []
+    for tag_sym, postings in tag_index._postings.items():
+        entries.extend(
+            (label.start, label.end, label.level, label.nid, tag_sym)
+            for label in postings
+        )
+    entries.sort()
+
+    nids = array("l", [e[3] for e in entries])
+    starts = array("l", [e[0] for e in entries])
+    ends = array("l", [e[1] for e in entries])
+    levels = array("l", [e[2] for e in entries])
+    tags = array("l", [e[4] for e in entries])
+
+    # Documents occupy disjoint ascending nid ranges; one merge pass
+    # assigns each row its doc id.
+    ranges = sorted(
+        (info.first_nid, info.last_nid, info.doc_id) for info in store.documents()
+    )
+    docs = array("l")
+    index = 0
+    n_ranges = len(ranges)
+    for nid in nids:
+        while index < n_ranges and nid > ranges[index][1]:
+            index += 1
+        if index < n_ranges and ranges[index][0] <= nid:
+            docs.append(ranges[index][2])
+        else:
+            docs.append(0)
+
+    _GLOBAL_STATS.builds += 1
+    return ColumnarTable(
+        nids, starts, ends, levels, tags, docs, generation=store.generation
+    )

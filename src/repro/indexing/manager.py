@@ -33,6 +33,10 @@ class IndexManager:
         self.value_index = ValueIndex()
         self._built = False
         self._build_lock = threading.Lock()
+        # Columnar node table for the current store generation; built
+        # lazily on first query and invalidated by every rebuild.
+        self._columnar = None
+        self._columnar_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -58,6 +62,7 @@ class IndexManager:
         self.tag_index = tag_index
         self.value_index = value_index
         self._built = True
+        self._columnar = None  # stale for the new generation; rebuilt lazily
 
     def ensure_built(self) -> None:
         """Build on first use; safe to race from many query threads."""
@@ -66,6 +71,71 @@ class IndexManager:
         with self._build_lock:
             if not self._built:
                 self.build()
+
+    # ------------------------------------------------------------------
+    # Columnar snapshot (the staircase hot path's node table)
+    # ------------------------------------------------------------------
+    def ensure_columnar(self):
+        """The columnar table for the current store generation.
+
+        Built lazily on first use (from the tag index — no page I/O),
+        reused while the generation is stable, and — when the database
+        has a directory and the persisted index snapshot is fresh —
+        written back into ``indexes.pages`` so a reopen skips this
+        build entirely.
+        """
+        table = self._columnar
+        if table is not None and table.generation == self.store.generation:
+            return table
+        with self._columnar_lock:
+            table = self._columnar
+            if table is not None and table.generation == self.store.generation:
+                return table
+            from .columnar import build_columnar_table
+
+            self.ensure_built()
+            table = build_columnar_table(self.store, self.tag_index)
+            self._columnar = table
+            self._persist_columnar()
+            return table
+
+    def columnar_if_fresh(self):
+        """The cached table when it matches the current generation, else
+        None — never triggers a build (EXPLAIN uses this)."""
+        table = self._columnar
+        if table is not None and table.generation == self.store.generation:
+            return table
+        return None
+
+    def columnar_status(self) -> dict[str, object]:
+        """Snapshot state for EXPLAIN and load reports; non-building."""
+        table = self.columnar_if_fresh()
+        if table is not None:
+            return {
+                "state": "ready",
+                "rows": table.n_rows,
+                "generation": table.generation,
+            }
+        return {
+            "state": "pending",
+            "rows": None,
+            "generation": self.store.generation,
+        }
+
+    def _persist_columnar(self) -> None:
+        """Opportunistically rewrite the index snapshot with the fresh
+        columnar table included.  Persistence is a cache: any failure
+        (or a snapshot that is already stale) is silently skipped."""
+        directory = self.store.directory
+        if directory is None:
+            return
+        from .persist import save_indexes, snapshot_is_fresh
+
+        try:
+            if snapshot_is_fresh(self.store.meta, directory):
+                save_indexes(self, directory)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Persistence (indexes.pages in the database directory)

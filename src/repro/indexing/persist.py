@@ -14,9 +14,15 @@ kind 0x00  header: ``next_nid u32 | next_label u32 | n_docs u32``
 kind 0x01  tag chunk: ``tag_sym u32 | n u16 | n x label``
 kind 0x02  value chunk: ``tag_sym u32 | len u16 | content utf-8 |
            n u16 | n x label``
+kind 0x03  columnar chunk: ``n u16 | n x row`` (rows in table order)
 =========  ==========================================================
 
-where ``label`` is ``nid u32 | start u32 | end u32 | level u16``.
+where ``label`` is ``nid u32 | start u32 | end u32 | level u16`` and
+``row`` is ``nid u32 | start u32 | end u32 | level u16 | tag u32 |
+doc u16`` — one row of the columnar node table
+(:mod:`repro.indexing.columnar`).  Columnar chunks are written only
+when the manager holds a table for the current generation; snapshots
+without them simply leave the table to a lazy rebuild on first query.
 
 On load, a missing file, a corrupt page, or a fingerprint mismatch all
 fall back to a rebuild — persistence is a cache, never a source of
@@ -44,9 +50,15 @@ _COUNT = struct.Struct(">H")
 _KIND_HEADER = 0x00
 _KIND_TAG = 0x01
 _KIND_VALUE = 0x02
+_KIND_COLUMNAR = 0x03
+
+_COLUMNAR_PREFIX = struct.Struct(">BH")
+_ROW = struct.Struct(">IIIHIH")
 
 # Labels per chunk record, sized to keep records well under a page.
 CHUNK_LABELS = 400
+# Columnar rows per chunk (20 bytes each; well under the 8 KiB page).
+CHUNK_ROWS = 300
 
 
 def fingerprint_of(meta) -> tuple[int, int, int]:
@@ -144,6 +156,27 @@ def save_indexes(manager, directory: str) -> None:
                     + _COUNT.pack(len(chunk))
                     + _pack_labels(chunk)
                 )
+
+        # The columnar node table, when fresh for this fingerprint.
+        table = getattr(manager, "columnar_if_fresh", lambda: None)()
+        if table is not None:
+            pack = _ROW.pack
+            for start in range(0, table.n_rows, CHUNK_ROWS):
+                stop = min(start + CHUNK_ROWS, table.n_rows)
+                writer.add(
+                    _COLUMNAR_PREFIX.pack(_KIND_COLUMNAR, stop - start)
+                    + b"".join(
+                        pack(
+                            table.nids[row],
+                            table.starts[row],
+                            table.ends[row],
+                            table.levels[row],
+                            table.tags[row],
+                            table.docs[row],
+                        )
+                        for row in range(start, stop)
+                    )
+                )
         writer.flush()
     finally:
         disk.close()  # flushes and fsyncs the staged file
@@ -159,11 +192,20 @@ def load_indexes(manager, directory: str) -> bool:
     path = os.path.join(directory, INDEX_FILE)
     if not os.path.exists(path):
         return False
+    from array import array
+
     from .tag_index import TagIndex
     from .value_index import ValueIndex
 
     tag_index = TagIndex()
     value_index = ValueIndex()
+    row_nids = array("l")
+    row_starts = array("l")
+    row_ends = array("l")
+    row_levels = array("l")
+    row_tags = array("l")
+    row_docs = array("l")
+    columnar_seen = False
     try:
         disk = DiskManager(path)
     except ReproError:
@@ -194,6 +236,21 @@ def load_indexes(manager, directory: str) -> bool:
                     labels, _ = _unpack_labels(raw, offset, count)
                     for label in labels:
                         value_index.add(tag_sym, content, label)
+                elif kind == _KIND_COLUMNAR:
+                    columnar_seen = True
+                    _, count = _COLUMNAR_PREFIX.unpack_from(raw, 0)
+                    offset = _COLUMNAR_PREFIX.size
+                    for _ in range(count):
+                        nid, start, end, level, tag_sym, doc = _ROW.unpack_from(
+                            raw, offset
+                        )
+                        offset += _ROW.size
+                        row_nids.append(nid)
+                        row_starts.append(start)
+                        row_ends.append(end)
+                        row_levels.append(level)
+                        row_tags.append(tag_sym)
+                        row_docs.append(doc)
                 else:
                     return False  # unknown record kind: treat as corrupt
         if not header_seen:
@@ -206,6 +263,20 @@ def load_indexes(manager, directory: str) -> bool:
     manager.tag_index = tag_index
     manager.value_index = value_index
     manager._built = True
+    if columnar_seen:
+        from .columnar import ColumnarTable
+
+        manager._columnar = ColumnarTable(
+            row_nids,
+            row_starts,
+            row_ends,
+            row_levels,
+            row_tags,
+            row_docs,
+            generation=manager.store.generation,
+        )
+    else:
+        manager._columnar = None
     return True
 
 

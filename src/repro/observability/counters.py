@@ -98,6 +98,7 @@ def snapshot_counters(store, indexes=None, matcher=None) -> CounterSnapshot:
     arguments are duck-typed so this module imports none of the layers
     it observes.
     """
+    from ..indexing.columnar import columnar_statistics
     from ..pattern.structural_join import join_statistics
 
     data: dict[str, int] = {}
@@ -105,6 +106,7 @@ def snapshot_counters(store, indexes=None, matcher=None) -> CounterSnapshot:
     data.update(store.pool.counters.snapshot())
     data.update(store.disk.counters.snapshot())
     data.update(join_statistics().snapshot())
+    data.update(columnar_statistics().snapshot())
     # Fault-injection and crash-recovery layers, when present (the disk
     # may be a FaultyDiskManager; the store keeps recovery counters).
     recovery = getattr(store, "recovery", None)

@@ -19,6 +19,14 @@ paper's order-preservation guarantees.
 from __future__ import annotations
 
 from ..cancellation import checkpoint
+from ..indexing.columnar import (
+    EMPTY_STREAM,
+    ColumnarTable,
+    RowStream,
+    columnar_statistics,
+    np_view,
+    numpy_or_none,
+)
 from ..indexing.labels import NodeLabel
 from ..indexing.manager import IndexManager
 from ..pattern.pattern import Axis, PatternNode, PatternTree
@@ -26,8 +34,16 @@ from ..storage.store import NodeStore
 from ..xmlmodel.node import XMLNode
 from ..xmlmodel.tree import Collection
 from .predicates import AnyNode, Conjunction, ContentEquals, Predicate, TagEquals
-from .structural_join import structural_join_pairs_by_ancestor
+from .structural_join import (
+    join_statistics,
+    staircase_join_rows,
+    structural_join_pairs_by_ancestor,
+)
 from .witness import StoreMatch, TreeMatch
+
+#: Module-level numpy gate — monkeypatched to None in tests to force
+#: the pure-Python staircase path.
+_np = numpy_or_none()
 
 
 class MatcherStatistics:
@@ -66,12 +82,26 @@ def _index_covers(predicate: Predicate) -> bool:
 class StoreMatcher:
     """Index-assisted pattern matching over a :class:`NodeStore`."""
 
-    def __init__(self, store: NodeStore, indexes: IndexManager, use_indexes: bool = True):
+    def __init__(
+        self,
+        store: NodeStore,
+        indexes: IndexManager,
+        use_indexes: bool = True,
+        columnar: ColumnarTable | None = None,
+    ):
         """``use_indexes=False`` selects the full-scan candidate source —
-        the baseline the paper contrasts in Sec. 5.2 (ablation A1)."""
+        the baseline the paper contrasts in Sec. 5.2 (ablation A1).
+
+        ``columnar`` installs a columnar node table for the current
+        store generation; :meth:`match` then runs axis steps as
+        staircase merges over its arrays, falling back to the object
+        walk per match whenever the table cannot serve a candidate
+        stream.
+        """
         self.store = store
         self.indexes = indexes
         self.use_indexes = use_indexes
+        self.columnar = columnar if use_indexes else None
         self.stats = MatcherStatistics()
 
     # ------------------------------------------------------------------
@@ -128,7 +158,10 @@ class StoreMatcher:
     # Matching
     # ------------------------------------------------------------------
     def match(
-        self, pattern: PatternTree, root_candidates: list[NodeLabel] | None = None
+        self,
+        pattern: PatternTree,
+        root_candidates: list[NodeLabel] | None = None,
+        doc_bounds: tuple[int, int] | None = None,
     ) -> list[StoreMatch]:
         """All embeddings of ``pattern`` into the store, document order.
 
@@ -136,10 +169,30 @@ class StoreMatcher:
         label stream (must be start-sorted) instead of an index lookup —
         used when a previous operator already narrowed the roots, e.g.
         the physical groupby matching its pattern against the article
-        witnesses of the preceding selection.
+        witnesses of the preceding selection.  ``doc_bounds`` further
+        restricts root bindings to one document's ``(start, end)`` label
+        region (the physical scan's per-document scoping).
+
+        With a columnar table installed this runs the staircase path;
+        otherwise (or when the table cannot serve a candidate stream,
+        e.g. labels from an intermediate collection it has never seen)
+        the per-label object walk below.
         """
+        if self.columnar is not None:
+            matches = self._match_columnar(pattern, root_candidates, doc_bounds)
+            if matches is not None:
+                columnar_statistics().scans += 1
+                return matches
+        columnar_statistics().fallbacks += 1
         if root_candidates is None:
             root_candidates = self.candidates(pattern.root)
+        if doc_bounds is not None:
+            lo, hi = doc_bounds
+            root_candidates = [
+                label
+                for label in root_candidates
+                if lo <= label.start and label.end <= hi
+            ]
         tuples: list[dict[str, NodeLabel]] = [
             {pattern.root.label: label} for label in root_candidates
         ]
@@ -168,6 +221,257 @@ class StoreMatcher:
         tuples.sort(key=lambda t: tuple(t[label].start for label in order))
         self.stats.witnesses += len(tuples)
         return [StoreMatch(bindings=t) for t in tuples]
+
+    # ------------------------------------------------------------------
+    # Columnar matching (the staircase hot path)
+    # ------------------------------------------------------------------
+    def _match_columnar(
+        self,
+        pattern: PatternTree,
+        root_candidates: list[NodeLabel] | None,
+        doc_bounds: tuple[int, int] | None,
+    ) -> list[StoreMatch] | None:
+        """Match over the columnar table; None signals fallback.
+
+        Binding tuples are carried as parallel integer *row columns*
+        (one column per pattern label) — no per-tuple dicts, no
+        NodeLabel objects — until final witness materialization.  Each
+        pattern edge is one staircase join of the distinct bound parent
+        rows against the child's candidate stream.  With numpy present
+        the whole pipeline (window location, tuple expansion, level
+        filter, final sort) runs as vectorized kernels; otherwise the
+        pure-Python staircase merge below.
+        """
+        if _np is not None:
+            return self._match_columnar_np(pattern, root_candidates, doc_bounds)
+        return self._match_columnar_rows(pattern, root_candidates, doc_bounds)
+
+    def _columnar_root_stream(
+        self,
+        pattern: PatternTree,
+        root_candidates: list[NodeLabel] | None,
+        doc_bounds: tuple[int, int] | None,
+    ) -> RowStream | None:
+        """The root candidate stream, or None to signal fallback."""
+        table = self.columnar
+        if root_candidates is not None:
+            rows = table.rows_for_labels(root_candidates)
+            if rows is None:
+                return None  # foreign labels: the object walk handles them
+            root_stream = table.stream_for_rows(rows)
+            self.stats.candidate_labels += root_stream.size
+        else:
+            root_stream = self._columnar_candidates(table, pattern.root)
+            if root_stream is None:
+                return None
+        if doc_bounds is not None:
+            root_stream = table.restrict(root_stream, doc_bounds[0], doc_bounds[1])
+        return root_stream
+
+    def _match_columnar_np(
+        self,
+        pattern: PatternTree,
+        root_candidates: list[NodeLabel] | None,
+        doc_bounds: tuple[int, int] | None,
+    ) -> list[StoreMatch] | None:
+        """Vectorized staircase matching (numpy kernels).
+
+        Per edge, windows for *all* distinct parents are located with
+        two batched ``searchsorted`` calls, and binding tuples are
+        expanded window-by-window with ``repeat``/``arange`` index
+        arithmetic — no Python-level loop over candidates or tuples.
+        A nesting ancestor stream (laminar regions overlapping) is
+        handed to the pure staircase path, whose stack merge is exact.
+        """
+        np = _np
+        table = self.columnar
+        root_stream = self._columnar_root_stream(pattern, root_candidates, doc_bounds)
+        if root_stream is None:
+            return None
+        starts = np_view(table.starts)
+        ends = np_view(table.ends)
+        levels = np_view(table.levels)
+
+        order = [node.label for node in pattern.nodes()]
+        empty = np.empty(0, dtype=np.dtype("l"))
+        cols: dict[str, object] = {pattern.root.label: root_stream.np_arrays()[0]}
+        join_stats = join_statistics()
+        for parent, child, axis in pattern.edges():
+            checkpoint()
+            parent_col = cols[parent.label]
+            if parent_col.size == 0:
+                break
+            child_stream = self._columnar_candidates(table, child)
+            if child_stream is None:
+                return None
+            if not child_stream.size:
+                cols = {key: empty for key in cols}
+                cols[child.label] = empty
+                break
+            uniq = np.unique(parent_col)
+            a_starts = starts[uniq]
+            a_ends = ends[uniq]
+            if uniq.size > 1 and bool(
+                (a_starts[1:] < np.maximum.accumulate(a_ends)[:-1]).any()
+            ):
+                # Nested parents: the stack merge handles this exactly.
+                return self._match_columnar_rows(pattern, root_candidates, doc_bounds)
+            d_rows, d_starts, _d_ends, d_levels = child_stream.np_arrays()
+            join_stats.joins += 1
+            join_stats.candidates_consumed += int(uniq.size) + child_stream.size
+            columnar_statistics().window_scans += 1
+            # Each parent's proper descendants are one contiguous start
+            # run (laminar regions): two batched bisects per edge.
+            lo = np.searchsorted(d_starts, a_starts, side="right")
+            hi = np.searchsorted(d_starts, a_ends, side="left")
+            t_index = np.searchsorted(uniq, parent_col)
+            t_lo = lo[t_index]
+            t_counts = hi[t_index] - t_lo
+            total = int(t_counts.sum())
+            if total == 0:
+                cols = {key: empty for key in cols}
+                cols[child.label] = empty
+                break
+            # Expand tuple i into its window of t_counts[i] children.
+            rep = np.repeat(np.arange(parent_col.size), t_counts)
+            prefix = np.cumsum(t_counts) - t_counts
+            positions = (
+                np.repeat(t_lo, t_counts)
+                + np.arange(total)
+                - np.repeat(prefix, t_counts)
+            )
+            child_col = d_rows[positions]
+            if axis is Axis.PC:
+                want = np.repeat(levels[parent_col] + 1, t_counts)
+                mask = d_levels[positions] == want
+                rep = rep[mask]
+                child_col = child_col[mask]
+            join_stats.pairs_emitted += int(child_col.size)
+            cols = {key: col[rep] for key, col in cols.items()}
+            cols[child.label] = child_col
+
+        if any(label not in cols or cols[label].size == 0 for label in order):
+            return []
+
+        columns = [cols[label] for label in order]
+        if len(columns) > 1:
+            # Row order equals start order, so lexsort over the integer
+            # columns in pattern preorder is the document-order sort.
+            perm = np.lexsort(tuple(reversed(columns)))
+            columns = [column[perm] for column in columns]
+        # Materialize per column: label lookups dedupe through unique
+        # (a binding column repeats each row once per sibling tuple),
+        # and dict(zip(...)) builds each bindings dict in one C call.
+        label_of_row = table.label_of_row
+        label_columns = []
+        for column in columns:
+            uniq_rows, inverse = np.unique(column, return_inverse=True)
+            uniq_labels = [label_of_row(row) for row in uniq_rows.tolist()]
+            label_columns.append([uniq_labels[i] for i in inverse.tolist()])
+        matches = [
+            StoreMatch(bindings=dict(zip(order, labels)))
+            for labels in zip(*label_columns)
+        ]
+        self.stats.witnesses += len(matches)
+        return matches
+
+    def _match_columnar_rows(
+        self,
+        pattern: PatternTree,
+        root_candidates: list[NodeLabel] | None,
+        doc_bounds: tuple[int, int] | None,
+    ) -> list[StoreMatch] | None:
+        """The pure-Python columnar path (no numpy needed)."""
+        table = self.columnar
+        root_stream = self._columnar_root_stream(pattern, root_candidates, doc_bounds)
+        if root_stream is None:
+            return None
+
+        order = [node.label for node in pattern.nodes()]
+        cols: dict[str, list[int]] = {pattern.root.label: root_stream.row_list()}
+        for parent, child, axis in pattern.edges():
+            checkpoint()
+            parent_col = cols[parent.label]
+            if not parent_col:
+                break
+            child_stream = self._columnar_candidates(table, child)
+            if child_stream is None:
+                return None
+            if not child_stream.size:
+                for label in cols:
+                    cols[label] = []
+                cols[child.label] = []
+                break
+            parent_rows = sorted(set(parent_col))
+            grouped = staircase_join_rows(
+                table.stream_for_rows(parent_rows), child_stream, axis
+            )
+            keys = list(cols)
+            new_cols: dict[str, list[int]] = {key: [] for key in keys}
+            child_col: list[int] = []
+            get = grouped.get
+            for i, parent_row in enumerate(parent_col):
+                descendants = get(parent_row)
+                if not descendants:
+                    continue
+                if len(descendants) == 1:
+                    for key in keys:
+                        new_cols[key].append(cols[key][i])
+                else:
+                    for key in keys:
+                        new_cols[key].extend([cols[key][i]] * len(descendants))
+                child_col.extend(descendants)
+            new_cols[child.label] = child_col
+            cols = new_cols
+
+        if any(label not in cols or not cols[label] for label in order):
+            self.stats.witnesses += 0
+            return []
+
+        # Row order equals start order, so sorting plain integer tuples
+        # in pattern preorder is exactly the document-order sort.
+        tuples = sorted(zip(*(cols[label] for label in order)))
+        label_of_row = table.label_of_row
+        matches = [
+            StoreMatch(
+                bindings={
+                    label: label_of_row(row) for label, row in zip(order, rows)
+                }
+            )
+            for rows in tuples
+        ]
+        self.stats.witnesses += len(matches)
+        return matches
+
+    def _columnar_candidates(
+        self, table: ColumnarTable, pnode: PatternNode
+    ) -> RowStream | None:
+        """The candidate row stream for a pattern node, or None when the
+        columnar path cannot serve it and the match must fall back.
+
+        Tag-only predicates come straight from the tag directory (a
+        zero-copy window); anything else routes through the object-path
+        candidate machinery (value index, filtered scans, residual
+        checks) and converts the resulting labels to rows.
+        """
+        predicate = pnode.predicate
+        tag = predicate.tag_constraint()
+        value = predicate.content_equality()
+        if _index_covers(predicate):
+            if tag is not None and value is None:
+                sym = self.store.meta.symbols.lookup(tag)
+                stream = table.stream_for_tag(sym) if sym is not None else EMPTY_STREAM
+                self.stats.candidate_labels += stream.size
+                return stream
+            if tag is None and value is None:  # wildcard: every node
+                stream = table.stream_all()
+                self.stats.candidate_labels += stream.size
+                return stream
+        labels = self.candidates(pnode)  # counts its own statistics
+        rows = table.rows_for_labels(labels)
+        if rows is None:
+            return None
+        return table.stream_for_rows(rows)
 
 
 class TreeMatcher:

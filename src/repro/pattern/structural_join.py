@@ -13,12 +13,16 @@ stack entry whose region is still open contains it.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
+from ..indexing.columnar import RowStream, columnar_statistics
 from ..indexing.labels import NodeLabel
 from .pattern import Axis
 
 __all__ = [
     "structural_join",
     "structural_join_pairs_by_ancestor",
+    "staircase_join_rows",
     "brute_force_join",
     "join_statistics",
     "JoinStatistics",
@@ -122,6 +126,137 @@ def structural_join_pairs_by_ancestor(
     for ancestor, descendant in structural_join(ancestors, descendants, axis):
         grouped.setdefault(ancestor.nid, []).append(descendant)
     return grouped
+
+
+def staircase_join_rows(
+    ancestors: RowStream,
+    descendants: RowStream,
+    axis: Axis,
+) -> dict[int, list[int]]:
+    """Columnar structural join: ancestor row -> descendant rows.
+
+    Both streams must be ascending by ``start``.  When the ancestor
+    stream is non-nesting (the overwhelmingly common case — pattern
+    candidates of one tag rarely contain each other), each ancestor's
+    descendants are one contiguous ``start`` run in the descendant
+    stream, located with two bisects and emitted as a slice: the
+    staircase window scan.  A nesting ancestor stream falls back to the
+    stack-based staircase merge, which handles arbitrary nesting in one
+    pass.
+
+    Semantics match :func:`structural_join` exactly: proper containment
+    only (a node never pairs with itself in a self-join), and PC
+    additionally requires ``ancestor.level + 1 == descendant.level``.
+    """
+    stats = _GLOBAL_STATS
+    stats.joins += 1
+    stats.candidates_consumed += ancestors.size + descendants.size
+
+    a_rows = ancestors.rows
+    a_starts = ancestors.starts
+    a_ends = ancestors.ends
+    a_levels = ancestors.levels
+    d_rows = descendants.rows
+    d_starts = descendants.starts
+    d_levels = descendants.levels
+    d_hi = descendants.hi
+    parent_child = axis is Axis.PC
+
+    grouped: dict[int, list[int]] = {}
+    pairs = 0
+    cursor = descendants.lo  # windows advance left-to-right, never overlap
+    previous_end = -1
+    nested = False
+    for i in range(ancestors.lo, ancestors.hi):
+        a_start = a_starts[i]
+        if a_start < previous_end:
+            nested = True
+            break
+        a_end = a_ends[i]
+        previous_end = a_end
+        # Proper descendants are exactly the starts strictly inside
+        # (a_start, a_end): regions are laminar, so no end check needed.
+        lo = bisect_right(d_starts, a_start, cursor, d_hi)
+        hi = bisect_left(d_starts, a_end, lo, d_hi)
+        cursor = hi
+        if lo >= hi:
+            continue
+        if parent_child:
+            want = a_levels[i] + 1
+            out = [d_rows[p] for p in range(lo, hi) if d_levels[p] == want]
+            if not out:
+                continue
+        else:
+            out = list(d_rows[lo:hi])
+        grouped[a_rows[i]] = out
+        pairs += len(out)
+
+    if nested:
+        columnar_statistics().merge_joins += 1
+        grouped, pairs = _staircase_merge_rows(ancestors, descendants, parent_child)
+    else:
+        columnar_statistics().window_scans += 1
+    stats.pairs_emitted += pairs
+    return grouped
+
+
+def _staircase_merge_rows(
+    ancestors: RowStream, descendants: RowStream, parent_child: bool
+) -> tuple[dict[int, list[int]], int]:
+    """Stack-based merge over row streams — the nesting-safe path.
+
+    Mirrors :func:`structural_join` step for step, on flat arrays.
+    """
+    a_rows = ancestors.rows
+    a_starts = ancestors.starts
+    a_ends = ancestors.ends
+    a_levels = ancestors.levels
+    d_rows = descendants.rows
+    d_starts = descendants.starts
+    d_ends = descendants.ends
+    d_levels = descendants.levels
+
+    grouped: dict[int, list[int]] = {}
+    pairs = 0
+    # Stack of open ancestors as parallel lists (innermost last).
+    s_rows: list[int] = []
+    s_starts: list[int] = []
+    s_ends: list[int] = []
+    s_levels: list[int] = []
+    a_index = ancestors.lo
+    a_hi = ancestors.hi
+    for p in range(descendants.lo, descendants.hi):
+        d_start = d_starts[p]
+        d_end = d_ends[p]
+        while a_index < a_hi and a_starts[a_index] < d_start:
+            c_start = a_starts[a_index]
+            c_end = a_ends[a_index]
+            if c_end < d_start:
+                a_index += 1
+                continue  # already closed; can never contain this or later
+            while s_ends and s_ends[-1] < c_start:
+                s_rows.pop(), s_starts.pop(), s_ends.pop(), s_levels.pop()
+            s_rows.append(a_rows[a_index])
+            s_starts.append(c_start)
+            s_ends.append(c_end)
+            s_levels.append(a_levels[a_index])
+            a_index += 1
+        while s_ends and s_ends[-1] < d_start:
+            s_rows.pop(), s_starts.pop(), s_ends.pop(), s_levels.pop()
+        if not s_ends:
+            continue
+        d_level = d_levels[p] if parent_child else 0
+        d_row = d_rows[p]
+        for k in range(len(s_ends)):
+            if d_end > s_ends[k]:
+                continue  # not actually inside (self-join artifacts)
+            if s_starts[k] == d_start:
+                continue  # same node in a self-join
+            if parent_child and s_levels[k] + 1 != d_level:
+                continue
+            grouped.setdefault(s_rows[k], []).append(d_row)
+            pairs += 1
+    return grouped, pairs
 
 
 def brute_force_join(

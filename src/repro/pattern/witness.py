@@ -44,9 +44,13 @@ class TreeMatch:
         return list(self.bindings)
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreMatch:
-    """One embedding into the stored database, by identifiers only."""
+    """One embedding into the stored database, by identifiers only.
+
+    ``slots=True`` matters here: the columnar matcher materializes one
+    instance per witness, so construction cost is on the hot path.
+    """
 
     bindings: dict[str, NodeLabel]
     doc_id: int = 0

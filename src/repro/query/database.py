@@ -4,9 +4,15 @@ Wraps the storage manager, index manager, query parser/translator/
 rewriter, and the three evaluators behind one API:
 
 >>> db = Database()                         # in-memory; pass a path to persist
->>> db.load_text("<doc_root>...</doc_root>", name="bib.xml")
+>>> report = db.load(text="<doc_root>...</doc_root>", name="bib.xml")
 >>> result = db.query(QUERY_TEXT)           # auto: rewrite to GROUPBY if possible
 >>> result.collection.sketch()
+
+``load`` accepts exactly one source — ``text=``, ``tree=``, or
+``path=`` — and returns a :class:`LoadReport` (document name, node
+count, data generation, columnar-snapshot state).  The historical
+``load_text``/``load_tree``/``load_file`` wrappers still work but emit
+:class:`DeprecationWarning`.
 
 ``plan`` selects the engine (a :class:`PlanMode`, or its string value):
 
@@ -33,6 +39,7 @@ Observability entry points:
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -81,6 +88,34 @@ class PlanMode(str, Enum):
 
 #: String values, kept for backward compatibility with pre-enum callers.
 PLAN_MODES = tuple(mode.value for mode in PlanMode)
+
+#: Environment values that disable the columnar hot path.
+_COLUMNAR_OFF_VALUES = frozenset({"off", "0", "false", "no"})
+
+
+def _columnar_default() -> bool:
+    """Resolve the ``REPRO_COLUMNAR`` environment flag (default: on)."""
+    return os.environ.get("REPRO_COLUMNAR", "").strip().lower() not in _COLUMNAR_OFF_VALUES
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What :meth:`Database.load` did.
+
+    * ``document`` — the catalog name the document was stored under;
+    * ``nodes`` — node count of the loaded document;
+    * ``generation`` — the store's data generation after the load;
+    * ``columnar`` — columnar-snapshot state after the load:
+      ``"pending"`` (built lazily on first query), ``"ready"`` (already
+      materialized, e.g. restored from disk), or ``"disabled"`` (the
+      database runs without indexes or with columnar turned off).
+    """
+
+    document: str
+    nodes: int
+    generation: int
+    columnar: str
+
 
 #: The buffer/disk counters surfaced as ``QueryResult.io_stats``.
 _IO_KEYS = (
@@ -190,6 +225,7 @@ class Database:
         use_indexes: bool = True,
         fault_plan: "FaultPlan | None" = None,
         degraded: bool = False,
+        columnar: bool | None = None,
     ):
         """Open (or create) a database.
 
@@ -198,7 +234,11 @@ class Database:
         ``degraded=True`` opens a damaged directory anyway: unreadable
         pages are quarantined, the documents on them dropped, and the
         indexes rebuilt over what survives — instead of the default
-        fail-loudly behaviour.
+        fail-loudly behaviour.  ``columnar`` enables the columnar
+        XPath-accelerator hot path (``None`` defers to the
+        ``REPRO_COLUMNAR`` environment flag; default on).  It has no
+        effect when ``use_indexes=False`` — the columnar table is
+        derived from the tag index.
         """
         self.store = NodeStore(
             directory, pool_frames=pool_frames, fault_plan=fault_plan, degraded=degraded
@@ -206,6 +246,7 @@ class Database:
         self.indexes = IndexManager(self.store)
         self.grouping_strategy = grouping_strategy
         self.use_indexes = use_indexes
+        self.columnar_enabled = _columnar_default() if columnar is None else bool(columnar)
         if self.store.documents():
             # Reopen path: persisted indexes when fresh, else rebuild.
             if directory is None or not self.indexes.try_load(directory):
@@ -216,18 +257,75 @@ class Database:
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
-    def load_text(self, text: str, name: str) -> None:
-        """Parse and store an XML document under ``name``; reindex."""
-        self.store.load_text(text, name)
+    def load(
+        self,
+        *,
+        text: str | None = None,
+        tree: XMLNode | None = None,
+        path: str | None = None,
+        name: str | None = None,
+    ) -> LoadReport:
+        """Store an XML document from exactly one source and reindex.
+
+        Pass exactly one of ``text=`` (XML source string), ``tree=``
+        (an in-memory :class:`~repro.xmlmodel.node.XMLNode`), or
+        ``path=`` (a file to parse).  ``name`` is the catalog name —
+        required for ``text``/``tree``, defaulted from the filename for
+        ``path``.  Returns a :class:`LoadReport`.
+        """
+        sources = [s for s in (text, tree, path) if s is not None]
+        if len(sources) != 1:
+            raise DatabaseError(
+                "load() needs exactly one source: text=, tree=, or path="
+            )
+        if path is not None:
+            info = self.store.load_file(path, name)
+        else:
+            if name is None:
+                raise DatabaseError("load() requires name= for text/tree sources")
+            if text is not None:
+                info = self.store.load_text(text, name)
+            else:
+                info = self.store.load_tree(tree, name)
         self._reindex()
+        return LoadReport(
+            document=info.name,
+            nodes=info.n_nodes,
+            generation=self.store.generation,
+            columnar=self._columnar_state(),
+        )
+
+    def _columnar_state(self) -> str:
+        if not (self.use_indexes and self.columnar_enabled):
+            return "disabled"
+        return self.indexes.columnar_status()["state"]
+
+    def load_text(self, text: str, name: str) -> None:
+        """Deprecated: use ``load(text=..., name=...)``."""
+        warnings.warn(
+            "Database.load_text() is deprecated; use load(text=..., name=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.load(text=text, name=name)
 
     def load_tree(self, root: XMLNode, name: str) -> None:
-        self.store.load_tree(root, name)
-        self._reindex()
+        """Deprecated: use ``load(tree=..., name=...)``."""
+        warnings.warn(
+            "Database.load_tree() is deprecated; use load(tree=..., name=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.load(tree=root, name=name)
 
     def load_file(self, path: str, name: str | None = None) -> None:
-        self.store.load_file(path, name)
-        self._reindex()
+        """Deprecated: use ``load(path=..., name=...)``."""
+        warnings.warn(
+            "Database.load_file() is deprecated; use load(path=..., name=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.load(path=path, name=name)
 
     def drop_document(self, name: str) -> None:
         """Drop a document and rebuild the indexes over the rest."""
@@ -318,34 +416,46 @@ class Database:
         _, naive = translate(expr, self.root_tag(doc))
         return naive, rewrite(naive)
 
-    def explain(self, text: str, *deprecated: object, verbose: bool = False) -> Explanation:
+    def _match_strategy_status(self) -> dict[str, object]:
+        """The structural-match strategy EXPLAIN reports — *without*
+        building anything (EXPLAIN must not execute)."""
+        if not self.use_indexes:
+            return {"strategy": "object-walk", "reason": "use_indexes=False"}
+        if not self.columnar_enabled:
+            return {"strategy": "object-walk", "reason": "columnar disabled"}
+        return {"strategy": "columnar", "snapshot": self.indexes.columnar_status()}
+
+    @staticmethod
+    def _render_match_strategy(status: dict[str, object]) -> str:
+        if status["strategy"] == "columnar":
+            snapshot = status["snapshot"]
+            detail = f"snapshot {snapshot['state']}"
+            if snapshot["rows"] is not None:
+                detail += f", {snapshot['rows']} rows"
+            detail += f", generation {snapshot['generation']}"
+        else:
+            detail = status["reason"]
+        return (
+            "\n=== match strategy ===\n"
+            + f"structural match: {status['strategy']} ({detail})"
+        )
+
+    def explain(self, text: str, *, verbose: bool = False) -> Explanation:
         """The candidate plans for a query, *without* executing it.
 
         Returns an :class:`Explanation`: usable as plain text, with
         ``to_dict()`` for programmatic consumers.  ``verbose=True``
-        (keyword-only, matching the redesigned :meth:`query`) annotates
-        every operator with the optimizer's row/cost estimates and
-        appends the plan comparison.  The pre-redesign positional form
-        ``explain(text, True)`` still works but emits a
-        :class:`DeprecationWarning`.
+        annotates every operator with the optimizer's row/cost
+        estimates and appends the plan comparison.  All options are
+        keyword-only — the pre-redesign positional form was removed in
+        the columnar API unification.
         """
-        if deprecated:
-            warnings.warn(
-                "positional explain options are deprecated; call "
-                "explain(text, verbose=...) with the keyword",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(deprecated) > 1:
-                raise TypeError(
-                    f"explain() takes at most 2 positional arguments "
-                    f"({2 + len(deprecated)} given)"
-                )
-            verbose = bool(deprecated[0])
         naive, grouped = self.plans_for(text)
+        strategy = self._match_strategy_status()
         payload: dict = {
             "query": text,
             "plans": {"naive": naive.to_dict(), "groupby": grouped.to_dict()},
+            "match_strategy": strategy,
         }
         if not verbose:
             text_out = (
@@ -353,6 +463,7 @@ class Database:
                 + naive.explain()
                 + "\n=== rewritten (GROUPBY) plan ===\n"
                 + grouped.explain()
+                + self._render_match_strategy(strategy)
             )
             return Explanation(text_out, payload)
         from .estimate import CardinalityEstimator
@@ -376,6 +487,7 @@ class Database:
                 f"groupby ~{choice.groupby_cost:.0f} lookups -> "
                 f"{choice.winner} (advantage {choice.advantage:.1f}x)"
             )
+            + self._render_match_strategy(strategy)
         )
         return Explanation(text_out, payload)
 
@@ -460,7 +572,7 @@ class Database:
     def query(
         self,
         text: str,
-        *deprecated: object,
+        *,
         plan: PlanMode | str | None = None,
         analyze: bool = False,
         trace: QueryTrace | None = None,
@@ -487,26 +599,11 @@ class Database:
           :class:`~repro.errors.QueryTimeoutError` with all resources
           (buffer pins included) released.
 
-        The pre-redesign positional form ``query(text, "naive")`` still
-        works but emits a :class:`DeprecationWarning`.
+        The pre-redesign positional forms (``query(text, "naive")``)
+        were removed in the columnar API unification — options are
+        keyword-only and passing them positionally raises
+        :class:`TypeError`.
         """
-        if deprecated:
-            warnings.warn(
-                "positional query options are deprecated; call "
-                "query(text, plan=..., reset_statistics=...) with keywords",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(deprecated) > 2:
-                raise TypeError(
-                    f"query() takes at most 3 positional arguments "
-                    f"({2 + len(deprecated)} given)"
-                )
-            if plan is not None:
-                raise TypeError("query() got plan both positionally and by keyword")
-            plan = deprecated[0]  # type: ignore[assignment]
-            if len(deprecated) == 2:
-                reset_statistics = bool(deprecated[1])
         prepared = self.prepare(text, plan=plan)
         return self.execute(
             prepared,
@@ -659,6 +756,7 @@ class Database:
             grouping_strategy=self.grouping_strategy,
             use_indexes=self.use_indexes,
             join_strategy=join_strategy,
+            columnar=self.columnar_enabled,
         )
         profiler = executor.enable_profiling() if profiling else None
         started = time.perf_counter()

@@ -94,6 +94,7 @@ class PhysicalExecutor:
         grouping_strategy: str = "sort",
         use_indexes: bool = True,
         join_strategy: str = "nested-loop",
+        columnar: bool = True,
     ):
         """``join_strategy`` picks the naive plan's join implementation:
 
@@ -117,6 +118,12 @@ class PhysicalExecutor:
         self.grouping_strategy = grouping_strategy
         self.join_strategy = join_strategy
         self.matcher = StoreMatcher(store, indexes, use_indexes=use_indexes)
+        if columnar and use_indexes:
+            # The columnar strategy: staircase merges over the node
+            # table for this store generation (built lazily, cached on
+            # the index manager).  ``use_indexes=False`` keeps the A1
+            # full-scan ablation an honest object walk.
+            self.matcher.columnar = indexes.ensure_columnar()
         self.profiler = None
 
     def enable_profiling(self):
@@ -167,17 +174,13 @@ class PhysicalExecutor:
 
     def _scoped_match(self, pattern: PatternTree, doc: str) -> list[StoreMatch]:
         """Match a pattern *within one document*: the store can hold
-        several documents, and a scan names exactly one.  Root candidates
-        are pre-filtered to the document's label range (labels are
-        globally disjoint per document)."""
+        several documents, and a scan names exactly one.  Root bindings
+        are restricted to the document's label region (labels are
+        globally disjoint per document) — two bisects on the columnar
+        path, a stream filter on the object walk."""
         info = self.store.document(doc)
         start, end, _level = self.store.label(info.root_nid)
-        candidates = [
-            label
-            for label in self.matcher.candidates(pattern.root)
-            if start <= label.start and label.end <= end
-        ]
-        return self.matcher.match(pattern, root_candidates=candidates)
+        return self.matcher.match(pattern, doc_bounds=(start, end))
 
     def _exec_project(self, plan: PlanNode) -> WitnessSet:
         source = self._run(plan.child)
@@ -709,7 +712,9 @@ class PhysicalExecutor:
         """
         from .physical_join_support import descend_path
 
-        return descend_path(self.indexes, member_labels, path)
+        return descend_path(
+            self.indexes, member_labels, path, columnar=self.matcher.columnar
+        )
 
     # ------------------------------------------------------------------
     # Value population and materialization

@@ -308,17 +308,17 @@ class QueryService:
     # ------------------------------------------------------------------
     def load_text(self, text: str, name: str) -> None:
         with self._gate.write_locked():
-            self.db.load_text(text, name)
+            self.db.load(text=text, name=name)
             self._drop_stale_results()
 
     def load_tree(self, root: XMLNode, name: str) -> None:
         with self._gate.write_locked():
-            self.db.load_tree(root, name)
+            self.db.load(tree=root, name=name)
             self._drop_stale_results()
 
     def load_file(self, path: str, name: str | None = None) -> None:
         with self._gate.write_locked():
-            self.db.load_file(path, name)
+            self.db.load(path=path, name=name)
             self._drop_stale_results()
 
     def drop_document(self, name: str) -> None:

@@ -53,5 +53,5 @@ def indexes(store) -> IndexManager:
 @pytest.fixture
 def db(fig6_tree) -> Database:
     database = Database()
-    database.load_tree(fig6_tree, "bib.xml")
+    database.load(tree=fig6_tree, name="bib.xml")
     return database

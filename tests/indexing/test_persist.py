@@ -116,7 +116,7 @@ class TestDatabaseIntegration:
     def test_reopen_uses_persisted_indexes(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory=directory) as db:
-            db.load_tree(figure6_database(), "bib.xml")
+            db.load(tree=figure6_database(), name="bib.xml")
             expected = db.query(QUERY_1).collection
         assert os.path.exists(os.path.join(directory, INDEX_FILE))
         with Database(directory=directory) as db:
@@ -127,7 +127,7 @@ class TestDatabaseIntegration:
     def test_reopen_with_deleted_index_file_rebuilds(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory=directory) as db:
-            db.load_tree(figure6_database(), "bib.xml")
+            db.load(tree=figure6_database(), name="bib.xml")
             expected = db.query(QUERY_1).collection
         os.remove(os.path.join(directory, INDEX_FILE))
         with Database(directory=directory) as db:

@@ -31,31 +31,21 @@ class TestPlanMode:
         assert db.query(QUERY_1).plan_mode == "groupby"
 
 
-class TestDeprecatedPositionalForm:
-    def test_positional_plan_warns_and_still_works(self, db):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            result = db.query(QUERY_1, "naive")
-        assert result.plan_mode == "naive"
-        assert len(result.collection) == 3
+class TestPositionalFormsRemoved:
+    """The pre-redesign positional shims are gone: options are
+    keyword-only, and positional forms raise ``TypeError`` outright."""
 
-    def test_positional_reset_statistics_accepted(self, db):
-        with pytest.warns(DeprecationWarning):
-            result = db.query(QUERY_1, "groupby", False)
-        assert result.plan_mode == "groupby"
+    def test_positional_plan_raises_type_error(self, db):
+        with pytest.raises(TypeError):
+            db.query(QUERY_1, "naive")
+
+    def test_positional_reset_statistics_raises_type_error(self, db):
+        with pytest.raises(TypeError):
+            db.query(QUERY_1, "groupby", False)
 
     def test_keyword_form_does_not_warn(self, db, recwarn):
         db.query(QUERY_1, plan="groupby")
         assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
-
-    def test_positional_plus_keyword_plan_rejected(self, db):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                db.query(QUERY_1, "naive", plan="groupby")
-
-    def test_too_many_positionals_rejected(self, db):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                db.query(QUERY_1, "naive", True, "extra")
 
 
 class TestExplanation:
@@ -94,25 +84,14 @@ class TestExplanation:
         assert isinstance(db.explain(QUERY_1), Explanation)
 
 
-class TestDeprecatedPositionalExplain:
-    def test_positional_verbose_warns_and_still_works(self, db):
-        with pytest.warns(DeprecationWarning, match="positional"):
-            explanation = db.explain(QUERY_1, True)
-        assert "optimizer" in explanation
-
-    def test_positional_false_warns(self, db):
-        with pytest.warns(DeprecationWarning):
-            explanation = db.explain(QUERY_1, False)
-        assert "optimizer" not in explanation
+class TestPositionalExplainRemoved:
+    def test_positional_verbose_raises_type_error(self, db):
+        with pytest.raises(TypeError):
+            db.explain(QUERY_1, True)
 
     def test_keyword_form_does_not_warn(self, db, recwarn):
         db.explain(QUERY_1, verbose=True)
         assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
-
-    def test_too_many_positionals_rejected(self, db):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                db.explain(QUERY_1, True, "extra")
 
 
 class TestPrepareExecute:
@@ -145,7 +124,7 @@ class TestPrepareExecute:
 
     def test_generation_tracks_mutations(self, db, fig6_tree):
         before = db.data_generation
-        db.load_tree(fig6_tree, "again.xml")
+        db.load(tree=fig6_tree, name="again.xml")
         assert db.data_generation == before + 1
         db.drop_document("again.xml")
         assert db.data_generation == before + 2

@@ -9,15 +9,14 @@ from repro.query.database import Database
 @pytest.fixture
 def numbers_db():
     db = Database()
-    db.load_text(
+    db.load(text=
         """
         <doc_root>
           <sale><region>east</region><amount>10</amount></sale>
           <sale><region>east</region><amount>5</amount></sale>
           <sale><region>west</region><amount>2.5</amount></sale>
         </doc_root>
-        """,
-        "sales.xml",
+        """, name="sales.xml",
     )
     return db
 

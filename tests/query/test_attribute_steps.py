@@ -11,14 +11,13 @@ from repro.query.parser import parse_query
 @pytest.fixture
 def attr_db():
     db = Database()
-    db.load_text(
+    db.load(text=
         """
         <doc_root>
           <article id="a1" lang="en"><title>T1</title></article>
           <article id="a2"><title>T2</title></article>
         </doc_root>
-        """,
-        "bib.xml",
+        """, name="bib.xml",
     )
     return db
 

@@ -18,7 +18,7 @@ class TestLoading:
 
     def test_load_text(self):
         db = Database()
-        db.load_text("<r><x>1</x></r>", "t.xml")
+        db.load(text="<r><x>1</x></r>", name="t.xml")
         assert db.documents() == ["t.xml"]
 
     def test_load_file(self, tmp_path):
@@ -26,7 +26,7 @@ class TestLoading:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("<r><x>1</x></r>")
         db = Database()
-        db.load_file(path, "t.xml")
+        db.load(path=path, name="t.xml")
         assert db.documents() == ["t.xml"]
 
 
@@ -88,7 +88,7 @@ class TestPersistence:
     def test_reopen_and_query(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory=directory) as db:
-            db.load_tree(figure6_database(), "bib.xml")
+            db.load(tree=figure6_database(), name="bib.xml")
             expected = db.query(QUERY_1).collection
         with Database(directory=directory) as db:
             assert db.documents() == ["bib.xml"]
@@ -97,7 +97,7 @@ class TestPersistence:
     def test_cold_run_counts_physical_reads(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory=directory) as db:
-            db.load_tree(figure6_database(), "bib.xml")
+            db.load(tree=figure6_database(), name="bib.xml")
         with Database(directory=directory, pool_frames=4) as db:
             result = db.query(QUERY_1, plan="groupby")
             assert result.statistics["physical_reads"] >= 0
@@ -107,10 +107,9 @@ class TestMultiDocumentSafety:
     def test_physical_plans_scoped_to_named_document(self, db):
         """Regression: with several documents loaded, plans over
         document("bib.xml") must not see the other documents' nodes."""
-        db.load_text(
+        db.load(text=
             "<doc_root><article><title>Alien</title><author>Zed</author>"
-            "</article></doc_root>",
-            "other.xml",
+            "</article></doc_root>", name="other.xml",
         )
         reference = db.query(QUERY_1, plan="direct").collection
         assert len(reference) == 3  # Jack, John, Jill — not Zed
@@ -123,7 +122,7 @@ class TestMultiDocumentSafety:
         assert [t.root.children[0].content for t in other] == ["Zed"]
 
     def test_query_must_target_one_document(self, db):
-        db.load_text("<doc_root><author>Solo</author></doc_root>", "other.xml")
+        db.load(text="<doc_root><author>Solo</author></doc_root>", name="other.xml")
         query = (
             'FOR $a IN distinct-values(document("bib.xml")//author) RETURN '
             '<o>{$a}{FOR $b IN document("other.xml")//article '

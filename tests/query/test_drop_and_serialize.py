@@ -22,9 +22,8 @@ class TestDropDocument:
             db.drop_document("ghost.xml")
 
     def test_queries_stop_seeing_dropped_document(self, db):
-        db.load_text(
-            "<doc_root><article><title>X</title><author>Z</author></article></doc_root>",
-            "other.xml",
+        db.load(text=
+            "<doc_root><article><title>X</title><author>Z</author></article></doc_root>", name="other.xml",
         )
         db.drop_document("bib.xml")
         query = QUERY_1.replace("bib.xml", "other.xml")
@@ -35,8 +34,8 @@ class TestDropDocument:
     def test_indexes_rebuilt_without_dropped_postings(self, db):
         before = db.indexes.tag_cardinality("author")
         assert before == 5
-        db.load_text(
-            "<doc_root><article><author>Z</author></article></doc_root>", "o.xml"
+        db.load(text=
+            "<doc_root><article><author>Z</author></article></doc_root>", name="o.xml"
         )
         db.drop_document("bib.xml")
         assert db.indexes.tag_cardinality("author") == 1
@@ -44,14 +43,14 @@ class TestDropDocument:
     def test_drop_persists(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory=directory) as database:
-            database.load_tree(figure6_database(), "bib.xml")
-            database.load_text("<doc_root><x>1</x></doc_root>", "b.xml")
+            database.load(tree=figure6_database(), name="bib.xml")
+            database.load(text="<doc_root><x>1</x></doc_root>", name="b.xml")
             database.drop_document("bib.xml")
         with Database(directory=directory) as database:
             assert database.documents() == ["b.xml"]
 
     def test_remaining_document_still_queryable_after_drop(self, db):
-        db.load_tree(figure6_database().deep_copy(), "second.xml")
+        db.load(tree=figure6_database().deep_copy(), name="second.xml")
         db.drop_document("bib.xml")
         query = QUERY_1.replace("bib.xml", "second.xml")
         result = db.query(query, plan="groupby")

@@ -17,7 +17,7 @@ ENGINES = ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby")
 
 def database(text: str) -> Database:
     db = Database()
-    db.load_text(text, "bib.xml")
+    db.load(text=text, name="bib.xml")
     return db
 
 

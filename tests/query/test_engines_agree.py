@@ -36,7 +36,7 @@ def database_for(seed: int, with_institutions: bool = False) -> Database:
         with_institutions=with_institutions,
     )
     db = Database()
-    db.load_tree(generate_dblp(config), "bib.xml")
+    db.load(tree=generate_dblp(config), name="bib.xml")
     return db
 
 
@@ -73,7 +73,7 @@ def test_results_complete_against_model():
             model.setdefault(author.content, []).append(title)
 
     db = Database()
-    db.load_tree(tree, "bib.xml")
+    db.load(tree=tree, name="bib.xml")
     result = db.query(QUERY_1, plan="groupby").collection
     got = {
         t.root.children[0].content: [c.content for c in t.root.children[1:]]
@@ -91,7 +91,7 @@ def test_counts_complete_against_model():
             model[author.content] = model.get(author.content, 0) + 1
 
     db = Database()
-    db.load_tree(tree, "bib.xml")
+    db.load(tree=tree, name="bib.xml")
     result = db.query(QUERY_COUNT, plan="groupby").collection
     got = {t.root.children[0].content: int(t.root.content) for t in result}
     assert got == model

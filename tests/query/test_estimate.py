@@ -20,7 +20,7 @@ def loaded():
         DBLPConfig(n_articles=300, n_authors=90, seed=7)
     )
     db = Database()
-    db.load_tree(tree, "bib.xml")
+    db.load(tree=tree, name="bib.xml")
     return db, profile
 
 

@@ -30,7 +30,7 @@ RETURN $b/title}</o>
 @pytest.fixture
 def filtered_db():
     db = Database()
-    db.load_text(
+    db.load(text=
         """
         <doc_root>
           <article><title>T1</title><year>1999</year><author>A</author></article>
@@ -38,8 +38,7 @@ def filtered_db():
           <article><title>T3</title><year>1990</year><author>C</author></article>
           <article><title>T4</title><year>2001</year><author>B</author></article>
         </doc_root>
-        """,
-        "bib.xml",
+        """, name="bib.xml",
     )
     return db
 

@@ -13,15 +13,14 @@ ENGINES = ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby")
 @pytest.fixture
 def years_db():
     db = Database()
-    db.load_text(
+    db.load(text=
         """
         <doc_root>
           <article><title>T1</title><year>1999</year><author>A</author></article>
           <article><title>T2</title><year>2001</year><author>A</author><author>B</author></article>
           <article><year>1995</year><author>B</author></article>
         </doc_root>
-        """,
-        "bib.xml",
+        """, name="bib.xml",
     )
     return db
 
@@ -110,13 +109,12 @@ class TestEmptyAggregates:
     @pytest.fixture
     def sparse_db(self):
         db = Database()
-        db.load_text(
+        db.load(text=
             """
             <doc_root>
               <article><title>T1</title><author>A</author></article>
             </doc_root>
-            """,
-            "bib.xml",
+            """, name="bib.xml",
         )
         return db
 

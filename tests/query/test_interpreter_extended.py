@@ -12,7 +12,7 @@ from repro.query.parser import parse_query
 @pytest.fixture
 def deep_db():
     db = Database()
-    db.load_text(
+    db.load(text=
         """
         <doc_root>
           <conf>
@@ -28,8 +28,7 @@ def deep_db():
             <article><title>T4</title><author>C</author></article>
           </journal>
         </doc_root>
-        """,
-        "lib.xml",
+        """, name="lib.xml",
     )
     return db
 

@@ -32,8 +32,8 @@ def bibliographies(draw):
 @given(first=bibliographies(), second=bibliographies())
 def test_scoping_on_two_documents(first, second):
     db = Database()
-    db.load_text(serialize(first, indent=None), "bib.xml")
-    db.load_text(serialize(second, indent=None), "other.xml")
+    db.load(text=serialize(first, indent=None), name="bib.xml")
+    db.load(text=serialize(second, indent=None), name="other.xml")
     for query in (QUERY_1, QUERY_COUNT):
         reference = db.query(query, plan="direct").collection
         for mode in ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby"):
@@ -48,11 +48,11 @@ def test_each_document_independent(first, second):
     """Querying doc A then doc B gives the same answers as if each were
     loaded alone."""
     both = Database()
-    both.load_text(serialize(first, indent=None), "bib.xml")
-    both.load_text(serialize(second, indent=None), "other.xml")
+    both.load(text=serialize(first, indent=None), name="bib.xml")
+    both.load(text=serialize(second, indent=None), name="other.xml")
 
     alone = Database()
-    alone.load_text(serialize(second, indent=None), "bib.xml")
+    alone.load(text=serialize(second, indent=None), name="bib.xml")
 
     from_both = both.query(QUERY_1.replace("bib.xml", "other.xml"), plan="groupby")
     from_alone = alone.query(QUERY_1, plan="groupby")

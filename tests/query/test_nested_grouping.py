@@ -34,7 +34,7 @@ RETURN $b/title
 @pytest.fixture
 def inst_db():
     db = Database()
-    db.load_text(
+    db.load(text=
         """
         <doc_root>
           <article><title>T1</title>
@@ -45,8 +45,7 @@ def inst_db():
           <article><title>T3</title>
             <author>Ann<institution>UM</institution></author></article>
         </doc_root>
-        """,
-        "bib.xml",
+        """, name="bib.xml",
     )
     return db
 
@@ -109,15 +108,14 @@ class TestAlgebraicRoute:
     def test_members_of_dedup(self, inst_db):
         """An article with two same-institution authors is one member."""
         db = Database()
-        db.load_text(
+        db.load(text=
             """
             <doc_root>
               <article><title>T1</title>
                 <author>A<institution>X</institution></author>
                 <author>B<institution>X</institution></author></article>
             </doc_root>
-            """,
-            "bib.xml",
+            """, name="bib.xml",
         )
         articles = Collection(
             [DataTree(db.store.materialize(db.store.document("bib.xml").root_nid).children[0])]
@@ -144,7 +142,7 @@ class TestRandomizedConsistency:
 
         config = DBLPConfig(n_articles=30, n_authors=8, seed=13, with_institutions=True)
         db = Database()
-        db.load_tree(generate_dblp(config), "bib.xml")
+        db.load(tree=generate_dblp(config), name="bib.xml")
         engine = db.query(example.NESTED_QUERY, plan="direct").collection
         composed = example.algebraic_nested_grouping(db)
         assert example._summarize(t.root for t in engine) == example._summarize(composed)

@@ -57,7 +57,7 @@ def build_query(group_tag: str, mode: str, sort: bool) -> str:
 def test_engines_agree_on_random_grouping(doc, params):
     group_tag, mode, sort = params
     db = Database()
-    db.load_text(serialize(doc, indent=None), "bib.xml")
+    db.load(text=serialize(doc, indent=None), name="bib.xml")
     query = build_query(group_tag, mode, sort)
     reference = db.query(query, plan="direct").collection
     for engine in ("naive", "naive-hash", "groupby", "logical-naive", "logical-groupby"):
@@ -72,7 +72,7 @@ def test_groupby_covers_every_key_value(doc):
     """Completeness: the groupby plan emits one group per distinct value
     present in the data, no more, no less."""
     db = Database()
-    db.load_text(serialize(doc, indent=None), "bib.xml")
+    db.load(text=serialize(doc, indent=None), name="bib.xml")
     query = build_query("kind", "count", sort=False)
     result = db.query(query, plan="groupby").collection
     got = {tree.root.children[0].content for tree in result}

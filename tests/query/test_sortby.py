@@ -126,9 +126,7 @@ class TestEngineAgreement:
         from repro.query.database import Database
 
         db = Database()
-        db.load_tree(
-            generate_dblp(DBLPConfig(n_articles=50, n_authors=12, seed=21)), "bib.xml"
-        )
+        db.load(tree=generate_dblp(DBLPConfig(n_articles=50, n_authors=12, seed=21)), name="bib.xml")
         reference = db.query(SORTED_QUERY, plan="direct").collection
         for mode in ("naive", "groupby", "logical-groupby"):
             assert db.query(SORTED_QUERY, plan=mode).collection.structurally_equal(

@@ -71,9 +71,7 @@ def chaos_route():
 @pytest.fixture()
 def running_server():
     db = Database()
-    db.load_tree(
-        generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), "bib.xml"
-    )
+    db.load(tree=generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), name="bib.xml")
     service = QueryService(db, ServiceConfig(workers=2))
     server = serve(service, port=0)  # ephemeral port
     server.serve_background()

@@ -76,7 +76,7 @@ def test_negative_capacity_rejected():
 @pytest.fixture(scope="module")
 def loaded_db() -> Database:
     db = Database()
-    db.load_tree(generate_dblp(DBLPConfig(n_articles=80, n_authors=25, seed=5)), "bib.xml")
+    db.load(tree=generate_dblp(DBLPConfig(n_articles=80, n_authors=25, seed=5)), name="bib.xml")
     return db
 
 
@@ -93,7 +93,7 @@ def test_warm_hit_matches_cold_run(loaded_db, query, plan):
 
 def test_load_between_runs_forces_miss():
     db = Database()
-    db.load_tree(generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), "bib.xml")
+    db.load(tree=generate_dblp(DBLPConfig(n_articles=30, n_authors=10, seed=5)), name="bib.xml")
     with QueryService(db, ServiceConfig(workers=2)) as service:
         first = service.query(QUERY_1)
         service.load_tree(

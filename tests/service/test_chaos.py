@@ -71,9 +71,7 @@ def test_plan_from_env(monkeypatch):
 @pytest.fixture(scope="module")
 def backend():
     db = Database()
-    db.load_tree(
-        generate_dblp(DBLPConfig(n_articles=20, n_authors=8, seed=5)), "bib.xml"
-    )
+    db.load(tree=generate_dblp(DBLPConfig(n_articles=20, n_authors=8, seed=5)), name="bib.xml")
     service = QueryService(db, ServiceConfig(workers=2))
     server = serve(service, port=0, config=ServerConfig(poll_interval=0.02))
     server.serve_background()

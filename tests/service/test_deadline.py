@@ -64,9 +64,7 @@ def test_remaining_counts_down():
 @pytest.fixture(scope="module")
 def big_db() -> Database:
     db = Database()
-    db.load_tree(
-        generate_dblp(DBLPConfig(n_articles=120, n_authors=30, seed=13)), "bib.xml"
-    )
+    db.load(tree=generate_dblp(DBLPConfig(n_articles=120, n_authors=30, seed=13)), name="bib.xml")
     return db
 
 

@@ -28,10 +28,7 @@ class _Harness:
     def __init__(self, config: ServerConfig, db: Database | None = None, workers: int = 2):
         if db is None:
             db = Database()
-            db.load_tree(
-                generate_dblp(DBLPConfig(n_articles=20, n_authors=8, seed=5)),
-                "bib.xml",
-            )
+            db.load(tree=generate_dblp(DBLPConfig(n_articles=20, n_authors=8, seed=5)), name="bib.xml")
         self.db = db
         self.service = QueryService(db, ServiceConfig(workers=workers))
         self.server = serve(self.service, port=0, config=config)

@@ -19,9 +19,9 @@ from repro.xmlmodel.diff import assert_collections_equal
 
 def make_db(articles: int = 60, authors: int = 20, seed: int = 5) -> Database:
     db = Database()
-    db.load_tree(
-        generate_dblp(DBLPConfig(n_articles=articles, n_authors=authors, seed=seed)),
-        "bib.xml",
+    db.load(
+        tree=generate_dblp(DBLPConfig(n_articles=articles, n_authors=authors, seed=seed)),
+        name="bib.xml",
     )
     return db
 

@@ -72,15 +72,15 @@ class TestDatabaseCompact:
     def test_queries_work_after_compaction(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory=directory) as db:
-            db.load_tree(big_tree(), "drop.xml")
-            db.load_tree(figure6_database(), "bib.xml")
+            db.load(tree=big_tree(), name="drop.xml")
+            db.load(tree=figure6_database(), name="bib.xml")
             expected = db.query(QUERY_1).collection
             db.drop_document("drop.xml")
             db.compact()
             assert db.query(QUERY_1).collection.structurally_equal(expected)
 
     def test_in_memory_database_compaction(self, db):
-        db.load_tree(big_tree(), "extra.xml")
+        db.load(tree=big_tree(), name="extra.xml")
         db.drop_document("extra.xml")
         db.compact()
         assert len(db.query(QUERY_1).collection) == 3

@@ -265,8 +265,8 @@ class TestQuarantineAndRepair:
     def test_degraded_database_open_survives_corruption(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory) as db:
-            db.load_tree(figure6_database(), "a.xml")
-            db.load_tree(transaction_database(), "b.xml")
+            db.load(tree=figure6_database(), name="a.xml")
+            db.load(tree=transaction_database(), name="b.xml")
             b_pages = {
                 db.store.meta.locate(nid)[0]
                 for nid in range(
@@ -299,7 +299,7 @@ class TestQuarantineAndRepair:
     def test_database_verify_reports_index_freshness(self, tmp_path):
         directory = os.path.join(tmp_path, "db")
         with Database(directory) as db:
-            db.load_tree(figure6_database(), "a.xml")
+            db.load(tree=figure6_database(), name="a.xml")
             report = db.verify()
             assert report.ok
             assert report.index_fresh is True
@@ -320,7 +320,7 @@ class TestIdempotentClose:
 
     def test_database_double_close_and_exit(self, tmp_path):
         with Database(os.path.join(tmp_path, "db")) as db:
-            db.load_tree(figure6_database(), "a.xml")
+            db.load(tree=figure6_database(), name="a.xml")
             db.close()
             db.close()
 
@@ -341,10 +341,10 @@ class TestLoadFileErrors:
         db = Database()
         missing = os.path.join(tmp_path, "gone.xml")
         with pytest.raises(DatabaseError) as excinfo:
-            db.load_file(missing)
+            db.load(path=missing)
         assert missing in str(excinfo.value)
 
     def test_load_file_unreadable_directory_path(self, tmp_path):
         db = Database()
         with pytest.raises(DatabaseError):
-            db.load_file(str(tmp_path))  # a directory, not a file
+            db.load(path=str(tmp_path))  # a directory, not a file

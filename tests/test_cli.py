@@ -89,7 +89,7 @@ class TestServe:
         # Exercise the same wiring `timber-py serve` performs, against
         # an ephemeral port (serve_forever itself would block main()).
         db = Database()
-        db.load_file(bib_file, name="bib.xml")
+        db.load(path=bib_file, name="bib.xml")
         service = QueryService(db, ServiceConfig(workers=2))
         server = serve(service, port=0)
         server.serve_background()

@@ -65,7 +65,7 @@ class TestFullScale:
 
         tree = generate_dblp(SCALE.scaled(0.3))
         with Database(directory=directory) as db:
-            db.load_tree(tree, "bib.xml")
+            db.load(tree=tree, name="bib.xml")
             expected = db.query(QUERY_COUNT).collection
         with Database(directory=directory) as db:
             assert os.path.exists(os.path.join(directory, "indexes.pages"))
