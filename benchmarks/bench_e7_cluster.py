@@ -1,0 +1,149 @@
+"""E7 — sharded cluster scatter-gather (extension; no paper analogue).
+
+Measures the distributed GROUPBY across 1/2/4-shard in-process
+topologies on E1 (nested-FLWR grouping) and E2 (LET-based grouping),
+asserting on every measured round that the merged answer is
+structurally identical to the single-node one.  A final storm kills
+one shard of a proxied 2-shard cluster mid-run and measures the
+degraded path: strict queries must fail *typed*
+(:class:`~repro.errors.PartialResultError`), ``allow_partial`` queries
+must keep answering, and healing the proxy must return HEALTH to
+``ok``.
+
+All rows land in the benchmark trajectory under ``cluster-*`` ids.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterConfig, LocalCluster, LocalClusterConfig
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.sample import QUERY_1, QUERY_2
+from repro.errors import ClusterError, PartialResultError
+from repro.query.database import Database
+from repro.service.client import RetryPolicy
+from repro.bench.trajectory import record_run
+
+from conftest import BENCH_CONFIG
+
+# Cluster benches run a reduced scale: every query crosses the wire
+# once per shard, so the absolute numbers measure coordination cost,
+# not raw plan cost (E1-E3 cover that).
+CLUSTER_CONFIG = BENCH_CONFIG.scaled(0.25)
+TOPOLOGIES = (1, 2, 4)
+QUERIES = {"e1": QUERY_1, "e2": QUERY_2}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_dblp(CLUSTER_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def single_node(corpus):
+    db = Database()
+    db.load(tree=corpus.deep_copy(), name="bib.xml")
+    return db
+
+
+@pytest.fixture(scope="module", params=TOPOLOGIES)
+def topology(request, corpus):
+    shards = request.param
+    with LocalCluster(LocalClusterConfig(shards=shards)) as cluster:
+        cluster.load(tree=corpus.deep_copy(), name="bib.xml")
+        yield shards, cluster
+
+
+@pytest.mark.parametrize("which", sorted(QUERIES))
+def test_e7_cluster_qps(topology, single_node, which):
+    shards, cluster = topology
+    query = QUERIES[which]
+    want = single_node.query(query).collection
+
+    from repro.xmlmodel.diff import assert_collections_equal
+
+    best = float("inf")
+    rounds = 3
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = cluster.query(query)
+        best = min(best, time.perf_counter() - started)
+        assert_collections_equal(want, result.collection)
+        assert not result.partial
+    record_run(
+        f"cluster-{which}-{shards}shard",
+        best,
+        results=len(result),
+        qps=round(1.0 / best, 2),
+        shards=shards,
+        merge=result.plan_kind,
+    )
+
+
+def test_e7_degraded_storm(corpus, single_node):
+    """Kill one shard of a proxied 2-shard cluster mid-storm: typed
+    errors only, partial results keep flowing, heal restores ``ok``."""
+    config = LocalClusterConfig(
+        shards=2,
+        cluster=ClusterConfig(
+            query_timeout=10.0,
+            quarantine_threshold=2,
+            probe_interval=0.05,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+            connect_timeout=1.0,
+        ),
+        proxy_all=True,
+    )
+    with LocalCluster(config) as cluster:
+        cluster.load(tree=corpus.deep_copy(), name="bib.xml")
+        want = single_node.query(QUERY_1).collection
+
+        healthy = cluster.query(QUERY_1)
+        assert len(healthy) == len(want)
+
+        victim = cluster.shards[1]
+        upstream = victim.proxy.upstream
+        victim.proxy.close()
+
+        typed, answered, started = 0, 0, time.perf_counter()
+        for _ in range(5):
+            try:
+                cluster.query(QUERY_1)
+            except (PartialResultError, ClusterError):
+                typed += 1
+            partial = cluster.query(QUERY_1, allow_partial=True)
+            assert partial.missing_shards == frozenset({1})
+            answered += 1
+        storm_seconds = time.perf_counter() - started
+        assert typed == 5 and answered == 5
+        assert cluster.health().status == "degraded"
+
+        # Heal: bring a fresh proxy up on the old upstream and point a
+        # new coordinator at it (the old listener port is gone) — the
+        # equivalent of the shard's network path coming back.
+        from repro.service.chaos import ChaosProxy
+
+        victim.proxy = ChaosProxy(upstream).start()
+        endpoints = [stack.endpoint for stack in cluster.shards]
+        from repro.cluster import ClusterCoordinator
+
+        fresh = ClusterCoordinator(endpoints, config.cluster)
+        try:
+            fresh.shard_map._placements.update(  # noqa: SLF001 - bench-only
+                cluster.coordinator.shard_map._placements
+            )
+            recovered = fresh.query(QUERY_1)
+            assert not recovered.partial
+            assert fresh.health().status == "ok"
+        finally:
+            fresh.close()
+        record_run(
+            "cluster-degraded-storm",
+            storm_seconds,
+            typed_errors=typed,
+            partial_answers=answered,
+        )

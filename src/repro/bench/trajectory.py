@@ -7,11 +7,19 @@ session, or the CLI ``experiment`` subcommand) writes a single
 scale, wall time, and the key counters — so a CI artifact or a local
 run leaves one machine-readable record instead of scattered stdout
 tables.
+
+The *committed* artifact is deliberately small: :func:`write_trajectory`
+keeps only the latest entry per bench id, so the checked-in
+``BENCH_trajectory.json`` stays a snapshot instead of an ever-growing
+log.  The full run-by-run history still exists — set
+``REPRO_BENCH_HISTORY`` (or pass ``history_path=``) and every entry is
+written there too, which is what CI archives as an artifact.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -65,12 +73,24 @@ class TrajectoryRecorder:
     def reset(self) -> None:
         self.entries.clear()
 
-    def to_dict(self) -> dict:
-        return {"created": time.time(), "entries": list(self.entries)}
+    def latest_entries(self) -> list[dict]:
+        """The last recorded entry per bench id, in first-seen order —
+        what the committed artifact carries."""
+        latest: dict[str, dict] = {}
+        for entry in self.entries:
+            latest[entry["bench"]] = entry
+        return list(latest.values())
 
-    def write(self, path: str) -> str:
+    def to_dict(self, *, full: bool = False) -> dict:
+        entries = list(self.entries) if full else self.latest_entries()
+        data = {"created": time.time(), "entries": entries}
+        if not full:
+            data["runs_recorded"] = len(self.entries)
+        return data
+
+    def write(self, path: str, *, full: bool = False) -> str:
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            json.dump(self.to_dict(full=full), handle, indent=2, sort_keys=False)
             handle.write("\n")
         return path
 
@@ -89,8 +109,42 @@ def record_run(bench: str, seconds: float, **kwargs) -> dict:
     return _GLOBAL_RECORDER.record(bench, seconds, **kwargs)
 
 
-def write_trajectory(path: str = TRAJECTORY_FILE) -> str | None:
-    """Write the global trajectory to ``path``; None when empty."""
+def write_trajectory(
+    path: str = TRAJECTORY_FILE, *, history_path: str | None = None
+) -> str | None:
+    """Write the global trajectory; ``None`` when empty.
+
+    ``path`` gets the latest-entry-per-bench snapshot (the committed
+    form).  The full run-by-run history is written to ``history_path``
+    or, when unset, to ``$REPRO_BENCH_HISTORY`` if that is defined —
+    CI archives the history as an artifact without growing the
+    committed file.
+    """
     if not _GLOBAL_RECORDER.entries:
         return None
-    return _GLOBAL_RECORDER.write(path)
+    history = history_path or os.environ.get("REPRO_BENCH_HISTORY")
+    if history:
+        _GLOBAL_RECORDER.write(history, full=True)
+    # The committed snapshot merges with what is already on disk, so a
+    # session running only a subset of benches (e.g. just the cluster
+    # suite) refreshes its own rows without dropping the others'.
+    merged: dict[str, dict] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+        for entry in previous.get("entries", []):
+            if isinstance(entry, dict) and "bench" in entry:
+                merged[entry["bench"]] = entry
+    except (OSError, ValueError):
+        pass
+    for entry in _GLOBAL_RECORDER.latest_entries():
+        merged[entry["bench"]] = entry
+    data = {
+        "created": time.time(),
+        "entries": list(merged.values()),
+        "runs_recorded": len(_GLOBAL_RECORDER.entries),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

@@ -1,0 +1,105 @@
+"""Per-shard connection pooling for the coordinator.
+
+:class:`ServiceClient` is deliberately not thread-safe (one socket,
+one buffer).  The coordinator fans out concurrently, so each shard
+gets a :class:`ShardClient`: a small check-out/check-in pool of
+``ServiceClient`` instances that all share ONE
+:class:`~repro.service.client.CircuitBreaker` and one
+:class:`~repro.service.client.ClientStatistics` — the breaker's view
+of the shard's health is pooled even though sockets are not.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..service.client import (
+    BreakerConfig,
+    CircuitBreaker,
+    ClientStatistics,
+    RetryPolicy,
+    ServiceClient,
+)
+
+
+class ShardClient:
+    """A thread-safe pool of line-protocol clients for one shard."""
+
+    def __init__(
+        self,
+        shard: int,
+        host: str,
+        port: int,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 30.0,
+        max_pool: int = 8,
+    ):
+        self.shard = shard
+        self.host = host
+        self.port = port
+        self.retry = retry or RetryPolicy()
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.counters = ClientStatistics()
+        self.breaker = CircuitBreaker(breaker, self.counters)
+        self._max_pool = max_pool
+        self._idle: list[ServiceClient] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Check-out / check-in
+    # ------------------------------------------------------------------
+    def acquire(self) -> ServiceClient:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"shard {self.shard} pool is closed")
+            if self._idle:
+                return self._idle.pop()
+        return ServiceClient(
+            self.host,
+            self.port,
+            retry=self.retry,
+            breaker=self.breaker,
+            connect_timeout=self.connect_timeout,
+            read_timeout=self.read_timeout,
+        )
+
+    def release(self, client: ServiceClient) -> None:
+        client.set_read_timeout(self.read_timeout)
+        with self._lock:
+            if not self._closed and len(self._idle) < self._max_pool:
+                self._idle.append(client)
+                return
+        client.close()
+
+    def discard(self, client: ServiceClient) -> None:
+        """Check-in for a client whose connection state is suspect
+        (timeout mid-reply): never reused."""
+        client.close()
+
+    def call(self, command: str, spec: dict | None = None, **kwargs) -> dict:
+        """One pooled round trip (convenience for non-deadline paths)."""
+        client = self.acquire()
+        try:
+            reply = client.call(command, spec, **kwargs)
+        except Exception:
+            self.discard(client)
+            raise
+        self.release(client)
+        return reply
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for client in idle:
+            client.close()
+
+    @property
+    def pooled(self) -> int:
+        with self._lock:
+            return len(self._idle)

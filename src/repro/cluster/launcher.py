@@ -1,0 +1,127 @@
+"""In-process cluster bring-up for tests, benchmarks, and the CLI.
+
+:class:`LocalCluster` starts N independent shard stacks — each its own
+:class:`~repro.query.database.Database`,
+:class:`~repro.service.service.QueryService`, and background
+:class:`~repro.service.server.ServiceServer` on an ephemeral port —
+and a :class:`~repro.cluster.coordinator.ClusterCoordinator` in front.
+Optionally every shard sits behind its own
+:class:`~repro.service.chaos.ChaosProxy`, so a chaos test can stall or
+kill exactly one shard mid-storm while the others stay clean.
+
+Everything runs in one process: the soak harness can reach into any
+shard's service for white-box assertions (``verify()``, pin counts,
+session registry) while the coordinator only ever sees the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..query.database import Database
+from ..service.chaos import NO_NET_FAULTS, ChaosProxy, NetFaultPlan
+from ..service.server import ServerConfig, ServiceServer
+from ..service.service import QueryService, ServiceConfig
+from .coordinator import ClusterConfig, ClusterCoordinator
+
+
+@dataclass
+class ShardStack:
+    """One shard's full stack (white-box access for tests)."""
+
+    index: int
+    db: Database
+    service: QueryService
+    server: ServiceServer
+    proxy: ChaosProxy | None = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """What the coordinator dials: the proxy if one fronts the
+        shard, else the server itself."""
+        if self.proxy is not None:
+            return self.proxy.endpoint
+        return self.server.endpoint
+
+
+@dataclass
+class LocalClusterConfig:
+    shards: int = 2
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    service: ServiceConfig | None = None
+    server: ServerConfig | None = None
+    #: Shard index → chaos plan; listed shards get a ChaosProxy.
+    chaos: dict[int, NetFaultPlan] = field(default_factory=dict)
+    #: Front every shard with a (transparent) proxy even without a
+    #: plan — lets a test inject faults later via ``set_plan``.
+    proxy_all: bool = False
+
+
+class LocalCluster:
+    """N in-process shards plus a coordinator; context-manager owned."""
+
+    def __init__(self, config: LocalClusterConfig | None = None, **overrides):
+        self.config = config or LocalClusterConfig(**overrides)
+        self.shards: list[ShardStack] = []
+        for index in range(self.config.shards):
+            db = Database()
+            service = QueryService(db, self.config.service)
+            server = ServiceServer(
+                service, "127.0.0.1", 0, self.config.server
+            )
+            server.serve_background()
+            proxy = None
+            plan = self.config.chaos.get(index)
+            if plan is not None or self.config.proxy_all:
+                proxy = ChaosProxy(
+                    server.endpoint, plan or NO_NET_FAULTS
+                ).start()
+            self.shards.append(
+                ShardStack(
+                    index=index,
+                    db=db,
+                    service=service,
+                    server=server,
+                    proxy=proxy,
+                )
+            )
+        self.coordinator = ClusterCoordinator(
+            [stack.endpoint for stack in self.shards],
+            self.config.cluster,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    def load(self, **kwargs):
+        return self.coordinator.load(**kwargs)
+
+    def query(self, text: str, **kwargs):
+        return self.coordinator.query(text, **kwargs)
+
+    def explain(self, text: str, **kwargs):
+        return self.coordinator.explain(text, **kwargs)
+
+    def health(self):
+        return self.coordinator.health()
+
+    def stats(self):
+        return self.coordinator.stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.coordinator.close()
+        for stack in self.shards:
+            if stack.proxy is not None:
+                stack.proxy.close()
+            stack.server.shutdown()
+            stack.server.server_close()
+            stack.service.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,169 @@
+"""Document placement for the sharded cluster.
+
+A :class:`ShardMap` decides which shards hold which pieces of which
+documents.  Two placement shapes exist:
+
+* **partitioned** (the default for :meth:`ClusterCoordinator.load`) —
+  the document's root children are split into N contiguous *slices*
+  (slice order == document order, which is what lets the coordinator
+  restore global order by a slice-major merge).  Slice ``k`` of a
+  document lands on shard ``(hash(name) + k) % shards``, so different
+  documents start their stripes on different shards and load spreads.
+* **whole** — the entire document lives on its hash-owner shard
+  (classic hash-by-document); queries against it route to one shard
+  and need no merge.
+
+Placement is *deterministic* (SHA-1 of the document name, never
+Python's per-process randomized ``hash``) and *explicit*: the computed
+assignment is recorded, and :meth:`ShardMap.assign` reassigns a slice
+to a different primary (rebalance, manual drain) without touching the
+hash function.
+
+Replicas: with ``replication=r``, slice ``k`` additionally lives on
+the next ``r - 1`` shards around the ring.  A replica copy of a slice
+is stored on its shard under :func:`replica_alias` — a distinct
+catalog name — so one shard can hold its own primary slice *and*
+replicas of its neighbours' without collisions.  The coordinator
+rewrites ``document(...)`` calls to the alias when it hedges a call to
+a replica holder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+
+from ..errors import ClusterError
+
+
+def stable_hash(name: str) -> int:
+    """Deterministic across processes and runs (unlike ``hash``)."""
+    return int.from_bytes(hashlib.sha1(name.encode("utf-8")).digest()[:8], "big")
+
+
+def replica_alias(name: str, slice_index: int) -> str:
+    """The catalog name a replica copy of ``name``'s slice is stored
+    under on its replica shard."""
+    return f"{name}~replica{slice_index}"
+
+
+@dataclass(frozen=True)
+class SlicePlacement:
+    """Where one slice of a document lives."""
+
+    index: int
+    primary: int
+    replicas: tuple[int, ...] = ()
+
+    @property
+    def holders(self) -> tuple[int, ...]:
+        return (self.primary, *self.replicas)
+
+
+@dataclass(frozen=True)
+class DocumentPlacement:
+    """The full placement of one document."""
+
+    name: str
+    slices: tuple[SlicePlacement, ...]
+
+    @property
+    def partitioned(self) -> bool:
+        return len(self.slices) > 1
+
+    def shards(self) -> frozenset[int]:
+        """Every shard holding any piece (primary or replica)."""
+        return frozenset(
+            shard for piece in self.slices for shard in piece.holders
+        )
+
+
+class ShardMap:
+    """The cluster's placement registry (thread-safe).
+
+    ``place`` computes and records the default placement; ``assign``
+    overrides one slice's primary explicitly.  Lookups of unplaced
+    documents raise :class:`~repro.errors.ClusterError` — the
+    coordinator turns that into a crisp "not in the cluster catalog"
+    instead of fanning out a query that no shard can answer.
+    """
+
+    def __init__(self, shards: int, *, replication: int = 1):
+        if shards < 1:
+            raise ClusterError("a cluster needs at least one shard")
+        if replication < 1:
+            raise ClusterError("replication factor must be >= 1")
+        self.shards = shards
+        self.replication = min(replication, shards)
+        self._placements: dict[str, DocumentPlacement] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(self, name: str, *, slices: int | None = None) -> DocumentPlacement:
+        """Compute, record, and return the placement for ``name``.
+
+        ``slices=None`` means one slice per shard (partitioned);
+        ``slices=1`` keeps the document whole on its hash owner.
+        """
+        count = self.shards if slices is None else slices
+        if count < 1:
+            raise ClusterError("a document needs at least one slice")
+        start = stable_hash(name) % self.shards
+        pieces = []
+        for index in range(count):
+            primary = (start + index) % self.shards
+            replicas = tuple(
+                (primary + offset) % self.shards
+                for offset in range(1, self.replication)
+            )
+            pieces.append(
+                SlicePlacement(index=index, primary=primary, replicas=replicas)
+            )
+        placement = DocumentPlacement(name=name, slices=tuple(pieces))
+        with self._lock:
+            self._placements[name] = placement
+        return placement
+
+    def assign(self, name: str, slice_index: int, shard: int) -> DocumentPlacement:
+        """Explicitly reassign one slice's primary (rebalance)."""
+        if not 0 <= shard < self.shards:
+            raise ClusterError(f"shard {shard} out of range (0..{self.shards - 1})")
+        with self._lock:
+            placement = self._placements.get(name)
+            if placement is None:
+                raise ClusterError(f"document {name!r} is not placed")
+            if not 0 <= slice_index < len(placement.slices):
+                raise ClusterError(
+                    f"slice {slice_index} out of range for {name!r} "
+                    f"({len(placement.slices)} slices)"
+                )
+            old = placement.slices[slice_index]
+            replicas = tuple(r for r in old.replicas if r != shard)
+            pieces = list(placement.slices)
+            pieces[slice_index] = SlicePlacement(
+                index=slice_index, primary=shard, replicas=replicas
+            )
+            updated = DocumentPlacement(name=name, slices=tuple(pieces))
+            self._placements[name] = updated
+            return updated
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def placement(self, name: str) -> DocumentPlacement:
+        with self._lock:
+            placement = self._placements.get(name)
+        if placement is None:
+            raise ClusterError(f"document {name!r} is not in the cluster catalog")
+        return placement
+
+    def knows(self, name: str) -> bool:
+        with self._lock:
+            return name in self._placements
+
+    def documents(self) -> list[str]:
+        with self._lock:
+            return sorted(self._placements)

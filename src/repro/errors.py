@@ -181,3 +181,36 @@ class RemoteError(ClientError):
         super().__init__(f"{kind}: {message}")
         self.kind = kind
         self.remote_message = message
+
+
+class ClusterError(ServiceError):
+    """Base class for errors raised by the sharded-cluster layer
+    (coordinator, shard map, distributed merge)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard needed to answer the request could not be reached at all
+    (every owner of some slice is down or quarantined) and the caller
+    did not allow a partial result.  Carries the shard ids that were
+    missing."""
+
+    def __init__(self, message: str, missing_shards: frozenset[int] = frozenset()):
+        super().__init__(message)
+        self.missing_shards = frozenset(missing_shards)
+
+
+class PartialResultError(ClusterError):
+    """A scatter-gather query completed on some shards but not all, and
+    the caller did not opt into partial results
+    (``allow_partial=True``).  Carries the shard ids whose slices are
+    missing from the would-be result."""
+
+    def __init__(self, message: str, missing_shards: frozenset[int] = frozenset()):
+        super().__init__(message)
+        self.missing_shards = frozenset(missing_shards)
+
+
+class ClusterMergeError(ClusterError):
+    """The query's shape cannot be merged across shard slices (e.g. a
+    document-spanning join the coordinator has no merge operator for).
+    Single-shard routing may still execute it."""

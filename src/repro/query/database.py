@@ -213,6 +213,14 @@ class Explanation(str):
         """Structured plans (and optimizer estimates when verbose)."""
         return self._payload
 
+    def with_section(self, title: str, text: str, **payload) -> "Explanation":
+        """A new :class:`Explanation` with an extra titled section
+        prepended (and its payload merged) — how the cluster
+        coordinator stacks its ``=== cluster plan ===`` on top of a
+        shard's local explanation."""
+        combined = f"=== {title} ===\n{text.rstrip()}\n\n{str(self)}"
+        return Explanation(combined, {**self._payload, **payload})
+
 
 class Database:
     """A native XML database instance."""

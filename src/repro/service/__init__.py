@@ -40,6 +40,7 @@ from .client import (
     BreakerConfig,
     CircuitBreaker,
     ClientStatistics,
+    HealthReport,
     RetryPolicy,
     ServiceClient,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "ClientStatistics",
+    "HealthReport",
     "RetryPolicy",
     "ServiceClient",
     "FINGERPRINT_HEX_CHARS",

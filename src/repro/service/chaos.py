@@ -65,6 +65,9 @@ class NetFaultPlan:
     delay_seconds: float = 0.01
     partial_write_rate: float = 0.0  # dribble a chunk byte-group-wise
     truncate_rate: float = 0.0  # forward a prefix, then reset
+    stall_rate: float = 0.0  # hold a chunk for stall_seconds (alive but dark)
+    stall_seconds: float = 1.0
+    kill_after: int | None = None  # after N connections: go dark until heal
     max_faults: int | None = None
 
     def is_noop(self) -> bool:
@@ -75,6 +78,8 @@ class NetFaultPlan:
             and self.delay_rate == 0.0
             and self.partial_write_rate == 0.0
             and self.truncate_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.kill_after is None
         )
 
     @classmethod
@@ -107,7 +112,7 @@ class NetFaultPlan:
                 )
             if key == "seed":
                 values[key] = int(raw)
-            elif key == "max_faults":
+            elif key in ("max_faults", "kill_after"):
                 values[key] = None if raw.lower() == "none" else int(raw)
             else:
                 values[key] = float(raw)
@@ -145,6 +150,8 @@ class NetFaultStatistics:
         "delays",
         "partial_writes",
         "truncations",
+        "stalls",
+        "kills",
         "connections_proxied",
         "_lock",
     )
@@ -166,6 +173,8 @@ class NetFaultStatistics:
                 + self.delays
                 + self.partial_writes
                 + self.truncations
+                + self.stalls
+                + self.kills
             )
 
     def snapshot(self) -> dict[str, int]:
@@ -200,6 +209,11 @@ class _Pipe:
         self._lock = threading.Lock()
         self._open_directions = 2
         self._dead = False
+
+    @property
+    def dead(self) -> bool:
+        with self._lock:
+            return self._dead
 
     def kill(self) -> None:
         """Reset both sides (fault injection or proxy shutdown)."""
@@ -249,6 +263,16 @@ class ChaosProxy:
         self._pipes: set[_Pipe] = set()
         self._pipes_lock = threading.Lock()
         self._accept_thread: threading.Thread | None = None
+        # Per-plan state: every set_plan() bumps the epoch (so fault
+        # decisions made against a stale plan are discarded at apply
+        # time), re-baselines the fault budget (so a fresh plan's
+        # max_faults is not pre-spent by an earlier storm), and resets
+        # the kill latch.
+        self._plan_lock = threading.Lock()
+        self._epoch = 0
+        self._fault_baseline = 0
+        self._conns_since_plan = 0
+        self._kill_latched = False
 
     # ------------------------------------------------------------------
     # Plan control
@@ -257,24 +281,65 @@ class ChaosProxy:
     def plan(self) -> NetFaultPlan:
         return self._plan
 
+    @property
+    def killed(self) -> bool:
+        """True while the ``kill_after`` latch holds the proxy dark."""
+        return self._kill_latched
+
     def set_plan(self, plan: NetFaultPlan) -> None:
         """Swap the active plan (the rng keeps its stream: healing and
-        re-arming mid-run stays on the same seed schedule)."""
-        self._plan = plan
+        re-arming mid-run stays on the same seed schedule).
+
+        Installing a plan starts a fresh fault epoch: in-flight fault
+        decisions rolled under the old plan are abandoned, the
+        ``max_faults`` budget counts from zero again, and a tripped
+        ``kill_after`` latch is released.
+        """
+        with self._plan_lock:
+            self._plan = plan
+            self._epoch += 1
+            self._fault_baseline = self.fault_counters.total_faults()
+            self._conns_since_plan = 0
+            self._kill_latched = False
+            epoch = self._epoch
+        # A plan that allows zero further connections goes dark NOW:
+        # existing pipes die too, not just future accepts.
+        if plan.kill_after == 0:
+            self._maybe_kill(plan, epoch)
 
     def heal(self) -> None:
-        """Stop injecting faults; existing connections keep flowing."""
+        """Stop injecting faults; existing connections keep flowing,
+        a kill latch releases, and no stale budget or in-flight fault
+        decision from the previous plan can fire afterwards."""
         self.set_plan(NO_NET_FAULTS)
 
-    def _roll(self, rate: float) -> bool:
-        if rate <= 0.0:
+    def _roll(self, plan: NetFaultPlan, epoch: int, rate: float) -> bool:
+        if rate <= 0.0 or self._closed:
             return False
-        plan = self._plan
+        if epoch != self._epoch:
+            return False  # stale plan: a heal/swap already superseded it
         limit = plan.max_faults
-        if limit is not None and self.fault_counters.total_faults() >= limit:
-            return False
+        if limit is not None:
+            spent = self.fault_counters.total_faults() - self._fault_baseline
+            if spent >= limit:
+                return False
         with self._roll_lock:
+            if epoch != self._epoch:
+                return False
             return self._rng.random() < rate
+
+    def _interruptible_sleep(self, seconds: float, epoch: int, pipe: "_Pipe | None") -> None:
+        """Sleep in slices, waking early when the plan changes, the
+        pipe dies, or the proxy closes — a heal() must not leave a
+        stalled chunk dark for the stale plan's full duration."""
+        deadline = time.monotonic() + seconds
+        while not self._closed and epoch == self._epoch:
+            if pipe is not None and pipe.dead:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.02))
 
     def _rand_cut(self, length: int) -> int:
         with self._roll_lock:
@@ -300,6 +365,13 @@ class ChaosProxy:
             return
         self._closed = True
         try:
+            # shutdown() first: close() alone leaves the kernel listen
+            # alive while the accept loop is blocked in accept(), so
+            # new connections would still be admitted.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._listener.close()
         except OSError:
             pass
@@ -317,13 +389,37 @@ class ChaosProxy:
     # ------------------------------------------------------------------
     # Forwarding
     # ------------------------------------------------------------------
+    def _maybe_kill(self, plan: NetFaultPlan, epoch: int) -> bool:
+        """Check (and possibly trip) the ``kill_after`` latch; while
+        latched, the proxy is dark — every new connection is refused
+        and existing pipes are already dead."""
+        with self._plan_lock:
+            if epoch != self._epoch:
+                return self._kill_latched
+            if self._kill_latched:
+                return True
+            if plan.kill_after is None or self._conns_since_plan < plan.kill_after:
+                return False
+            self._kill_latched = True
+        self.fault_counters.add("kills")
+        with self._pipes_lock:
+            pipes = list(self._pipes)
+        for pipe in pipes:
+            pipe.kill()
+        return True
+
     def _accept_loop(self) -> None:
         while not self._closed:
             try:
                 client, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
-            if self._roll(self._plan.refuse_rate):
+            plan = self._plan
+            epoch = self._epoch
+            if self._maybe_kill(plan, epoch):
+                _hard_close(client)
+                continue
+            if self._roll(plan, epoch, plan.refuse_rate):
                 self.fault_counters.add("refused_connections")
                 _hard_close(client)
                 continue
@@ -333,6 +429,9 @@ class ChaosProxy:
                 _hard_close(client)
                 continue
             self.fault_counters.add("connections_proxied")
+            with self._plan_lock:
+                if epoch == self._epoch:
+                    self._conns_since_plan += 1
             pipe = _Pipe(client, upstream)
             with self._pipes_lock:
                 self._pipes.add(pipe)
@@ -359,11 +458,12 @@ class ChaosProxy:
                         pass
                     return
                 plan = self._plan
-                if self._roll(plan.reset_rate):
+                epoch = self._epoch
+                if self._roll(plan, epoch, plan.reset_rate):
                     self.fault_counters.add("resets")
                     pipe.kill()
                     return
-                if self._roll(plan.truncate_rate):
+                if self._roll(plan, epoch, plan.truncate_rate):
                     self.fault_counters.add("truncations")
                     cut = self._rand_cut(len(chunk))
                     try:
@@ -372,11 +472,18 @@ class ChaosProxy:
                         pass
                     pipe.kill()
                     return
-                if self._roll(plan.delay_rate):
+                if self._roll(plan, epoch, plan.stall_rate):
+                    self.fault_counters.add("stalls")
+                    self._interruptible_sleep(plan.stall_seconds, epoch, pipe)
+                    if pipe.dead:
+                        return
+                if self._roll(plan, epoch, plan.delay_rate):
                     self.fault_counters.add("delays")
-                    time.sleep(plan.delay_seconds)
+                    self._interruptible_sleep(plan.delay_seconds, epoch, pipe)
+                    if pipe.dead:
+                        return
                 try:
-                    if self._roll(plan.partial_write_rate):
+                    if self._roll(plan, epoch, plan.partial_write_rate):
                         self.fault_counters.add("partial_writes")
                         for start in range(0, len(chunk), 3):
                             dst.sendall(chunk[start : start + 3])

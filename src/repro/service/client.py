@@ -34,6 +34,7 @@ a failing seed reproduces the same backoff schedule.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import random
 import socket
@@ -229,6 +230,56 @@ class CircuitBreaker:
                 self.counters.add("breaker_opens")
 
 
+@dataclass(frozen=True)
+class HealthReport:
+    """Parsed ``HEALTH`` payload — one parser shared by every caller
+    (CLI, cluster coordinator, tests) instead of each fishing keys out
+    of the raw line.
+
+    Unknown keys survive in ``raw`` so a newer server can report more
+    than an older client knows to model.
+    """
+
+    status: str
+    live: bool
+    ready: bool
+    draining: bool
+    degraded_store: bool
+    quarantined_pages: int
+    queue_depth: int
+    queue_capacity: int
+    workers: int
+    active_connections: int
+    max_connections: int
+    generation: int
+    raw: dict = dataclasses.field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "HealthReport":
+        return cls(
+            status=str(payload.get("status", "unknown")),
+            live=bool(payload.get("live", False)),
+            ready=bool(payload.get("ready", False)),
+            draining=bool(payload.get("draining", False)),
+            degraded_store=bool(payload.get("degraded_store", False)),
+            quarantined_pages=int(payload.get("quarantined_pages", 0)),
+            queue_depth=int(payload.get("queue_depth", 0)),
+            queue_capacity=int(payload.get("queue_capacity", 0)),
+            workers=int(payload.get("workers", 0)),
+            active_connections=int(payload.get("active_connections", 0)),
+            max_connections=int(payload.get("max_connections", 0)),
+            generation=int(payload.get("generation", 0)),
+            raw=dict(payload),
+        )
+
+    def as_dict(self) -> dict:
+        return dict(self.raw)
+
+
 class ServiceClient:
     """Reconnecting, retrying, breaker-guarded line-protocol client.
 
@@ -270,8 +321,8 @@ class ServiceClient:
     def ping(self) -> dict:
         return self.call("PING")
 
-    def health(self) -> dict:
-        return self.call("HEALTH")
+    def health(self) -> HealthReport:
+        return HealthReport.from_payload(self.call("HEALTH"))
 
     def query(
         self,
@@ -290,6 +341,30 @@ class ServiceClient:
     def explain(self, text: str, *, verbose: bool = False) -> dict:
         return self.call("EXPLAIN", {"q": text, "verbose": verbose})
 
+    def load(self, text: str, name: str, *, chunk_chars: int = 1 << 18) -> dict:
+        """Ship a document over the wire in ``LOAD`` chunks (the server
+        caps request lines at 1 MiB, so large documents stream).
+
+        Non-idempotent: a transport failure after any chunk was sent
+        surfaces :class:`~repro.errors.AmbiguousResultError` instead of
+        replaying — the caller decides whether to re-LOAD under a fresh
+        name or probe the catalog.
+        """
+        if len(text) <= chunk_chars:
+            return self.call(
+                "LOAD", {"name": name, "chunk": text, "final": True},
+                idempotent=False,
+            )
+        reply: dict = {}
+        for start in range(0, len(text), chunk_chars):
+            piece = text[start : start + chunk_chars]
+            final = start + chunk_chars >= len(text)
+            reply = self.call(
+                "LOAD", {"name": name, "chunk": piece, "final": final},
+                idempotent=False,
+            )
+        return reply
+
     def stats(self) -> CounterSnapshot:
         """Server-side counters merged with this client's own
         (``client_*``-prefixed) — one snapshot shows both ends."""
@@ -300,6 +375,14 @@ class ServiceClient:
     def counter_snapshot(self) -> CounterSnapshot:
         """Just this client's counters, as an immutable snapshot."""
         return CounterSnapshot(self.counters.snapshot())
+
+    def set_read_timeout(self, seconds: float) -> None:
+        """Adjust the per-reply read timeout, applying it to the live
+        socket too — the cluster coordinator shrinks this to a call's
+        remaining deadline budget before each shard call."""
+        self.read_timeout = seconds
+        if self._sock is not None:
+            self._sock.settimeout(seconds)
 
     def session(self) -> dict:
         """This connection's session snapshot.  Non-idempotent: a

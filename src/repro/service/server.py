@@ -11,6 +11,7 @@ Requests (UTF-8, newline-terminated)::
     HEALTH
     QUERY {"q": "FOR $b IN ...", "plan": "groupby", "timeout": 2.5}
     EXPLAIN {"q": "...", "verbose": true}
+    LOAD {"name": "bib.xml", "chunk": "<bib>...", "final": true}
     STATS
     SESSION
     QUIT
@@ -241,6 +242,10 @@ class _Handler(socketserver.BaseRequestHandler):
     def setup(self) -> None:  # noqa: D102 - socketserver contract
         self._busy = False
         self._active_ticket = None
+        # Partial LOAD bodies, keyed by document name.  Request lines
+        # are capped at MAX_LINE_BYTES, so large documents arrive as a
+        # sequence of LOAD chunks ending with "final": true.
+        self._load_buffers: dict[str, list[str]] = {}
         try:
             self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -379,6 +384,28 @@ class _Handler(socketserver.BaseRequestHandler):
             )
             return "OK " + json.dumps(
                 {"text": explanation.render(), "plans": explanation.to_dict()}
+            )
+        if command == "LOAD":
+            spec = _spec(argument)
+            name = _required(spec, "name")
+            chunk = spec.get("chunk", "")
+            if not isinstance(chunk, str):
+                raise ProtocolError("LOAD chunk must be a string")
+            parts = self._load_buffers.setdefault(name, [])
+            parts.append(chunk)
+            if not bool(spec.get("final", True)):
+                return "OK " + json.dumps(
+                    {"received": sum(len(part) for part in parts)}
+                )
+            text = "".join(self._load_buffers.pop(name))
+            report = service.load_text(text, name)
+            return "OK " + json.dumps(
+                {
+                    "document": report.document,
+                    "nodes": report.nodes,
+                    "generation": report.generation,
+                    "columnar": report.columnar,
+                }
             )
         raise ProtocolError(f"unknown command {command!r}")
 

@@ -306,20 +306,23 @@ class QueryService:
     # ------------------------------------------------------------------
     # Data mutation (write-gated)
     # ------------------------------------------------------------------
-    def load_text(self, text: str, name: str) -> None:
+    def load_text(self, text: str, name: str):
         with self._gate.write_locked():
-            self.db.load(text=text, name=name)
+            report = self.db.load(text=text, name=name)
             self._drop_stale_results()
+            return report
 
-    def load_tree(self, root: XMLNode, name: str) -> None:
+    def load_tree(self, root: XMLNode, name: str):
         with self._gate.write_locked():
-            self.db.load(tree=root, name=name)
+            report = self.db.load(tree=root, name=name)
             self._drop_stale_results()
+            return report
 
-    def load_file(self, path: str, name: str | None = None) -> None:
+    def load_file(self, path: str, name: str | None = None):
         with self._gate.write_locked():
-            self.db.load(path=path, name=name)
+            report = self.db.load(path=path, name=name)
             self._drop_stale_results()
+            return report
 
     def drop_document(self, name: str) -> None:
         with self._gate.write_locked():

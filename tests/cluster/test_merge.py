@@ -1,0 +1,181 @@
+"""The distributed merge: classification, rewrite round-tripping,
+slice-major reconstruction, and typed refusal of unmergeable shapes."""
+
+import pytest
+
+from repro.cluster.merge import (
+    apply_sortby,
+    compile_merge,
+    merge_rows,
+    rename_document,
+)
+from repro.datagen.sample import (
+    QUERY_1,
+    QUERY_2,
+    QUERY_COUNT,
+    figure6_database,
+)
+from repro.errors import ClusterMergeError
+from repro.query.database import Database
+from repro.query.parser import parse_query
+from repro.xmlmodel.diff import assert_collections_equal
+from repro.xmlmodel.node import XMLNode
+from repro.xmlmodel.tree import Collection, DataTree
+
+
+def _slices(root: XMLNode, count: int) -> list[XMLNode]:
+    kids = root.children
+    base, extra = divmod(len(kids), count)
+    pieces, cursor = [], 0
+    for index in range(count):
+        take = base + (1 if index < extra else 0)
+        piece = XMLNode(root.tag)
+        for kid in kids[cursor : cursor + take]:
+            piece.append_child(kid.deep_copy())
+        cursor += take
+        pieces.append(piece)
+    return pieces
+
+
+def _run_sliced(query: str, count: int) -> Collection:
+    """Execute ``query`` the coordinator's way, in-process: rewrite,
+    run per slice, merge, re-sort."""
+    plan = compile_merge(parse_query(query))
+    slice_rows = []
+    for piece in _slices(figure6_database(), count):
+        db = Database()
+        db.load(tree=piece, name="bib.xml")
+        slice_rows.append(
+            [tree.root for tree in db.query(plan.shard_query).collection]
+        )
+    merged = apply_sortby(merge_rows(plan, slice_rows), plan.sortby)
+    return Collection([DataTree(row) for row in merged])
+
+
+def _single(query: str) -> Collection:
+    db = Database()
+    db.load(tree=figure6_database(), name="bib.xml")
+    return db.query(query).collection
+
+
+@pytest.mark.parametrize("query", [QUERY_1, QUERY_2, QUERY_COUNT])
+@pytest.mark.parametrize("count", [1, 2, 3])
+def test_sliced_grouping_identical_to_single_node(query, count):
+    assert_collections_equal(_single(query), _run_sliced(query, count))
+
+
+def test_group_plan_classification():
+    plan = compile_merge(parse_query(QUERY_1))
+    assert plan.kind == "group"
+    assert [item.kind for item in plan.items] == ["key", "list"]
+    assert plan.row_tag == "authorpubs"
+    plan2 = compile_merge(parse_query(QUERY_COUNT))
+    assert [item.kind for item in plan2.items] == ["key", "count"]
+
+
+def test_shard_query_reparses():
+    # The rewrite is shipped as text: it must survive render -> parse.
+    plan = compile_merge(parse_query(QUERY_1))
+    reparsed = parse_query(plan.shard_query)
+    assert compile_merge(parse_query(QUERY_1)).shard_query == plan.shard_query
+    assert reparsed is not None
+
+
+def test_aggregates_merge_exactly():
+    query = """
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    LET $y := document("bib.xml")//article[author = $a]/year
+    RETURN <r>{$a} {count($y)} {sum($y)} {min($y)} {max($y)} {avg($y)}</r>
+    """
+    for count in (1, 2, 3):
+        assert_collections_equal(_single(query), _run_sliced(query, count))
+
+
+def test_sortby_reapplied_after_merge():
+    query = """
+    FOR $a IN distinct-values(document("bib.xml")//author)
+    LET $t := document("bib.xml")//article[author = $a]/title
+    RETURN <r>{$a} {count($t)}</r> SORTBY (.)
+    """
+    plan = compile_merge(parse_query(query))
+    assert plan.sortby  # stripped from the shard query, kept in the plan
+    assert "SORTBY" not in plan.shard_query
+    for count in (1, 2, 3):
+        assert_collections_equal(_single(query), _run_sliced(query, count))
+
+
+def test_concat_and_scalar_count_shapes():
+    concat = 'FOR $b IN document("bib.xml")//article RETURN $b/title'
+    assert compile_merge(parse_query(concat)).kind == "concat"
+    path = 'document("bib.xml")//article/title'
+    assert compile_merge(parse_query(path)).kind == "concat"
+    scalar = 'count(document("bib.xml")//author)'
+    assert compile_merge(parse_query(scalar)).kind == "scalar-count"
+    for query in (concat, path, scalar):
+        for count in (1, 2, 3):
+            assert_collections_equal(_single(query), _run_sliced(query, count))
+
+
+@pytest.mark.parametrize(
+    "query",
+    [
+        # distinct-values inside a RETURN item: cross-slice dedup.
+        """FOR $a IN distinct-values(document("b")//author)
+           RETURN <r>{distinct-values(document("b")//year)}</r>""",
+        # count over distinct-values at top level.
+        'count(distinct-values(document("b")//author))',
+        # LET the WHERE filters on (HAVING-shaped).
+        """FOR $a IN distinct-values(document("b")//author)
+           LET $t := document("b")//article[author = $a]/title
+           WHERE $t = "x"
+           RETURN <r>{$a}</r>""",
+        # Uncorrelated document re-read inside a LET.
+        """FOR $a IN distinct-values(document("b")//author)
+           LET $all := document("b")//article/title
+           RETURN <r>{$a} {$all}</r>""",
+        # Second FOR over the document: cross product across slices.
+        """FOR $a IN document("b")//article
+           FOR $c IN document("b")//article
+           RETURN <r>{$a/title}</r>""",
+    ],
+)
+def test_unmergeable_shapes_raise_typed(query):
+    with pytest.raises(ClusterMergeError):
+        compile_merge(parse_query(query))
+
+
+def test_multi_document_queries_refused():
+    query = """FOR $a IN distinct-values(document("b")//author)
+               LET $t := document("c")//article[author = $a]/title
+               RETURN <r>{$a}</r>"""
+    with pytest.raises(ClusterMergeError):
+        compile_merge(parse_query(query))
+
+
+def test_rename_document_rewrites_every_call():
+    renamed = rename_document(QUERY_1, {"bib.xml": "bib.xml~replica0"})
+    assert 'document("bib.xml~replica0")' in renamed
+    assert 'document("bib.xml")' not in renamed
+    # Rename is also a no-op for unrelated names.
+    assert 'document("bib.xml")' in rename_document(QUERY_1, {"other": "x"})
+
+
+def test_partial_merge_drops_missing_slices_only():
+    # Merging a subset of slices yields exactly the groups visible in
+    # the surviving slices — the degraded-mode contract.
+    plan = compile_merge(parse_query(QUERY_1))
+    slice_rows = []
+    for piece in _slices(figure6_database(), 3):
+        db = Database()
+        db.load(tree=piece, name="bib.xml")
+        slice_rows.append(
+            [tree.root for tree in db.query(plan.shard_query).collection]
+        )
+    full = merge_rows(plan, slice_rows)
+    degraded = merge_rows(plan, slice_rows[:2])
+    assert len(degraded) <= len(full)
+    assert all(row.tag == "authorpubs" for row in degraded)
+    full_keys = [row.content for row in full]
+    degraded_keys = [row.content for row in degraded]
+    # Surviving groups keep their global first-appearance order.
+    assert degraded_keys == [key for key in full_keys if key in degraded_keys]

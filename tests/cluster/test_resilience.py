@@ -1,0 +1,164 @@
+"""The robustness core: typed degradation, quarantine + re-admission,
+hedged retries, and fan-out abandonment cleaning up server-side
+sessions."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterConfig, LocalCluster, LocalClusterConfig
+from repro.datagen.sample import QUERY_1, figure6_database
+from repro.errors import (
+    ClusterError,
+    PartialResultError,
+    RemoteError,
+    ShardUnavailableError,
+)
+from repro.service.chaos import NetFaultPlan
+from repro.service.client import RetryPolicy
+
+FAST = ClusterConfig(
+    query_timeout=5.0,
+    hedge_delay=0.1,
+    quarantine_threshold=2,
+    probe_interval=0.05,
+    probe_timeout=1.0,
+    retry=RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.05),
+    connect_timeout=0.5,
+)
+
+
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError("condition not reached before timeout")
+
+
+@pytest.fixture()
+def cluster():
+    config = LocalClusterConfig(shards=3, cluster=FAST, proxy_all=True)
+    with LocalCluster(config) as instance:
+        instance.load(tree=figure6_database(), name="bib.xml")
+        yield instance
+
+
+def test_dead_shard_strict_raises_partial_result_error(cluster):
+    cluster.shards[1].proxy.close()
+    with pytest.raises(PartialResultError) as excinfo:
+        cluster.query(QUERY_1)
+    assert excinfo.value.missing_shards == frozenset({1})
+
+
+def test_dead_shard_allow_partial_tags_missing_set(cluster):
+    baseline = cluster.query(QUERY_1)
+    cluster.shards[1].proxy.close()
+    result = cluster.query(QUERY_1, allow_partial=True)
+    assert result.partial
+    assert result.missing_shards == frozenset({1})
+    assert 0 < len(result) <= len(baseline)
+    assert cluster.coordinator.counter_snapshot()["cluster_partial_results"] == 1
+
+
+def test_all_shards_dead_raises_shard_unavailable(cluster):
+    for stack in cluster.shards:
+        stack.proxy.close()
+    with pytest.raises(ShardUnavailableError):
+        cluster.query(QUERY_1, allow_partial=True)
+
+
+def test_quarantine_then_probe_readmission(cluster):
+    # kill_after=0 latches the proxy dark WITHOUT closing its listener,
+    # so heal() can bring the same endpoint back.
+    victim = cluster.shards[2]
+    victim.proxy.set_plan(NetFaultPlan(kill_after=0, seed=1))
+    threshold = cluster.coordinator.config.quarantine_threshold
+    for _ in range(threshold + 1):
+        try:
+            cluster.query(QUERY_1, allow_partial=True)
+        except ClusterError:
+            pass
+    assert cluster.coordinator.quarantined_shards() == frozenset({2})
+    assert cluster.health().status == "degraded"
+
+    victim.proxy.heal()
+    time.sleep(FAST.probe_interval * 2)
+
+    def recovered():
+        try:
+            return not cluster.query(QUERY_1).partial
+        except ClusterError:
+            return False
+
+    _wait_until(recovered)
+    assert cluster.coordinator.quarantined_shards() == frozenset()
+    counters = cluster.coordinator.counter_snapshot()
+    assert counters["cluster_quarantines"] >= 1
+    assert counters["cluster_readmissions"] >= 1
+    assert counters["cluster_probes"] >= 1
+    _wait_until(lambda: cluster.health().status == "ok")
+
+
+def test_hedged_retry_beats_stalled_primary(figure=figure6_database):
+    config = LocalClusterConfig(
+        shards=3,
+        cluster=ClusterConfig(
+            replication=2,
+            query_timeout=10.0,
+            hedge_delay=0.15,
+            quarantine_threshold=5,
+            retry=RetryPolicy(max_attempts=1),
+            connect_timeout=0.5,
+        ),
+        proxy_all=True,
+    )
+    with LocalCluster(config) as cluster:
+        cluster.load(tree=figure(), name="bib.xml")
+        baseline = cluster.query(QUERY_1)
+        # Stall every chunk through shard 0 far longer than the hedge
+        # delay: its slice must be served by a replica instead.
+        cluster.shards[0].proxy.set_plan(
+            NetFaultPlan(stall_rate=1.0, stall_seconds=3.0, seed=7)
+        )
+        started = time.monotonic()
+        result = cluster.query(QUERY_1)
+        elapsed = time.monotonic() - started
+        assert not result.partial
+        assert len(result) == len(baseline)
+        assert elapsed < 3.0, "hedge did not race the stalled primary"
+        counters = cluster.coordinator.counter_snapshot()
+        assert counters["cluster_hedges"] >= 1
+        assert counters["cluster_hedge_wins"] >= 1
+
+
+def test_remote_query_errors_do_not_quarantine(cluster):
+    # A plan mode the shard rejects on a whole-document route is the
+    # *request's* fault: it must propagate typed and leave the shard's
+    # health untouched.
+    cluster.load(tree=figure6_database(), name="whole.xml", slices=1)
+    bad = 'FOR $b IN document("whole.xml")//article RETURN $b/title'
+    with pytest.raises(RemoteError) as excinfo:
+        cluster.query(bad, plan="groupby")
+    assert excinfo.value.kind == "TranslationError"
+    assert cluster.coordinator.quarantined_shards() == frozenset()
+    assert cluster.health().status == "ok"
+
+
+def test_abandoned_fanout_cleans_up_shard_sessions(cluster):
+    # Stall one shard so the coordinator's deadline abandons the call
+    # mid-fan-out; the surviving shards finish, and once the abandoned
+    # connection drops, every shard's session registry must empty with
+    # no leaked pins and no handler crashes.
+    victim = cluster.shards[0]
+    victim.proxy.set_plan(NetFaultPlan(stall_rate=1.0, stall_seconds=2.0, seed=3))
+    with pytest.raises(PartialResultError):
+        cluster.query(QUERY_1, timeout=0.5)
+    cluster.coordinator.close()  # drop pooled connections (incl. stalled)
+    for stack in cluster.shards:
+        _wait_until(lambda stack=stack: len(stack.service.sessions) == 0)
+        assert stack.db.store.pool.pinned_count() == 0
+        assert stack.server.stats()["server_handler_crashes"] == 0

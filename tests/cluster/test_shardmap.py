@@ -1,0 +1,101 @@
+"""Placement: deterministic hashing, replication rings, explicit
+reassignment, replica aliasing."""
+
+import pytest
+
+from repro.cluster.shardmap import (
+    DocumentPlacement,
+    ShardMap,
+    replica_alias,
+    stable_hash,
+)
+from repro.errors import ClusterError
+
+
+def test_stable_hash_is_process_independent():
+    # SHA-1-derived, so these values can never drift between runs.
+    assert stable_hash("bib.xml") == stable_hash("bib.xml")
+    assert stable_hash("bib.xml") != stable_hash("other.xml")
+
+
+def test_place_is_deterministic_and_contiguous():
+    a = ShardMap(4).place("bib.xml")
+    b = ShardMap(4).place("bib.xml")
+    assert a == b
+    assert len(a.slices) == 4
+    primaries = [piece.primary for piece in a.slices]
+    assert sorted(primaries) == [0, 1, 2, 3]
+    # Consecutive slices sit on consecutive ring positions.
+    start = primaries[0]
+    assert primaries == [(start + k) % 4 for k in range(4)]
+
+
+def test_whole_document_placement_routes_to_one_shard():
+    placement = ShardMap(4).place("bib.xml", slices=1)
+    assert not placement.partitioned
+    assert len(placement.shards()) == 1
+
+
+def test_replication_uses_next_ring_positions():
+    placement = ShardMap(4, replication=2).place("bib.xml")
+    for piece in placement.slices:
+        assert piece.replicas == ((piece.primary + 1) % 4,)
+        assert piece.primary not in piece.replicas
+    assert placement.shards() == frozenset(range(4))
+
+
+def test_replication_clamps_to_shard_count():
+    shard_map = ShardMap(2, replication=5)
+    assert shard_map.replication == 2
+    placement = shard_map.place("bib.xml")
+    for piece in placement.slices:
+        assert len(piece.holders) == 2
+
+
+def test_assign_reassigns_one_slice_explicitly():
+    shard_map = ShardMap(4, replication=2)
+    placement = shard_map.place("bib.xml")
+    target = (placement.slices[0].primary + 2) % 4
+    updated = shard_map.assign("bib.xml", 0, target)
+    assert updated.slices[0].primary == target
+    # Other slices untouched; the registry returns the new placement.
+    assert updated.slices[1:] == placement.slices[1:]
+    assert shard_map.placement("bib.xml") == updated
+
+
+def test_assign_drops_new_primary_from_replicas():
+    shard_map = ShardMap(4, replication=2)
+    placement = shard_map.place("bib.xml")
+    replica = placement.slices[0].replicas[0]
+    updated = shard_map.assign("bib.xml", 0, replica)
+    assert updated.slices[0].primary == replica
+    assert replica not in updated.slices[0].replicas
+
+
+def test_unknown_document_and_bad_arguments_raise_typed():
+    shard_map = ShardMap(2)
+    with pytest.raises(ClusterError):
+        shard_map.placement("nope.xml")
+    with pytest.raises(ClusterError):
+        shard_map.assign("nope.xml", 0, 1)
+    shard_map.place("bib.xml")
+    with pytest.raises(ClusterError):
+        shard_map.assign("bib.xml", 9, 1)
+    with pytest.raises(ClusterError):
+        shard_map.assign("bib.xml", 0, 7)
+    with pytest.raises(ClusterError):
+        ShardMap(0)
+
+
+def test_replica_alias_is_distinct_per_slice():
+    assert replica_alias("bib.xml", 0) != "bib.xml"
+    assert replica_alias("bib.xml", 0) != replica_alias("bib.xml", 1)
+
+
+def test_knows_and_documents():
+    shard_map = ShardMap(2)
+    assert not shard_map.knows("bib.xml")
+    shard_map.place("bib.xml")
+    shard_map.place("aux.xml")
+    assert shard_map.knows("bib.xml")
+    assert shard_map.documents() == ["aux.xml", "bib.xml"]

@@ -189,3 +189,102 @@ def test_set_plan_swaps_midstream(backend):
         assert client.ping() == {"pong": True}
         assert proxy.fault_counters.delays >= 1
         client.close()
+
+
+# ----------------------------------------------------------------------
+# Plan epochs: heal/swap must fully retire the previous plan
+# ----------------------------------------------------------------------
+def test_healed_proxy_cannot_rearm_stale_plan_or_budget(backend):
+    # Regression: heal() used to leave the old plan's fault budget and
+    # in-flight decisions live, so a healed proxy could keep faulting.
+    plan = NetFaultPlan(seed=11, refuse_rate=1.0, max_faults=10)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(proxy.endpoint)
+        with pytest.raises(ClientError):
+            client.ping()  # burns part of the 10-fault budget
+        spent = proxy.fault_counters.total_faults()
+        assert 0 < spent < 10
+
+        proxy.heal()
+        for _ in range(5):
+            assert client.ping() == {"pong": True}
+        assert proxy.fault_counters.total_faults() == spent, (
+            "healed proxy re-armed faults from the stale plan's budget"
+        )
+
+        # And the other direction: a fresh plan's budget counts from
+        # zero — it is not pre-spent by the earlier storm.  (Refusals
+        # hit connects, so use a client with no pooled connection.)
+        proxy.set_plan(NetFaultPlan(seed=11, refuse_rate=1.0, max_faults=2))
+        fresh = _resilient_client(proxy.endpoint)
+        assert fresh.ping() == {"pong": True}
+        assert proxy.fault_counters.total_faults() == spent + 2
+        fresh.close()
+        client.close()
+
+
+def test_kill_after_zero_goes_dark_eagerly_and_heals(backend):
+    with ChaosProxy(backend.endpoint).start() as proxy:
+        client = _resilient_client(
+            proxy.endpoint,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001, max_delay=0.01),
+            breaker=None,
+        )
+        assert client.ping() == {"pong": True}  # live pooled connection
+
+        # kill_after=0 must not wait for the next accept: the existing
+        # pipe dies at set_plan time and new connects are refused.
+        proxy.set_plan(NetFaultPlan(seed=1, kill_after=0))
+        assert proxy.killed
+        with pytest.raises(ClientError):
+            client.ping()
+        assert proxy.fault_counters.kills == 1
+
+        # heal() releases the latch on the SAME endpoint (unlike
+        # close(), which would burn the port).
+        proxy.heal()
+        assert not proxy.killed
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                assert client.ping() == {"pong": True}
+                break
+            except ClientError:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+        client.close()
+
+
+def test_heal_interrupts_inflight_stall(backend):
+    # A chunk stalled under the old plan must wake when heal() bumps
+    # the epoch — not sleep out the stale plan's full stall_seconds.
+    plan = NetFaultPlan(seed=2, stall_rate=1.0, stall_seconds=30.0)
+    with ChaosProxy(backend.endpoint, plan).start() as proxy:
+        client = _resilient_client(
+            proxy.endpoint,
+            retry=RetryPolicy(max_attempts=1),
+            breaker=None,
+            read_timeout=20.0,
+        )
+        import threading
+
+        outcome: list = []
+
+        def stalled_ping():
+            try:
+                outcome.append(client.ping())
+            except ClientError as error:
+                outcome.append(error)
+
+        thread = threading.Thread(target=stalled_ping)
+        started = time.monotonic()
+        thread.start()
+        time.sleep(0.3)  # let the ping hit the stall
+        proxy.heal()
+        thread.join(10.0)
+        elapsed = time.monotonic() - started
+        assert not thread.is_alive(), "stalled chunk never woke after heal()"
+        assert elapsed < 10.0, "heal() waited out the stale plan's stall"
+        assert outcome == [{"pong": True}]
+        assert proxy.fault_counters.stalls >= 1
+        client.close()

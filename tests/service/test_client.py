@@ -389,3 +389,97 @@ def test_client_breaker_opens_then_heals():
         assert snap["client_breaker_half_opens"] == 1
         assert snap["client_breaker_closes"] == 1
         client.close()
+
+
+def test_half_open_window_boundary_and_failure_count_reset():
+    # Seeded-clock re-admission: the half-open probe is admitted only
+    # once the FULL reset window has elapsed, and a successful probe
+    # resets the consecutive-failure count (one later failure must not
+    # re-open a freshly re-closed breaker).
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerConfig(failure_threshold=2, reset_timeout=10.0), clock=clock
+    )
+    for _ in range(2):
+        breaker.allow()
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(9.99)
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()  # one tick short of the window: still rejected
+    clock.advance(0.01)
+    breaker.allow()
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    # The probe's success wiped the failure streak: a single new
+    # failure is one short of the threshold again.
+    breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_health_report_parses_payload_and_defaults():
+    from repro.service.client import HealthReport
+
+    empty = HealthReport.from_payload({})
+    assert empty.status == "unknown"
+    assert not empty.ok
+    assert not empty.live and not empty.ready
+    assert empty.queue_depth == 0
+
+    payload = {
+        "status": "ok",
+        "live": True,
+        "ready": True,
+        "draining": False,
+        "degraded_store": False,
+        "quarantined_pages": 0,
+        "queue_depth": 3,
+        "queue_capacity": 64,
+        "workers": 2,
+        "active_connections": 1,
+        "max_connections": 32,
+        "generation": 7,
+        "novel_key": "survives",  # a newer server may say more
+    }
+    report = HealthReport.from_payload(payload)
+    assert report.ok and report.live and report.ready
+    assert report.generation == 7
+    assert report.raw["novel_key"] == "survives"
+    assert report.as_dict() == payload
+
+
+def test_client_health_returns_parsed_report():
+    from repro.service.client import HealthReport
+
+    with ScriptedServer(ok({"status": "ok", "live": True, "ready": True})) as server:
+        client = _client(server.endpoint)
+        report = client.health()
+        assert isinstance(report, HealthReport)
+        assert report.ok
+        client.close()
+
+
+def test_set_read_timeout_applies_to_live_socket():
+    with ScriptedServer(ok({"pong": True})) as server:
+        client = _client(server.endpoint)
+        assert client.ping() == {"pong": True}
+        assert client._sock is not None
+        client.set_read_timeout(0.25)
+        assert client.read_timeout == 0.25
+        assert client._sock.gettimeout() == 0.25  # live socket too
+        client.close()
+
+
+def test_load_streams_chunks_with_final_flag():
+    with ScriptedServer(ok({"document": "d.xml", "nodes": 1})) as server:
+        client = _client(server.endpoint)
+        client.load("x" * 25, "d.xml", chunk_chars=10)
+        loads = [line for line in server.requests if line.startswith("LOAD ")]
+        assert len(loads) == 3
+        specs = [json.loads(line[5:]) for line in loads]
+        assert [spec["final"] for spec in specs] == [False, False, True]
+        assert "".join(spec["chunk"] for spec in specs) == "x" * 25
+        assert all(spec["name"] == "d.xml" for spec in specs)
+        client.close()

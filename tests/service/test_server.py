@@ -97,3 +97,81 @@ def test_each_connection_gets_own_session(endpoint):
     finally:
         a.close()
         b.close()
+
+
+def test_load_wire_command_chunked(client):
+    doc = "<bib>" + "".join(
+        f"<article><title>t{i}</title></article>" for i in range(4)
+    ) + "</bib>"
+    # Stream in three chunks; only the final one materializes the doc.
+    third = len(doc) // 3
+    part = client.ok("LOAD " + json.dumps(
+        {"name": "wire.xml", "chunk": doc[:third], "final": False}
+    ))
+    assert part == {"received": third}
+    part = client.ok("LOAD " + json.dumps(
+        {"name": "wire.xml", "chunk": doc[third : 2 * third], "final": False}
+    ))
+    assert part == {"received": 2 * third}
+    done = client.ok("LOAD " + json.dumps(
+        {"name": "wire.xml", "chunk": doc[2 * third :], "final": True}
+    ))
+    assert done["document"] == "wire.xml"
+    assert done["nodes"] > 0
+    count = client.ok("QUERY " + json.dumps(
+        {"q": 'count(document("wire.xml")//article)'}
+    ))
+    assert "<value>4</value>" in count["xml"]
+
+
+def test_load_rejects_non_string_chunk(client):
+    error = client.err("LOAD " + json.dumps(
+        {"name": "bad.xml", "chunk": 7, "final": True}
+    ))
+    assert error["kind"] == "ProtocolError"
+    assert client.ok("PING") == {"pong": True}  # connection survives
+
+
+def test_client_vanishing_mid_reply_marks_session_aborted(running_server):
+    # The cluster coordinator abandons shard calls past their deadline;
+    # the shard must mark the SESSION aborted (not just the server-wide
+    # counter) and still run close_session.  The RST must land while
+    # the query executes, so retry the race a few times.
+    import socket as socket_module
+    import struct
+    import time
+
+    service = running_server.service
+    raw = LineClient(running_server.endpoint)
+    assert raw.ok("PING") == {"pong": True}
+    session = next(s for s in service.sessions.active() if s.aborted == 0)
+    # Pipeline a burst of UNIQUE (leading whitespace defeats the query
+    # cache) grouping queries without reading a single reply: the
+    # server is necessarily mid-burst when the reset lands, so the
+    # race needs no retry loop.
+    burst = "".join(
+        "QUERY " + json.dumps({"q": " " * i + QUERY_1}) + "\n"
+        for i in range(300)
+    )
+    raw.file.write(burst)
+    raw.file.flush()
+    time.sleep(0.1)  # let the server start chewing through the burst
+    # SO_LINGER(on, 0): close() sends RST, so the server's reply write
+    # fails instead of landing in a dead socket buffer.  The makefile
+    # handle holds its own reference to the fd — both must close for
+    # the RST to actually fire.
+    raw.sock.setsockopt(
+        socket_module.SOL_SOCKET,
+        socket_module.SO_LINGER,
+        struct.pack("ii", 1, 0),
+    )
+    raw.file.close()
+    raw.sock.close()
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline and not session.closed:
+        time.sleep(0.02)
+    assert session.aborted == 1
+    assert session.closed  # close_session ran despite the abort
+    stats = running_server.stats()
+    assert stats["server_connections_aborted"] >= 1
+    assert stats["server_handler_crashes"] == 0

@@ -240,3 +240,28 @@ class TestVerifyRepair:
         assert main(["repair", db_dir]) == 0
         out = capsys.readouterr().out
         assert "quarantined 0 page(s)" in out
+
+
+def test_cluster_command_reports_identity(capsys):
+    assert main(
+        ["cluster", "--shards", "2", "--articles", "24", "--authors", "8"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "identical to single-node: yes" in out
+    assert "=== cluster plan ===" in out
+    assert "health: ok" in out
+
+
+def test_cluster_command_degrade_path(capsys):
+    assert main(
+        [
+            "cluster",
+            "--shards", "2",
+            "--articles", "24",
+            "--authors", "8",
+            "--degrade",
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "PartialResultError" in out
+    assert "health: degraded" in out
