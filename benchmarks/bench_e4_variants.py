@@ -90,3 +90,60 @@ def test_e4_results_agree(inst_db, bench_db):
         grouped = run_query(database, query, "groupby").collection
         direct = run_query(database, query, "naive-hash").collection
         assert grouped.structurally_equal(direct)
+
+
+# ----------------------------------------------------------------------
+# 3-level nesting: join-graph isolation collapse
+# ----------------------------------------------------------------------
+NESTED_3LEVEL_QUERY = """
+FOR $i IN distinct-values(document("bib.xml")//institution)
+RETURN
+<instpubs>
+{$i}
+{
+FOR $a IN distinct-values(document("bib.xml")//author)
+WHERE $i = $a/institution
+RETURN
+<authorpubs>
+{$a}
+{
+FOR $b IN document("bib.xml")//article
+WHERE $a = $b/author
+RETURN $b/title
+}
+</authorpubs>
+}
+</instpubs>
+"""
+
+
+def test_e4_nested_collapse_explain(inst_db):
+    """EXPLAIN on the 3-level variant: the cost model section names the
+    collapsed single-block plan and the rejected direct evaluation."""
+    explanation = inst_db.explain(NESTED_3LEVEL_QUERY)
+    assert "=== cost model ===" in explanation
+    cost = explanation.to_dict()["cost_model"]
+    assert cost["kind"] == "nested-grouping"
+    assert cost["chosen"]["name"] == "isolated-groupby"
+    assert any(c["name"] == "direct-nested-loop" for c in cost["candidates"])
+
+
+def test_e4_nested_direct(benchmark, inst_db):
+    result = benchmark.pedantic(
+        run_query, args=(inst_db, NESTED_3LEVEL_QUERY, "direct"), rounds=3, iterations=1
+    )
+    benchmark.extra_info["results"] = len(result.collection)
+
+
+def test_e4_nested_collapsed_auto(benchmark, inst_db):
+    result = benchmark.pedantic(
+        run_query, args=(inst_db, NESTED_3LEVEL_QUERY, "auto"), rounds=3, iterations=1
+    )
+    assert result.plan_mode == "groupby"  # collapsed, not direct fallback
+    benchmark.extra_info["results"] = len(result.collection)
+
+
+def test_e4_nested_results_agree(inst_db):
+    collapsed = run_query(inst_db, NESTED_3LEVEL_QUERY, "auto").collection
+    direct = run_query(inst_db, NESTED_3LEVEL_QUERY, "direct").collection
+    assert collapsed.structurally_equal(direct)

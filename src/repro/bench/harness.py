@@ -78,14 +78,18 @@ class ExperimentReport:
 def build_database(
     config: DBLPConfig,
     pool_frames: int = DEFAULT_POOL_FRAMES,
-    grouping_strategy: str = "sort",
+    grouping_strategy: str | None = None,
     use_indexes: bool = True,
     columnar: bool | None = None,
+    optimizer: bool | None = None,
 ) -> tuple[Database, DBLPProfile]:
     """Generate, load, and index a synthetic DBLP database.
 
     ``columnar`` forces the columnar hot path on or off (``None``
-    defers to the ``REPRO_COLUMNAR`` environment flag).
+    defers to the ``REPRO_COLUMNAR`` environment flag).  Passing a
+    ``grouping_strategy`` *forces* it — the cost-based optimizer only
+    picks one when it is left ``None``.  ``optimizer`` toggles the
+    cost-based plan choice (``None`` defers to ``REPRO_OPTIMIZER``).
     """
     tree, profile = generate_dblp_with_profile(config)
     db = Database(
@@ -93,6 +97,7 @@ def build_database(
         grouping_strategy=grouping_strategy,
         use_indexes=use_indexes,
         columnar=columnar,
+        optimizer=optimizer,
     )
     db.load(tree=tree, name="bib.xml")
     return db, profile

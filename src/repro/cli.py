@@ -82,12 +82,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SECONDS",
         help="cancel the query after this many seconds (exit code 2)",
     )
+    query.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="disable the cost-based optimizer (heuristic AUTO plan choice)",
+    )
 
     explain = commands.add_parser("explain", help="show naive + rewritten plans")
     explain.add_argument("database", help="XML file to load as bib.xml")
     explain.add_argument("--query-file", help="file with the XQuery text (default: Query 1)")
     explain.add_argument(
         "--verbose", action="store_true", help="annotate plans with optimizer estimates"
+    )
+    explain.add_argument(
+        "--no-optimizer",
+        action="store_true",
+        help="disable the cost-based optimizer (heuristic AUTO plan choice)",
     )
 
     info = commands.add_parser("info", help="database summary: documents, pages, tags")
@@ -229,7 +239,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command in ("query", "explain"):
-        db = Database()
+        db = Database(
+            optimizer=False if getattr(args, "no_optimizer", False) else None
+        )
         db.load(path=args.database, name="bib.xml")
         text = _read_query(args)
         if args.command == "explain":

@@ -683,6 +683,13 @@ class ClusterCoordinator:
         # GROUPBY shape the translator accepts, so fall back to
         # explaining the original query (same grouping structure).
         local = self._explain_local(placement, [shard_text, text], verbose)
+        # Roll the shard's cost-model statistics version up into the
+        # cluster section, so a cross-shard plan is traceable to the
+        # statistics it was costed against.
+        cost_model = local.to_dict().get("cost_model") or {}
+        stats_version = cost_model.get("stats_version")
+        if stats_version is not None:
+            lines.append(f"shard statistics version: {stats_version}")
         payload = {
             "cluster": {
                 "document": placement.name,
@@ -697,6 +704,7 @@ class ClusterCoordinator:
                 ],
                 "merge": merge_line,
                 "shard_query": shard_text,
+                "statistics_version": stats_version,
             }
         }
         return local.with_section("cluster plan", "\n".join(lines), **payload)

@@ -162,8 +162,13 @@ class GroupBy(UnaryOperator):
 
         output = Collection(name="groupby")
         for key in group_order:
+            # The basis exemplar is the first witness in document order;
+            # the ordering list only reorders the members.
+            exemplar = groups[key][0]
             members = self._order_members(groups[key])
-            output.append(DataTree(self._build_group_tree(members, collection)))
+            output.append(
+                DataTree(self._build_group_tree(exemplar, members, collection))
+            )
         return output
 
     # ------------------------------------------------------------------
@@ -181,10 +186,11 @@ class GroupBy(UnaryOperator):
             )
         return list(ordered)
 
-    def _build_group_tree(self, members: list[TreeMatch], collection: Collection) -> XMLNode:
+    def _build_group_tree(
+        self, exemplar: TreeMatch, members: list[TreeMatch], collection: Collection
+    ) -> XMLNode:
         root = XMLNode(TAX_GROUP_ROOT)
         basis_node = root.add(TAX_GROUPING_BASIS)
-        exemplar = members[0]
         for item in self.basis:
             bound = exemplar.bindings[item.label]
             if item.star:

@@ -37,6 +37,11 @@ class IndexManager:
         # lazily on first query and invalidated by every rebuild.
         self._columnar = None
         self._columnar_lock = threading.Lock()
+        # Optimizer statistics for the current store generation; built
+        # eagerly by build() (load time) and lazily after a snapshot
+        # restore that predates the statistics chunk.
+        self._statistics = None
+        self._statistics_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -63,6 +68,13 @@ class IndexManager:
         self.value_index = value_index
         self._built = True
         self._columnar = None  # stale for the new generation; rebuilt lazily
+        # Statistics are collected at load time — here, right after the
+        # scan, so a following save() persists them with the snapshot.
+        from .statistics import build_statistics
+
+        self._statistics = build_statistics(
+            self.store, tag_index, value_index, self.store.generation
+        )
 
     def ensure_built(self) -> None:
         """Build on first use; safe to race from many query threads."""
@@ -122,10 +134,73 @@ class IndexManager:
             "generation": self.store.generation,
         }
 
-    def _persist_columnar(self) -> None:
-        """Opportunistically rewrite the index snapshot with the fresh
-        columnar table included.  Persistence is a cache: any failure
-        (or a snapshot that is already stale) is silently skipped."""
+    # ------------------------------------------------------------------
+    # Optimizer statistics (per-tag counts, distincts, levels, subtrees)
+    # ------------------------------------------------------------------
+    def ensure_statistics(self):
+        """The :class:`~repro.indexing.statistics.StoreStatistics` for
+        the current store generation.
+
+        Normally already present — :meth:`build` collects statistics at
+        load time — this is the lazy path for snapshots persisted before
+        the statistics chunk existed, and the staleness guard after a
+        generation bump without a rebuild.
+        """
+        stats = self._statistics
+        if stats is not None and stats.generation == self.store.generation:
+            return stats
+        with self._statistics_lock:
+            stats = self._statistics
+            if stats is not None and stats.generation == self.store.generation:
+                return stats
+            from .statistics import build_statistics
+
+            self.ensure_built()
+            stats = build_statistics(
+                self.store, self.tag_index, self.value_index, self.store.generation
+            )
+            self._statistics = stats
+            self._persist_snapshot_extras()
+            return stats
+
+    def statistics_if_fresh(self):
+        """The cached statistics when they match the current generation,
+        else None — never triggers a build (EXPLAIN and the snapshot
+        writer use this)."""
+        stats = self._statistics
+        if stats is not None and stats.generation == self.store.generation:
+            return stats
+        return None
+
+    def statistics_version(self) -> int:
+        """The statistics version: the store generation the current
+        statistics were built against.  Cache keys embed this so a
+        statistics refresh (load/compact/repair) can never serve a plan
+        costed against stale statistics."""
+        return self.ensure_statistics().version
+
+    def statistics_status(self) -> dict[str, object]:
+        """Statistics state for EXPLAIN and load reports; non-building."""
+        stats = self.statistics_if_fresh()
+        if stats is not None:
+            return {
+                "state": "ready",
+                "tags": stats.n_tags,
+                "total_nodes": stats.total_nodes,
+                "version": stats.version,
+            }
+        return {
+            "state": "pending",
+            "tags": None,
+            "total_nodes": None,
+            "version": self.store.generation,
+        }
+
+    def _persist_snapshot_extras(self) -> None:
+        """Opportunistically rewrite the index snapshot so the lazily
+        built extras (columnar table, statistics) are included.
+        Persistence is a cache: any failure (or a snapshot that is
+        already stale) is silently skipped."""
         directory = self.store.directory
         if directory is None:
             return
@@ -136,6 +211,11 @@ class IndexManager:
                 save_indexes(self, directory)
         except Exception:
             pass
+
+    def _persist_columnar(self) -> None:
+        """Opportunistically rewrite the index snapshot with the fresh
+        columnar table included."""
+        self._persist_snapshot_extras()
 
     # ------------------------------------------------------------------
     # Persistence (indexes.pages in the database directory)

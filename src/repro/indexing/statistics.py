@@ -1,0 +1,130 @@
+"""Store statistics for the cost-based optimizer.
+
+TIMBER's Query Optimizer (Fig. 12) costs plans from statistics the
+Index Manager maintains; the paper points at Wu/Patel/Jagadish (EDBT
+2002) for the estimation problem itself.  This module is the statistics
+side of that pair: one :class:`StoreStatistics` object per store
+generation, collected at load time from the tag and value indexes —
+no data-page I/O — and persisted into the index snapshot
+(:mod:`repro.indexing.persist`, record kind ``0x04``) so a reopen
+serves estimates without a rebuild scan.
+
+Per tag the statistics record:
+
+* ``count`` — number of nodes (the structural-join candidate stream
+  length, the unit plan costing multiplies);
+* ``distinct_values`` — distinct content values (equality selectivity
+  ``1/distinct``; the expected group count of a GROUPBY basis);
+* ``min_level`` / ``max_level`` — the containment-label level band the
+  tag occupies (how deep staircase merges must look);
+* ``total_subtree_nodes`` — summed subtree sizes, so
+  ``avg_subtree_size`` prices materializing one element with everything
+  below it.
+
+The object is immutable and stamped with the store generation it was
+built against; any mutation (load, drop, compact, repair) bumps the
+generation and thereby invalidates it — the same lifecycle as the
+columnar node table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TagStatistics:
+    """Statistics for one tag symbol."""
+
+    tag_sym: int
+    count: int
+    distinct_values: int
+    min_level: int
+    max_level: int
+    total_subtree_nodes: int
+
+    @property
+    def avg_subtree_size(self) -> float:
+        """Mean node count of a subtree rooted at this tag."""
+        if self.count <= 0:
+            return 1.0
+        return self.total_subtree_nodes / self.count
+
+
+@dataclass(frozen=True)
+class StoreStatistics:
+    """Per-tag statistics for one store generation.
+
+    ``generation`` doubles as the *statistics version*: caches that
+    embed it (the service plan/result caches, the optimizer's plan
+    fingerprints) are invalidated by any statistics refresh.
+    """
+
+    generation: int
+    total_nodes: int
+    per_tag: dict[int, TagStatistics]
+
+    @property
+    def version(self) -> int:
+        """The statistics version (the generation they were built at)."""
+        return self.generation
+
+    @property
+    def n_tags(self) -> int:
+        return len(self.per_tag)
+
+    def for_tag(self, tag_sym: int) -> TagStatistics | None:
+        return self.per_tag.get(tag_sym)
+
+    def rows(self) -> list[TagStatistics]:
+        """Stable (tag-symbol-ordered) rows, for serialization."""
+        return [self.per_tag[sym] for sym in sorted(self.per_tag)]
+
+
+def build_statistics(store, tag_index, value_index, generation: int) -> StoreStatistics:
+    """Collect statistics from the indexes (no data pages touched).
+
+    One pass over the tag index's posting lists gives counts, level
+    bands, and subtree sizes (containment labels encode subtree size as
+    ``(end - start + 1) // 2``); one pass over the value index's keys
+    gives per-tag distinct counts.
+    """
+    distinct_by_tag: dict[int, int] = {}
+    for tag_sym, _content in value_index._tree.keys():
+        distinct_by_tag[tag_sym] = distinct_by_tag.get(tag_sym, 0) + 1
+
+    per_tag: dict[int, TagStatistics] = {}
+    total_nodes = 0
+    for tag_sym in tag_index.tags():
+        # Raw posting access: statistics building is maintenance work
+        # (like the index build itself) and must not inflate the lookup
+        # counters that per-query profiles delta against.
+        labels = tag_index._postings.get(tag_sym, [])
+        if not labels:
+            continue
+        min_level = min(label.level for label in labels)
+        max_level = max(label.level for label in labels)
+        total_subtree = sum((label.end - label.start + 1) // 2 for label in labels)
+        per_tag[tag_sym] = TagStatistics(
+            tag_sym=tag_sym,
+            count=len(labels),
+            distinct_values=distinct_by_tag.get(tag_sym, 0),
+            min_level=min_level,
+            max_level=max_level,
+            total_subtree_nodes=total_subtree,
+        )
+        total_nodes += len(labels)
+    return StoreStatistics(
+        generation=generation, total_nodes=total_nodes, per_tag=per_tag
+    )
+
+
+def statistics_from_rows(
+    rows: list[TagStatistics], generation: int
+) -> StoreStatistics:
+    """Reassemble a :class:`StoreStatistics` from persisted rows."""
+    per_tag = {row.tag_sym: row for row in rows}
+    total_nodes = sum(row.count for row in rows)
+    return StoreStatistics(
+        generation=generation, total_nodes=total_nodes, per_tag=per_tag
+    )

@@ -73,35 +73,51 @@ class CardinalityEstimator:
         self.indexes = indexes
         indexes.ensure_built()
         self._distinct_cache: dict[str, int] = {}
+        # Load-time statistics: per-tag counts, distincts, and subtree
+        # sizes collected (and persisted) by the index manager — the
+        # estimator reads them without touching postings or counters.
+        self._stats = indexes.ensure_statistics()
+
+    def _tag_stats(self, tag: str):
+        sym = self.store.meta.symbols.lookup(tag)
+        if sym is None:
+            return None
+        return self._stats.for_tag(sym)
 
     # ------------------------------------------------------------------
     # Base statistics
     # ------------------------------------------------------------------
+    @property
+    def statistics_version(self) -> int:
+        """The statistics version the estimates are derived from."""
+        return self._stats.version
+
     def tag_count(self, tag: str | None) -> int:
         """Number of nodes with the tag (all nodes for an unconstrained
         pattern node)."""
         if tag is None:
             return self.store.n_nodes()
-        return self.indexes.tag_cardinality(tag)
+        stats = self._tag_stats(tag)
+        return stats.count if stats is not None else 0
 
     def distinct_count(self, tag: str) -> int:
         """Number of distinct content values among nodes with the tag."""
         cached = self._distinct_cache.get(tag)
         if cached is None:
-            cached = len(self.indexes.distinct_values(tag))
+            stats = self._tag_stats(tag)
+            cached = stats.distinct_values if stats is not None else 0
             self._distinct_cache[tag] = cached
         return cached
 
     def avg_subtree_size(self, tag: str | None) -> float:
-        """Mean subtree node count of nodes with the tag, computed from
-        containment labels alone (no data pages touched)."""
+        """Mean subtree node count of nodes with the tag, from the
+        load-time statistics (no postings or data pages touched)."""
         if tag is None:
             return 1.0
-        labels = self.indexes.labels_for_tag(tag)
-        if not labels:
+        stats = self._tag_stats(tag)
+        if stats is None:
             return 1.0
-        total = sum((label.end - label.start + 1) // 2 for label in labels)
-        return total / len(labels)
+        return stats.avg_subtree_size
 
     # ------------------------------------------------------------------
     # Patterns
@@ -173,13 +189,29 @@ class CardinalityEstimator:
     # ------------------------------------------------------------------
     # Plans
     # ------------------------------------------------------------------
-    def estimate_plan(self, plan: PlanNode, join_strategy: str = "nested-loop") -> PlanEstimate:
-        """Bottom-up row/cost estimation for the supported operator set."""
+    def estimate_plan(
+        self,
+        plan: PlanNode,
+        join_strategy: str = "nested-loop",
+        overrides: dict[tuple[str, str], float] | None = None,
+    ) -> PlanEstimate:
+        """Bottom-up row/cost estimation for the supported operator set.
+
+        ``overrides`` maps ``(op, detail)`` to *observed* output rows —
+        the feedback loop's corrections.  A corrected operator's row
+        estimate is replaced by its actual, and the correction
+        propagates into every downstream operator's cost.
+        """
         per_node: list[tuple[PlanNode, float, float]] = []
 
         def visit(node: PlanNode) -> tuple[float, float]:
             child_estimates = [visit(child) for child in node.inputs]
             rows, cost = self._estimate_node(node, child_estimates, join_strategy)
+            if overrides:
+                detail = node.describe()[len(node.op) :].strip()
+                corrected = overrides.get((node.op, detail))
+                if corrected is not None:
+                    rows = float(corrected)
             total_cost = cost + sum(child_cost for _, child_cost in child_estimates)
             per_node.append((node, rows, cost))
             return rows, total_cost
@@ -247,9 +279,59 @@ class CardinalityEstimator:
             # materialize the output path.
             member_tag = self._member_tag(node)
             return rows, rows + members * self.avg_subtree_size(member_tag)
+        if op == "nested_groups":
+            return self._estimate_nested_groups(node, child_estimates)
         if op == "rename_root":
             return child_estimates[0][0], 0.0
         raise TranslationError(f"estimator: unsupported op {op!r}")
+
+    def _estimate_nested_groups(
+        self, node: PlanNode, child_estimates: list[tuple[float, float]]
+    ) -> tuple[float, float]:
+        """Join-graph isolation assembly: outer x middle membership
+        probes, one link navigation per middle representative, and the
+        construction of every qualifying element."""
+        spec = node.params["spec"]
+        outer_rows = child_estimates[0][0]
+        middle_rows = child_estimates[1][0]
+        outer_tag = self._distinct_segment_tag(node.inputs[0])
+        middle_tag = self._distinct_segment_tag(node.inputs[1])
+        # One child-step navigation chain per middle representative.
+        link_cost = middle_rows * (len(spec.link_path) + 1)
+        # Membership probes (set lookups, comparison-weighted).
+        probe_cost = outer_rows * middle_rows * SORT_COMPARISON_WEIGHT
+        # Construction: every outer and (qualifying ~ all) middle
+        # representative materializes its subtree; members add their
+        # output-path subtrees (values) or value fetches (aggregates).
+        construct = outer_rows * self.avg_subtree_size(outer_tag)
+        construct += middle_rows * self.avg_subtree_size(middle_tag)
+        member_tag = self._member_tag_from(node.inputs[2])
+        members = self._members_from(node.inputs[2])
+        if spec.mode == "values":
+            construct += members * self.avg_subtree_size(member_tag)
+        else:
+            construct += members
+        return outer_rows, link_cost + probe_cost + construct
+
+    def _distinct_segment_tag(self, segment: PlanNode) -> str | None:
+        """The grouping element's tag of a distinct-values segment."""
+        for candidate in segment.walk():
+            if candidate.op == "dupelim" and candidate.params.get("label"):
+                pattern = candidate.params["pattern"]
+                return pattern.node(candidate.params["label"]).predicate.tag_constraint()
+        return None
+
+    def _members_from(self, source: PlanNode) -> float:
+        for candidate in source.walk():
+            if candidate.op == "groupby":
+                return self._groupby_witnesses(candidate)
+        return 0.0
+
+    def _member_tag_from(self, source: PlanNode) -> str | None:
+        for candidate in source.walk():
+            if candidate.op == "groupby":
+                return candidate.params["pattern"].root.predicate.tag_constraint()
+        return None
 
     def _member_estimate(self, node: PlanNode) -> float:
         """Expected total group members feeding a construction step."""

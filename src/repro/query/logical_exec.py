@@ -107,10 +107,19 @@ class LogicalExecutor:
         return operator.apply(left, right)
 
     def _exec_groupby(self, plan: PlanNode) -> Collection:
-        operator = GroupBy(
-            plan.params["pattern"], plan.params["basis"], plan.params["ordering"]
-        )
-        return operator.apply(self.execute(plan.child))
+        operator = GroupBy(plan.params["pattern"], plan.params["basis"])
+        grouped = operator.apply(self.execute(plan.child))
+        ordering = plan.params.get("ordering") or []
+        if ordering:
+            # SORTBY member ordering by path navigation from the member
+            # root (missing paths sort as ""), so members lacking the
+            # sort path are ordered, not excluded.
+            for tree in grouped:
+                subroot = tree.root.children[1]
+                subroot.children[:] = _order_members(
+                    list(subroot.children), tuple(ordering)
+                )
+        return grouped
 
     def _exec_rename_root(self, plan: PlanNode) -> Collection:
         return RenameRoot(plan.params["tag"]).apply(self.execute(plan.child))
@@ -220,13 +229,15 @@ class LogicalExecutor:
         return output
 
 
-    def _project_groups_padded(
-        self, spec: GroupOutputSpec, grouped: Collection, outer_plan: PlanNode
-    ) -> Collection:
-        """Emit one element per *outer* distinct value: the group output
-        when a group exists, an empty group otherwise (filters can
-        orphan values; the outer FOR still yields them)."""
-        by_value: dict[str, XMLNode] = {}
+    def _exec_nested_groups(self, plan: PlanNode) -> Collection:
+        """Join-graph isolation over materialized collections: the three
+        isolated blocks re-correlated by value lookups."""
+        spec = plan.params["spec"]
+        outer = self.execute(plan.inputs[0])
+        middle = self.execute(plan.inputs[1])
+        grouped = self.execute(plan.inputs[2])
+
+        members_by_value: dict[str, list[XMLNode]] = {}
         for tree in grouped:
             basis, subroot = tree.root.children
             group_node = basis.children[0]
@@ -238,19 +249,72 @@ class LogicalExecutor:
                     continue
                 seen.add(key)
                 members.append(member)
-            by_value[atomic_value_of(group_node)] = _build_return_element(
-                spec.return_tag, group_node, members, spec.member_path, spec.mode
-            )
+            members_by_value[atomic_value_of(group_node)] = members
+
+        # The middle representatives with their link values, populated
+        # once each (the representative is the first occurrence of the
+        # distinct value — the node the middle FOR binds).
+        middle_entries: list[tuple[XMLNode, str, set[str]]] = []
+        for tree in middle:
+            node = _single_child(tree.root, "nested_groups middle")
+            link_values = {
+                atomic_value_of(target) for target in _navigate(node, spec.link_path)
+            }
+            middle_entries.append((node, atomic_value_of(node), link_values))
+
+        output = Collection(name="nested-groups")
+        for tree in outer:
+            outer_node = _single_child(tree.root, "nested_groups outer")
+            outer_value = atomic_value_of(outer_node)
+            element = XMLNode(spec.outer_tag)
+            element.append_child(outer_node.deep_copy())
+            for middle_node, middle_value, link_values in middle_entries:
+                if outer_value not in link_values:
+                    continue
+                element.append_child(
+                    _build_return_element(
+                        spec.middle_tag,
+                        middle_node,
+                        members_by_value.get(middle_value, []),
+                        spec.member_path,
+                        spec.mode,
+                    )
+                )
+            output.append(DataTree(element))
+        return output
+
+    def _project_groups_padded(
+        self, spec: GroupOutputSpec, grouped: Collection, outer_plan: PlanNode
+    ) -> Collection:
+        """Emit one element per *outer* distinct value: the group output
+        when a group exists, an empty group otherwise (filters can
+        orphan values; the outer FOR still yields them)."""
+        by_value: dict[str, list[XMLNode]] = {}
+        for tree in grouped:
+            basis, subroot = tree.root.children
+            members = []
+            seen: set = set()
+            for member in subroot.children:
+                key = member.nid if member.nid is not None else member.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                members.append(member)
+            by_value[atomic_value_of(basis.children[0])] = members
 
         output = Collection(name="project-groups")
         for outer_tree in self.execute(outer_plan):
             outer_node = _single_child(outer_tree.root, "project_groups padding")
             value = atomic_value_of(outer_node)
-            built = by_value.get(value)
-            if built is None:
-                built = _build_return_element(
-                    spec.return_tag, outer_node, [], spec.member_path, spec.mode
-                )
+            # The rep is always the outer distinct occurrence — the
+            # group exemplar ranges only over the filtered witnesses.
+            built = _build_return_element(
+                spec.return_tag,
+                outer_node,
+                by_value.get(value, []),
+                spec.member_path,
+                spec.mode,
+            )
             output.append(DataTree(built))
         return output
 

@@ -125,6 +125,9 @@ class PhysicalExecutor:
             # full-scan ablation an honest object walk.
             self.matcher.columnar = indexes.ensure_columnar()
         self.profiler = None
+        # Optional (op, detail, cardinality) log: the optimizer's
+        # estimate-vs-actual feedback loop, far cheaper than profiling.
+        self.card_log: list[tuple[str, str, int]] | None = None
 
     def enable_profiling(self):
         """Wrap every operator in a timed span; returns the profiler."""
@@ -148,14 +151,20 @@ class PhysicalExecutor:
         handler = getattr(self, f"_exec_{plan.op}", None)
         if handler is None:
             raise TranslationError(f"physical executor: unsupported op {plan.op!r}")
-        if self.profiler is None:
+        if self.profiler is None and self.card_log is None:
             return handler(plan)
         from ..observability import result_cardinality
 
         detail = plan.describe()[len(plan.op) :].strip()
+        if self.profiler is None:
+            result = handler(plan)
+            self.card_log.append((plan.op, detail, result_cardinality(result)))
+            return result
         with self.profiler.operator(plan.op, detail) as span:
             result = handler(plan)
             span.output_rows = result_cardinality(result)
+        if self.card_log is not None:
+            self.card_log.append((plan.op, detail, span.output_rows))
         return result
 
     # ------------------------------------------------------------------
@@ -371,25 +380,35 @@ class PhysicalExecutor:
                     continue
                 seen_sources.add(source_nid)
                 members.append(match)
-            members = self._order_members(members, ordering)
-            result.groups.append((value, members[0], members))
+            # The exemplar (the ``{$g}`` rep) is the first witness in
+            # document order — SORTBY only reorders the members.
+            exemplar = members[0]
+            members = self._order_members(members, ordering, root_label)
+            result.groups.append((value, exemplar, members))
         return result
 
     def _order_members(
-        self, members: list[StoreMatch], ordering: list[tuple[str, str]]
+        self,
+        members: list[StoreMatch],
+        ordering: list[tuple[tuple[str, ...], str]],
+        root_label: str,
     ) -> list[StoreMatch]:
-        """Apply the GROUPBY ordering list: populate only the ordering
+        """Apply the GROUPBY ordering list: navigate only the ordering
         values (Sec. 5.3: "we populate only the grouping (and sorting)
-        list values") and sort stably, leftmost key primary."""
+        list values") and sort stably, leftmost key primary.  Paths are
+        resolved from the member root; a member lacking the sort path
+        sorts as the empty string rather than being excluded."""
         from ..core.base import numeric_or_text
 
         if not ordering:
             return members
         ordered = members
-        for label, direction in reversed(ordering):
+        for path, direction in reversed(ordering):
             ordered = sorted(
                 ordered,
-                key=lambda match: numeric_or_text(self._populate(match, label)),
+                key=lambda match: numeric_or_text(
+                    self._navigated_value(match.nid(root_label), path)
+                ),
                 reverse=direction == "DESCENDING",
             )
         return list(ordered)
@@ -443,14 +462,15 @@ class PhysicalExecutor:
                     continue
                 seen_sources.add(source_nid)
                 members.append(match)
-            members = self._order_members(members, ordering)
-            staged.append((collected[0][0], value, members))
+            exemplar = members[0]  # doc-order rep, before SORTBY ordering
+            members = self._order_members(members, ordering, root_label)
+            staged.append((collected[0][0], value, exemplar, members))
 
         # First-appearance order, like every other strategy.
         staged.sort(key=lambda entry: entry[0])
         result = GroupedSet(pattern, basis_label)
-        for _first, value, members in staged:
-            result.groups.append((value, members[0], members))
+        for _first, value, exemplar, members in staged:
+            result.groups.append((value, exemplar, members))
         return result
 
     def _ancestor_with_tag(self, nid: int, tag_name: str) -> int | None:
@@ -626,15 +646,7 @@ class PhysicalExecutor:
             outer = self._run(plan.inputs[1])
             if not isinstance(outer, WitnessSet):
                 raise TranslationError("project_groups padding expects witnesses")
-            candidates = sorted(
-                label
-                for label in (
-                    item[:-1] if item.endswith("*") else item
-                    for item in outer.projection_list
-                )
-                if outer.pattern.has_node(label) and label != outer.pattern.root.label
-            )
-            outer_label = candidates[0] if candidates else outer.pattern.nodes()[-1].label
+            outer_label = self._projected_group_label(outer)
             outer_matches = outer.matches
 
         reached_by_member: dict[int, list[NodeLabel]] = {}
@@ -691,15 +703,97 @@ class PhysicalExecutor:
         for match in outer_matches:
             value = self._populate(match, outer_label)
             entry = groups_by_value.get(value)
-            if entry is None:
-                node = build(self._materialize_binding(match, outer_label), [])
-            else:
-                exemplar, members = entry
-                node = build(
-                    self._materialize_binding(exemplar, source.basis_label), members
-                )
+            members = entry[1] if entry is not None else []
+            # The ``{$g}`` rep is always the outer distinct occurrence
+            # (first in document order over the *unfiltered* data): the
+            # group exemplar ranges only over the filtered witnesses and
+            # can be a different node with a different subtree.
+            node = build(self._materialize_binding(match, outer_label), members)
             output.append(DataTree(node))
         return output
+
+    def _exec_nested_groups(self, plan: PlanNode) -> Collection:
+        """Join-graph isolation output: re-correlate the three isolated
+        blocks (outer distinct, middle distinct, inner groups) with value
+        lookups — one pass each, no per-binding re-evaluation."""
+        outer = self._run(plan.inputs[0])
+        middle = self._run(plan.inputs[1])
+        grouped = self._run(plan.inputs[2])
+        if not isinstance(outer, WitnessSet) or not isinstance(middle, WitnessSet):
+            raise TranslationError("nested_groups expects distinct witness sets")
+        if not isinstance(grouped, GroupedSet):
+            raise TranslationError("nested_groups expects a grouped inner input")
+        spec = plan.params["spec"]
+        outer_label = self._projected_group_label(outer)
+        middle_label = self._projected_group_label(middle)
+        root_label = grouped.pattern.root.label
+        groups_by_value = {
+            value: members for value, _exemplar, members in grouped.groups
+        }
+
+        # Populate each middle representative's link values once — the
+        # representative is the *first occurrence* of the distinct value,
+        # exactly the node the middle FOR binds.
+        middle_entries: list[tuple[StoreMatch, str, set[str]]] = []
+        for match in middle.matches:
+            checkpoint()
+            link_values = {
+                self.store.content(nid) or ""
+                for nid in self._navigate_nids(match.nid(middle_label), spec.link_path)
+            }
+            middle_entries.append((match, self._populate(match, middle_label), link_values))
+
+        output = Collection(name="nested-groups")
+        for outer_match in outer.matches:
+            checkpoint()
+            outer_value = self._populate(outer_match, outer_label)
+            element = XMLNode(spec.outer_tag)
+            element.append_child(self._materialize_binding(outer_match, outer_label))
+            for middle_match, middle_value, link_values in middle_entries:
+                if outer_value not in link_values:
+                    continue
+                members = groups_by_value.get(middle_value, [])
+                group_node = self._materialize_binding(middle_match, middle_label)
+                if spec.mode == "values":
+                    member_nodes = [
+                        self._materialize_member(m.nid(root_label), spec.member_path)
+                        for m in members
+                    ]
+                    inner_element = _assemble_values(
+                        spec.middle_tag, group_node, member_nodes
+                    )
+                else:
+                    reached = [
+                        target
+                        for member in members
+                        for target in self._navigate_nids(
+                            member.nid(root_label), spec.member_path
+                        )
+                    ]
+                    inner_element = _assemble_aggregate(
+                        spec.middle_tag,
+                        group_node,
+                        self._aggregate_text(spec.mode, reached),
+                    )
+                element.append_child(inner_element)
+            output.append(DataTree(element))
+        return output
+
+    def _projected_group_label(self, witnesses: WitnessSet) -> str:
+        """The starred non-root projection label of a distinct segment —
+        the grouping element whose bindings carry the distinct values."""
+        candidates = sorted(
+            label
+            for label in (
+                item[:-1] if item.endswith("*") else item
+                for item in witnesses.projection_list
+            )
+            if witnesses.pattern.has_node(label)
+            and label != witnesses.pattern.root.label
+        )
+        if candidates:
+            return candidates[0]
+        return witnesses.pattern.nodes()[-1].label
 
     def _reach_path_via_joins(
         self, member_labels: list[NodeLabel], path: tuple[str, ...]

@@ -25,6 +25,10 @@ op                        params
                           ``new_tag``, ``update``
 ``project_groups``        ``spec`` (:class:`GroupOutputSpec`) — the final
                           projection of Fig. 5.d, fused with construction
+``nested_groups``         ``spec`` (:class:`NestedGroupSpec`) — join-graph
+                          isolation of a 3-level nested FLWR: inputs are the
+                          outer distinct values, the middle distinct values,
+                          and the grouped inner collection
 ``stitch``                ``spec`` (:class:`StitchSpec`) — the RETURN-clause
                           stitching (full-outer-join + rename of Sec. 4.1)
 ``rename_root``           ``tag``
@@ -152,6 +156,24 @@ class GroupOutputSpec:
     count_tag: str | None = None
 
 
+@dataclass(frozen=True)
+class NestedGroupSpec:
+    """Assembly of a collapsed 3-level nested FLWR (join-graph isolation).
+
+    One ``outer_tag`` element per outer distinct value; inside it, one
+    ``middle_tag`` element per middle distinct value whose ``link_path``
+    values (navigated from the middle representative) contain the outer
+    value; inside *that*, the inner group's members per ``member_path``
+    and ``mode`` — exactly the :class:`GroupOutputSpec` conventions.
+    """
+
+    outer_tag: str
+    middle_tag: str
+    link_path: tuple[str, ...]
+    member_path: tuple[str, ...] = ()
+    mode: str = "values"  # values | count | sum | min | max | avg
+
+
 # ----------------------------------------------------------------------
 # Constructors (thin, validated)
 # ----------------------------------------------------------------------
@@ -195,7 +217,12 @@ def left_outer_join(
     )
 
 
-def groupby(child: PlanNode, pattern, basis: list[str], ordering: list[tuple[str, str]]) -> PlanNode:
+def groupby(
+    child: PlanNode,
+    pattern,
+    basis: list[str],
+    ordering: list[tuple[tuple[str, ...], str]],
+) -> PlanNode:
     return PlanNode(
         "groupby",
         {"pattern": pattern, "basis": list(basis), "ordering": list(ordering)},
@@ -221,6 +248,12 @@ def aggregate(
 
 def project_groups(child: PlanNode, spec: GroupOutputSpec) -> PlanNode:
     return PlanNode("project_groups", {"spec": spec}, [child])
+
+
+def nested_groups(
+    outer: PlanNode, middle: PlanNode, grouped: PlanNode, spec: NestedGroupSpec
+) -> PlanNode:
+    return PlanNode("nested_groups", {"spec": spec}, [outer, middle, grouped])
 
 
 def stitch(child: PlanNode, spec: StitchSpec) -> PlanNode:
@@ -251,6 +284,11 @@ _SUMMARIZERS: dict[str, Callable[[dict], str]] = {
     "aggregate": lambda p: f"{p['new_tag']}={p['function']}({p['source_label']})",
     "project_groups": lambda p: (
         f"-> <{p['spec'].return_tag}> mode={p['spec'].mode} "
+        f"path={'/'.join(p['spec'].member_path) or '-'}"
+    ),
+    "nested_groups": lambda p: (
+        f"-> <{p['spec'].outer_tag}>/<{p['spec'].middle_tag}> "
+        f"link={'/'.join(p['spec'].link_path) or '-'} mode={p['spec'].mode} "
         f"path={'/'.join(p['spec'].member_path) or '-'}"
     ),
     "stitch": lambda p: (

@@ -34,15 +34,25 @@ from ..pattern.pattern import Axis, PatternNode, PatternTree, pcify
 from ..pattern.predicates import TagEquals
 from .plan import (
     GroupOutputSpec,
+    NestedGroupSpec,
     PlanNode,
     StitchSpec,
+    dupelim,
     groupby,
+    nested_groups,
     project,
     project_groups,
     scan,
     select,
 )
-from .translate import INNER_LABEL, JOIN_VALUE_LABEL
+from .translate import (
+    INNER_LABEL,
+    JOIN_VALUE_LABEL,
+    OUTER_GROUP_LABEL,
+    ROOT_LABEL,
+    NestedGroupingQuery,
+    outer_pattern,
+)
 
 
 @dataclass(frozen=True)
@@ -183,14 +193,15 @@ def _copy_chain(node: PatternNode) -> PatternNode:
 def groupby_pattern(
     inner_tag: str,
     condition_path: tuple[str, ...],
-    ordering: tuple[tuple[tuple[str, ...], str], ...] = (),
 ) -> PatternTree:
     """Fig. 5.b: the grouped element with the pc chain to the join value.
 
-    When the user requested sorting, the ordering-list value nodes are
-    added as further pc chains (labelled ``$s0``, ``$s1``, ...) — "the
-    ordering list will be generated from the projection pattern tree of
-    the inner FLWR statement; only if sorting was requested".
+    SORTBY ordering values are *not* pattern chains: a required chain
+    would exclude members lacking the sort path (e.g. an article with no
+    ``year`` under ``SORTBY($b/year)``) and silently drop their groups.
+    Ordering travels as (path, direction) pairs on the groupby node and
+    is resolved by navigation at materialization — missing paths sort as
+    the empty string, matching the direct interpreter.
     """
     root = PatternNode(GROUP_ROOT, TagEquals(inner_tag))
     current = root
@@ -198,24 +209,45 @@ def groupby_pattern(
         is_last = index == len(condition_path) - 1
         label = GROUP_VALUE if is_last else f"$1{chr(ord('a') + index)}"
         current = current.add(label, TagEquals(name), Axis.PC)
-    for order_index, (path, _direction) in enumerate(ordering):
-        current = root
-        for step_index, name in enumerate(path):
-            is_last = step_index == len(path) - 1
-            label = (
-                f"$s{order_index}"
-                if is_last
-                else f"$s{order_index}{chr(ord('a') + step_index)}"
-            )
-            current = current.add(label, TagEquals(name), Axis.PC)
     return PatternTree(root)
 
 
 def ordering_list_for(
     ordering: tuple[tuple[tuple[str, ...], str], ...]
-) -> list[tuple[str, str]]:
-    """The GROUPBY ordering-list entries matching :func:`groupby_pattern`."""
-    return [(f"$s{index}", direction) for index, (_path, direction) in enumerate(ordering)]
+) -> list[tuple[tuple[str, ...], str]]:
+    """The GROUPBY ordering-list entries: (path from the grouped
+    element, direction) pairs, navigated per member at materialization."""
+    return [(tuple(path), direction) for path, direction in ordering]
+
+
+def grouping_segment(
+    doc: str,
+    root_tag: str,
+    inner_tag: str,
+    condition_path: tuple[str, ...],
+    ordering: tuple[tuple[tuple[str, ...], str], ...],
+    filter_chains: tuple[PatternNode, ...],
+) -> PlanNode:
+    """Phase-2 steps 1–3: select + project the inner elements, then
+    GROUPBY on the join value.  Shared by the 2-level rewrite and the
+    3-level collapse."""
+    database = scan(doc)
+    p_initial = initial_pattern(root_tag, inner_tag, filter_chains)
+    selected = select(database, p_initial, {SELECT_INNER})
+    # Footnote 7: the projection over the selection's output uses the
+    # pc-ified pattern.
+    projected = project(selected, pcify(p_initial), [SELECT_INNER + "*"])
+
+    p_group = groupby_pattern(inner_tag, condition_path)
+    # The basis is starred: the final projection (Fig. 5.d) lists the
+    # grouping element as ``$4*`` — its whole subtree appears in the
+    # output, exactly what ``{$a}`` returns.
+    return groupby(
+        projected,
+        p_group,
+        basis=[GROUP_VALUE + "*"],
+        ordering=ordering_list_for(ordering),
+    )
 
 
 def rewrite(plan: PlanNode) -> PlanNode:
@@ -223,26 +255,13 @@ def rewrite(plan: PlanNode) -> PlanNode:
     detected = detect(plan)
     spec = detected.stitch_spec
 
-    database = scan(detected.doc)
-    p_initial = initial_pattern(
-        detected.root_tag, detected.inner_tag, detected.filter_chains
-    )
-    selected = select(database, p_initial, {SELECT_INNER})
-    # Footnote 7: the projection over the selection's output uses the
-    # pc-ified pattern.
-    projected = project(selected, pcify(p_initial), [SELECT_INNER + "*"])
-
-    p_group = groupby_pattern(
-        detected.inner_tag, detected.condition_path, spec.ordering
-    )
-    # The basis is starred: the final projection (Fig. 5.d) lists the
-    # grouping element as ``$4*`` — its whole subtree appears in the
-    # output, exactly what ``{$a}`` returns.
-    grouped = groupby(
-        projected,
-        p_group,
-        basis=[GROUP_VALUE + "*"],
-        ordering=ordering_list_for(spec.ordering),
+    grouped = grouping_segment(
+        detected.doc,
+        detected.root_tag,
+        detected.inner_tag,
+        detected.condition_path,
+        spec.ordering,
+        detected.filter_chains,
     )
 
     member_path: tuple[str, ...] = ()
@@ -274,3 +293,62 @@ def rewrite(plan: PlanNode) -> PlanNode:
         outer_subplan = plan.find("left_outer_join")[0].inputs[0]
         result.inputs.append(outer_subplan)
     return result
+
+
+# ----------------------------------------------------------------------
+# Join-graph isolation: the 3-level collapse
+# ----------------------------------------------------------------------
+def distinct_segment(doc: str, root_tag: str, group_tag: str) -> PlanNode:
+    """Distinct values of a grouping element: select + project +
+    duplicate elimination — the naive plan's step 1, reused as an
+    isolated join-graph block."""
+    pattern = outer_pattern(root_tag, group_tag)
+    selected = select(scan(doc), pattern, {OUTER_GROUP_LABEL})
+    pattern_pc = pcify(pattern)
+    projected = project(selected, pattern_pc, [ROOT_LABEL, OUTER_GROUP_LABEL + "*"])
+    return dupelim(projected, pattern_pc, OUTER_GROUP_LABEL)
+
+
+def collapse_nested(query: NestedGroupingQuery, root_tag: str) -> PlanNode:
+    """Collapse a 3-level nested FLWR into one single-block grouping
+    plan (join-graph isolation, after Brantner et al.'s unnesting).
+
+    The three correlated FLWR blocks become three *independent* blocks
+    over the database — outer distinct values, middle distinct values,
+    and the grouped inner collection — glued by ``nested_groups``, which
+    re-correlates them with value lookups instead of per-binding
+    re-evaluation.  Nested-loop cost collapses from
+    ``|G1| x |G2| x |inner|`` to one pass over each block.
+    """
+    inner = query.inner
+    outer = distinct_segment(query.doc, root_tag, query.outer_group_tag)
+    middle = distinct_segment(query.doc, root_tag, inner.group_tag)
+    grouped = grouping_segment(
+        query.doc,
+        root_tag,
+        inner.inner_tag,
+        inner.condition_path,
+        inner.ordering,
+        _filter_chains_for(inner),
+    )
+    spec = NestedGroupSpec(
+        outer_tag=query.outer_return_tag,
+        middle_tag=inner.return_tag,
+        link_path=query.link_path,
+        member_path=inner.output_path,
+        mode=inner.mode,
+    )
+    return nested_groups(outer, middle, grouped, spec)
+
+
+def _filter_chains_for(query) -> tuple[PatternNode, ...]:
+    """Build the ``$f...`` filter chains for a GroupingQuery's inner
+    WHERE filters (the 2-level path gets them from the naive pattern;
+    the collapse builds them directly)."""
+    from .translate import attach_filter_chains
+
+    if not query.filters:
+        return ()
+    holder = PatternNode("$tmp", TagEquals(query.inner_tag))
+    attach_filter_chains(holder, query.filters)
+    return tuple(holder.children)

@@ -81,6 +81,24 @@ class GroupingQuery:
     filters: tuple[tuple[tuple[str, ...], str, str], ...] = ()
 
 
+@dataclass(frozen=True)
+class NestedGroupingQuery:
+    """Normal form of a recognized 3-level nested grouping query.
+
+    The outer FOR iterates distinct values of ``outer_group_tag``; the
+    middle FOR iterates distinct values of ``inner.group_tag`` filtered
+    by ``outer_var = $middle/link_path``; the middle RETURN is exactly
+    the 2-level grouping family (``inner``), so join-graph isolation can
+    collapse the whole query into one single-block grouping plan.
+    """
+
+    doc: str
+    outer_group_tag: str  # e.g. institution
+    link_path: tuple[str, ...]  # middle element -> outer value, e.g. (institution,)
+    outer_return_tag: str  # e.g. instpubs
+    inner: GroupingQuery  # the middle/inner 2-level grouping segment
+
+
 def recognize(expr: Expr) -> GroupingQuery:
     """Classify an AST as a grouping query or raise TranslationError."""
     if not isinstance(expr, FLWR):
@@ -100,6 +118,59 @@ def recognize(expr: Expr) -> GroupingQuery:
     if len(expr.clauses) == 2 and isinstance(expr.clauses[1], LetClause):
         return _recognize_unnested(expr, outer.var, doc, group_tag)
     raise TranslationError("unsupported clause structure for grouping translation")
+
+
+def recognize_nested(expr: Expr) -> NestedGroupingQuery:
+    """Classify an AST as a *3-level* nested grouping query.
+
+    The shape (the paper's third Sec. 1 query — E4's family)::
+
+        FOR $i IN distinct-values(document(..)//G1)
+        RETURN <outer> {$i} {
+          FOR $a IN distinct-values(document(..)//G2)
+          WHERE $i = $a/link
+          RETURN <middle> {$a} { ...2-level inner FLWR over $a... } </middle>
+        } </outer>
+
+    Raises :class:`TranslationError` outside the family.
+    """
+    if not isinstance(expr, FLWR):
+        raise TranslationError("only FLWR expressions are translated")
+    if len(expr.clauses) != 1 or not isinstance(expr.clauses[0], ForClause):
+        raise TranslationError("nested grouping needs a single outer FOR clause")
+    outer = expr.clauses[0]
+    doc, outer_group_tag = _parse_distinct_over_document(outer.source)
+    if expr.where is not None:
+        raise TranslationError("outer WHERE is not part of the nested grouping family")
+    if expr.sortby:
+        raise TranslationError("SORTBY on the outer FLWR is not translatable")
+
+    constructor = _return_constructor(expr.ret)
+    args = _embedded_args(constructor, outer.var)
+    middle = args["inner"]
+    if not isinstance(middle, FLWR):
+        raise TranslationError("second RETURN argument must be a nested FLWR")
+    if len(middle.clauses) != 1 or not isinstance(middle.clauses[0], ForClause):
+        raise TranslationError("middle FLWR must have a single FOR clause")
+    middle_for = middle.clauses[0]
+    middle_doc, middle_group_tag = _parse_distinct_over_document(middle_for.source)
+    if middle_doc != doc:
+        raise TranslationError("middle FOR must query the same document")
+    link_path, middle_filters = _where_parts(middle.where, outer.var, middle_for.var)
+    if middle_filters:
+        # Middle-level value filters are outside the collapse family;
+        # the direct interpreter evaluates them correctly.
+        raise TranslationError("middle WHERE filters are not translatable")
+    # The middle FLWR's RETURN is exactly the 2-level nested grouping
+    # shape with the middle variable as its "outer" variable.
+    inner = _recognize_nested(middle, middle_for.var, doc, middle_group_tag)
+    return NestedGroupingQuery(
+        doc=doc,
+        outer_group_tag=outer_group_tag,
+        link_path=link_path,
+        outer_return_tag=constructor.tag,
+        inner=inner,
+    )
 
 
 def _parse_distinct_over_document(source: Expr) -> tuple[str, str]:

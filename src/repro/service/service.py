@@ -449,7 +449,12 @@ class QueryService:
         service_before = self.stats()
         prepared, fingerprint, plan_hit = self._prepared(request.text, request.plan)
         generation = self.db.store.generation
-        result_key = (fingerprint, prepared.resolved.value, generation)
+        result_key = (
+            fingerprint,
+            prepared.resolved.value,
+            generation,
+            prepared.stats_version,
+        )
         cacheable = not request.analyze and self.result_cache.enabled
         if cacheable:
             hit = self.result_cache.get(result_key)
@@ -470,6 +475,13 @@ class QueryService:
             analyze=request.analyze,
             reset_statistics=False,
         )
+        if self.db.consume_feedback_flag(request.text):
+            # The cost model's cardinality forecast diverged beyond the
+            # feedback ratio: drop the cached plan so the next request
+            # re-costs against the observed cardinalities.
+            self.plan_cache.invalidate(
+                lambda key, fp=fingerprint: key[0] == fp
+            )
         if cacheable:
             self.result_cache.put(result_key, result)
         if result.profile is not None:
@@ -495,7 +507,15 @@ class QueryService:
         mode = Database._coerce_plan_mode(plan)
         expr = self.db.parse(text)
         fingerprint = fingerprint_expr(expr)
-        key = (fingerprint, mode.value)
+        # The statistics version participates in the key: a statistics
+        # refresh (load/compact/repair) must never serve a plan costed
+        # against the stale statistics.
+        key = (fingerprint, mode.value, self.db.statistics_version)
+        if self.db.consume_feedback_flag(text):
+            # A pending mis-estimate flag (raised by an execution whose
+            # later requests were served from the result cache): drop
+            # the plan so this request re-costs with the corrections.
+            self.plan_cache.invalidate(lambda k, fp=fingerprint: k[0] == fp)
         entry = self.plan_cache.get(key)
         if entry is not None and entry.generation == self.db.store.generation:
             return entry, fingerprint, True

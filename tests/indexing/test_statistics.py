@@ -1,0 +1,152 @@
+"""Optimizer statistics: collection correctness, the 0x04 snapshot
+chunk round-trip, and generation-bump invalidation — the same
+lifecycle the columnar node table follows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.sample import QUERY_1, figure6_database
+from repro.indexing import statistics as statistics_module
+from repro.indexing.statistics import build_statistics, statistics_from_rows
+from repro.query.database import Database
+
+
+def _sym(db: Database, tag: str) -> int:
+    sym = db.store.meta.symbols.lookup(tag)
+    assert sym is not None, f"tag {tag!r} not in symbol table"
+    return sym
+
+
+@pytest.fixture
+def build_calls(monkeypatch):
+    """Count build_statistics invocations (the manager imports it
+    lazily from the statistics module, so patching the module works)."""
+    calls = []
+    original = statistics_module.build_statistics
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(statistics_module, "build_statistics", counting)
+    return calls
+
+
+class TestCollection:
+    def test_collected_at_load_time(self, fig6_tree):
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        stats = db.indexes.statistics_if_fresh()
+        assert stats is not None  # eager: build() collects, no query ran
+        assert stats.version == db.store.generation
+        assert stats.total_nodes == db.store.n_nodes()
+
+    def test_per_tag_counts_and_distincts(self, fig6_tree):
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        stats = db.indexes.ensure_statistics()
+        articles = stats.for_tag(_sym(db, "article"))
+        assert articles.count == 3
+        authors = stats.for_tag(_sym(db, "author"))
+        assert authors.count == 5
+        assert authors.distinct_values == 3  # Jack, John, Jill
+        assert articles.min_level == articles.max_level  # one level band
+        assert articles.avg_subtree_size > 1.0
+
+    def test_rows_round_trip(self, fig6_tree):
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        stats = db.indexes.ensure_statistics()
+        rebuilt = statistics_from_rows(stats.rows(), stats.generation)
+        assert rebuilt.version == stats.version
+        assert rebuilt.total_nodes == stats.total_nodes
+        assert rebuilt.per_tag == stats.per_tag
+
+    def test_build_skips_contentless_statistics_counters(self, fig6_tree):
+        """Statistics building is maintenance work: it must not inflate
+        the per-query index-lookup counters profiles delta against."""
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        before = db.indexes.work_counters()
+        build_statistics(
+            db.store, db.indexes.tag_index, db.indexes.value_index,
+            db.store.generation,
+        )
+        assert db.indexes.work_counters() == before
+
+
+class TestSnapshotLifecycle:
+    def test_reused_while_generation_stable(self, fig6_tree, build_calls):
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        builds = len(build_calls)
+        db.query(QUERY_1)
+        db.query(QUERY_1)
+        assert db.indexes.ensure_statistics() is db.indexes.ensure_statistics()
+        assert len(build_calls) == builds  # load-time stats served throughout
+
+    @pytest.mark.parametrize("mutation", ["load", "drop", "compact"])
+    def test_invalidated_by_mutation(self, fig6_tree, mutation):
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        version = db.indexes.statistics_version()
+        if mutation == "load":
+            db.load(tree=figure6_database(), name="more.xml")
+        elif mutation == "drop":
+            db.load(tree=figure6_database(), name="more.xml")
+            db.drop_document("more.xml")
+        else:
+            db.load(tree=figure6_database(), name="more.xml")
+            db.drop_document("more.xml")
+            db.compact()
+        assert db.store.generation > version
+        fresh = db.indexes.ensure_statistics()
+        assert fresh.version == db.store.generation > version
+
+    def test_version_tracks_generation(self, fig6_tree):
+        db = Database()
+        db.load(tree=fig6_tree, name="bib.xml")
+        assert db.statistics_version == db.store.generation
+        db.load(tree=figure6_database(), name="more.xml")
+        assert db.statistics_version == db.store.generation
+
+
+class TestPersistence:
+    def test_reopen_restores_from_chunk_without_rebuild(
+        self, fig6_tree, tmp_path, build_calls
+    ):
+        directory = str(tmp_path / "db")
+        with Database(directory) as db:
+            db.load(tree=fig6_tree, name="bib.xml")
+            expected = db.indexes.ensure_statistics()
+
+        builds = len(build_calls)
+        with Database(directory) as reopened:
+            restored = reopened.indexes.statistics_if_fresh()
+            assert restored is not None  # came from the 0x04 chunk
+            assert len(build_calls) == builds  # no rebuild scan
+            # Generations are process-local: the chunk is restamped with
+            # the reopened store's generation, so it reads as fresh.
+            assert restored.version == reopened.store.generation
+            assert restored.per_tag == expected.per_tag
+            result = reopened.query(QUERY_1)
+            assert len(result.collection) == 3
+            assert len(build_calls) == builds
+
+    def test_snapshot_without_chunk_falls_back_to_lazy_build(
+        self, fig6_tree, tmp_path, build_calls
+    ):
+        """A snapshot persisted before the statistics chunk existed (or
+        with stale statistics) rebuilds lazily on first use."""
+        directory = str(tmp_path / "db")
+        with Database(directory) as db:
+            db.load(tree=fig6_tree, name="bib.xml")
+
+        with Database(directory) as reopened:
+            # Simulate a pre-statistics snapshot restore.
+            reopened.indexes._statistics = None
+            builds = len(build_calls)
+            stats = reopened.indexes.ensure_statistics()
+            assert len(build_calls) == builds + 1
+            assert stats.version == reopened.store.generation

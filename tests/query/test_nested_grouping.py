@@ -53,7 +53,10 @@ def inst_db():
 class TestEngineRoute:
     def test_structure(self, inst_db):
         result = inst_db.query(NESTED_QUERY, plan="auto")
-        assert result.plan_mode == "direct"  # outside the 1-level rewrite family
+        # Join-graph isolation collapses the 3-level nesting into one
+        # single-block grouping plan (PR 8); direct is the fallback only
+        # when the optimizer is off and the collapse cannot apply.
+        assert result.plan_mode == "groupby"
         got = {}
         for tree in result.collection:
             inst = tree.root.children[0].content

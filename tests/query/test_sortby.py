@@ -86,9 +86,12 @@ class TestTranslation:
     def test_ordering_reaches_groupby_plan(self):
         plan = rewrite(naive_plan(recognize(parse_query(SORTED_QUERY)), "doc_root"))
         groupby = plan.find("groupby")[0]
-        assert groupby.params["ordering"] == [("$s0", "DESCENDING")]
+        # Ordering travels as (path, direction) pairs navigated per
+        # member — NOT as required pattern chains, which would exclude
+        # members lacking the sort path and drop whole groups.
+        assert groupby.params["ordering"] == [(("title",), "DESCENDING")]
         pattern = groupby.params["pattern"]
-        assert pattern.has_node("$s0")
+        assert not pattern.has_node("$s0")
 
     def test_sortby_under_count_rejected(self):
         text = """
