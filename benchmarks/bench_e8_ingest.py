@@ -1,0 +1,220 @@
+"""E8 — streaming ingest (extension; no paper analogue).
+
+Measures the three claims the ingest subsystem makes:
+
+* **identity** — an N-batch streaming load answers E1/E2 structurally
+  identically to a whole-document load of the same text (checked via
+  :mod:`repro.xmlmodel.diff` on every measured round);
+* **online reads** — four reader threads querying through the
+  :class:`~repro.service.service.QueryService` keep at least half
+  their quiescent throughput while a second document streams in
+  (the write gate is per *batch*, not per load);
+* **incremental maintenance** — committing each batch by updating the
+  tag/value/statistics/columnar structures in place beats rebuilding
+  them from scratch per batch by a measured factor.
+
+All rows land in the benchmark trajectory under ``ingest-*`` ids.
+Wall-clock ratio assertions live in tests named ``floor``/``speedup``
+so smoke jobs on shared runners can exclude them with ``-k``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.sample import QUERY_1, QUERY_2
+from repro.observability import snapshot_counters
+from repro.query.database import Database
+from repro.service.service import QueryService, ServiceConfig
+from repro.xmlmodel.diff import assert_collections_equal
+from repro.xmlmodel.serialize import serialize
+from repro.bench.trajectory import record_run
+
+from conftest import BENCH_CONFIG
+
+# Half the E1-E3 scale: ingest cost is linear in nodes, and the
+# rebuild-per-batch baseline is quadratic-ish (it rebuilds over all
+# committed nodes every batch), so this keeps the suite in seconds.
+INGEST_CONFIG = BENCH_CONFIG.scaled(0.5)
+BATCH_NODES = 512
+READERS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus_text():
+    return serialize(generate_dblp(INGEST_CONFIG), indent=None)
+
+
+@pytest.fixture(scope="module")
+def whole_doc(corpus_text):
+    db = Database()
+    db.load(text=corpus_text, name="bib.xml")
+    return db
+
+
+def test_e8_ingest_identity(corpus_text, whole_doc):
+    """N-batch streaming load == whole-document load, per E1 and E2."""
+    db = Database()
+    started = time.perf_counter()
+    report = db.load(text=corpus_text, name="bib.xml", batch_size=BATCH_NODES)
+    elapsed = time.perf_counter() - started
+    assert report.batches > 2
+    assert report.nodes == report.nodes_streamed
+    for query in (QUERY_1, QUERY_2):
+        assert_collections_equal(
+            whole_doc.query(query).collection, db.query(query).collection
+        )
+    assert db.verify().ok
+    counters = snapshot_counters(db.store, db.indexes)
+    assert counters["ingest_batches_committed"] == report.batches
+    assert counters["index_incremental_updates"] > 0
+    assert counters["index_rebuild_avoided"] > 0
+    record_run(
+        "ingest-identity",
+        elapsed,
+        nodes=report.nodes,
+        batches=report.batches,
+        nodes_per_second=round(report.nodes / elapsed),
+        counters={
+            key: counters[key]
+            for key in (
+                "ingest_batches_committed",
+                "ingest_nodes_streamed",
+                "index_incremental_updates",
+                "index_rebuild_avoided",
+            )
+        },
+    )
+
+
+def _reader_qps(service, stop, seconds=None):
+    """Aggregate qps of READERS threads running E1 until ``stop`` is
+    set (or for ``seconds`` when driving the quiescent baseline)."""
+    counts = [0] * READERS
+
+    def run(slot):
+        while not stop.is_set():
+            service.query(QUERY_1)
+            counts[slot] += 1
+
+    threads = [
+        threading.Thread(target=run, args=(slot,), daemon=True)
+        for slot in range(READERS)
+    ]
+    started = time.perf_counter()
+    for worker in threads:
+        worker.start()
+    if seconds is not None:
+        time.sleep(seconds)
+        stop.set()
+    for worker in threads:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    return sum(counts) / elapsed
+
+
+def test_e8_reader_qps_floor_during_ingest(corpus_text):
+    """Readers keep >= 50% of quiescent throughput mid-ingest."""
+    # The incoming document is 4x the served one and cut into small
+    # batches, so the ingest window is long enough (seconds) for the
+    # reader throughput measurement to dominate ramp-up noise.
+    incoming = serialize(generate_dblp(BENCH_CONFIG.scaled(2.0)), indent=None)
+    db = Database()
+    service = QueryService(db, ServiceConfig(workers=READERS))
+    try:
+        service.load_text(corpus_text, "bib.xml")
+        service.query(QUERY_1)  # warm plan/result caches and indexes
+
+        quiescent = _reader_qps(service, threading.Event(), seconds=1.5)
+
+        stop = threading.Event()
+        report_box = []
+
+        def ingest():
+            # A second document streaming in while the readers run.
+            report_box.append(
+                service.load_stream(incoming, "incoming.xml", batch_size=2048)
+            )
+            stop.set()
+
+        writer = threading.Thread(target=ingest, daemon=True)
+        writer.start()
+        concurrent = _reader_qps(service, stop)
+        writer.join()
+
+        report = report_box[0]
+        assert report.batches > 4
+        ratio = concurrent / quiescent
+        record_run(
+            "ingest-reader-qps",
+            concurrent,
+            quiescent_qps=round(quiescent, 1),
+            concurrent_qps=round(concurrent, 1),
+            ratio=round(ratio, 3),
+            readers=READERS,
+            batches=report.batches,
+        )
+        assert ratio >= 0.5, (
+            f"reader throughput collapsed during ingest: {concurrent:.1f} "
+            f"qps vs {quiescent:.1f} quiescent ({ratio:.0%})"
+        )
+    finally:
+        service.close()
+
+
+def test_e8_incremental_vs_rebuild_speedup(corpus_text, whole_doc):
+    """In-place index maintenance beats rebuild-per-batch."""
+    from repro.ingest import IngestSession, chunks_of
+
+    # Small batches: many commits, so the per-batch maintenance
+    # strategy dominates the comparison (the rebuild baseline redoes
+    # all committed nodes every batch — quadratic in batch count).
+    batch_nodes = 128
+
+    # Incremental path: the normal streaming load.
+    incremental_db = Database()
+    started = time.perf_counter()
+    report = incremental_db.load(
+        text=corpus_text, name="bib.xml", batch_size=batch_nodes
+    )
+    incremental = time.perf_counter() - started
+
+    # Baseline: same batches, but every commit rebuilds all four index
+    # structures from scratch (what load() did before this subsystem).
+    rebuild_db = Database()
+    started = time.perf_counter()
+    session = IngestSession(
+        rebuild_db.store,
+        "bib.xml",
+        batch_size=batch_nodes,
+        on_batch=lambda event: rebuild_db._reindex(),
+    )
+    for chunk in chunks_of(corpus_text):
+        session.feed(chunk)
+    session.finish()
+    rebuild = time.perf_counter() - started
+
+    # Both databases answer identically (the baseline is correct, just
+    # slow) — the factor compares equivalent end states.
+    for db in (incremental_db, rebuild_db):
+        assert_collections_equal(
+            whole_doc.query(QUERY_1).collection, db.query(QUERY_1).collection
+        )
+
+    factor = rebuild / incremental
+    record_run(
+        "ingest-incremental-speedup",
+        incremental,
+        rebuild_seconds=round(rebuild, 4),
+        factor=round(factor, 2),
+        batches=report.batches,
+        nodes=report.nodes,
+    )
+    assert factor > 1.5, (
+        f"incremental maintenance should beat rebuild-per-batch: "
+        f"{incremental:.3f}s vs {rebuild:.3f}s (factor {factor:.2f})"
+    )

@@ -23,6 +23,8 @@ import os
 import time
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
+
 #: The default artifact name, written at the invoking directory's root.
 TRAJECTORY_FILE = "BENCH_trajectory.json"
 
@@ -41,6 +43,10 @@ KEY_COUNTERS = (
     "columnar_fallbacks",
     "columnar_window_scans",
     "columnar_merge_joins",
+    "ingest_batches_committed",
+    "ingest_nodes_streamed",
+    "index_incremental_updates",
+    "index_rebuild_avoided",
 )
 
 
@@ -89,10 +95,29 @@ class TrajectoryRecorder:
         return data
 
     def write(self, path: str, *, full: bool = False) -> str:
+        # Refuse to clobber a real trajectory with an empty one: an
+        # empty recorder means the benches never ran (filtered out,
+        # import error, misconfigured session) and silently truncating
+        # the committed artifact would masquerade as "no regressions".
+        if not self.entries and _has_entries(path):
+            raise ReproError(
+                f"refusing to overwrite non-empty trajectory {path!r} "
+                "with an empty snapshot — no benchmark entries were "
+                "recorded this run"
+            )
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(full=full), handle, indent=2, sort_keys=False)
             handle.write("\n")
         return path
+
+
+def _has_entries(path: str) -> bool:
+    """True when ``path`` already holds a trajectory with entries."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return bool(json.load(handle).get("entries"))
+    except (OSError, ValueError):
+        return False
 
 
 _GLOBAL_RECORDER = TrajectoryRecorder()

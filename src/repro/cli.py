@@ -3,6 +3,7 @@
 Subcommands::
 
     timber-py generate --articles 800 --authors 160 out.xml
+    timber-py load big.xml dbdir --batch-size 4096 --progress
     timber-py query db.xml --plan groupby --query-file q.xq --timeout 5
     timber-py explain db.xml --query-file q.xq
     timber-py serve db.xml --port 8491 --workers 8 --drain-seconds 5
@@ -66,6 +67,27 @@ def main(argv: list[str] | None = None) -> int:
     gen = commands.add_parser("generate", help="write a synthetic DBLP document")
     _add_config_args(gen)
     gen.add_argument("output", help="output XML path")
+
+    load = commands.add_parser(
+        "load",
+        help="stream an XML file into a database directory in journaled batches",
+    )
+    load.add_argument("input", help="XML file to ingest")
+    load.add_argument("directory", help="database directory to create or extend")
+    load.add_argument(
+        "--name", help="document name in the catalog (default: input basename)"
+    )
+    load.add_argument(
+        "--batch-size",
+        type=int,
+        metavar="NODES",
+        help="approximate nodes per ingest batch (default 4096)",
+    )
+    load.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per committed batch",
+    )
 
     query = commands.add_parser("query", help="run a query against an XML file")
     query.add_argument("database", help="XML file to load as bib.xml")
@@ -224,6 +246,31 @@ def main(argv: list[str] | None = None) -> int:
         tree = generate_dblp(_config_from(args))
         write_file(tree, args.output)
         print(f"wrote {tree.subtree_size()} nodes to {args.output}")
+        return 0
+
+    if args.command == "load":
+
+        def _on_batch(event):
+            print(
+                f"batch {event.batch}: +{event.nodes_in_batch} nodes "
+                f"({event.nodes_total} total, generation {event.generation})",
+                file=sys.stderr,
+            )
+
+        db = Database(args.directory)
+        try:
+            report = db.load(
+                path=args.input,
+                name=args.name,
+                batch_size=args.batch_size,
+                on_batch=_on_batch if args.progress else None,
+            )
+            print(
+                f"loaded {report.document}: {report.nodes} nodes in "
+                f"{report.batches} batch(es), generation {report.generation}"
+            )
+        finally:
+            db.close()
         return 0
 
     if args.command == "info":

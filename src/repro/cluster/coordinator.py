@@ -9,6 +9,11 @@ over the line protocol:
   into contiguous slices (slice order == document order), and each
   slice shipped to its primary shard under the document's name and to
   replica shards under :func:`~repro.cluster.shardmap.replica_alias`.
+  With ``batch_size=`` each slice travels over the chunked streaming
+  ``LOAD`` mode instead of one buffered call, so every shard ingests
+  its slice incrementally (journaled batches, online index
+  maintenance, batch-granular generation bumps) and readers on that
+  shard keep running between batches.
 * **query** — :func:`~repro.cluster.merge.compile_merge` rewrites the
   query into a per-shard form; the coordinator fans the rewritten
   query out to every slice's holder concurrently, merges the rows
@@ -158,6 +163,7 @@ class ClusterStatistics:
         "merged_groups",
         "loads",
         "load_slices",
+        "load_batches",
         "_lock",
     )
 
@@ -224,6 +230,7 @@ class SliceLoad:
     shard: int
     nodes: int
     replicas: tuple[int, ...] = ()
+    batches: int = 1
 
 
 @dataclass(frozen=True)
@@ -234,6 +241,10 @@ class ClusterLoadReport:
     @property
     def nodes(self) -> int:
         return sum(piece.nodes for piece in self.slices)
+
+    @property
+    def batches(self) -> int:
+        return sum(piece.batches for piece in self.slices)
 
     @property
     def partitioned(self) -> bool:
@@ -295,12 +306,17 @@ class ClusterCoordinator:
         path: str | None = None,
         name: str,
         slices: int | None = None,
+        batch_size: int | None = None,
     ) -> ClusterLoadReport:
         """Partition a document across the shards.
 
         Exactly one of ``text``/``tree``/``path``.  ``slices=None``
         partitions one slice per shard; ``slices=1`` keeps the
-        document whole on its hash owner.
+        document whole on its hash owner.  ``batch_size`` switches
+        each slice to the chunked streaming ``LOAD`` mode: the shard
+        cuts the slice into journaled ingest batches of roughly that
+        many nodes and commits them one by one, so readers on the
+        shard interleave with the load instead of waiting for it.
         """
         sources = [s for s in (text, tree, path) if s is not None]
         if len(sources) != 1:
@@ -320,28 +336,48 @@ class ClusterCoordinator:
         loaded: list[SliceLoad] = []
         for piece_root, slot in zip(pieces, placement.slices):
             payload = serialize(piece_root, indent=None)
-            reply = self._load_to(slot.primary, payload, name)
+            reply = self._load_to(
+                slot.primary, payload, name, batch_size=batch_size
+            )
             for replica in slot.replicas:
                 self._load_to(
-                    replica, payload, replica_alias(name, slot.index)
+                    replica,
+                    payload,
+                    replica_alias(name, slot.index),
+                    batch_size=batch_size,
                 )
             self.counters.add("load_slices")
+            batches = int(reply.get("batches", 1) or 1)
+            self.counters.add("load_batches", batches)
             loaded.append(
                 SliceLoad(
                     slice_index=slot.index,
                     shard=slot.primary,
                     nodes=int(reply.get("nodes", 0)),
                     replicas=slot.replicas,
+                    batches=batches,
                 )
             )
         self.counters.add("loads")
         return ClusterLoadReport(document=name, slices=tuple(loaded))
 
-    def _load_to(self, shard: int, payload: str, name: str) -> dict:
+    def _load_to(
+        self,
+        shard: int,
+        payload: str,
+        name: str,
+        *,
+        batch_size: int | None = None,
+    ) -> dict:
         pool = self._clients[shard]
         client = pool.acquire()
         try:
-            reply = client.load(payload, name)
+            if batch_size is None:
+                reply = client.load(payload, name)
+            else:
+                reply = client.load_stream(
+                    payload, name, batch_size=batch_size
+                )
         except Exception:
             pool.discard(client)
             self._record_failure(shard)
@@ -775,7 +811,7 @@ class ClusterCoordinator:
                 s.shard for s in self._states if s.quarantined
             )
         degraded = quarantined or any(
-            report is None or report.status == "degraded"
+            report is None or report.status.startswith("degraded")
             for report in reports.values()
         )
         draining = any(

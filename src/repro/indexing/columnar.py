@@ -46,6 +46,7 @@ __all__ = [
     "RowStream",
     "EMPTY_STREAM",
     "build_columnar_table",
+    "extend_columnar_table",
     "columnar_statistics",
     "numpy_or_none",
 ]
@@ -65,10 +66,11 @@ def np_view(column):
 class ColumnarStatistics:
     """Counters for columnar-path work (surfaced in CounterSnapshot)."""
 
-    __slots__ = ("builds", "scans", "fallbacks", "window_scans", "merge_joins")
+    __slots__ = ("builds", "extends", "scans", "fallbacks", "window_scans", "merge_joins")
 
     def __init__(self):
         self.builds = 0
+        self.extends = 0
         self.scans = 0
         self.fallbacks = 0
         self.window_scans = 0
@@ -76,6 +78,7 @@ class ColumnarStatistics:
 
     def reset(self) -> None:
         self.builds = 0
+        self.extends = 0
         self.scans = 0
         self.fallbacks = 0
         self.window_scans = 0
@@ -84,6 +87,7 @@ class ColumnarStatistics:
     def snapshot(self) -> dict[str, int]:
         return {
             "columnar_builds": self.builds,
+            "columnar_extends": self.extends,
             "columnar_scans": self.scans,
             "columnar_fallbacks": self.fallbacks,
             "columnar_window_scans": self.window_scans,
@@ -332,3 +336,90 @@ def build_columnar_table(store, tag_index) -> ColumnarTable:
     return ColumnarTable(
         nids, starts, ends, levels, tags, docs, generation=store.generation
     )
+
+
+def extend_columnar_table(
+    table: ColumnarTable,
+    records,
+    doc_id: int,
+    generation: int,
+    root_update=None,
+) -> ColumnarTable:
+    """A *new* table = ``table`` + one committed ingest batch.
+
+    The streaming ingest appends a batch of records whose nids, starts,
+    and ends all exceed every existing row's (global monotonic
+    counters), so document-order columns extend by concatenation and
+    each tag-directory group extends at its tail — no global sort and no
+    per-row Python rebuild, which is what makes per-batch maintenance
+    cheaper than :func:`build_columnar_table` per batch.
+
+    ``root_update`` is the ingested document's root record carrying its
+    advanced ``end`` label; its row (and tag-directory mirror) is
+    patched in the copies.  The input ``table`` is never mutated:
+    concurrent readers holding it keep a consistent pre-batch snapshot.
+    """
+    n_old = len(table.nids)
+    nids = table.nids + array("l", [r.nid for r in records])
+    starts = table.starts + array("l", [r.start for r in records])
+    levels = table.levels + array("l", [r.level for r in records])
+    tags = table.tags + array("l", [r.tag_sym for r in records])
+    docs = table.docs + array("l", [doc_id]) * len(records)
+    ends = array("l", table.ends)  # copied: the root's entry may change
+    if root_update is not None:
+        root_row = bisect_left(table.starts, root_update.start)
+        if (
+            root_row >= n_old
+            or table.starts[root_row] != root_update.start
+            or table.nids[root_row] != root_update.nid
+        ):
+            raise ValueError(
+                f"root nid {root_update.nid} not present in the columnar table"
+            )
+        ends[root_row] = root_update.end
+    ends.extend(r.end for r in records)
+
+    new_by_tag: dict[int, list[int]] = {}
+    for offset, record in enumerate(records):
+        new_by_tag.setdefault(record.tag_sym, []).append(n_old + offset)
+    tag_rows = array("l")
+    tag_starts = array("l")
+    tag_ends = array("l")
+    tag_levels = array("l")
+    tag_dir: dict[int, tuple[int, int]] = {}
+    for tag in sorted(set(table.tag_dir) | set(new_by_tag)):
+        lo = len(tag_rows)
+        bounds = table.tag_dir.get(tag)
+        if bounds is not None:
+            olo, ohi = bounds
+            tag_rows.extend(table.tag_rows[olo:ohi])
+            tag_starts.extend(table.tag_starts[olo:ohi])
+            tag_ends.extend(table.tag_ends[olo:ohi])
+            tag_levels.extend(table.tag_levels[olo:ohi])
+        for row in new_by_tag.get(tag, ()):
+            tag_rows.append(row)
+            tag_starts.append(starts[row])
+            tag_ends.append(ends[row])
+            tag_levels.append(levels[row])
+        tag_dir[tag] = (lo, len(tag_rows))
+    if root_update is not None:
+        lo, hi = tag_dir[root_update.tag_sym]
+        pos = bisect_left(tag_starts, root_update.start, lo, hi)
+        tag_ends[pos] = root_update.end
+
+    new = ColumnarTable.__new__(ColumnarTable)
+    new.generation = generation
+    new.nids = nids
+    new.starts = starts
+    new.ends = ends
+    new.levels = levels
+    new.tags = tags
+    new.docs = docs
+    new.tag_rows = tag_rows
+    new.tag_starts = tag_starts
+    new.tag_ends = tag_ends
+    new.tag_levels = tag_levels
+    new.tag_dir = tag_dir
+    new._labels = [None] * len(nids)
+    _GLOBAL_STATS.extends += 1
+    return new

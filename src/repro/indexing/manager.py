@@ -42,6 +42,11 @@ class IndexManager:
         # restore that predates the statistics chunk.
         self._statistics = None
         self._statistics_lock = threading.Lock()
+        # Streaming-ingest maintenance counters: batches folded into the
+        # live structures incrementally, and full rebuilds that folding
+        # made unnecessary (one per structure per batch).
+        self.incremental_updates = 0
+        self.rebuilds_avoided = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +88,136 @@ class IndexManager:
         with self._build_lock:
             if not self._built:
                 self.build()
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (streaming ingest)
+    # ------------------------------------------------------------------
+    def apply_ingest_batch(
+        self,
+        records,
+        root_record,
+        old_root_record,
+        first_batch: bool,
+        doc_id: int,
+    ) -> None:
+        """Fold one *committed* ingest batch into every index structure
+        — tag index, value index, statistics, and columnar table —
+        instead of rebuilding them from a store scan.
+
+        ``records`` are the batch's new node records in nid order (the
+        root included on the first batch); ``root_record`` is the root
+        as committed by this batch, ``old_root_record`` its pre-batch
+        version (None on the first batch).  The batch's nids/labels all
+        exceed existing ones, so tag postings append in sorted position,
+        the B+tree inserts keep their natural order, and the columnar
+        table extends group-by-group.  Structures are swapped in only
+        once complete; concurrent readers see either the pre- or
+        post-batch snapshot, never a half-applied one.
+
+        Statistics are versioned at the post-batch store generation, so
+        every cache keyed on the statistics version invalidates at batch
+        granularity.  The columnar table is extended only when it was
+        fresh for the pre-batch generation; a stale one stays stale and
+        rebuilds lazily as before.
+        """
+        if not self._built:
+            # Nothing live to maintain: the first query after the ingest
+            # pays one full build, exactly as before this subsystem.
+            return
+        with deadline_scope(None):
+            from .statistics import merge_ingest_batch
+
+            root_replace = old_root_record is not None and (
+                old_root_record.end != root_record.end
+            )
+
+            # Value index first: distinct-value deltas must be observed
+            # *before* the batch's own contents are inserted.
+            distinct_added: dict[int, int] = {}
+            value_index = self.value_index
+            for record in records:
+                if record.content is None:
+                    continue
+                if not value_index.contains(record.tag_sym, record.content):
+                    distinct_added[record.tag_sym] = (
+                        distinct_added.get(record.tag_sym, 0) + 1
+                    )
+                value_index.add(
+                    record.tag_sym,
+                    record.content,
+                    NodeLabel(record.nid, record.start, record.end, record.level),
+                )
+            if root_replace and root_record.content is not None:
+                value_index.replace_label(
+                    root_record.tag_sym,
+                    root_record.content,
+                    NodeLabel(
+                        old_root_record.nid,
+                        old_root_record.start,
+                        old_root_record.end,
+                        old_root_record.level,
+                    ),
+                    NodeLabel(
+                        root_record.nid,
+                        root_record.start,
+                        root_record.end,
+                        root_record.level,
+                    ),
+                )
+            self.incremental_updates += 1
+            self.rebuilds_avoided += 1
+
+            tag_index = self.tag_index
+            for record in records:
+                tag_index.add(
+                    record.tag_sym,
+                    NodeLabel(record.nid, record.start, record.end, record.level),
+                )
+            if root_replace:
+                tag_index.replace_label(
+                    root_record.tag_sym,
+                    NodeLabel(
+                        old_root_record.nid,
+                        old_root_record.start,
+                        old_root_record.end,
+                        old_root_record.level,
+                    ),
+                    NodeLabel(
+                        root_record.nid,
+                        root_record.start,
+                        root_record.end,
+                        root_record.level,
+                    ),
+                )
+            self.incremental_updates += 1
+            self.rebuilds_avoided += 1
+
+            generation = self.store.generation
+            stats = self._statistics
+            if stats is not None:
+                root_adjust = None
+                if root_replace:
+                    root_adjust = (
+                        root_record.tag_sym,
+                        root_record.subtree_node_count
+                        - old_root_record.subtree_node_count,
+                    )
+                self._statistics = merge_ingest_batch(
+                    stats, records, distinct_added, root_adjust, generation
+                )
+                self.incremental_updates += 1
+                self.rebuilds_avoided += 1
+
+            table = self._columnar
+            if table is not None and table.generation == generation - 1:
+                from .columnar import extend_columnar_table
+
+                root_update = root_record if root_replace else None
+                self._columnar = extend_columnar_table(
+                    table, records, doc_id, generation, root_update=root_update
+                )
+                self.incremental_updates += 1
+                self.rebuilds_avoided += 1
 
     # ------------------------------------------------------------------
     # Columnar snapshot (the staircase hot path's node table)
@@ -299,4 +434,6 @@ class IndexManager:
             "value_index_lookups": self.value_index.lookups,
             "index_postings_served": self.tag_index.postings_served
             + self.value_index.postings_served,
+            "index_incremental_updates": self.incremental_updates,
+            "index_rebuild_avoided": self.rebuilds_avoided,
         }

@@ -119,6 +119,70 @@ def build_statistics(store, tag_index, value_index, generation: int) -> StoreSta
     )
 
 
+def merge_ingest_batch(
+    stats: StoreStatistics,
+    records,
+    distinct_added: dict[int, int],
+    root_adjust: tuple[int, int] | None,
+    generation: int,
+) -> StoreStatistics:
+    """A *new* :class:`StoreStatistics` = ``stats`` + one ingest batch.
+
+    ``records`` are the batch's node records (counts, level bands, and
+    subtree sizes come from their labels, mirroring
+    :func:`build_statistics`); ``distinct_added`` maps tag symbols to
+    the number of content values the batch introduced that the value
+    index had never seen; ``root_adjust`` is ``(tag_sym, delta)`` for
+    the ingested root whose label width — and therefore subtree-size
+    contribution — grew with the batch.  Cost is proportional to the
+    batch, not the store.
+    """
+    per_tag = dict(stats.per_tag)
+    touched: dict[int, list] = {}
+    for record in records:
+        touched.setdefault(record.tag_sym, []).append(record)
+    for tag_sym, batch in touched.items():
+        count = len(batch)
+        min_level = min(record.level for record in batch)
+        max_level = max(record.level for record in batch)
+        total_subtree = sum(record.subtree_node_count for record in batch)
+        old = per_tag.get(tag_sym)
+        if old is None:
+            per_tag[tag_sym] = TagStatistics(
+                tag_sym=tag_sym,
+                count=count,
+                distinct_values=distinct_added.get(tag_sym, 0),
+                min_level=min_level,
+                max_level=max_level,
+                total_subtree_nodes=total_subtree,
+            )
+        else:
+            per_tag[tag_sym] = TagStatistics(
+                tag_sym=tag_sym,
+                count=old.count + count,
+                distinct_values=old.distinct_values + distinct_added.get(tag_sym, 0),
+                min_level=min(old.min_level, min_level),
+                max_level=max(old.max_level, max_level),
+                total_subtree_nodes=old.total_subtree_nodes + total_subtree,
+            )
+    if root_adjust is not None:
+        tag_sym, delta = root_adjust
+        old = per_tag[tag_sym]
+        per_tag[tag_sym] = TagStatistics(
+            tag_sym=old.tag_sym,
+            count=old.count,
+            distinct_values=old.distinct_values,
+            min_level=old.min_level,
+            max_level=old.max_level,
+            total_subtree_nodes=old.total_subtree_nodes + delta,
+        )
+    return StoreStatistics(
+        generation=generation,
+        total_nodes=stats.total_nodes + len(records),
+        per_tag=per_tag,
+    )
+
+
 def statistics_from_rows(
     rows: list[TagStatistics], generation: int
 ) -> StoreStatistics:

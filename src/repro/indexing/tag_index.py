@@ -30,6 +30,29 @@ class TagIndex:
             self._sorted = False
         postings.append(label)
 
+    def replace_label(self, tag_sym: int, old: NodeLabel, new: NodeLabel) -> None:
+        """Swap one posting in place (same nid/start, new end label).
+
+        The streaming ingest advances a document root's ``end`` at every
+        batch commit; the posting is located by its unchanged ``start``
+        with one bisect, so maintenance cost is independent of the
+        posting list length.
+        """
+        self._ensure_sorted()
+        postings = self._postings.get(tag_sym)
+        if not postings:
+            raise IndexError_(f"tag {tag_sym}: no postings to replace")
+        lo, hi = 0, len(postings)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if postings[mid].start < old.start:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(postings) or postings[lo].nid != old.nid:
+            raise IndexError_(f"tag {tag_sym}: posting for nid {old.nid} not found")
+        postings[lo] = new
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
             for postings in self._postings.values():

@@ -35,6 +35,20 @@ class ValueIndex:
     def add(self, tag_sym: int, content: str, label: NodeLabel) -> None:
         self._tree.insert((tag_sym, content), label)
 
+    def contains(self, tag_sym: int, content: str) -> bool:
+        """Key-existence probe that charges no lookup counters (used by
+        incremental statistics maintenance to spot new distinct values
+        *before* inserting them)."""
+        return (tag_sym, content) in self._tree
+
+    def replace_label(
+        self, tag_sym: int, content: str, old: NodeLabel, new: NodeLabel
+    ) -> None:
+        """Swap one posting in place (streaming ingest: the document
+        root's ``end`` label advances at every batch commit)."""
+        self._tree.remove((tag_sym, content), old)
+        self._tree.insert((tag_sym, content), new)
+
     def labels(self, tag_sym: int, content: str) -> list[NodeLabel]:
         """All nodes with this tag whose content equals ``content``,
         in document order."""

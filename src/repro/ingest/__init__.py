@@ -1,0 +1,37 @@
+"""Streaming ingest: incremental bulk loading with online index
+maintenance and batch-granular cache invalidation.
+
+The subsystem has three layers:
+
+* :mod:`~repro.ingest.stream_parse` — a push parser that accepts the
+  document in arbitrary text chunks and emits complete root children
+  (iterparse-style: memory bounded by the largest record element);
+* :class:`~repro.storage.store.StoreIngest` (storage layer) — commits
+  each batch of root children through the intent journal, advancing the
+  document root's containment label in place;
+* :class:`~repro.ingest.session.IngestSession` — glues the two
+  together, folds every committed batch into the live indexes, and
+  reports per-batch :class:`~repro.ingest.session.BatchProgress`.
+
+Entry points one layer up: ``Database.load(stream=..., batch_size=...)``,
+the chunked ``LOAD`` wire command, ``ClusterCoordinator.load()``, and
+``timber-py load --batch-size --progress``.
+"""
+
+from .session import (
+    DEFAULT_BATCH_NODES,
+    BatchProgress,
+    IngestSession,
+    chunks_of,
+)
+from .stream_parse import DEFAULT_CHUNK_CHARS, StreamParser, stream_file
+
+__all__ = [
+    "DEFAULT_BATCH_NODES",
+    "DEFAULT_CHUNK_CHARS",
+    "BatchProgress",
+    "IngestSession",
+    "StreamParser",
+    "chunks_of",
+    "stream_file",
+]

@@ -1,0 +1,227 @@
+"""Streaming ingest sessions: a character stream in, journaled batches out.
+
+:class:`IngestSession` is the orchestration layer of the ingest
+subsystem.  It owns one :class:`~repro.ingest.stream_parse.StreamParser`
+and one :class:`~repro.storage.store.StoreIngest`, and turns arbitrary
+text chunks into batch commits:
+
+* completed root children accumulate until their node count reaches
+  ``batch_size``, then commit as one journaled batch;
+* when an :class:`~repro.indexing.manager.IndexManager` is attached,
+  every committed batch is folded into the live indexes incrementally
+  (:meth:`~repro.indexing.manager.IndexManager.apply_ingest_batch`)
+  instead of queueing a rebuild;
+* each commit produces a :class:`BatchProgress` — the per-batch
+  progress record surfaced through ``Database.load``, the wire
+  protocol's progress events, and ``timber-py load --progress``;
+* an optional ``commit_gate`` context-manager factory brackets every
+  commit, which is how the service layer takes its write gate *per
+  batch* — readers run between batches instead of blocking for the
+  whole load.
+
+Memory is bounded by ``batch_size`` plus the largest single root child:
+the parser holds at most one child's text, the session at most one
+batch's trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ContextManager, Iterable, Iterator
+
+from ..errors import DatabaseError
+from ..storage.store import DocumentInfo, NodeStore, StoreIngest
+from ..xmlmodel.node import XMLNode
+from .stream_parse import DEFAULT_CHUNK_CHARS, StreamParser
+
+#: Default batch granularity, in nodes.  Small enough that a DBLP-scale
+#: document commits in many batches (readers see progress, caches
+#: invalidate incrementally), large enough to amortize the per-batch
+#: journal round-trip.
+DEFAULT_BATCH_NODES = 4096
+
+
+@dataclass(frozen=True)
+class BatchProgress:
+    """One committed ingest batch.
+
+    * ``document`` — catalog name being ingested;
+    * ``batch`` — 1-based batch ordinal;
+    * ``nodes_in_batch`` — records this batch appended (the document
+      root counts once, in batch 1);
+    * ``nodes_total`` — document node count after this batch;
+    * ``generation`` — store generation after this batch's commit (each
+      batch bumps it: batch-granular cache invalidation).
+    """
+
+    document: str
+    batch: int
+    nodes_in_batch: int
+    nodes_total: int
+    generation: int
+
+
+class IngestSession:
+    """One streaming load of one document, chunk by chunk.
+
+    Usage::
+
+        session = IngestSession(store, "dblp.xml", indexes=indexes)
+        for chunk in chunks:
+            session.feed(chunk)          # commits batches as they fill
+        info = session.finish()          # final partial batch + close
+
+    ``feed`` returns the :class:`BatchProgress` entries the chunk
+    completed (often empty — a chunk rarely fills a batch exactly);
+    ``session.progress`` accumulates all of them.  ``abort()`` stops the
+    stream but keeps every committed batch: the document stays readable
+    at the last batch boundary.
+    """
+
+    def __init__(
+        self,
+        store: NodeStore,
+        name: str,
+        *,
+        batch_size: int | None = None,
+        indexes=None,
+        on_batch: Callable[[BatchProgress], None] | None = None,
+        commit_gate: Callable[[], ContextManager] | None = None,
+    ):
+        self.store = store
+        self.name = name
+        self.batch_size = DEFAULT_BATCH_NODES if batch_size is None else max(1, batch_size)
+        self.indexes = indexes
+        self.on_batch = on_batch
+        self.commit_gate = commit_gate
+        self.parser = StreamParser()
+        self.progress: list[BatchProgress] = []
+        self._pending: list[XMLNode] = []
+        self._pending_nodes = 0
+        self._ingest: StoreIngest | None = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def batches_committed(self) -> int:
+        return len(self.progress)
+
+    @property
+    def nodes_streamed(self) -> int:
+        """Nodes durably committed so far (root included from batch 1)."""
+        return self._ingest.nodes_committed if self._ingest is not None else 0
+
+    @property
+    def active(self) -> bool:
+        return not self._finished
+
+    # ------------------------------------------------------------------
+    def feed(self, chunk: str) -> list[BatchProgress]:
+        """Parse one text chunk, committing every batch it fills.
+
+        Returns the progress records of the batches *this call*
+        committed (also appended to ``self.progress``).
+        """
+        if self._finished:
+            raise DatabaseError(f"ingest of {self.name!r} is already finished")
+        before = len(self.progress)
+        for child in self.parser.feed(chunk):
+            self._pending.append(child)
+            self._pending_nodes += child.subtree_size()
+            if self._pending_nodes >= self.batch_size:
+                self._commit_pending()
+        return self.progress[before:]
+
+    def finish(self) -> DocumentInfo:
+        """Close the stream: final partial batch, then the ingest end.
+
+        Raises if the document text was incomplete (parser error), with
+        every previously committed batch still in place.
+        """
+        if self._finished:
+            raise DatabaseError(f"ingest of {self.name!r} is already finished")
+        self.parser.close()
+        if self._pending or self._ingest is None:
+            # The final partial batch — or, for a childless document,
+            # the first (empty) batch that writes the root record.
+            self._commit_pending()
+        info = self._ingest.finish()
+        self._finished = True
+        return info
+
+    def abort(self) -> None:
+        """Stop the stream, keeping every committed batch.  Idempotent."""
+        if self._finished:
+            return
+        self._finished = True
+        self._pending = []
+        self._pending_nodes = 0
+        if self._ingest is not None:
+            self._ingest.abort()
+
+    # ------------------------------------------------------------------
+    def _commit_pending(self) -> None:
+        children = self._pending
+        self._pending = []
+        self._pending_nodes = 0
+        if self.commit_gate is not None:
+            with self.commit_gate():
+                self._commit(children)
+        else:
+            self._commit(children)
+
+    def _commit(self, children: list[XMLNode]) -> None:
+        if self._ingest is None:
+            # The parser's root shell is complete (tag, attributes, and
+            # — since children only exist past the first emitted child —
+            # final content) by the time the first batch cuts.
+            self._ingest = self.store.begin_ingest(self.parser.root, self.name)
+        ingest = self._ingest
+        info = ingest.commit_batch(children)
+        if self.indexes is not None:
+            self.indexes.apply_ingest_batch(
+                ingest.last_batch_records,
+                ingest.last_root_record,
+                ingest.last_old_root,
+                ingest.last_first_batch,
+                info.doc_id,
+            )
+        record = BatchProgress(
+            document=info.name,
+            batch=ingest.batches_committed,
+            nodes_in_batch=len(ingest.last_batch_records),
+            nodes_total=ingest.nodes_committed,
+            generation=self.store.generation,
+        )
+        self.progress.append(record)
+        if self.on_batch is not None:
+            self.on_batch(record)
+
+
+def chunks_of(stream, chunk_chars: int = DEFAULT_CHUNK_CHARS) -> Iterator[str]:
+    """Normalize an ingest source into text chunks.
+
+    Accepts a file-like object (``read(n)``), an iterable of strings, or
+    a single string (yielded in ``chunk_chars`` slices, so even the
+    degenerate whole-document-in-one-string case exercises the bounded
+    parser path).
+    """
+    read = getattr(stream, "read", None)
+    if callable(read):
+        while True:
+            chunk = read(chunk_chars)
+            if not chunk:
+                return
+            yield chunk
+        return
+    if isinstance(stream, str):
+        for offset in range(0, len(stream), chunk_chars):
+            yield stream[offset : offset + chunk_chars]
+        return
+    if isinstance(stream, Iterable):
+        for chunk in stream:
+            yield chunk
+        return
+    raise DatabaseError(
+        "stream must be a file-like object, an iterable of str, or a str"
+    )

@@ -1,0 +1,482 @@
+"""Incremental (push) XML parsing for the streaming ingest subsystem.
+
+:func:`~repro.xmlmodel.parse.parse_document` needs the whole document in
+memory.  :class:`StreamParser` instead accepts the document in arbitrary
+text chunks and emits complete *root children* as they close, holding at
+most one root child (plus an unconsumed chunk tail) in its buffer — the
+iterparse shape: memory is bounded by the largest record element, not
+the document.
+
+The parser recognizes the document structure itself (prolog, root start
+tag, root-level misc, root close) with a find-driven tokenizer, but does
+not re-implement element parsing: every completed root-child slice is a
+well-formed standalone element, which is exactly what
+``parse_document`` accepts — so the subset of XML supported, entity
+handling, and whitespace policy are the whole-document parser's,
+guaranteed identical trees for identical input.
+
+One restriction beyond the whole-document grammar: the root's *own*
+text content must precede its first child.  The streaming loader writes
+the root record when the first batch commits and never grows it again
+(the in-place rewrites are equal-length), so non-whitespace root-level
+text appearing after the first child is rejected rather than silently
+dropped.
+"""
+
+from __future__ import annotations
+
+from ..errors import XMLParseError
+from ..xmlmodel.node import XMLNode
+from ..xmlmodel.parse import (
+    _decode_entities,
+    _is_name_char,
+    _is_name_start,
+    _parse_attributes,
+    _Scanner,
+    parse_document,
+)
+
+#: Default read size for :func:`stream_file` — small enough to exercise
+#: chunk-boundary handling constantly, large enough to amortize syscalls.
+DEFAULT_CHUNK_CHARS = 1 << 16
+
+# Parser states.
+_PROLOG = 0  # before the root start tag
+_IN_ROOT = 1  # at root level, between children
+_IN_CHILD = 2  # inside a root child, scanning for its close
+_EPILOG = 3  # after the root close tag
+_DONE = 4  # close() seen
+
+
+class StreamParser:
+    """Push parser: feed text chunks, collect completed root children.
+
+    Usage::
+
+        parser = StreamParser()
+        for chunk in chunks:
+            for child in parser.feed(chunk):
+                ...                  # a complete root-child XMLNode
+        parser.close()
+        shell = parser.root          # childless root (tag/attrs/content)
+
+    ``root`` becomes available as soon as the root start tag has been
+    consumed, and its ``content`` is final once the first child is
+    emitted (or at ``close()`` for childless documents).
+    """
+
+    def __init__(self):
+        self._buf = ""
+        self._pos = 0  # scan cursor into _buf
+        self._state = _PROLOG
+        self._root: XMLNode | None = None
+        self._root_text: list[str] = []  # pre-first-child character data
+        self._saw_child = False
+        self._child_start = 0  # slice start of the in-flight child
+        self._depth = 0  # open-element depth inside the child
+        # Global coordinates of dropped prefixes, for error locations.
+        self._dropped = 0
+        self._dropped_lines = 0
+        self._last_nl = -1  # global index of the last dropped newline
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> XMLNode | None:
+        """The childless root shell, once its start tag has been seen."""
+        return self._root
+
+    @property
+    def at_end(self) -> bool:
+        return self._state in (_EPILOG, _DONE)
+
+    def feed(self, data: str) -> list[XMLNode]:
+        """Consume one chunk, returning root children completed by it."""
+        if self._state == _DONE:
+            raise XMLParseError("feed() after close()")
+        if data:
+            self._buf += data
+        out: list[XMLNode] = []
+        self._pump(out)
+        self._compact()
+        return out
+
+    def close(self) -> None:
+        """Declare end of input; raises if the document is incomplete."""
+        if self._state == _DONE:
+            return
+        if self._state != _EPILOG:
+            raise self._error(
+                "truncated document: the root element never closed"
+                if self._state != _PROLOG
+                else "empty input: no root element found",
+                len(self._buf),
+            )
+        if self._buf[self._pos :].strip():
+            raise self._error("content after the root element", self._pos)
+        if self._root is not None and not self._saw_child:
+            self._finish_root_text()
+        self._state = _DONE
+
+    # ------------------------------------------------------------------
+    # Error locations
+    # ------------------------------------------------------------------
+    def _error(self, message: str, pos: int) -> XMLParseError:
+        """An :class:`XMLParseError` at buffer index ``pos``, with the
+        line/column computed over the *whole* stream (dropped prefixes
+        included)."""
+        line = self._dropped_lines + self._buf.count("\n", 0, pos) + 1
+        nl = self._buf.rfind("\n", 0, pos)
+        last_nl = self._dropped + nl if nl >= 0 else self._last_nl
+        column = (self._dropped + pos) - last_nl
+        return XMLParseError(message, line, column)
+
+    def _compact(self) -> None:
+        """Drop the consumed buffer prefix (everything before the
+        in-flight child, or before the cursor when between children)."""
+        cut = self._child_start if self._state == _IN_CHILD else self._pos
+        if cut <= 0:
+            return
+        dropped = self._buf[:cut]
+        self._dropped_lines += dropped.count("\n")
+        nl = dropped.rfind("\n")
+        if nl >= 0:
+            self._last_nl = self._dropped + nl
+        self._dropped += cut
+        self._buf = self._buf[cut:]
+        self._pos -= cut
+        self._child_start = 0
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _pump(self, out: list[XMLNode]) -> None:
+        while True:
+            if self._state == _PROLOG:
+                if not self._pump_prolog():
+                    return
+            elif self._state == _IN_ROOT:
+                if not self._pump_root_level(out):
+                    return
+            elif self._state == _IN_CHILD:
+                if not self._pump_child(out):
+                    return
+            else:  # _EPILOG
+                if not self._pump_epilog():
+                    return
+
+    # Each _pump_* returns False when it needs more input.
+
+    def _pump_prolog(self) -> bool:
+        buf = self._buf
+        skipped = self._skip_misc()
+        if skipped is None:
+            return False
+        if self._pos >= len(buf):
+            return False
+        if buf[self._pos] != "<":
+            raise self._error("expected a root element", self._pos)
+        tag = self._parse_start_tag()
+        if tag is None:
+            return False
+        name, attributes, self_closing, end = tag
+        self._root = XMLNode(name, attributes=attributes or None)
+        self._pos = end
+        if self_closing:
+            self._state = _EPILOG
+        else:
+            self._state = _IN_ROOT
+        return True
+
+    def _pump_root_level(self, out: list[XMLNode]) -> bool:
+        buf = self._buf
+        lt = buf.find("<", self._pos)
+        if lt < 0:
+            # Trailing character data; hold it (it may continue).
+            return False
+        if lt > self._pos:
+            self._root_level_text(self._pos, lt)
+            self._pos = lt
+        if len(buf) - lt < 2:
+            return False  # "<" alone: cannot classify yet
+        if buf.startswith("<!--", lt):
+            return self._skip_bounded(lt + 4, "-->", "comment")
+        if buf.startswith("<![CDATA[", lt):
+            end = buf.find("]]>", lt + 9)
+            if end < 0:
+                return False
+            self._root_level_cdata(lt + 9, end)
+            self._pos = end + 3
+            return True
+        tail = buf[lt : lt + 9]
+        if len(tail) < 9 and ("<!--".startswith(tail) or "<![CDATA[".startswith(tail)):
+            return False  # short tail could still become a comment/CDATA
+        if buf.startswith("<!", lt):
+            raise self._error("unexpected markup declaration", lt)
+        if buf.startswith("<?", lt):
+            return self._skip_bounded(lt + 2, "?>", "processing instruction")
+        if buf.startswith("</", lt):
+            close = self._parse_close_tag(lt)
+            if close is None:
+                return False
+            name, end = close
+            if name != self._root.tag:
+                raise self._error(
+                    f"mismatched closing tag </{name}> for <{self._root.tag}>", lt
+                )
+            self._pos = end
+            self._state = _EPILOG
+            return True
+        # A root child begins.
+        if not self._saw_child:
+            self._finish_root_text()
+            self._saw_child = True
+        self._child_start = lt
+        self._pos = lt
+        self._depth = 0
+        self._state = _IN_CHILD
+        return True
+
+    def _pump_child(self, out: list[XMLNode]) -> bool:
+        """Scan the in-flight root child for its closing tag, tracking
+        element depth; text is skipped wholesale (the completed slice is
+        re-parsed by ``parse_document``, which owns text semantics)."""
+        buf = self._buf
+        while True:
+            lt = buf.find("<", self._pos)
+            if lt < 0:
+                self._pos = len(buf)
+                return False
+            if len(buf) - lt < 2:
+                self._pos = lt
+                return False
+            if buf.startswith("<!--", lt):
+                end = buf.find("-->", lt + 4)
+                if end < 0:
+                    self._pos = lt
+                    return False
+                self._pos = end + 3
+                continue
+            if buf.startswith("<![CDATA[", lt):
+                end = buf.find("]]>", lt + 9)
+                if end < 0:
+                    self._pos = lt
+                    return False
+                self._pos = end + 3
+                continue
+            tail = buf[lt : lt + 9]
+            if len(tail) < 9 and (
+                "<!--".startswith(tail) or "<![CDATA[".startswith(tail)
+            ):
+                self._pos = lt
+                return False
+            if buf.startswith("<!", lt):
+                raise self._error("unexpected markup declaration", lt)
+            if buf.startswith("<?", lt):
+                end = buf.find("?>", lt + 2)
+                if end < 0:
+                    self._pos = lt
+                    return False
+                self._pos = end + 2
+                continue
+            if buf.startswith("</", lt):
+                close = self._parse_close_tag(lt)
+                if close is None:
+                    self._pos = lt
+                    return False
+                _, end = close
+                self._pos = end
+                if self._depth == 0:
+                    raise self._error("unbalanced closing tag", lt)
+                self._depth -= 1
+                if self._depth == 0:
+                    self._emit_child(out, end)
+                    self._state = _IN_ROOT
+                    return True
+                continue
+            tag = self._parse_start_tag_at(lt)
+            if tag is None:
+                self._pos = lt
+                return False
+            self_closing, end = tag
+            self._pos = end
+            if not self_closing:
+                self._depth += 1
+            elif self._depth == 0:
+                self._emit_child(out, end)
+                self._state = _IN_ROOT
+                return True
+
+    def _pump_epilog(self) -> bool:
+        skipped = self._skip_misc()
+        if skipped is None:
+            return False
+        if self._pos < len(self._buf):
+            raise self._error("content after the root element", self._pos)
+        return False
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _emit_child(self, out: list[XMLNode], end: int) -> None:
+        slice_ = self._buf[self._child_start : end]
+        out.append(parse_document(slice_))
+        self._pos = end
+        self._child_start = end
+
+    def _root_level_text(self, start: int, end: int) -> None:
+        raw = self._buf[start:end]
+        if self._saw_child:
+            if raw.strip():
+                raise self._error(
+                    "root-level text after the first child is not supported "
+                    "by the streaming loader (the root record is fixed at "
+                    "the first batch commit)",
+                    start,
+                )
+            return
+        self._root_text.append(_decode_entities(raw, _Scanner(raw), 0))
+
+    def _root_level_cdata(self, start: int, end: int) -> None:
+        if self._saw_child:
+            if self._buf[start:end].strip():
+                raise self._error(
+                    "root-level CDATA after the first child is not supported "
+                    "by the streaming loader",
+                    start,
+                )
+            return
+        self._root_text.append(self._buf[start:end])
+
+    def _finish_root_text(self) -> None:
+        text = "".join(self._root_text).strip()
+        self._root.content = text if text else None
+        self._root_text = []
+
+    def _skip_misc(self) -> bool | None:
+        """Skip whitespace/comments/PIs/DOCTYPE at document level.
+
+        Returns ``None`` when an unterminated construct needs more
+        input, ``True`` when the cursor rests on content (or the end of
+        the current buffer)."""
+        buf = self._buf
+        while True:
+            pos = self._pos
+            n = len(buf)
+            while pos < n and buf[pos] in " \t\r\n":
+                pos += 1
+            self._pos = pos
+            if pos >= n:
+                return True
+            if buf[pos] != "<":
+                if self._state == _PROLOG:
+                    raise self._error("character data outside the root element", pos)
+                return True
+            if buf.startswith("<!--", pos):
+                end = buf.find("-->", pos + 4)
+                if end < 0:
+                    return None
+                self._pos = end + 3
+                continue
+            if buf.startswith("<?", pos):
+                end = buf.find("?>", pos + 2)
+                if end < 0:
+                    return None
+                self._pos = end + 2
+                continue
+            if buf.startswith("<!DOCTYPE", pos):
+                depth = 0
+                i = pos
+                while i < n:
+                    ch = buf[i]
+                    if ch == "<":
+                        depth += 1
+                    elif ch == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    i += 1
+                if i >= n:
+                    return None
+                self._pos = i + 1
+                continue
+            tail = buf[pos : pos + 9]
+            if len(tail) < 9 and (
+                "<!--".startswith(tail)
+                or "<!DOCTYPE".startswith(tail)
+                or "<?".startswith(tail)
+            ):
+                return None  # may yet be a comment, DOCTYPE, or PI
+            if buf.startswith("<!", pos):
+                raise self._error("unexpected markup declaration", pos)
+            return True
+
+    def _skip_bounded(self, start: int, token: str, what: str) -> bool:
+        end = self._buf.find(token, start)
+        if end < 0:
+            return False
+        self._pos = end + len(token)
+        return True
+
+    def _parse_close_tag(self, lt: int) -> tuple[str, int] | None:
+        """Parse ``</name >`` at ``lt``; None when it runs off the buffer."""
+        buf = self._buf
+        gt = buf.find(">", lt + 2)
+        if gt < 0:
+            return None
+        name = buf[lt + 2 : gt].rstrip(" \t\r\n")
+        if not name or not _is_name_start(name[0]) or not all(
+            _is_name_char(ch) for ch in name
+        ):
+            raise self._error(f"malformed closing tag {buf[lt : gt + 1]!r}", lt)
+        return name, gt + 1
+
+    def _parse_start_tag_at(self, lt: int) -> tuple[bool, int] | None:
+        """Scan a start tag at ``lt`` without building attributes:
+        returns ``(self_closing, end)`` or ``None`` on a split tag."""
+        buf = self._buf
+        n = len(buf)
+        i = lt + 1
+        quote = ""
+        while i < n:
+            ch = buf[i]
+            if quote:
+                if ch == quote:
+                    quote = ""
+            elif ch in ("'", '"'):
+                quote = ch
+            elif ch == ">":
+                return buf[i - 1] == "/" and not quote, i + 1
+            elif ch == "<":
+                raise self._error("unescaped '<' inside a tag", i)
+            i += 1
+        return None
+
+    def _parse_start_tag(self) -> tuple[str, dict[str, str], bool, int] | None:
+        """Fully parse the start tag at the cursor (used for the root,
+        whose attributes the shell needs): ``(name, attributes,
+        self_closing, end)`` or ``None`` on a split tag."""
+        span = self._parse_start_tag_at(self._pos)
+        if span is None:
+            return None
+        self_closing, end = span
+        raw = self._buf[self._pos : end]
+        scanner = _Scanner(raw)
+        scanner.expect("<")
+        name = scanner.read_name()
+        attributes = _parse_attributes(scanner)
+        return name, attributes, self_closing, end
+
+
+# ----------------------------------------------------------------------
+# Pull-side conveniences
+# ----------------------------------------------------------------------
+def stream_file(path: str, chunk_chars: int = DEFAULT_CHUNK_CHARS):
+    """Yield ``path``'s text in bounded chunks (never the whole file)."""
+    with open(path, encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(chunk_chars)
+            if not chunk:
+                return
+            yield chunk

@@ -117,6 +117,9 @@ def snapshot_counters(store, indexes=None, matcher=None) -> CounterSnapshot:
     fault_counters = getattr(store.disk, "fault_counters", None)
     if fault_counters is not None:
         data.update(fault_counters.snapshot())
+    ingest_stats = getattr(store, "ingest_stats", None)
+    if ingest_stats is not None:
+        data.update(ingest_stats.snapshot())
     if indexes is not None:
         data.update(indexes.work_counters())
     if matcher is not None:

@@ -115,12 +115,24 @@ class LoadReport:
       ``"pending"`` (built lazily on first query), ``"ready"`` (already
       materialized, e.g. restored from disk), or ``"disabled"`` (the
       database runs without indexes or with columnar turned off).
+
+    Streaming loads (``stream=``/``path=``, any ``batch_size``) also
+    report the incremental shape:
+
+    * ``batches`` — journaled batch commits the load took;
+    * ``nodes_streamed`` — records committed by those batches;
+    * ``progress`` — the per-batch
+      :class:`~repro.ingest.session.BatchProgress` records, in commit
+      order (empty for the legacy whole-document paths).
     """
 
     document: str
     nodes: int
     generation: int
     columnar: str
+    batches: int = 1
+    nodes_streamed: int = 0
+    progress: tuple = ()
 
 
 #: The buffer/disk counters surfaced as ``QueryResult.io_stats``.
@@ -291,36 +303,129 @@ class Database:
         text: str | None = None,
         tree: XMLNode | None = None,
         path: str | None = None,
+        stream=None,
         name: str | None = None,
+        batch_size: int | None = None,
+        on_batch=None,
     ) -> LoadReport:
-        """Store an XML document from exactly one source and reindex.
+        """Store an XML document from exactly one source.
 
         Pass exactly one of ``text=`` (XML source string), ``tree=``
-        (an in-memory :class:`~repro.xmlmodel.node.XMLNode`), or
-        ``path=`` (a file to parse).  ``name`` is the catalog name —
-        required for ``text``/``tree``, defaulted from the filename for
-        ``path``.  Returns a :class:`LoadReport`.
+        (an in-memory :class:`~repro.xmlmodel.node.XMLNode`),
+        ``path=`` (a file to parse), or ``stream=`` (a file-like
+        object or iterable of text chunks).  ``name`` is the catalog
+        name — required for ``text``/``tree``/``stream``, defaulted
+        from the filename for ``path``.  Returns a :class:`LoadReport`.
+
+        ``path=`` and ``stream=`` run the streaming ingest: the input
+        is parsed incrementally (memory bounded by ``batch_size`` plus
+        the largest single root child, never the document) and
+        committed in journaled batches of roughly ``batch_size`` nodes
+        (default :data:`~repro.ingest.session.DEFAULT_BATCH_NODES`),
+        each batch folded into the live indexes incrementally and
+        bumping the store generation.  ``on_batch`` (a
+        ``BatchProgress -> None`` callable) observes each commit.
+        ``text=`` joins the streaming path when ``batch_size`` is
+        given; ``tree=`` is always a whole-document load.
         """
-        sources = [s for s in (text, tree, path) if s is not None]
+        sources = [s for s in (text, tree, path, stream) if s is not None]
         if len(sources) != 1:
             raise DatabaseError(
-                "load() needs exactly one source: text=, tree=, or path="
+                "load() needs exactly one source: text=, tree=, path=, or stream="
             )
-        if path is not None:
-            info = self.store.load_file(path, name)
-        else:
+        if tree is not None or (text is not None and batch_size is None):
             if name is None:
                 raise DatabaseError("load() requires name= for text/tree sources")
             if text is not None:
                 info = self.store.load_text(text, name)
             else:
                 info = self.store.load_tree(tree, name)
-        self._reindex()
+            self._reindex()
+            return LoadReport(
+                document=info.name,
+                nodes=info.n_nodes,
+                generation=self.store.generation,
+                columnar=self._columnar_state(),
+            )
+        from ..ingest.session import chunks_of
+
+        if path is not None:
+            name = name or os.path.basename(path)
+            try:
+                handle = open(path, encoding="utf-8")
+            except OSError as exc:
+                raise DatabaseError(
+                    f"cannot read document file {path!r}: {exc}"
+                ) from exc
+            try:
+                return self._load_streaming(
+                    chunks_of(handle),
+                    name,
+                    batch_size,
+                    on_batch,
+                    drop_partial=True,
+                )
+            finally:
+                handle.close()
+        if name is None:
+            raise DatabaseError("load() requires name= for text/stream sources")
+        if text is not None:
+            return self._load_streaming(
+                chunks_of(text), name, batch_size, on_batch, drop_partial=True
+            )
+        return self._load_streaming(
+            chunks_of(stream), name, batch_size, on_batch, drop_partial=False
+        )
+
+    def _load_streaming(
+        self,
+        chunks,
+        name: str,
+        batch_size: int | None,
+        on_batch,
+        drop_partial: bool,
+    ) -> LoadReport:
+        """The streaming ingest path behind :meth:`load`.
+
+        ``drop_partial=True`` restores the whole-document paths'
+        atomicity: a mid-stream failure (parse error, I/O) drops the
+        partially ingested document before re-raising.  ``stream=``
+        sources keep their committed batches instead — the wire
+        protocol's contract that a truncated upload leaves the store at
+        the last batch boundary.
+        """
+        from ..ingest.session import IngestSession
+
+        self.indexes.ensure_built()
+        session = IngestSession(
+            self.store,
+            name,
+            batch_size=batch_size,
+            indexes=self.indexes,
+            on_batch=on_batch,
+        )
+        try:
+            for chunk in chunks:
+                session.feed(chunk)
+            info = session.finish()
+        except BaseException:
+            session.abort()
+            if drop_partial and session.batches_committed:
+                try:
+                    self.drop_document(name)
+                except DatabaseError:  # pragma: no cover - best effort
+                    pass
+            raise
+        if self.store.directory is not None:
+            self.indexes.save(self.store.directory)
         return LoadReport(
             document=info.name,
             nodes=info.n_nodes,
             generation=self.store.generation,
             columnar=self._columnar_state(),
+            batches=session.batches_committed,
+            nodes_streamed=session.nodes_streamed,
+            progress=tuple(session.progress),
         )
 
     def _columnar_state(self) -> str:

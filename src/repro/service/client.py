@@ -252,6 +252,7 @@ class HealthReport:
     active_connections: int
     max_connections: int
     generation: int
+    ingesting: bool = False
     raw: dict = dataclasses.field(default_factory=dict, compare=False, repr=False)
 
     @property
@@ -273,6 +274,7 @@ class HealthReport:
             active_connections=int(payload.get("active_connections", 0)),
             max_connections=int(payload.get("max_connections", 0)),
             generation=int(payload.get("generation", 0)),
+            ingesting=bool(payload.get("ingesting", False)),
             raw=dict(payload),
         )
 
@@ -363,6 +365,47 @@ class ServiceClient:
                 "LOAD", {"name": name, "chunk": piece, "final": final},
                 idempotent=False,
             )
+        return reply
+
+    def load_stream(
+        self,
+        source,
+        name: str,
+        *,
+        batch_size: int | None = None,
+        chunk_chars: int = 1 << 18,
+        on_progress=None,
+    ) -> dict:
+        """Streaming ``LOAD``: the server commits journaled batches as
+        chunks arrive instead of buffering the whole document.
+
+        ``source`` is a string, a file-like object, or an iterable of
+        text chunks.  ``on_progress`` (a ``dict -> None`` callable)
+        receives each batch-commit event the server reports.  Like
+        :meth:`load`, non-idempotent: a transport failure mid-stream
+        surfaces :class:`~repro.errors.AmbiguousResultError`; the
+        server keeps every batch it committed.
+        """
+        from ..ingest.session import chunks_of
+
+        def announce(reply: dict) -> None:
+            if on_progress is not None:
+                for event in reply.get("events", ()):
+                    on_progress(event)
+
+        base: dict[str, object] = {"name": name, "stream": True}
+        if batch_size is not None:
+            base["batch_size"] = batch_size
+        for piece in chunks_of(source, chunk_chars):
+            reply = self.call(
+                "LOAD", {**base, "chunk": piece, "final": False},
+                idempotent=False,
+            )
+            announce(reply)
+        reply = self.call(
+            "LOAD", {**base, "chunk": "", "final": True}, idempotent=False
+        )
+        announce(reply)
         return reply
 
     def stats(self) -> CounterSnapshot:

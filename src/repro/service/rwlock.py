@@ -27,6 +27,7 @@ class ReadWriteLock:
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self._reads_admitted = 0
 
     # ------------------------------------------------------------------
     # Reader side
@@ -36,6 +37,7 @@ class ReadWriteLock:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+            self._reads_admitted += 1
 
     def release_read(self) -> None:
         with self._cond:
@@ -84,6 +86,14 @@ class ReadWriteLock:
     def active_readers(self) -> int:
         with self._cond:
             return self._readers
+
+    @property
+    def reads_admitted(self) -> int:
+        """Monotonic count of granted read acquisitions — lets a
+        paced writer tell whether readers are contending for the gate
+        (the count moved) or the service is idle (it did not)."""
+        with self._cond:
+            return self._reads_admitted
 
     @property
     def writer_active(self) -> bool:

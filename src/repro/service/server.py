@@ -246,6 +246,11 @@ class _Handler(socketserver.BaseRequestHandler):
         # are capped at MAX_LINE_BYTES, so large documents arrive as a
         # sequence of LOAD chunks ending with "final": true.
         self._load_buffers: dict[str, list[str]] = {}
+        # Streaming ingests ("stream": true LOADs), keyed by document
+        # name.  Unlike buffered LOADs these commit batches as chunks
+        # arrive; a disconnect mid-stream aborts the ingest but keeps
+        # every committed batch.
+        self._ingests: dict[str, object] = {}
         try:
             self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
@@ -336,6 +341,15 @@ class _Handler(socketserver.BaseRequestHandler):
                     session.aborted += 1
                     return
         finally:
+            # A connection that vanished mid-stream leaves the store at
+            # the last committed batch: abort (never finish) whatever
+            # ingests it still had open.
+            for ingest in list(self._ingests.values()):
+                try:
+                    ingest.abort()
+                except ReproError:  # pragma: no cover - best effort
+                    pass
+            self._ingests.clear()
             try:
                 service.close_session(session.session_id)
             except ReproError:
@@ -356,7 +370,13 @@ class _Handler(socketserver.BaseRequestHandler):
         if command == "HEALTH":
             return "OK " + json.dumps(server.health())
         if command == "STATS":
-            data = service.stats().as_dict()
+            from ..observability import snapshot_counters
+
+            # Storage/index counters first (ingest progress, incremental
+            # index maintenance, buffer pool); the service and server
+            # layers' keys are prefixed, so they never collide.
+            data = snapshot_counters(service.db.store, service.db.indexes).as_dict()
+            data.update(service.stats().as_dict())
             data.update(server.stats().as_dict())
             return "OK " + json.dumps(data)
         if command == "SESSION":
@@ -391,6 +411,8 @@ class _Handler(socketserver.BaseRequestHandler):
             chunk = spec.get("chunk", "")
             if not isinstance(chunk, str):
                 raise ProtocolError("LOAD chunk must be a string")
+            if bool(spec.get("stream", False)):
+                return self._load_streaming(spec, name, chunk)
             parts = self._load_buffers.setdefault(name, [])
             parts.append(chunk)
             if not bool(spec.get("final", True)):
@@ -408,6 +430,58 @@ class _Handler(socketserver.BaseRequestHandler):
                 }
             )
         raise ProtocolError(f"unknown command {command!r}")
+
+    def _load_streaming(self, spec: dict, name: str, chunk: str) -> str:
+        """A ``"stream": true`` LOAD chunk: feed the connection's ingest
+        session, committing batches as they fill.
+
+        Non-final chunks answer with progress (batches committed so far
+        and this chunk's commit events); the final chunk answers with
+        the full load report.  Any error aborts the ingest — committed
+        batches stay, the in-flight batch is never visible.
+        """
+        service = self.server.service
+        ingest = self._ingests.get(name)
+        if ingest is None:
+            batch_size = spec.get("batch_size")
+            if batch_size is not None and not isinstance(batch_size, int):
+                raise ProtocolError("LOAD batch_size must be an integer")
+            ingest = service.begin_ingest(name, batch_size=batch_size)
+            self._ingests[name] = ingest
+        batches_before = ingest.batches_committed
+        try:
+            events = ingest.feed(chunk)
+            if not bool(spec.get("final", True)):
+                return "OK " + json.dumps(
+                    {
+                        "streaming": True,
+                        "batches": ingest.batches_committed,
+                        "nodes_streamed": ingest.nodes_streamed,
+                        "events": [_progress_payload(event) for event in events],
+                    }
+                )
+            report = ingest.finish()
+        except ReproError:
+            ingest.abort()
+            self._ingests.pop(name, None)
+            raise
+        self._ingests.pop(name, None)
+        # The final reply's events cover this call's feed *and* the
+        # final partial batch finish() committed.
+        final_events = [
+            event for event in report.progress if event.batch > batches_before
+        ]
+        return "OK " + json.dumps(
+            {
+                "document": report.document,
+                "nodes": report.nodes,
+                "generation": report.generation,
+                "columnar": report.columnar,
+                "batches": report.batches,
+                "nodes_streamed": report.nodes_streamed,
+                "events": [_progress_payload(event) for event in final_events],
+            }
+        )
 
     def _send(self, reply: str) -> None:
         payload = reply.encode("utf-8") + b"\n"
@@ -440,6 +514,16 @@ class _Handler(socketserver.BaseRequestHandler):
             self.request.close()
         except OSError:
             pass
+
+
+def _progress_payload(event) -> dict:
+    """A :class:`~repro.ingest.session.BatchProgress` as wire JSON."""
+    return {
+        "batch": event.batch,
+        "nodes_in_batch": event.nodes_in_batch,
+        "nodes_total": event.nodes_total,
+        "generation": event.generation,
+    }
 
 
 def _spec(argument: str) -> dict:
@@ -528,10 +612,16 @@ class ServiceServer(socketserver.ThreadingTCPServer):
         quarantined = len(getattr(store.meta, "quarantined_pages", ()) or ())
         degraded = quarantined > 0
         draining = self._draining
+        ingesting = service.ingesting
         if draining:
             status = "draining"
         elif degraded:
             status = "degraded"
+        elif ingesting:
+            # Still ready (reads run between batches), but degraded:
+            # write gate contention and per-batch cache invalidation
+            # mean reduced throughput until the ingest finishes.
+            status = "degraded:ingesting"
         else:
             status = "ok"
         return {
@@ -539,6 +629,7 @@ class ServiceServer(socketserver.ThreadingTCPServer):
             "live": True,
             "ready": not draining and not service.closed,
             "draining": draining,
+            "ingesting": ingesting,
             "degraded_store": degraded,
             "quarantined_pages": quarantined,
             "queue_depth": service.queue_size(),

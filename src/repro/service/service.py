@@ -33,6 +33,7 @@ import copy
 import queue
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
 from ..cancellation import Deadline, deadline_scope
@@ -68,6 +69,16 @@ class ServiceConfig:
     #: Hand out deep copies of cached result collections, so one
     #: client mutating its trees cannot poison the cache for others.
     copy_cached_results: bool = True
+    #: Streaming-ingest duty-cycle throttle.  When readers are
+    #: contending for the gate, the ingest idles before each batch
+    #: commit for ``pacing`` x the time it spent working since its
+    #: last pause (parse + drain + gate hold), capping the ingest's
+    #: foreground share at ``1 / (1 + pacing)`` — the GIL and the
+    #: write gate are both duty-cycled.  On an idle service (no read
+    #: admissions since the previous batch) the pause is skipped
+    #: entirely, so an uncontended load runs at full speed.  0
+    #: disables pacing (ingest commits back-to-back, readers starve).
+    ingest_pacing: float = 6.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -219,6 +230,8 @@ class QueryService:
         self.result_cache = LRUCache(config.result_cache_entries)
         self.sessions = SessionRegistry()
         self._gate = ReadWriteLock()
+        self._ingest_lock = threading.Lock()
+        self._ingests: set["ServiceIngest"] = set()
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=config.queue_depth)
         self._closed = False
         self._workers = [
@@ -323,6 +336,65 @@ class QueryService:
             report = self.db.load(path=path, name=name)
             self._drop_stale_results()
             return report
+
+    # ------------------------------------------------------------------
+    # Streaming ingest (write gate taken per batch, not per load)
+    # ------------------------------------------------------------------
+    def begin_ingest(
+        self,
+        name: str,
+        *,
+        batch_size: int | None = None,
+        on_batch=None,
+    ) -> "ServiceIngest":
+        """Start a streaming ingest of one document.
+
+        Unlike :meth:`load_text` — which holds the write gate for the
+        whole load — a streaming ingest takes the gate *per batch
+        commit*: readers run between batches, their plan/result caches
+        invalidating at batch granularity (each commit bumps the store
+        generation).  While the ingest is active the server's HEALTH
+        reports ``degraded:ingesting``.
+        """
+        if self._closed:
+            raise ServiceError("the query service is shut down")
+        ingest = ServiceIngest(self, name, batch_size=batch_size, on_batch=on_batch)
+        with self._ingest_lock:
+            self._ingests.add(ingest)
+        return ingest
+
+    def load_stream(
+        self,
+        chunks,
+        name: str,
+        *,
+        batch_size: int | None = None,
+        on_batch=None,
+    ):
+        """Streaming ingest of a whole chunk iterable (or file-like, or
+        string).  A mid-stream failure aborts the ingest but keeps every
+        committed batch — the document stays readable at the last batch
+        boundary."""
+        from ..ingest.session import chunks_of
+
+        ingest = self.begin_ingest(name, batch_size=batch_size, on_batch=on_batch)
+        try:
+            for chunk in chunks_of(chunks):
+                ingest.feed(chunk)
+        except BaseException:
+            ingest.abort()
+            raise
+        return ingest.finish()
+
+    @property
+    def ingesting(self) -> bool:
+        """True while any streaming ingest is active (HEALTH signal)."""
+        with self._ingest_lock:
+            return bool(self._ingests)
+
+    def _end_ingest(self, ingest: "ServiceIngest") -> None:
+        with self._ingest_lock:
+            self._ingests.discard(ingest)
 
     def drop_document(self, name: str) -> None:
         with self._gate.write_locked():
@@ -538,6 +610,121 @@ class QueryService:
             profile=None,
             io_stats={},
         )
+
+
+class ServiceIngest:
+    """One streaming ingest running through the service's gates.
+
+    Wraps an :class:`~repro.ingest.session.IngestSession` so that every
+    batch commit (a) holds the service write gate — readers share the
+    store between batches, never during a commit — and (b) eagerly
+    drops result-cache entries from older generations.  ``finish``
+    persists the index snapshot (directory-backed stores) and returns
+    the same :class:`~repro.query.database.LoadReport` a streaming
+    ``Database.load`` would.  ``abort`` keeps every committed batch:
+    the document stays readable at the last batch boundary.
+    """
+
+    def __init__(self, service: QueryService, name: str, *, batch_size=None, on_batch=None):
+        self.service = service
+        self.name = name
+        self._worked_since = time.perf_counter()
+        self._reads_seen = service._gate.reads_admitted
+        db = service.db
+        db.indexes.ensure_built()
+
+        def hook(progress):
+            service._drop_stale_results()
+            if on_batch is not None:
+                on_batch(progress)
+
+        from ..ingest.session import IngestSession
+
+        self._session = IngestSession(
+            db.store,
+            name,
+            batch_size=batch_size,
+            indexes=db.indexes,
+            on_batch=hook,
+            commit_gate=self._paced_gate,
+        )
+
+    @contextmanager
+    def _paced_gate(self):
+        """The write gate plus the duty-cycle throttle.
+
+        Before each commit: if any reader was admitted since the last
+        pause ended (the gate's monotonic admission count moved), idle
+        for ``ingest_pacing`` x the time this ingest has been working
+        since then — parse, drain, and gate hold alike, because under
+        the GIL parsing steals reader throughput just as surely as
+        holding the gate does.  The pause itself is gate-free, so the
+        blocked readers drain the queue at full speed.  When the count
+        did not move the service is idle and the pause is skipped."""
+        gate = self.service._gate
+        pacing = self.service.config.ingest_pacing
+        if pacing > 0 and gate.reads_admitted != self._reads_seen:
+            pause = (
+                time.perf_counter() - self._worked_since
+            ) * pacing
+            if pause > 0:
+                time.sleep(pause)
+        self._reads_seen = gate.reads_admitted
+        self._worked_since = time.perf_counter()
+        with gate.write_locked():
+            yield
+
+    # ------------------------------------------------------------------
+    @property
+    def batches_committed(self) -> int:
+        return self._session.batches_committed
+
+    @property
+    def nodes_streamed(self) -> int:
+        return self._session.nodes_streamed
+
+    @property
+    def progress(self):
+        return self._session.progress
+
+    @property
+    def active(self) -> bool:
+        return self._session.active
+
+    # ------------------------------------------------------------------
+    def feed(self, chunk: str):
+        """Parse one chunk, committing every batch it fills; returns the
+        :class:`~repro.ingest.session.BatchProgress` records this call
+        committed."""
+        return self._session.feed(chunk)
+
+    def finish(self):
+        """Final partial batch, index-snapshot persistence, report."""
+        from ..query.database import LoadReport
+
+        db = self.service.db
+        try:
+            info = self._session.finish()
+        except BaseException:
+            self.abort()
+            raise
+        if db.store.directory is not None:
+            db.indexes.save(db.store.directory)
+        self.service._end_ingest(self)
+        return LoadReport(
+            document=info.name,
+            nodes=info.n_nodes,
+            generation=db.store.generation,
+            columnar=db._columnar_state(),
+            batches=self._session.batches_committed,
+            nodes_streamed=self._session.nodes_streamed,
+            progress=tuple(self._session.progress),
+        )
+
+    def abort(self) -> None:
+        """Stop the stream, keeping committed batches.  Idempotent."""
+        self._session.abort()
+        self.service._end_ingest(self)
 
 
 def _session_id(session: Session | None) -> int | None:

@@ -60,6 +60,17 @@ LOAD_CRASH_POINTS = (
     "load.journal_cleared",
 )
 
+#: Crash points fired by the journaled streaming-ingest batch commit,
+#: in order.  Same protocol as the bulk load, once per batch, plus a
+#: physical undo image of the document root's page (the only committed
+#: page a batch mutates in place — the root's ``end`` label advances).
+INGEST_CRASH_POINTS = (
+    "ingest.journal_written",
+    "ingest.pages_synced",
+    "ingest.meta_committed",
+    "ingest.journal_cleared",
+)
+
 #: Crash points fired by the journaled compaction path, in order.
 COMPACT_CRASH_POINTS = (
     "compact.staged",
@@ -163,6 +174,8 @@ def recover_directory(directory: str, recovery_counters=None) -> str | None:
     op = entry.get("op")
     if op == "load":
         action = _recover_load(directory, entry)
+    elif op == "ingest":
+        action = _recover_ingest(directory, entry)
     elif op == "compact":
         action = _recover_compact(directory, entry)
     else:
@@ -216,6 +229,72 @@ def _recover_load(directory: str, entry: dict) -> str:
         )
     clear_journal(directory)
     return "load-rollback"
+
+
+def _recover_ingest(directory: str, entry: dict) -> str:
+    """Recover an interrupted streaming-ingest batch commit.
+
+    The commit test is the same as the bulk load's: the atomically
+    replaced ``meta.json`` carries the batch's ``new_next_nid`` iff the
+    commit point was reached.  Rollback additionally restores the
+    journaled pre-image of the document root's page — the one committed
+    page the batch mutated in place (advancing the root's ``end``
+    label), which a crash may have left torn or already rewritten.
+    """
+    from .store import DATA_FILE, META_FILE  # local import: no cycle at module load
+
+    meta_path = os.path.join(directory, META_FILE)
+    data_path = os.path.join(directory, DATA_FILE)
+    committed_next_nid = 0
+    if os.path.exists(meta_path):
+        try:
+            with open(meta_path, encoding="utf-8") as handle:
+                committed_next_nid = json.load(handle).get("next_nid", 0)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RecoveryError(f"unreadable metadata {meta_path!r}: {exc}") from exc
+
+    if committed_next_nid == entry.get("new_next_nid"):
+        clear_journal(directory)
+        return "ingest-rollforward"
+
+    base_pages = int(entry.get("base_pages", 0))
+    root_page_id = entry.get("root_page_id")
+    root_page_hex = entry.get("root_page_hex")
+    if not os.path.exists(data_path):
+        if base_pages:
+            raise RecoveryError(
+                f"{data_path} is missing but the journal promises {base_pages} pages"
+            )
+        clear_journal(directory)
+        return "ingest-rollback"
+    target = base_pages * PAGE_SIZE
+    size = os.path.getsize(data_path)
+    if size < target:
+        raise RecoveryError(
+            f"{data_path}: {size} bytes but the journal promises "
+            f"{base_pages} committed pages"
+        )
+    with open(data_path, "r+b") as handle:
+        if size > target:
+            handle.truncate(target)
+        if root_page_hex is not None and root_page_id is not None:
+            image = bytes.fromhex(root_page_hex)
+            if len(image) != PAGE_SIZE:
+                raise RecoveryError(
+                    f"journal root-page image is {len(image)} bytes, "
+                    f"expected {PAGE_SIZE}"
+                )
+            if (int(root_page_id) + 1) * PAGE_SIZE > target:
+                raise RecoveryError(
+                    f"journal root page {root_page_id} lies past the "
+                    f"{base_pages} committed pages"
+                )
+            handle.seek(int(root_page_id) * PAGE_SIZE)
+            handle.write(image)
+        handle.flush()
+        os.fsync(handle.fileno())
+    clear_journal(directory)
+    return "ingest-rollback"
 
 
 def _recover_compact(directory: str, entry: dict) -> str:

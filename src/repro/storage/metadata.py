@@ -115,6 +115,24 @@ class MetadataManager:
         self._documents_by_name[name] = doc_id
         return info
 
+    def resize_document(self, name: str, n_nodes: int) -> DocumentInfo:
+        """Grow a document's node count (streaming ingest: each batch
+        appends a contiguous nid range to the same document).  The
+        catalog entry is frozen, so growth replaces it."""
+        doc_id = self._documents_by_name.get(name)
+        if doc_id is None:
+            raise DatabaseError(f"no document named {name!r}")
+        old = self.documents[doc_id]
+        if n_nodes < old.n_nodes:
+            raise DatabaseError(
+                f"document {name!r} cannot shrink from {old.n_nodes} to {n_nodes} nodes"
+            )
+        info = DocumentInfo(
+            doc_id=doc_id, name=name, root_nid=old.root_nid, n_nodes=n_nodes
+        )
+        self.documents[doc_id] = info
+        return info
+
     def document_by_name(self, name: str) -> DocumentInfo:
         doc_id = self._documents_by_name.get(name)
         if doc_id is None:

@@ -108,6 +108,28 @@ class Page:
         self.dirty = True
         return n_slots
 
+    def overwrite_record(self, slot: int, payload: bytes) -> None:
+        """Replace the payload in ``slot`` with an equal-length one.
+
+        Slotted pages pack records densely, so in-place updates must
+        preserve the encoded length — callers that need to grow a record
+        have to rewrite the page.  The streaming ingest path uses this
+        to advance a document root's fixed-width ``end`` label at every
+        batch commit.
+        """
+        n_slots = self.n_slots
+        if not 0 <= slot < n_slots:
+            raise StorageError(f"page {self.page_id}: no slot {slot} (have {n_slots})")
+        slot_pos = PAGE_SIZE - SLOT_SIZE * (slot + 1)
+        offset, length = _SLOT.unpack_from(self.data, slot_pos)
+        if len(payload) != length:
+            raise StorageError(
+                f"page {self.page_id} slot {slot}: in-place overwrite needs "
+                f"{length} bytes, got {len(payload)}"
+            )
+        self.data[offset : offset + length] = payload
+        self.dirty = True
+
     def read_record(self, slot: int) -> bytes:
         """Return the payload stored in ``slot``."""
         n_slots = self.n_slots

@@ -17,6 +17,7 @@ both kinds of access so benchmarks can report them.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import shutil
 import time
@@ -71,6 +72,39 @@ class StoreStatistics:
             f"<StoreStatistics records={self.record_lookups} "
             f"values={self.value_lookups} materialized={self.nodes_materialized}>"
         )
+
+
+class IngestStatistics:
+    """Counters for the streaming-ingest write path."""
+
+    __slots__ = (
+        "batches_committed",
+        "nodes_streamed",
+        "ingests_started",
+        "ingests_finished",
+        "ingests_aborted",
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "ingest_batches_committed": self.batches_committed,
+            "ingest_nodes_streamed": self.nodes_streamed,
+            "ingests_started": self.ingests_started,
+            "ingests_finished": self.ingests_finished,
+            "ingests_aborted": self.ingests_aborted,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = " ".join(f"{n}={getattr(self, n)}" for n in self.__slots__)
+        return f"<IngestStatistics {inner}>"
 
 
 class RecoveryStatistics:
@@ -215,8 +249,20 @@ class NodeStore:
                 self.meta = MetadataManager()
         self.pool = BufferPool(self.disk, capacity=pool_frames)
         self.counters = StoreStatistics()
+        self.ingest_stats = IngestStatistics()
+        # At most one streaming ingest may run at a time: its document
+        # owns a contiguous nid range and a disjoint label region, so no
+        # other mutation may interleave between its batches.
+        self._active_ingest: "StoreIngest | None" = None
         if degraded and directory is not None:
             self.repair()
+
+    def _check_no_ingest(self, operation: str) -> None:
+        if self._active_ingest is not None:
+            raise DatabaseError(
+                f"cannot {operation} while a streaming ingest of "
+                f"{self._active_ingest.name!r} is active"
+            )
 
     def _open_disk(self, path: str | None) -> DiskManager:
         disk = DiskManager(path)
@@ -237,6 +283,7 @@ class NodeStore:
         recover_directory` restores on the next open — either the
         complete document or a clean rollback, never a torn store.
         """
+        self._check_no_ingest("load a document")
         if name in self.meta._documents_by_name:
             raise DatabaseError(f"document {name!r} already exists")
         if self.directory is None:
@@ -318,15 +365,60 @@ class NodeStore:
             raise DatabaseError(f"cannot read document file {path!r}: {exc}") from exc
         return self.load_text(text, name or os.path.basename(path))
 
+    # ------------------------------------------------------------------
+    # Streaming ingest
+    # ------------------------------------------------------------------
+    def begin_ingest(self, root_shell: XMLNode, name: str) -> "StoreIngest":
+        """Start a streaming ingest of one document.
+
+        ``root_shell`` is the document root with its tag, attributes,
+        and leading text but *no children*: batches of root children are
+        appended through :meth:`StoreIngest.commit_batch`, each commit
+        crash-consistent and immediately visible to readers.  The root's
+        record is rewritten in place at every commit to advance its
+        ``end`` label (an equal-length overwrite), so the shell's tag,
+        attributes, and content are fixed for the whole stream.
+
+        At most one ingest may be active per store; every other mutation
+        (bulk load, drop, compact, repair) is rejected until it finishes
+        or aborts.
+        """
+        self._check_no_ingest("start another ingest")
+        if name in self.meta._documents_by_name:
+            raise DatabaseError(f"document {name!r} already exists")
+        if root_shell.children:
+            raise DatabaseError(
+                "streaming ingest takes a childless root shell; feed the "
+                "children through commit_batch"
+            )
+        ingest = StoreIngest(self, root_shell, name)
+        self._active_ingest = ingest
+        self.ingest_stats.ingests_started += 1
+        return ingest
+
     def _label_tree(self, root: XMLNode) -> list[NodeRecord]:
         """Assign nids and (start, end, level) labels in one traversal."""
+        return self._label_forest([root], NO_PARENT, 0)
+
+    def _label_forest(
+        self, roots: list[XMLNode], parent_nid: int, base_level: int
+    ) -> list[NodeRecord]:
+        """Label a sequence of sibling subtrees in document order.
+
+        The whole-document load labels ``[root]`` under ``NO_PARENT``;
+        the streaming ingest labels each batch of root children under
+        the already-stored document root's nid at level 1, continuing
+        the same global nid/label counters.
+        """
         first_nid = self.meta.next_nid
         counter = self.meta.next_label
         next_nid = first_nid
         records: list[NodeRecord | None] = []
         starts: dict[int, tuple[int, int, int]] = {}  # id(node) -> (nid, start, level)
 
-        stack: list[tuple[XMLNode, int, int, bool]] = [(root, NO_PARENT, 0, False)]
+        stack: list[tuple[XMLNode, int, int, bool]] = [
+            (root, parent_nid, base_level, False) for root in reversed(roots)
+        ]
         while stack:
             node, parent_nid, level, expanded = stack.pop()
             if not expanded:
@@ -415,19 +507,35 @@ class NodeStore:
         parent = self.record(nid).parent
         return None if parent == NO_PARENT else parent
 
+    def _subtree_count(self, record: NodeRecord) -> int:
+        """Subtree size of ``record``, exact even for streamed roots.
+
+        Non-root labels are dense (two per node), so the label-width
+        formula is exact.  A document root ingested in batches abandons
+        one ``end`` label per batch, widening its label range past
+        ``2 * n_nodes`` — for roots the catalog's node count is the
+        truth instead.
+        """
+        if record.parent != NO_PARENT:
+            return record.subtree_node_count
+        for info in self.meta.documents.values():
+            if info.root_nid == record.nid:
+                return info.n_nodes
+        return record.subtree_node_count
+
     def subtree_node_count(self, nid: int) -> int:
-        return self.record(nid).subtree_node_count
+        return self._subtree_count(self.record(nid))
 
     def subtree_nids(self, nid: int) -> range:
         """The contiguous nid range of the subtree rooted at ``nid``."""
-        return range(nid, nid + self.record(nid).subtree_node_count)
+        return range(nid, nid + self.subtree_node_count(nid))
 
     def children(self, nid: int) -> list[int]:
         """Child nids in document order (one lookup per child)."""
         record = self.record(nid)
         out: list[int] = []
         child = nid + 1
-        last = nid + record.subtree_node_count - 1
+        last = nid + self._subtree_count(record) - 1
         while child <= last:
             out.append(child)
             child += self.record(child).subtree_node_count
@@ -483,7 +591,7 @@ class NodeStore:
         with self.pool.pinned(root_page_id):
             nodes: dict[int, XMLNode] = {}
             root_node: XMLNode | None = None
-            for current in range(nid, nid + root_record.subtree_node_count):
+            for current in range(nid, nid + self._subtree_count(root_record)):
                 checkpoint()
                 record = root_record if current == nid else self.record(current)
                 node = XMLNode(
@@ -524,6 +632,7 @@ class NodeStore:
     def drop_document(self, name: str) -> DocumentInfo:
         """Remove a document from the catalog (space is not reclaimed
         until :meth:`compact`)."""
+        self._check_no_ingest("drop a document")
         info = self.meta.remove_document(name)
         self.flush()
         self.generation += 1
@@ -543,6 +652,7 @@ class NodeStore:
         replaced atomically.  A crash at any point either keeps the old
         store intact or rolls the swap forward on the next open.
         """
+        self._check_no_ingest("compact")
         live = [
             (info.name, self.materialize(info.root_nid, with_content=True))
             for info in self.documents()
@@ -667,6 +777,7 @@ class NodeStore:
         Persisted indexes are invalidated (deleted) so the next open
         rebuilds them over the surviving documents.  Data on the
         quarantined pages is lost — the report says exactly what."""
+        self._check_no_ingest("repair")
         verify = self.verify()
         report = RepairReport(verify=verify)
         if not verify.corrupt_pages:
@@ -709,6 +820,7 @@ class NodeStore:
         merged.update(self.pool.counters.snapshot())
         merged.update(self.disk.counters.snapshot())
         merged.update(self.recovery.snapshot())
+        merged.update(self.ingest_stats.snapshot())
         fault_counters = getattr(self.disk, "fault_counters", None)
         if fault_counters is not None:
             merged.update(fault_counters.snapshot())
@@ -752,3 +864,273 @@ class NodeStore:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class StoreIngest:
+    """One streaming ingest of a single document, batch by batch.
+
+    Created by :meth:`NodeStore.begin_ingest`.  Each
+    :meth:`commit_batch` appends a batch of root children as a
+    contiguous nid range on fresh pages and rewrites the document
+    root's record in place to advance its ``end`` label, so readers
+    between batches always see a well-formed document covering exactly
+    the committed batches.
+
+    Directory-backed stores run every batch commit under the intent
+    journal (op ``ingest``), extending the bulk-load protocol with a
+    physical undo image of the root's page — the only committed page a
+    batch mutates.  The commit point is the atomic ``meta.json``
+    replace; a crash before it rolls the batch back on reopen, after it
+    rolls forward.  Either way the store lands on a batch boundary.
+    """
+
+    def __init__(self, store: NodeStore, root_shell: XMLNode, name: str):
+        self.store = store
+        self.name = name
+        self.root_shell = root_shell
+        self.batches_committed = 0
+        self.nodes_committed = 0  # includes the root once batch 1 commits
+        self.root_nid: int | None = None
+        self.root_page_id: int | None = None
+        self.root_slot: int | None = None
+        self._root_record: NodeRecord | None = None
+        self._done = False
+        # The last committed batch, exposed for incremental index
+        # maintenance (the IndexManager folds exactly these records in).
+        self.last_batch_records: list[NodeRecord] = []
+        self.last_root_record: NodeRecord | None = None
+        self.last_old_root: NodeRecord | None = None
+        self.last_first_batch = False
+
+    @property
+    def active(self) -> bool:
+        return not self._done
+
+    @property
+    def document(self) -> DocumentInfo:
+        """Catalog entry as of the last committed batch."""
+        return self.store.meta.document_by_name(self.name)
+
+    def commit_batch(self, children: list[XMLNode]) -> DocumentInfo:
+        """Durably append one batch of root children.
+
+        The first batch also writes the root record (its ``end`` label
+        set past this batch); later batches advance that ``end`` with an
+        equal-length in-place overwrite.  On return the batch is
+        committed, the store generation is bumped (readers' caches
+        invalidate at batch granularity), and the catalog covers every
+        node streamed so far.
+        """
+        if self._done:
+            raise DatabaseError(f"ingest of {self.name!r} is already finished")
+        if self.store._active_ingest is not self:
+            raise DatabaseError(f"ingest of {self.name!r} is no longer active")
+        store = self.store
+        meta = store.meta
+        if self.batches_committed and not children:
+            return self.document
+        base_pages = store.disk.n_pages
+        base_next_nid = meta.next_nid
+        base_next_label = meta.next_label
+        first_batch = self.batches_committed == 0
+        old_root = self._root_record
+        old_info = None if first_batch else self.document
+
+        # Label the batch, continuing the store-global nid/label
+        # counters (the document's nid range stays contiguous and its
+        # label region disjoint from every other document's).
+        if first_batch:
+            root_nid = meta.next_nid
+            root_start = meta.next_label
+            meta.next_nid += 1
+            meta.next_label += 1
+            child_records = store._label_forest(children, root_nid, 1)
+            root_end = meta.next_label
+            meta.next_label += 1
+            shell = self.root_shell
+            root_record = NodeRecord(
+                nid=root_nid,
+                parent=NO_PARENT,
+                tag_sym=meta.symbols.intern(shell.tag),
+                start=root_start,
+                end=root_end,
+                level=0,
+                content=shell.content,
+                attributes=tuple(shell.attributes.items()),
+            )
+            shell.nid = root_nid
+            records = [root_record] + child_records
+        else:
+            child_records = store._label_forest(children, self.root_nid, 1)
+            root_end = meta.next_label
+            meta.next_label += 1
+            root_record = dataclasses.replace(old_root, end=root_end)
+            records = child_records
+        n_total = self.nodes_committed + len(records)
+
+        # Physical undo image of the root's page: the in-place ``end``
+        # rewrite is the one mutation of already-committed bytes, so
+        # rollback (in-process or reopen-time) restores these bytes.
+        pre_image: bytes | None = None
+        if not first_batch:
+            pre_image = store.pool.get_page(self.root_page_id).seal()
+
+        if store.directory is not None:
+            write_journal(
+                store.directory,
+                {
+                    "op": "ingest",
+                    "name": self.name,
+                    "batch": self.batches_committed + 1,
+                    "base_pages": base_pages,
+                    "base_next_nid": base_next_nid,
+                    "new_next_nid": meta.next_nid,
+                    "root_page_id": self.root_page_id,
+                    "root_page_hex": pre_image.hex() if pre_image is not None else None,
+                },
+            )
+            maybe_crash(store.fault_plan, "ingest.journal_written")
+            try:
+                info = self._apply_batch(records, root_record, first_batch, n_total)
+                store.pool.flush_all()
+                store.disk.sync()
+                maybe_crash(store.fault_plan, "ingest.pages_synced")
+                meta.save(os.path.join(store.directory, META_FILE))  # COMMIT
+                maybe_crash(store.fault_plan, "ingest.meta_committed")
+            except Exception:
+                # Real failure (a simulated crash, being a BaseException,
+                # skips this and leaves the torn state for reopen-time
+                # recovery): roll the batch back in-process.
+                self._abort_batch(
+                    base_pages, base_next_nid, base_next_label,
+                    first_batch, old_info, old_root, pre_image,
+                )
+                raise
+            clear_journal(store.directory)
+            maybe_crash(store.fault_plan, "ingest.journal_cleared")
+        else:
+            try:
+                info = self._apply_batch(records, root_record, first_batch, n_total)
+                store.pool.flush_all()
+            except Exception:
+                self._abort_batch(
+                    base_pages, base_next_nid, base_next_label,
+                    first_batch, old_info, old_root, pre_image,
+                )
+                raise
+
+        self.batches_committed += 1
+        self.nodes_committed = n_total
+        self._root_record = root_record
+        self.last_batch_records = records
+        self.last_root_record = root_record
+        self.last_old_root = old_root
+        self.last_first_batch = first_batch
+        store.ingest_stats.batches_committed += 1
+        store.ingest_stats.nodes_streamed += len(records)
+        store.generation += 1
+        return info
+
+    def _apply_batch(
+        self,
+        records: list[NodeRecord],
+        root_record: NodeRecord,
+        first_batch: bool,
+        n_total: int,
+    ) -> DocumentInfo:
+        store = self.store
+        store._pack_records(records)
+        if first_batch:
+            info = store.meta.register_document(self.name, records[0].nid, n_total)
+            self.root_nid = records[0].nid
+            self.root_page_id, self.root_slot = store.meta.locate(self.root_nid)
+            return info
+        page = store.pool.get_page(self.root_page_id)
+        page.overwrite_record(self.root_slot, encode_record(root_record))
+        return store.meta.resize_document(self.name, n_total)
+
+    def _abort_batch(
+        self,
+        base_pages: int,
+        base_next_nid: int,
+        base_next_label: int,
+        first_batch: bool,
+        old_info: DocumentInfo | None,
+        old_root: NodeRecord | None,
+        pre_image: bytes | None,
+    ) -> None:
+        store = self.store
+        try:
+            store.pool.discard_all()
+            store.disk.truncate(base_pages)
+        except StorageError:  # pragma: no cover - best-effort rollback
+            pass
+        if store.directory is not None:
+            # The batch never committed, so the on-disk metadata is the
+            # last committed batch's — reload it wholesale.
+            meta_path = os.path.join(store.directory, META_FILE)
+            if os.path.exists(meta_path):
+                store.meta = MetadataManager.load(meta_path)
+            else:
+                store.meta = MetadataManager()
+            store.meta.next_nid = min(store.meta.next_nid, base_next_nid)
+            store.meta.next_label = min(store.meta.next_label, base_next_label)
+        else:
+            # In-memory stores have no metadata file: undo by hand.
+            meta = store.meta
+            keep = [
+                index
+                for index, page_id in enumerate(meta.page_ids)
+                if page_id < base_pages
+            ]
+            meta.page_ids = [meta.page_ids[index] for index in keep]
+            meta.page_first_nids = [meta.page_first_nids[index] for index in keep]
+            meta.next_nid = base_next_nid
+            meta.next_label = base_next_label
+            doc_id = meta._documents_by_name.get(self.name)
+            if first_batch:
+                if doc_id is not None:
+                    meta._documents_by_name.pop(self.name)
+                    meta.documents.pop(doc_id)
+            elif old_info is not None and doc_id is not None:
+                meta.documents[doc_id] = old_info
+        # Undo the in-place root rewrite in case the new image reached
+        # disk before the failure (flush_all precedes the commit point).
+        if pre_image is not None and self.root_page_id is not None:
+            try:
+                store.disk.write_page(Page(self.root_page_id, bytearray(pre_image)))
+            except StorageError:  # pragma: no cover - best-effort rollback
+                pass
+        if store.directory is not None:
+            clear_journal(store.directory)
+        self._root_record = old_root
+        if first_batch:
+            self.root_nid = None
+            self.root_page_id = None
+            self.root_slot = None
+
+    def finish(self) -> DocumentInfo:
+        """Commit the stream's end and release the store for other
+        mutations.  A stream with no committed batches commits one empty
+        batch so the (childless) document exists."""
+        if self._done:
+            raise DatabaseError(f"ingest of {self.name!r} is already finished")
+        if self.batches_committed == 0:
+            self.commit_batch([])
+        info = self.document
+        self._done = True
+        self.store._active_ingest = None
+        self.store.ingest_stats.ingests_finished += 1
+        return info
+
+    def abort(self) -> None:
+        """Stop the ingest, leaving every *committed* batch in place.
+
+        The document (if any batch committed) remains valid and
+        readable at the last batch boundary; nothing from the current
+        uncommitted batch is visible.  Idempotent."""
+        if self._done:
+            return
+        self._done = True
+        self.store._active_ingest = None
+        self.store.ingest_stats.ingests_aborted += 1

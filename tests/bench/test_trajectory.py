@@ -1,0 +1,78 @@
+"""TrajectoryRecorder and the committed-artifact writer, including the
+fail-loud guard against truncating a real trajectory with an empty
+snapshot."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    TrajectoryRecorder,
+    record_run,
+    trajectory_recorder,
+    write_trajectory,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_recorder():
+    trajectory_recorder().reset()
+    yield
+    trajectory_recorder().reset()
+
+
+def test_latest_entry_per_bench_wins():
+    recorder = TrajectoryRecorder()
+    recorder.record("e1", 1.0)
+    recorder.record("e2", 2.0)
+    recorder.record("e1", 0.5, scale=2.0)
+    latest = recorder.latest_entries()
+    assert [entry["bench"] for entry in latest] == ["e1", "e2"]
+    assert latest[0]["seconds"] == 0.5 and latest[0]["scale"] == 2.0
+
+
+def test_write_and_merge(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    record_run("e1", 1.0)
+    assert write_trajectory(path) == path
+    trajectory_recorder().reset()
+    record_run("e2", 2.0)
+    write_trajectory(path)
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    # The second session refreshed its own row without dropping e1's.
+    assert {entry["bench"] for entry in data["entries"]} == {"e1", "e2"}
+
+
+def test_empty_recorder_never_touches_the_artifact(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    record_run("e1", 1.0)
+    write_trajectory(path)
+    before = open(path, encoding="utf-8").read()
+    trajectory_recorder().reset()
+    assert write_trajectory(path) is None
+    assert open(path, encoding="utf-8").read() == before
+
+
+def test_empty_snapshot_over_nonempty_fails_loudly(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    full = TrajectoryRecorder()
+    full.record("e1", 1.0)
+    full.write(path)
+    empty = TrajectoryRecorder()
+    with pytest.raises(ReproError, match="refusing to overwrite"):
+        empty.write(path)
+    # The artifact survived the refused write.
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["entries"]
+
+
+def test_empty_snapshot_over_empty_file_is_fine(tmp_path):
+    path = str(tmp_path / "BENCH_trajectory.json")
+    empty = TrajectoryRecorder()
+    empty.write(path)  # nothing to protect: allowed
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["entries"] == []

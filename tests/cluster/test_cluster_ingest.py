@@ -1,0 +1,77 @@
+"""Batched (streaming) loads through the cluster coordinator: each
+document slice ships to its shard as a chunked ``LOAD`` stream, commits
+in journaled batches shard-side, and the scattered result answers
+queries identically to a single-node whole-document load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalCluster, LocalClusterConfig
+from repro.cluster.coordinator import ClusterConfig
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.query.database import Database
+from repro.xmlmodel.diff import assert_collections_equal
+
+CORPUS = generate_dblp(DBLPConfig(n_articles=60, n_authors=24, seed=7))
+QUERY = (
+    'FOR $a IN document("bib.xml")//article, $y IN $a/year '
+    'WHERE $y = "2000" RETURN $a'
+)
+
+
+@pytest.fixture(scope="module")
+def single_node():
+    db = Database()
+    db.load(tree=CORPUS.deep_copy(), name="bib.xml")
+    result = db.query(QUERY)
+    return result.collection
+
+
+def test_batched_cluster_load_identity(single_node):
+    with LocalCluster(LocalClusterConfig(shards=3)) as cluster:
+        report = cluster.load(
+            tree=CORPUS.deep_copy(), name="bib.xml", batch_size=40
+        )
+        assert len(report.slices) == 3
+        assert report.batches > 3  # more than one batch per slice
+        assert all(piece.batches >= 1 for piece in report.slices)
+        # Each slice carries its own synthetic root, so the cluster
+        # stores slightly more nodes than the source document holds.
+        assert report.nodes >= CORPUS.subtree_size()
+        got = cluster.query(QUERY)
+        assert not got.partial
+        assert_collections_equal(single_node, got.collection)
+        assert cluster.health().status == "ok"
+
+
+def test_batched_load_counters():
+    with LocalCluster(LocalClusterConfig(shards=3)) as cluster:
+        report = cluster.load(
+            tree=CORPUS.deep_copy(), name="bib.xml", batch_size=40
+        )
+        snap = cluster.coordinator.counter_snapshot()
+        assert snap["cluster_load_batches"] == report.batches
+        # Shard-side ingest counters roll up through cluster STATS.
+        stats = cluster.stats()
+        assert stats["ingest_batches_committed"] >= report.batches
+
+
+def test_unbatched_load_still_single_shot(single_node):
+    with LocalCluster(LocalClusterConfig(shards=3)) as cluster:
+        report = cluster.load(tree=CORPUS.deep_copy(), name="bib.xml")
+        assert report.batches == len(report.slices)  # one per slice
+        got = cluster.query(QUERY)
+        assert_collections_equal(single_node, got.collection)
+
+
+def test_batched_load_reaches_replicas(single_node):
+    with LocalCluster(
+        LocalClusterConfig(shards=2, cluster=ClusterConfig(replication=2))
+    ) as cluster:
+        report = cluster.load(
+            tree=CORPUS.deep_copy(), name="bib.xml", batch_size=50
+        )
+        assert report.batches >= 2
+        got = cluster.query(QUERY)
+        assert_collections_equal(single_node, got.collection)

@@ -1,0 +1,127 @@
+"""StreamParser: incremental parsing equals whole-document parsing no
+matter where the chunk boundaries fall — mid-tag, mid-attribute,
+mid-entity, one character at a time — plus chunk-source normalization
+(``chunks_of``/``stream_file``) and typed failure on malformed input."""
+
+from __future__ import annotations
+
+import io
+import os
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.datagen.sample import figure6_database
+from repro.errors import DatabaseError, XMLParseError
+from repro.ingest import StreamParser, chunks_of, stream_file
+from repro.xmlmodel.parse import parse_document
+from repro.xmlmodel.serialize import serialize
+
+
+def _reassemble(text: str, chunk_size: int):
+    """Feed ``text`` in ``chunk_size`` pieces; return the full tree."""
+    parser = StreamParser()
+    children = []
+    for start in range(0, len(text), chunk_size):
+        children.extend(parser.feed(text[start : start + chunk_size]))
+    parser.close()
+    root = parser.root
+    assert root is not None
+    for child in children:
+        root.append_child(child)
+    return root
+
+
+SMALL = serialize(figure6_database(), indent="  ")
+
+
+@pytest.mark.parametrize("chunk_size", [1, 3, 17, 64, 100_000])
+def test_chunk_boundaries_anywhere(chunk_size):
+    want = parse_document(SMALL)
+    got = _reassemble(SMALL, chunk_size)
+    assert got.structurally_equal(want)
+
+
+def test_generated_corpus_roundtrip():
+    text = serialize(
+        generate_dblp(DBLPConfig(n_articles=40, n_authors=12, seed=3)),
+        indent=None,
+    )
+    want = parse_document(text)
+    for chunk_size in (7, 256, 4096):
+        assert _reassemble(text, chunk_size).structurally_equal(want)
+
+
+def test_children_stream_out_incrementally():
+    """Root children are handed back as soon as they complete, without
+    waiting for the end of the document."""
+    text = "<r><a>1</a><b>2</b><c>3</c></r>"
+    parser = StreamParser()
+    seen = []
+    for ch in text:
+        seen.extend(child.tag for child in parser.feed(ch))
+        if ch == ">" and seen:
+            break
+    # The first child was emitted before the document ended.
+    assert seen and seen[0] == "a"
+    assert not parser.at_end
+
+
+def test_root_shell_attributes():
+    parser = StreamParser()
+    children = parser.feed('<bib year="2002" kind="x"><a/></bib>')
+    parser.close()
+    assert parser.root.tag == "bib"
+    assert parser.root.attributes == {"year": "2002", "kind": "x"}
+    assert [c.tag for c in children] == ["a"]
+
+
+def test_truncated_document_raises_on_close():
+    parser = StreamParser()
+    parser.feed("<r><a>unclosed")
+    with pytest.raises(XMLParseError):
+        parser.close()
+
+
+def test_feed_after_close_raises():
+    parser = StreamParser()
+    parser.feed("<r/>")
+    parser.close()
+    with pytest.raises(XMLParseError):
+        parser.feed("<more/>")
+
+
+def test_malformed_markup_raises():
+    parser = StreamParser()
+    with pytest.raises(XMLParseError):
+        parser.feed("<r><a></b></r>")
+
+
+# ----------------------------------------------------------------------
+# Chunk sources
+# ----------------------------------------------------------------------
+def test_chunks_of_string():
+    pieces = list(chunks_of("abcdef", 4))
+    assert pieces == ["abcd", "ef"]
+
+
+def test_chunks_of_file_like():
+    pieces = list(chunks_of(io.StringIO("abcdef"), 4))
+    assert pieces == ["abcd", "ef"]
+
+
+def test_chunks_of_iterable_passthrough():
+    assert list(chunks_of(iter(["ab", "cd"]))) == ["ab", "cd"]
+
+
+def test_chunks_of_rejects_unusable_source():
+    with pytest.raises(DatabaseError):
+        list(chunks_of(42))
+
+
+def test_stream_file(tmp_path):
+    path = os.path.join(tmp_path, "doc.xml")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(SMALL)
+    text = "".join(stream_file(path, chunk_chars=11))
+    assert text == SMALL

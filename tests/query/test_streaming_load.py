@@ -1,0 +1,166 @@
+"""``Database.load`` streaming paths: ``path=``/``stream=`` always
+stream; ``text=`` streams when ``batch_size`` is given.  Query answers
+must be structurally identical to a whole-document load, reports must
+carry per-batch progress, failures must keep the old atomic semantics
+for ``path=``/``text=``, and directory-backed stores must persist
+fresh index snapshots across reopen."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen.dblp import DBLPConfig, generate_dblp
+from repro.errors import DatabaseError, XMLParseError
+from repro.observability import snapshot_counters
+from repro.query.database import Database
+from repro.xmlmodel.diff import diff_collections
+from repro.xmlmodel.serialize import serialize
+
+CORPUS = generate_dblp(DBLPConfig(n_articles=60, n_authors=24, seed=11))
+TEXT = serialize(CORPUS, indent="  ")
+QUERY = (
+    'FOR $a IN document("bib.xml")//article, $y IN $a/year '
+    'WHERE $y = "2000" RETURN $a'
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    db = Database()
+    db.load(text=TEXT, name="bib.xml")
+    return db, db.query(QUERY)
+
+
+def _assert_same_answers(db, reference):
+    _, ref_result = reference
+    result = db.query(QUERY)
+    report = diff_collections(ref_result.collection, result.collection)
+    assert report is None, report
+
+
+def test_text_with_batch_size_streams(reference):
+    db = Database()
+    events = []
+    report = db.load(
+        text=TEXT, name="bib.xml", batch_size=97, on_batch=events.append
+    )
+    assert report.batches > 1
+    assert report.nodes == report.nodes_streamed == CORPUS.subtree_size()
+    assert len(events) == report.batches == len(report.progress)
+    assert events[-1].nodes_total == report.nodes
+    _assert_same_answers(db, reference)
+    assert db.verify().ok
+
+
+def test_text_without_batch_size_keeps_legacy_whole_doc_path(reference):
+    db = Database()
+    report = db.load(text=TEXT, name="bib.xml")
+    assert report.batches == 1
+    assert report.progress == ()
+    _assert_same_answers(db, reference)
+
+
+def test_stream_iterable(reference):
+    db = Database()
+    chunks = [TEXT[i : i + 1000] for i in range(0, len(TEXT), 1000)]
+    report = db.load(stream=iter(chunks), name="bib.xml", batch_size=150)
+    assert report.batches > 1
+    _assert_same_answers(db, reference)
+
+
+def test_path_streams_even_without_batch_size(tmp_path, reference):
+    """Satellite of the subsystem: ``path=`` no longer reads the whole
+    file into one string — default batching bounds memory."""
+    xml_path = os.path.join(tmp_path, "bib.xml")
+    with open(xml_path, "w", encoding="utf-8") as handle:
+        handle.write(TEXT)
+    db = Database()
+    report = db.load(path=xml_path)
+    assert report.document == "bib.xml"  # name defaults to the basename
+    assert report.nodes_streamed == report.nodes
+    assert report.progress  # streaming path reports progress
+    _assert_same_answers(db, reference)
+
+
+def test_path_streaming_persists_fresh_indexes(tmp_path, reference):
+    xml_path = os.path.join(tmp_path, "bib.xml")
+    with open(xml_path, "w", encoding="utf-8") as handle:
+        handle.write(TEXT)
+    directory = os.path.join(tmp_path, "db")
+    db = Database(directory)
+    report = db.load(path=xml_path, batch_size=200)
+    assert report.batches > 1
+    verdict = db.verify()
+    assert verdict.ok and verdict.index_fresh
+    _assert_same_answers(db, reference)
+    db.close()
+    reopened = Database(directory)
+    _assert_same_answers(reopened, reference)
+    reopened.close()
+
+
+def test_counters_flow_through_snapshot():
+    db = Database()
+    report = db.load(text=TEXT, name="bib.xml", batch_size=97)
+    counters = snapshot_counters(db.store, db.indexes)
+    assert counters["ingest_batches_committed"] == report.batches
+    assert counters["ingest_nodes_streamed"] == report.nodes
+    assert counters["index_incremental_updates"] > 0
+    assert counters["index_rebuild_avoided"] > 0
+
+
+def test_generation_bumps_per_batch():
+    db = Database()
+    before = db.store.generation
+    report = db.load(text=TEXT, name="bib.xml", batch_size=97)
+    assert db.store.generation - before == report.batches
+
+
+def test_malformed_text_drops_partial_document():
+    db = Database()
+    truncated = TEXT[: len(TEXT) // 2]
+    with pytest.raises(XMLParseError):
+        db.load(text=truncated, name="bad.xml", batch_size=50)
+    assert "bad.xml" not in db.documents()
+    assert db.verify().ok
+
+
+def test_malformed_path_drops_partial_document(tmp_path):
+    xml_path = os.path.join(tmp_path, "bad.xml")
+    with open(xml_path, "w", encoding="utf-8") as handle:
+        handle.write(TEXT[: len(TEXT) // 2])
+    db = Database()
+    with pytest.raises(XMLParseError):
+        db.load(path=xml_path, batch_size=50)
+    assert "bad.xml" not in db.documents()
+
+
+def test_failed_stream_keeps_committed_batches():
+    """``stream=`` is the wire contract: the caller owns retry, so a
+    failure keeps the committed prefix readable."""
+
+    def exploding():
+        yield TEXT[: len(TEXT) // 2]
+        raise OSError("connection reset")
+
+    db = Database()
+    with pytest.raises(OSError):
+        db.load(stream=exploding(), name="partial.xml", batch_size=60)
+    assert "partial.xml" in db.documents()
+    assert db.verify().ok
+
+
+def test_missing_path_is_a_database_error():
+    db = Database()
+    with pytest.raises(DatabaseError, match="no-such-file"):
+        db.load(path="/nonexistent/no-such-file.xml")
+
+
+def test_name_required_for_text_and_stream():
+    db = Database()
+    with pytest.raises(DatabaseError):
+        db.load(text=TEXT, batch_size=50)
+    with pytest.raises(DatabaseError):
+        db.load(stream=iter([TEXT]), batch_size=50)

@@ -76,6 +76,46 @@ class TestQueryTimeout:
         assert "timed out" in capsys.readouterr().err
 
 
+class TestLoad:
+    def test_load_streams_into_directory(self, bib_file, tmp_path, capsys):
+        directory = os.path.join(tmp_path, "db")
+        assert main(["load", bib_file, directory, "--batch-size", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "loaded bib.xml:" in out
+        assert "batch(es)" in out
+        # More than one batch at this size, and the store persisted.
+        from repro.query.database import Database
+
+        with Database(directory) as db:
+            report = db.verify()
+            assert report.ok and report.index_fresh
+            assert "bib.xml" in db.documents()
+
+    def test_load_progress_goes_to_stderr(self, bib_file, tmp_path, capsys):
+        directory = os.path.join(tmp_path, "db")
+        assert (
+            main(
+                [
+                    "load",
+                    bib_file,
+                    directory,
+                    "--batch-size",
+                    "60",
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "batch 1:" in captured.err
+        assert "generation" in captured.err
+
+    def test_load_custom_name(self, bib_file, tmp_path, capsys):
+        directory = os.path.join(tmp_path, "db")
+        assert main(["load", bib_file, directory, "--name", "other.xml"]) == 0
+        assert "loaded other.xml:" in capsys.readouterr().out
+
+
 class TestServe:
     def test_serve_end_to_end(self, bib_file):
         import json
